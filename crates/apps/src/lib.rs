@@ -1,0 +1,27 @@
+//! Application substrates for the SplitFS evaluation.
+//!
+//! The paper evaluates SplitFS with real storage applications: LevelDB
+//! (under YCSB), SQLite in WAL mode (under TPC-C) and Redis in
+//! append-only-file mode.  This crate provides from-scratch Rust
+//! equivalents that generate the same kinds of file-system traffic and run
+//! on any [`vfs::FileSystem`]:
+//!
+//! * [`lsm::LsmStore`] — a LevelDB-like log-structured merge tree: a
+//!   write-ahead log, an in-memory memtable, sorted string tables flushed
+//!   to disk, and background-style compaction.
+//! * [`waldb::WalDb`] — a SQLite-like page store in write-ahead-logging
+//!   mode: fixed-size pages, a WAL with commit records, checkpointing back
+//!   into the main database file, and simple key-value tables on top.
+//! * [`aof::AofStore`] — a Redis-like in-memory hash map whose mutations
+//!   are appended to an append-only file with a configurable fsync policy.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aof;
+pub mod lsm;
+pub mod waldb;
+
+pub use aof::{AofStore, FsyncPolicy};
+pub use lsm::{LsmConfig, LsmStore};
+pub use waldb::{WalDb, WalDbConfig};

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmark of the 4 KiB append path (the Table 1
+//! operation) on every file system.  Wall-clock numbers here measure the
+//! emulation itself, not persistent memory; the simulated-time results the
+//! paper's tables use come from `cargo run -p bench --bin harness`.
+
+use bench::{make_fs, FsKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vfs::OpenFlags;
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("append_4k");
+    group.sample_size(20);
+    for kind in [
+        FsKind::Ext4Dax,
+        FsKind::Pmfs,
+        FsKind::NovaStrict,
+        FsKind::SplitPosix,
+        FsKind::SplitStrict,
+    ] {
+        let fixture = make_fs(kind, 512 * 1024 * 1024);
+        let fd = fixture.fs.open("/bench.dat", OpenFlags::create()).unwrap();
+        let block = vec![0xABu8; 4096];
+        // Reset the file periodically so unbounded criterion iteration
+        // counts cannot exhaust the emulated device.
+        let mut appended = 0u64;
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                fixture.fs.append(fd, black_box(&block)).unwrap();
+                appended += 1;
+                if appended % 4_096 == 0 {
+                    // Relink staged data, then release the blocks, so the
+                    // emulated device is not exhausted by criterion's
+                    // unbounded iteration count.
+                    fixture.fs.fsync(fd).unwrap();
+                    fixture.fs.ftruncate(fd, 0).unwrap();
+                }
+            });
+        });
+        fixture.fs.fsync(fd).unwrap();
+        fixture.fs.close(fd).unwrap();
+    }
+    group.finish();
+}
+
+fn bench_append_fsync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("append_4k_plus_fsync_every_10");
+    group.sample_size(20);
+    for kind in [FsKind::Ext4Dax, FsKind::SplitPosix, FsKind::SplitStrict] {
+        let fixture = make_fs(kind, 512 * 1024 * 1024);
+        let fd = fixture.fs.open("/bench.dat", OpenFlags::create()).unwrap();
+        let block = vec![0xCDu8; 4096];
+        let mut i = 0u64;
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                fixture.fs.append(fd, black_box(&block)).unwrap();
+                i += 1;
+                if i % 10 == 0 {
+                    fixture.fs.fsync(fd).unwrap();
+                }
+                if i % 8_192 == 0 {
+                    fixture.fs.fsync(fd).unwrap();
+                    fixture.fs.ftruncate(fd, 0).unwrap();
+                }
+            });
+        });
+        fixture.fs.close(fd).unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_append_fsync);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmark of reads and overwrites through the user-space
+//! (mmap) path versus the kernel path — the Figure 4 contrast in
+//! wall-clock terms.
+
+use bench::{make_fs, FsKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vfs::OpenFlags;
+
+const FILE_SIZE: u64 = 8 * 1024 * 1024;
+
+fn prepared_fd(fixture: &bench::Fixture) -> vfs::Fd {
+    let fd = fixture.fs.open("/data.bin", OpenFlags::create()).unwrap();
+    let block = vec![0x11u8; 64 * 1024];
+    let mut off = 0;
+    while off < FILE_SIZE {
+        fixture.fs.write_at(fd, off, &block).unwrap();
+        off += block.len() as u64;
+    }
+    fixture.fs.fsync(fd).unwrap();
+    fd
+}
+
+fn bench_read4k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_4k");
+    group.sample_size(30);
+    for kind in [FsKind::Ext4Dax, FsKind::NovaStrict, FsKind::SplitPosix] {
+        let fixture = make_fs(kind, 256 * 1024 * 1024);
+        let fd = prepared_fd(&fixture);
+        let mut buf = vec![0u8; 4096];
+        let mut offset = 0u64;
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                fixture.fs.read_at(fd, black_box(offset), &mut buf).unwrap();
+                offset = (offset + 4096) % FILE_SIZE;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_overwrite4k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overwrite_4k");
+    group.sample_size(30);
+    for kind in [FsKind::Ext4Dax, FsKind::Pmfs, FsKind::SplitPosix, FsKind::SplitStrict] {
+        let fixture = make_fs(kind, 256 * 1024 * 1024);
+        let fd = prepared_fd(&fixture);
+        let block = vec![0x77u8; 4096];
+        let mut offset = 0u64;
+        let mut ops = 0u64;
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                fixture
+                    .fs
+                    .write_at(fd, black_box(offset), &block)
+                    .unwrap();
+                offset = (offset + 4096) % FILE_SIZE;
+                ops += 1;
+                // Periodic fsync keeps strict-mode staging bounded (staged
+                // overwrites are relinked and their old blocks freed).
+                if ops % 2_048 == 0 {
+                    fixture.fs.fsync(fd).unwrap();
+                }
+            });
+        });
+        fixture.fs.fsync(fd).unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read4k, bench_overwrite4k);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmark of the SplitFS operation log against a NOVA-style
+//! two-line / two-fence log write, isolating the §3.3 logging optimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernelfs::{DaxMapping, MapSegment};
+use pmem::{PersistMode, PmemBuilder, TimeCategory};
+use splitfs::oplog::{LogEntry, LogOp, OpLog};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_oplog_append(c: &mut Criterion) {
+    let device = PmemBuilder::new(64 * 1024 * 1024)
+        .track_persistence(false)
+        .build();
+    let size = 32 * 1024 * 1024u64;
+    let mapping = DaxMapping {
+        ino: 1,
+        file_offset: 0,
+        len: size,
+        segments: vec![MapSegment {
+            file_offset: 0,
+            device_offset: 1024 * 1024,
+            len: size,
+        }],
+        huge: true,
+    };
+    let oplog = OpLog::new(Arc::clone(&device), mapping, size);
+
+    let mut group = c.benchmark_group("logging");
+    group.sample_size(30);
+    group.bench_function("splitfs_oplog_entry(1 line, 1 fence)", |b| {
+        b.iter(|| {
+            let entry = LogEntry {
+                op: LogOp::StagedWrite,
+                target_ino: 10,
+                target_offset: 4096,
+                len: 4096,
+                staging_ino: 20,
+                staging_offset: 8192,
+                seq: oplog.next_seq(),
+            };
+            if oplog.append(black_box(&entry)).is_err() {
+                oplog.reset();
+            }
+        });
+    });
+
+    // NOVA-style: a 128-byte entry + fence, then a 64-byte tail + fence.
+    let mut head = 40 * 1024 * 1024u64;
+    let nova_region_end = 60 * 1024 * 1024u64;
+    group.bench_function("nova_style_log_entry(2 lines, 2 fences)", |b| {
+        b.iter(|| {
+            if head + 192 > nova_region_end {
+                head = 40 * 1024 * 1024;
+            }
+            device.write(head, &[0u8; 128], PersistMode::NonTemporal, TimeCategory::Journal);
+            device.fence(TimeCategory::Journal);
+            device.write(
+                head + 128,
+                &[0u8; 64],
+                PersistMode::NonTemporal,
+                TimeCategory::Journal,
+            );
+            device.fence(TimeCategory::Journal);
+            head += 192;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oplog_append);
+criterion_main!(benches);

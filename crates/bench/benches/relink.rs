@@ -1,0 +1,56 @@
+//! Criterion benchmark of fsync-after-appends: relink versus copying the
+//! staged data (the Figure 3 "staging without relink" ablation) versus the
+//! kernel file system.
+
+use bench::{make_fs, make_splitfs, FsKind};
+// The no-relink (copy) ablation is measured in simulated time by the harness
+// (fig3); it is omitted here because without relink the staging blocks are
+// never reclaimed and criterion's unbounded iteration count would exhaust
+// the emulated device.
+use criterion::{criterion_group, criterion_main, Criterion};
+use splitfs::{Mode, SplitConfig};
+use std::hint::black_box;
+use vfs::OpenFlags;
+
+const APPENDS_PER_FSYNC: usize = 10;
+
+fn bench_fsync_after_appends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fsync_after_10x4k_appends");
+    group.sample_size(20);
+
+    let configs: Vec<(&str, bench::Fixture)> = vec![
+        ("ext4-DAX", make_fs(FsKind::Ext4Dax, 512 * 1024 * 1024)),
+        (
+            "SplitFS(relink)",
+            make_splitfs(
+                SplitConfig::new(Mode::Posix).with_staging(4, 32 * 1024 * 1024),
+                512 * 1024 * 1024,
+            ),
+        ),
+    ];
+
+    for (label, fixture) in configs {
+        let fd = fixture.fs.open("/wal.log", OpenFlags::create()).unwrap();
+        let block = vec![0xEEu8; 4096];
+        // Reset the file periodically so unbounded criterion iteration
+        // counts cannot exhaust the emulated device.
+        let mut batches = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for _ in 0..APPENDS_PER_FSYNC {
+                    fixture.fs.append(fd, black_box(&block)).unwrap();
+                }
+                fixture.fs.fsync(fd).unwrap();
+                batches += 1;
+                if batches % 1_000 == 0 {
+                    fixture.fs.ftruncate(fd, 0).unwrap();
+                }
+            });
+        });
+        fixture.fs.close(fd).unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fsync_after_appends);
+criterion_main!(benches);

@@ -1,0 +1,366 @@
+//! Block allocator.
+//!
+//! A bitmap over the whole device tracks which 4 KiB blocks are in use.
+//! Allocation prefers contiguous runs (ext4's extent-friendly behaviour):
+//! [`BlockAllocator::alloc_extents`] returns as few extents as possible for
+//! a request, falling back to multiple runs only when the device is
+//! fragmented.  The in-memory bitmap is authoritative during operation and
+//! is written through to the device (metadata traffic) so a crash-recovered
+//! mount can rebuild it; the journal's `AllocBlocks`/`FreeBlocks` records
+//! repair any half-written bitmap updates.
+
+use std::sync::Arc;
+
+use pmem::{PersistMode, PmemDevice, TimeCategory};
+use vfs::{FsError, FsResult};
+
+use crate::layout::{Superblock, BLOCK_SIZE};
+
+/// A contiguous run of physical blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRun {
+    /// First physical block of the run.
+    pub start: u64,
+    /// Number of blocks in the run.
+    pub len: u64,
+}
+
+/// Bitmap-based block allocator.
+#[derive(Debug)]
+pub struct BlockAllocator {
+    /// One bit per block of the device; bit set = in use.
+    words: Vec<u64>,
+    total_blocks: u64,
+    data_start: u64,
+    /// Rotating allocation cursor to spread allocations and keep appends to
+    /// different files from interleaving too aggressively.
+    cursor: u64,
+    free_blocks: u64,
+}
+
+impl BlockAllocator {
+    /// Creates an allocator for a freshly formatted device: all metadata
+    /// region blocks are marked used, all data blocks free.
+    pub fn format(sb: &Superblock) -> Self {
+        let words = vec![0u64; (sb.total_blocks as usize).div_ceil(64)];
+        let mut alloc = Self {
+            words,
+            total_blocks: sb.total_blocks,
+            data_start: sb.data_start,
+            cursor: sb.data_start,
+            free_blocks: sb.total_blocks,
+        };
+        // Reserve the metadata regions and any tail bits beyond the device.
+        for b in 0..sb.data_start {
+            alloc.set_used(b);
+        }
+        alloc
+    }
+
+    /// Rebuilds the allocator from a bitmap image read from the device.
+    pub fn from_bitmap_image(sb: &Superblock, image: &[u8]) -> Self {
+        let mut words = vec![0u64; (sb.total_blocks as usize).div_ceil(64)];
+        for (i, word) in words.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            let src = &image[i * 8..(i + 1) * 8];
+            bytes.copy_from_slice(src);
+            *word = u64::from_le_bytes(bytes);
+        }
+        let mut free = 0;
+        for b in 0..sb.total_blocks {
+            if words[(b / 64) as usize] & (1 << (b % 64)) == 0 {
+                free += 1;
+            }
+        }
+        Self {
+            words,
+            total_blocks: sb.total_blocks,
+            data_start: sb.data_start,
+            cursor: sb.data_start,
+            free_blocks: free,
+        }
+    }
+
+    /// Serializes the bitmap into the image written to the bitmap region.
+    pub fn to_bitmap_image(&self, sb: &Superblock) -> Vec<u8> {
+        let mut image = vec![0u8; (sb.bitmap_blocks * BLOCK_SIZE as u64) as usize];
+        for (i, word) in self.words.iter().enumerate() {
+            let dst = &mut image[i * 8..(i + 1) * 8];
+            dst.copy_from_slice(&word.to_le_bytes());
+        }
+        image
+    }
+
+    fn is_used(&self, block: u64) -> bool {
+        self.words[(block / 64) as usize] & (1 << (block % 64)) != 0
+    }
+
+    fn set_used(&mut self, block: u64) {
+        let word = &mut self.words[(block / 64) as usize];
+        let bit = 1u64 << (block % 64);
+        if *word & bit == 0 {
+            *word |= bit;
+            self.free_blocks -= 1;
+        }
+    }
+
+    fn set_free(&mut self, block: u64) {
+        let word = &mut self.words[(block / 64) as usize];
+        let bit = 1u64 << (block % 64);
+        if *word & bit != 0 {
+            *word &= !bit;
+            self.free_blocks += 1;
+        }
+    }
+
+    /// Number of free data blocks.
+    pub fn free_blocks(&self) -> u64 {
+        self.free_blocks
+    }
+
+    /// Marks an explicit run as used (journal replay).
+    pub fn mark_used(&mut self, start: u64, len: u64) {
+        for b in start..start + len {
+            if b < self.total_blocks {
+                self.set_used(b);
+            }
+        }
+    }
+
+    /// Marks an explicit run as free (journal replay / file delete).
+    pub fn mark_free(&mut self, start: u64, len: u64) {
+        for b in start..start + len {
+            if b >= self.data_start && b < self.total_blocks {
+                self.set_free(b);
+            }
+        }
+    }
+
+    /// Blocks per 2 MiB huge page (with 4 KiB blocks).
+    const HUGE_ALIGN: u64 = 512;
+
+    /// Finds a free run of at least `min_len` blocks starting on a 2 MiB
+    /// boundary.  ext4's multi-block allocator aligns large allocations the
+    /// same way, which is what makes DAX huge-page mappings possible
+    /// (paper §4 discusses how fragile this is once the device fragments).
+    fn find_aligned_run_from(&self, from: u64, want: u64, min_len: u64) -> Option<BlockRun> {
+        let mut b = from.max(self.data_start).div_ceil(Self::HUGE_ALIGN) * Self::HUGE_ALIGN;
+        while b + min_len <= self.total_blocks {
+            let mut len = 0;
+            while b + len < self.total_blocks && !self.is_used(b + len) && len < want {
+                len += 1;
+            }
+            if len >= min_len {
+                return Some(BlockRun { start: b, len });
+            }
+            b += Self::HUGE_ALIGN.max((len / Self::HUGE_ALIGN + 1) * Self::HUGE_ALIGN);
+        }
+        None
+    }
+
+    fn find_run_from(&self, from: u64, want: u64) -> Option<BlockRun> {
+        let mut b = from.max(self.data_start);
+        while b < self.total_blocks {
+            if self.is_used(b) {
+                b += 1;
+                continue;
+            }
+            let start = b;
+            let mut len = 0;
+            while b < self.total_blocks && !self.is_used(b) && len < want {
+                len += 1;
+                b += 1;
+            }
+            return Some(BlockRun { start, len });
+        }
+        None
+    }
+
+    /// Allocates `count` blocks, preferring a single contiguous run starting
+    /// at the allocation cursor.  Returns the runs actually allocated
+    /// (possibly more than one when fragmented) or [`FsError::NoSpace`].
+    pub fn alloc_extents(&mut self, count: u64) -> FsResult<Vec<BlockRun>> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        if count > self.free_blocks {
+            return Err(FsError::NoSpace);
+        }
+        let mut runs = Vec::new();
+        let mut remaining = count;
+        let mut from = self.cursor;
+        let mut wrapped = false;
+        // Large allocations (a 2 MiB huge page or more) are aligned to
+        // 2 MiB when a suitable run exists, so that DAX mappings of large
+        // files and staging files can use huge pages.
+        if remaining >= Self::HUGE_ALIGN {
+            while remaining >= Self::HUGE_ALIGN {
+                match self.find_aligned_run_from(from, remaining, Self::HUGE_ALIGN) {
+                    Some(run) => {
+                        for b in run.start..run.start + run.len {
+                            self.set_used(b);
+                        }
+                        remaining -= run.len;
+                        from = run.start + run.len;
+                        runs.push(run);
+                    }
+                    None => break,
+                }
+            }
+            if remaining == 0 {
+                self.cursor = from;
+                return Ok(runs);
+            }
+        }
+        while remaining > 0 {
+            match self.find_run_from(from, remaining) {
+                Some(run) if run.len > 0 => {
+                    for b in run.start..run.start + run.len {
+                        self.set_used(b);
+                    }
+                    remaining -= run.len;
+                    from = run.start + run.len;
+                    runs.push(run);
+                }
+                _ => {
+                    if wrapped {
+                        // Roll back this partial allocation before failing.
+                        for run in &runs {
+                            self.mark_free(run.start, run.len);
+                        }
+                        return Err(FsError::NoSpace);
+                    }
+                    wrapped = true;
+                    from = self.data_start;
+                }
+            }
+        }
+        self.cursor = from;
+        Ok(runs)
+    }
+
+    /// Writes the bitmap bytes covering `runs` through to the device
+    /// (metadata traffic), so the on-device bitmap tracks the in-memory one.
+    pub fn persist_runs(&self, device: &Arc<PmemDevice>, sb: &Superblock, runs: &[BlockRun]) {
+        let bitmap_base = sb.bitmap_start * BLOCK_SIZE as u64;
+        for run in runs {
+            // The bytes of the bitmap covering [start, start+len).
+            let first_byte = run.start / 8;
+            let last_byte = (run.start + run.len - 1) / 8;
+            for byte_idx in first_byte..=last_byte {
+                let word = self.words[(byte_idx / 8) as usize];
+                let byte = word.to_le_bytes()[(byte_idx % 8) as usize];
+                device.write(
+                    bitmap_base + byte_idx,
+                    &[byte],
+                    PersistMode::NonTemporal,
+                    TimeCategory::Metadata,
+                );
+            }
+        }
+        device.fence(TimeCategory::Metadata);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_sb() -> Superblock {
+        Superblock::compute(1 << 16, 1024).unwrap()
+    }
+
+    #[test]
+    fn fresh_allocator_reserves_metadata_regions() {
+        let sb = test_sb();
+        let alloc = BlockAllocator::format(&sb);
+        assert_eq!(alloc.free_blocks(), sb.total_blocks - sb.data_start);
+        assert!(alloc.is_used(0));
+        assert!(alloc.is_used(sb.data_start - 1));
+        assert!(!alloc.is_used(sb.data_start));
+    }
+
+    #[test]
+    fn allocates_contiguous_runs_when_possible() {
+        let sb = test_sb();
+        let mut alloc = BlockAllocator::format(&sb);
+        let runs = alloc.alloc_extents(64).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len, 64);
+        assert!(runs[0].start >= sb.data_start);
+    }
+
+    #[test]
+    fn consecutive_allocations_do_not_overlap() {
+        let sb = test_sb();
+        let mut alloc = BlockAllocator::format(&sb);
+        let a = alloc.alloc_extents(16).unwrap();
+        let b = alloc.alloc_extents(16).unwrap();
+        let a_set: std::collections::HashSet<u64> =
+            (a[0].start..a[0].start + a[0].len).collect();
+        for run in &b {
+            for blk in run.start..run.start + run.len {
+                assert!(!a_set.contains(&blk));
+            }
+        }
+    }
+
+    #[test]
+    fn freeing_makes_blocks_reusable() {
+        let sb = test_sb();
+        let mut alloc = BlockAllocator::format(&sb);
+        let before = alloc.free_blocks();
+        let runs = alloc.alloc_extents(128).unwrap();
+        assert_eq!(alloc.free_blocks(), before - 128);
+        for run in &runs {
+            alloc.mark_free(run.start, run.len);
+        }
+        assert_eq!(alloc.free_blocks(), before);
+    }
+
+    #[test]
+    fn exhausting_the_device_returns_no_space() {
+        let sb = Superblock::compute(8192, 256).unwrap();
+        let mut alloc = BlockAllocator::format(&sb);
+        let free = alloc.free_blocks();
+        alloc.alloc_extents(free).unwrap();
+        assert!(matches!(alloc.alloc_extents(1), Err(FsError::NoSpace)));
+    }
+
+    #[test]
+    fn fragmented_allocation_spans_multiple_runs() {
+        let sb = test_sb();
+        let mut alloc = BlockAllocator::format(&sb);
+        // Consume the whole device, then free every other block of a 100-
+        // block window so the only free space is single-block holes.
+        let all = alloc.free_blocks();
+        let runs = alloc.alloc_extents(all).unwrap();
+        let start = runs[0].start;
+        for i in (0..100).step_by(2) {
+            alloc.mark_free(start + i, 1);
+        }
+        let frag = alloc.alloc_extents(10).unwrap();
+        assert!(frag.len() > 1, "expected a fragmented allocation");
+        assert_eq!(frag.iter().map(|r| r.len).sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn bitmap_image_round_trips() {
+        let sb = test_sb();
+        let mut alloc = BlockAllocator::format(&sb);
+        alloc.alloc_extents(37).unwrap();
+        let image = alloc.to_bitmap_image(&sb);
+        let rebuilt = BlockAllocator::from_bitmap_image(&sb, &image);
+        assert_eq!(rebuilt.free_blocks(), alloc.free_blocks());
+        for b in 0..sb.total_blocks {
+            assert_eq!(rebuilt.is_used(b), alloc.is_used(b), "block {b}");
+        }
+    }
+
+    #[test]
+    fn zero_block_allocation_is_empty() {
+        let sb = test_sb();
+        let mut alloc = BlockAllocator::format(&sb);
+        assert!(alloc.alloc_extents(0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,148 @@
+//! Directory entry serialization.
+//!
+//! Directory contents are stored in the directory inode's data blocks as a
+//! sequence of variable-length entries:
+//!
+//! ```text
+//! [ino u64][name_len u16][name bytes]
+//! ```
+//!
+//! An entry with `ino == 0` is a tombstone left by unlink/rename so that
+//! removal does not rewrite the whole directory.  The in-memory directory
+//! map (rebuilt at mount by scanning the entries) is the operational source
+//! of truth; the serialized form exists so that a crash-recovered mount can
+//! rebuild it.
+
+use std::collections::BTreeMap;
+
+use vfs::util::{ByteReader, ByteWriter};
+use vfs::{FsError, FsResult};
+
+/// Serialized size of an entry with the given name length.
+pub fn entry_size(name: &str) -> usize {
+    8 + 2 + name.len()
+}
+
+/// Encodes a single directory entry.
+pub fn encode_entry(ino: u64, name: &str) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(ino);
+    w.put_str(name);
+    w.into_vec()
+}
+
+/// Encodes a tombstone of the same size as the entry it replaces, so the
+/// byte layout of following entries is unchanged.
+pub fn encode_tombstone(name_len: usize) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(0);
+    w.put_bytes(&vec![0u8; name_len]);
+    w.into_vec()
+}
+
+/// One parsed directory entry and where it sits in the directory data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Inode the entry points to (0 for a tombstone).
+    pub ino: u64,
+    /// Entry name (empty for a tombstone).
+    pub name: String,
+    /// Byte offset of the entry within the directory data.
+    pub offset: u64,
+    /// Serialized length of the entry in bytes.
+    pub len: usize,
+}
+
+/// Scans serialized directory data, returning every entry including
+/// tombstones.  Stops cleanly at the end of valid data.
+pub fn scan_entries(data: &[u8]) -> FsResult<Vec<DirEntry>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos + 10 <= data.len() {
+        let mut r = ByteReader::new(&data[pos..]);
+        let ino = r.get_u64().ok_or(FsError::Corrupted("short dirent".into()))?;
+        let name_bytes = r
+            .get_bytes()
+            .ok_or(FsError::Corrupted("short dirent name".into()))?;
+        let len = r.position();
+        let name = if ino == 0 {
+            String::new()
+        } else {
+            String::from_utf8(name_bytes)
+                .map_err(|_| FsError::Corrupted("dirent name not utf-8".into()))?
+        };
+        out.push(DirEntry {
+            ino,
+            name,
+            offset: pos as u64,
+            len,
+        });
+        pos += len;
+    }
+    Ok(out)
+}
+
+/// Builds the in-memory name → inode map from serialized directory data.
+pub fn build_map(data: &[u8]) -> FsResult<BTreeMap<String, u64>> {
+    let mut map = BTreeMap::new();
+    for entry in scan_entries(data)? {
+        if entry.ino != 0 {
+            map.insert(entry.name, entry.ino);
+        }
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_scan_round_trip() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&encode_entry(10, "wal.log"));
+        data.extend_from_slice(&encode_entry(11, "sstable-000001.sst"));
+        data.extend_from_slice(&encode_entry(12, "MANIFEST"));
+        let entries = scan_entries(&data).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].name, "wal.log");
+        assert_eq!(entries[2].ino, 12);
+        let map = build_map(&data).unwrap();
+        assert_eq!(map.get("MANIFEST"), Some(&12));
+    }
+
+    #[test]
+    fn tombstones_are_skipped_by_build_map() {
+        let mut data = Vec::new();
+        let live = encode_entry(10, "keep.txt");
+        let dead = encode_entry(11, "gone.txt");
+        data.extend_from_slice(&live);
+        data.extend_from_slice(&dead);
+        // Overwrite the second entry with a tombstone of identical size.
+        let tomb = encode_tombstone("gone.txt".len());
+        assert_eq!(tomb.len(), dead.len());
+        let start = live.len();
+        data[start..start + tomb.len()].copy_from_slice(&tomb);
+
+        let map = build_map(&data).unwrap();
+        assert_eq!(map.len(), 1);
+        assert!(map.contains_key("keep.txt"));
+        // But the scan still sees both slots.
+        assert_eq!(scan_entries(&data).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn entry_size_matches_encoding() {
+        for name in ["a", "some-longer-name.dat", ""] {
+            assert_eq!(encode_entry(5, name).len(), entry_size(name));
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_smaller_than_header_is_ignored() {
+        let mut data = encode_entry(3, "x");
+        data.extend_from_slice(&[0xAA; 5]);
+        let entries = scan_entries(&data).unwrap();
+        assert_eq!(entries.len(), 1);
+    }
+}

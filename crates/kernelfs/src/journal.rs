@@ -1,0 +1,650 @@
+//! Metadata journal (the jbd2 stand-in).
+//!
+//! The kernel file system journals *logical* metadata records: every
+//! metadata mutation appends records describing the change, followed by a
+//! commit record, all made persistent with a single fence before the
+//! corresponding in-place metadata structures are updated.  After a crash,
+//! committed transactions are replayed idempotently on top of whatever
+//! in-place state survived, which is exactly the guarantee SplitFS relies
+//! on when it routes metadata operations (including relink) through the
+//! kernel file system.
+//!
+//! Costs: each record is a non-temporal device write in the
+//! [`TimeCategory::Journal`] class; the commit charges the per-transaction
+//! software cost from the [`CostModel`] plus one fence.
+
+use std::sync::Arc;
+
+use pmem::{PersistMode, PmemDevice, TimeCategory};
+use vfs::util::{checksum32, ByteReader, ByteWriter};
+use vfs::{FsError, FsResult};
+
+use crate::layout::{Superblock, BLOCK_SIZE};
+
+/// Magic prefix of every journal record.
+const RECORD_MAGIC: u16 = 0x4A52; // "JR"
+
+/// One logical metadata mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A new inode was created and linked into a directory.
+    CreateInode {
+        /// New inode number.
+        ino: u64,
+        /// Parent directory inode.
+        parent: u64,
+        /// Entry name within the parent.
+        name: String,
+        /// Whether the new inode is a directory.
+        is_dir: bool,
+    },
+    /// A directory entry was removed (and the inode freed if `free_inode`).
+    Unlink {
+        /// Parent directory inode.
+        parent: u64,
+        /// Entry name within the parent.
+        name: String,
+        /// The inode the entry referred to.
+        ino: u64,
+        /// Whether the inode itself was freed (link count reached zero).
+        free_inode: bool,
+    },
+    /// A rename, possibly replacing an existing destination entry.
+    Rename {
+        /// Source parent directory.
+        old_parent: u64,
+        /// Source entry name.
+        old_name: String,
+        /// Destination parent directory.
+        new_parent: u64,
+        /// Destination entry name.
+        new_name: String,
+        /// The inode being renamed.
+        ino: u64,
+        /// Inode of a replaced destination entry (0 when none).
+        replaced_ino: u64,
+    },
+    /// The file size changed.
+    SetSize {
+        /// Inode number.
+        ino: u64,
+        /// New size in bytes.
+        size: u64,
+    },
+    /// A contiguous extent was added to a file's mapping.
+    AddExtent {
+        /// Inode number.
+        ino: u64,
+        /// First logical block covered.
+        logical: u64,
+        /// First physical block.
+        phys: u64,
+        /// Number of blocks.
+        len: u64,
+    },
+    /// All extents at or beyond `from_logical` were removed.
+    TruncateExtents {
+        /// Inode number.
+        ino: u64,
+        /// First logical block to drop.
+        from_logical: u64,
+    },
+    /// Blocks were allocated in the bitmap.
+    AllocBlocks {
+        /// First physical block.
+        start: u64,
+        /// Number of blocks.
+        len: u64,
+    },
+    /// Blocks were freed in the bitmap.
+    FreeBlocks {
+        /// First physical block.
+        start: u64,
+        /// Number of blocks.
+        len: u64,
+    },
+    /// The physical mappings of two files were swapped over a logical block
+    /// range.  Compact descriptive form of the relink primitive; the
+    /// implementation journals [`JournalRecord::SetRangeMapping`] records
+    /// instead because they replay idempotently.
+    SwapExtents {
+        /// First file.
+        ino_a: u64,
+        /// First logical block in `ino_a`.
+        start_a: u64,
+        /// Second file.
+        ino_b: u64,
+        /// First logical block in `ino_b`.
+        start_b: u64,
+        /// Number of blocks exchanged.
+        len: u64,
+    },
+    /// Replaces the mapping of a logical block range with an explicit list
+    /// of `(logical, phys, len)` extents.  Used by the relink ioctl so that
+    /// replaying the record after a crash always produces the post-relink
+    /// state, no matter how far the in-place updates got.
+    SetRangeMapping {
+        /// Inode whose mapping changes.
+        ino: u64,
+        /// First logical block of the affected range.
+        logical: u64,
+        /// Number of logical blocks affected (extents outside are kept).
+        count: u64,
+        /// The new extents inside the range, as `(logical, phys, len)`.
+        extents: Vec<(u64, u64, u64)>,
+    },
+    /// Transaction commit marker.
+    Commit,
+}
+
+impl JournalRecord {
+    fn type_tag(&self) -> u8 {
+        match self {
+            JournalRecord::CreateInode { .. } => 1,
+            JournalRecord::Unlink { .. } => 2,
+            JournalRecord::Rename { .. } => 3,
+            JournalRecord::SetSize { .. } => 4,
+            JournalRecord::AddExtent { .. } => 5,
+            JournalRecord::TruncateExtents { .. } => 6,
+            JournalRecord::AllocBlocks { .. } => 7,
+            JournalRecord::FreeBlocks { .. } => 8,
+            JournalRecord::SwapExtents { .. } => 9,
+            JournalRecord::Commit => 10,
+            JournalRecord::SetRangeMapping { .. } => 11,
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            JournalRecord::CreateInode {
+                ino,
+                parent,
+                name,
+                is_dir,
+            } => {
+                w.put_u64(*ino);
+                w.put_u64(*parent);
+                w.put_str(name);
+                w.put_u8(u8::from(*is_dir));
+            }
+            JournalRecord::Unlink {
+                parent,
+                name,
+                ino,
+                free_inode,
+            } => {
+                w.put_u64(*parent);
+                w.put_str(name);
+                w.put_u64(*ino);
+                w.put_u8(u8::from(*free_inode));
+            }
+            JournalRecord::Rename {
+                old_parent,
+                old_name,
+                new_parent,
+                new_name,
+                ino,
+                replaced_ino,
+            } => {
+                w.put_u64(*old_parent);
+                w.put_str(old_name);
+                w.put_u64(*new_parent);
+                w.put_str(new_name);
+                w.put_u64(*ino);
+                w.put_u64(*replaced_ino);
+            }
+            JournalRecord::SetSize { ino, size } => {
+                w.put_u64(*ino);
+                w.put_u64(*size);
+            }
+            JournalRecord::AddExtent {
+                ino,
+                logical,
+                phys,
+                len,
+            } => {
+                w.put_u64(*ino);
+                w.put_u64(*logical);
+                w.put_u64(*phys);
+                w.put_u64(*len);
+            }
+            JournalRecord::TruncateExtents { ino, from_logical } => {
+                w.put_u64(*ino);
+                w.put_u64(*from_logical);
+            }
+            JournalRecord::AllocBlocks { start, len }
+            | JournalRecord::FreeBlocks { start, len } => {
+                w.put_u64(*start);
+                w.put_u64(*len);
+            }
+            JournalRecord::SwapExtents {
+                ino_a,
+                start_a,
+                ino_b,
+                start_b,
+                len,
+            } => {
+                w.put_u64(*ino_a);
+                w.put_u64(*start_a);
+                w.put_u64(*ino_b);
+                w.put_u64(*start_b);
+                w.put_u64(*len);
+            }
+            JournalRecord::SetRangeMapping {
+                ino,
+                logical,
+                count,
+                extents,
+            } => {
+                w.put_u64(*ino);
+                w.put_u64(*logical);
+                w.put_u64(*count);
+                w.put_u16(extents.len() as u16);
+                for (l, p, n) in extents {
+                    w.put_u64(*l);
+                    w.put_u64(*p);
+                    w.put_u64(*n);
+                }
+            }
+            JournalRecord::Commit => {}
+        }
+        w.into_vec()
+    }
+
+    fn decode(tag: u8, payload: &[u8]) -> Option<Self> {
+        let mut r = ByteReader::new(payload);
+        let rec = match tag {
+            1 => JournalRecord::CreateInode {
+                ino: r.get_u64()?,
+                parent: r.get_u64()?,
+                name: r.get_str()?,
+                is_dir: r.get_u8()? != 0,
+            },
+            2 => JournalRecord::Unlink {
+                parent: r.get_u64()?,
+                name: r.get_str()?,
+                ino: r.get_u64()?,
+                free_inode: r.get_u8()? != 0,
+            },
+            3 => JournalRecord::Rename {
+                old_parent: r.get_u64()?,
+                old_name: r.get_str()?,
+                new_parent: r.get_u64()?,
+                new_name: r.get_str()?,
+                ino: r.get_u64()?,
+                replaced_ino: r.get_u64()?,
+            },
+            4 => JournalRecord::SetSize {
+                ino: r.get_u64()?,
+                size: r.get_u64()?,
+            },
+            5 => JournalRecord::AddExtent {
+                ino: r.get_u64()?,
+                logical: r.get_u64()?,
+                phys: r.get_u64()?,
+                len: r.get_u64()?,
+            },
+            6 => JournalRecord::TruncateExtents {
+                ino: r.get_u64()?,
+                from_logical: r.get_u64()?,
+            },
+            7 => JournalRecord::AllocBlocks {
+                start: r.get_u64()?,
+                len: r.get_u64()?,
+            },
+            8 => JournalRecord::FreeBlocks {
+                start: r.get_u64()?,
+                len: r.get_u64()?,
+            },
+            9 => JournalRecord::SwapExtents {
+                ino_a: r.get_u64()?,
+                start_a: r.get_u64()?,
+                ino_b: r.get_u64()?,
+                start_b: r.get_u64()?,
+                len: r.get_u64()?,
+            },
+            10 => JournalRecord::Commit,
+            11 => {
+                let ino = r.get_u64()?;
+                let logical = r.get_u64()?;
+                let count = r.get_u64()?;
+                let n = r.get_u16()? as usize;
+                let mut extents = Vec::with_capacity(n);
+                for _ in 0..n {
+                    extents.push((r.get_u64()?, r.get_u64()?, r.get_u64()?));
+                }
+                JournalRecord::SetRangeMapping {
+                    ino,
+                    logical,
+                    count,
+                    extents,
+                }
+            }
+            _ => return None,
+        };
+        Some(rec)
+    }
+
+    /// Serializes the record (with transaction id `tid`) into its on-device
+    /// form: `magic, tag, payload_len, tid, payload, checksum`.
+    pub fn encode(&self, tid: u64) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut w = ByteWriter::new();
+        w.put_u16(RECORD_MAGIC);
+        w.put_u8(self.type_tag());
+        w.put_u16(payload.len() as u16);
+        w.put_u64(tid);
+        let mut bytes = w.into_vec();
+        bytes.extend_from_slice(&payload);
+        let crc = checksum32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+}
+
+/// The journal manager.  Owns the journal region of the device.
+#[derive(Debug)]
+pub struct Journal {
+    device: Arc<PmemDevice>,
+    region_start: u64,
+    region_len: u64,
+    /// Next free byte offset within the journal region (volatile; the
+    /// on-device contents are the source of truth for recovery).
+    head: u64,
+    next_tid: u64,
+}
+
+impl Journal {
+    /// Creates a journal manager over the journal region described by `sb`.
+    /// Does not touch the device; call [`Journal::format`] for a fresh file
+    /// system or [`Journal::recover`] when mounting.
+    pub fn new(device: Arc<PmemDevice>, sb: &Superblock) -> Self {
+        Self {
+            device,
+            region_start: sb.journal_start * BLOCK_SIZE as u64,
+            region_len: sb.journal_blocks * BLOCK_SIZE as u64,
+            head: 0,
+            next_tid: 1,
+        }
+    }
+
+    /// Zeroes the journal region (fresh format, or checkpoint reset).
+    pub fn format(&mut self) {
+        self.device.zero(
+            self.region_start,
+            self.region_len as usize,
+            PersistMode::NonTemporal,
+            TimeCategory::Journal,
+        );
+        self.device.fence(TimeCategory::Journal);
+        self.head = 0;
+    }
+
+    /// Returns the number of journal bytes currently used.
+    pub fn used_bytes(&self) -> u64 {
+        self.head
+    }
+
+    /// Commits a transaction consisting of `records` (a commit marker is
+    /// appended automatically).  Returns the transaction id.
+    ///
+    /// All record writes use non-temporal stores followed by a single fence,
+    /// after which the transaction is durable.
+    pub fn commit(&mut self, records: &[JournalRecord]) -> FsResult<u64> {
+        let tid = self.next_tid;
+        self.next_tid += 1;
+
+        let mut bytes = Vec::new();
+        for rec in records {
+            bytes.extend_from_slice(&rec.encode(tid));
+        }
+        bytes.extend_from_slice(&JournalRecord::Commit.encode(tid));
+
+        if self.head + bytes.len() as u64 > self.region_len {
+            // The journal is full.  Because in-place metadata updates are
+            // applied synchronously right after each commit, every previous
+            // transaction is already checkpointed and the region can simply
+            // be reset.
+            self.format();
+            if bytes.len() as u64 > self.region_len {
+                return Err(FsError::NoSpace);
+            }
+        }
+
+        let cost = self.device.cost().clone();
+        // Software cost of assembling the transaction.
+        self.device.charge(
+            TimeCategory::Software,
+            cost.ext4_journal_txn_ns + records.len() as f64 * cost.ext4_journal_per_block_ns,
+        );
+        self.device.write(
+            self.region_start + self.head,
+            &bytes,
+            PersistMode::NonTemporal,
+            TimeCategory::Journal,
+        );
+        self.device.fence(TimeCategory::Journal);
+        self.head += bytes.len() as u64;
+        Ok(tid)
+    }
+
+    /// Scans the journal region and returns the records of every committed
+    /// transaction, in commit order.  Records of transactions without a
+    /// commit marker (torn at the crash point) are discarded.
+    pub fn recover(device: &Arc<PmemDevice>, sb: &Superblock) -> (Vec<JournalRecord>, u64, u64) {
+        let region_start = sb.journal_start * BLOCK_SIZE as u64;
+        let region_len = sb.journal_blocks * BLOCK_SIZE as u64;
+        let mut raw = vec![0u8; region_len as usize];
+        device.read_uncharged(region_start, &mut raw);
+
+        let mut committed: Vec<JournalRecord> = Vec::new();
+        let mut pending: Vec<JournalRecord> = Vec::new();
+        let mut pos = 0usize;
+        let mut end_of_log = 0u64;
+        let mut max_tid = 0u64;
+        loop {
+            if pos + 13 > raw.len() {
+                break;
+            }
+            let mut r = ByteReader::new(&raw[pos..]);
+            let magic = match r.get_u16() {
+                Some(m) => m,
+                None => break,
+            };
+            if magic != RECORD_MAGIC {
+                break;
+            }
+            let tag = match r.get_u8() {
+                Some(t) => t,
+                None => break,
+            };
+            let payload_len = match r.get_u16() {
+                Some(l) => l as usize,
+                None => break,
+            };
+            let tid = match r.get_u64() {
+                Some(t) => t,
+                None => break,
+            };
+            let header_len = r.position();
+            let total = header_len + payload_len + 4;
+            if pos + total > raw.len() {
+                break;
+            }
+            let body = &raw[pos..pos + header_len + payload_len];
+            let mut crc_bytes = [0u8; 4];
+            crc_bytes.copy_from_slice(&raw[pos + header_len + payload_len..pos + total]);
+            if checksum32(body) != u32::from_le_bytes(crc_bytes) {
+                // Torn record: everything from here on is garbage.
+                break;
+            }
+            let payload = &raw[pos + header_len..pos + header_len + payload_len];
+            match JournalRecord::decode(tag, payload) {
+                Some(JournalRecord::Commit) => {
+                    committed.append(&mut pending);
+                    max_tid = max_tid.max(tid);
+                    end_of_log = (pos + total) as u64;
+                }
+                Some(rec) => pending.push(rec),
+                None => break,
+            }
+            pos += total;
+        }
+        (committed, end_of_log, max_tid)
+    }
+
+    /// Restores the volatile head/tid state after recovery so new
+    /// transactions append after the surviving log contents.
+    pub fn restore_position(&mut self, head: u64, max_tid: u64) {
+        self.head = head;
+        self.next_tid = max_tid + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmemBuilder;
+
+    fn setup() -> (Arc<PmemDevice>, Superblock) {
+        let device = PmemBuilder::new(64 * 1024 * 1024)
+            .cost_model(pmem::CostModel::calibrated())
+            .build();
+        let sb = Superblock::compute(
+            device.size() as u64 / BLOCK_SIZE as u64,
+            1024,
+        )
+        .unwrap();
+        (device, sb)
+    }
+
+    #[test]
+    fn records_round_trip_through_encoding() {
+        let records = vec![
+            JournalRecord::CreateInode {
+                ino: 12,
+                parent: 2,
+                name: "wal.log".into(),
+                is_dir: false,
+            },
+            JournalRecord::AddExtent {
+                ino: 12,
+                logical: 0,
+                phys: 9000,
+                len: 16,
+            },
+            JournalRecord::SwapExtents {
+                ino_a: 12,
+                start_a: 0,
+                ino_b: 44,
+                start_b: 128,
+                len: 8,
+            },
+            JournalRecord::Rename {
+                old_parent: 2,
+                old_name: "a".into(),
+                new_parent: 3,
+                new_name: "b".into(),
+                ino: 12,
+                replaced_ino: 0,
+            },
+        ];
+        for rec in &records {
+            let bytes = rec.encode(7);
+            let mut r = ByteReader::new(&bytes);
+            r.get_u16().unwrap();
+            let tag = r.get_u8().unwrap();
+            let plen = r.get_u16().unwrap() as usize;
+            let _tid = r.get_u64().unwrap();
+            let start = r.position();
+            let decoded = JournalRecord::decode(tag, &bytes[start..start + plen]).unwrap();
+            assert_eq!(&decoded, rec);
+        }
+    }
+
+    #[test]
+    fn committed_transactions_survive_crash_and_recover() {
+        let (device, sb) = setup();
+        let mut journal = Journal::new(Arc::clone(&device), &sb);
+        journal.format();
+        journal
+            .commit(&[JournalRecord::SetSize { ino: 5, size: 4096 }])
+            .unwrap();
+        journal
+            .commit(&[JournalRecord::AllocBlocks { start: 100, len: 4 }])
+            .unwrap();
+        device.crash();
+        let (records, _end, max_tid) = Journal::recover(&device, &sb);
+        assert_eq!(
+            records,
+            vec![
+                JournalRecord::SetSize { ino: 5, size: 4096 },
+                JournalRecord::AllocBlocks { start: 100, len: 4 },
+            ]
+        );
+        assert_eq!(max_tid, 2);
+    }
+
+    #[test]
+    fn torn_uncommitted_transaction_is_discarded() {
+        let (device, sb) = setup();
+        let mut journal = Journal::new(Arc::clone(&device), &sb);
+        journal.format();
+        journal
+            .commit(&[JournalRecord::SetSize { ino: 1, size: 10 }])
+            .unwrap();
+        // Hand-write a record with no commit marker and no fence, as if the
+        // crash happened mid-transaction.
+        let torn = JournalRecord::SetSize { ino: 2, size: 99 }.encode(9);
+        device.write(
+            sb.journal_start * BLOCK_SIZE as u64 + journal.used_bytes(),
+            &torn,
+            PersistMode::Temporal,
+            TimeCategory::Journal,
+        );
+        device.crash();
+        let (records, _, _) = Journal::recover(&device, &sb);
+        assert_eq!(records, vec![JournalRecord::SetSize { ino: 1, size: 10 }]);
+    }
+
+    #[test]
+    fn journal_resets_when_full() {
+        let (device, sb) = setup();
+        let mut journal = Journal::new(Arc::clone(&device), &sb);
+        journal.format();
+        // Each commit is small; force many commits to eventually wrap.
+        let big_name = "x".repeat(200);
+        for i in 0..50_000u64 {
+            journal
+                .commit(&[JournalRecord::CreateInode {
+                    ino: i,
+                    parent: 2,
+                    name: big_name.clone(),
+                    is_dir: false,
+                }])
+                .unwrap();
+        }
+        // If we got here without error the reset path worked; the head must
+        // be within the region.
+        assert!(journal.used_bytes() <= sb.journal_blocks * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn recovery_position_restores_appending() {
+        let (device, sb) = setup();
+        let mut journal = Journal::new(Arc::clone(&device), &sb);
+        journal.format();
+        journal
+            .commit(&[JournalRecord::SetSize { ino: 1, size: 1 }])
+            .unwrap();
+        let (_, end, max_tid) = Journal::recover(&device, &sb);
+        let mut recovered = Journal::new(Arc::clone(&device), &sb);
+        recovered.restore_position(end, max_tid);
+        recovered
+            .commit(&[JournalRecord::SetSize { ino: 1, size: 2 }])
+            .unwrap();
+        let (records, _, _) = Journal::recover(&device, &sb);
+        assert_eq!(records.len(), 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! ext4-DAX-like kernel file system for the SplitFS reproduction.
+//!
+//! This crate is the K-Split substrate: an extent-based, journaling,
+//! DAX-capable persistent-memory file system with the three capabilities
+//! SplitFS builds on:
+//!
+//! 1. ordinary POSIX metadata and data operations routed through a modelled
+//!    kernel boundary ([`fs::Ext4Dax`] implementing [`vfs::FileSystem`]),
+//! 2. DAX memory mapping of file extents ([`Ext4Dax::dax_map`]), and
+//! 3. the relink ioctl — an atomic, journaled, metadata-only move of blocks
+//!    between files ([`Ext4Dax::ioctl_relink`]), the reproduction of the
+//!    500-line `EXT4_IOC_MOVE_EXT` patch described in §3.5 of the paper.
+//!
+//! Used on its own it is also the "ext4 DAX" baseline in every experiment.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alloc;
+pub mod dax;
+pub mod dir;
+pub mod fs;
+pub mod inode;
+pub mod journal;
+pub mod layout;
+
+pub use dax::{DaxMapping, MapSegment};
+pub use fs::{Ext4Dax, ROOT_INO};
+pub use layout::BLOCK_SIZE;

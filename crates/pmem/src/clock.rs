@@ -1,0 +1,150 @@
+//! Simulated time.
+//!
+//! All performance results in the reproduction are reported in *simulated
+//! nanoseconds*: each device access and each modelled software action adds a
+//! cost (from [`crate::cost::CostModel`]) to a shared [`SimClock`].  This
+//! makes the experiments deterministic and independent of the speed of the
+//! machine running the emulation, while preserving the relative costs the
+//! paper measures on real persistent memory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing simulated clock, in nanoseconds.
+///
+/// The clock is shared (via `Arc`) between the device, the file systems and
+/// the workload drivers.  It is advanced with [`SimClock::advance`] and read
+/// with [`SimClock::now_ns`].  Sub-nanosecond charges are accumulated in
+/// picoseconds internally so that repeated tiny charges (per-byte bandwidth
+/// costs) do not vanish to rounding.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    picos: AtomicU64,
+}
+
+impl SimClock {
+    /// Creates a clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `ns` simulated nanoseconds (may be fractional).
+    ///
+    /// Negative or non-finite charges are ignored; they indicate a bug in a
+    /// cost computation and must not corrupt the clock.
+    pub fn advance(&self, ns: f64) {
+        if !ns.is_finite() || ns <= 0.0 {
+            return;
+        }
+        let picos = (ns * 1000.0).round() as u64;
+        self.picos.fetch_add(picos, Ordering::Relaxed);
+    }
+
+    /// Returns the current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.picos.load(Ordering::Relaxed) / 1000
+    }
+
+    /// Returns the current simulated time in fractional nanoseconds.
+    pub fn now_ns_f64(&self) -> f64 {
+        self.picos.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    /// Resets the clock to zero.  Used between experiment phases (e.g. the
+    /// load and run phases of YCSB) so each phase is timed independently.
+    pub fn reset(&self) {
+        self.picos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A scoped timer: measures the simulated time elapsed between construction
+/// and [`Elapsed::elapsed_ns`], for a given clock.
+#[derive(Debug)]
+pub struct Elapsed<'a> {
+    clock: &'a SimClock,
+    start_ns: f64,
+}
+
+impl<'a> Elapsed<'a> {
+    /// Starts measuring at the clock's current time.
+    pub fn start(clock: &'a SimClock) -> Self {
+        Self {
+            clock,
+            start_ns: clock.now_ns_f64(),
+        }
+    }
+
+    /// Returns nanoseconds of simulated time elapsed since [`Elapsed::start`].
+    pub fn elapsed_ns(&self) -> f64 {
+        self.clock.now_ns_f64() - self.start_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_reads() {
+        let c = SimClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(100.0);
+        c.advance(0.5);
+        c.advance(0.5);
+        assert_eq!(c.now_ns(), 101);
+    }
+
+    #[test]
+    fn fractional_charges_accumulate() {
+        let c = SimClock::new();
+        for _ in 0..1000 {
+            c.advance(0.001);
+        }
+        // 1000 * 0.001 ns = 1 ns, representable exactly in picoseconds.
+        assert_eq!(c.now_ns(), 1);
+    }
+
+    #[test]
+    fn ignores_invalid_charges() {
+        let c = SimClock::new();
+        c.advance(-5.0);
+        c.advance(f64::NAN);
+        c.advance(f64::INFINITY);
+        assert_eq!(c.now_ns(), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_the_clock() {
+        let c = SimClock::new();
+        c.advance(42.0);
+        c.reset();
+        assert_eq!(c.now_ns(), 0);
+    }
+
+    #[test]
+    fn elapsed_measures_delta() {
+        let c = SimClock::new();
+        c.advance(10.0);
+        let t = Elapsed::start(&c);
+        c.advance(32.0);
+        assert!((t.elapsed_ns() - 32.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concurrent_advances_are_not_lost() {
+        use std::sync::Arc;
+        let c = Arc::new(SimClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.advance(1.0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now_ns(), 40_000);
+    }
+}

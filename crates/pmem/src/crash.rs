@@ -1,0 +1,33 @@
+//! Crash-injection policy.
+//!
+//! A simulated crash discards the volatile view of the device and restores
+//! the persistent image — everything that was flushed and fenced.  Crash
+//! tests in the file-system crates use this to check the paper's
+//! crash-consistency claims (Table 3): metadata consistency in POSIX mode,
+//! synchronous durability in sync mode, and atomic operations in strict
+//! mode.
+
+/// What happens to cache lines that were written but never flushed+fenced
+/// when a crash is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashPolicy {
+    /// All unflushed lines are lost.  This is the conservative model used by
+    /// the crash-consistency tests: recovery must work even when nothing
+    /// beyond the persistence domain survived.
+    #[default]
+    LoseUnflushed,
+    /// Unflushed lines survive (as if the cache were flushed by the platform
+    /// on power failure).  Useful for differential testing: a bug that only
+    /// reproduces under `LoseUnflushed` is a missing flush/fence.
+    KeepAll,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_conservative() {
+        assert_eq!(CrashPolicy::default(), CrashPolicy::LoseUnflushed);
+    }
+}

@@ -1,0 +1,590 @@
+//! The emulated persistent-memory device.
+//!
+//! [`PmemDevice`] is a flat, byte-addressable physical address space backed
+//! by DRAM, sharded into lock-protected chunks so that concurrent file
+//! systems can access disjoint regions in parallel.  It models:
+//!
+//! * store visibility vs persistence (temporal stores must be flushed and
+//!   fenced; non-temporal stores persist at the next fence),
+//! * crash behaviour (unflushed lines are lost, see [`crate::crash`]),
+//! * access cost (every read/write/flush/fence charges simulated time to
+//!   the shared [`SimClock`] and [`Stats`], classified by
+//!   [`TimeCategory`]).
+//!
+//! File systems treat offsets into the device as "physical PM addresses";
+//! a DAX mmap in `kernelfs` is simply a range of device offsets handed to
+//! user space (U-Split), exactly as ext4 DAX hands out PM physical pages
+//! through the page table.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::clock::SimClock;
+use crate::cost::CostModel;
+use crate::crash::CrashPolicy;
+use crate::persist::{AccessPattern, PersistMode};
+use crate::stats::{Stats, TimeCategory};
+use crate::CACHE_LINE;
+
+/// Size of one device shard.  Accesses spanning shards are split internally.
+const SHARD_SIZE: usize = 1 << 20; // 1 MiB
+
+/// Builder for [`PmemDevice`].
+#[derive(Debug, Clone)]
+pub struct PmemBuilder {
+    size: usize,
+    cost: CostModel,
+    track_persistence: bool,
+    crash_policy: CrashPolicy,
+}
+
+impl PmemBuilder {
+    /// Starts a builder for a device of `size` bytes.  The size is rounded
+    /// up to a whole number of shards.
+    pub fn new(size: usize) -> Self {
+        Self {
+            size,
+            cost: CostModel::calibrated(),
+            track_persistence: true,
+            crash_policy: CrashPolicy::default(),
+        }
+    }
+
+    /// Uses the given cost model instead of [`CostModel::calibrated`].
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Enables or disables persistence tracking (the shadow image needed for
+    /// crash injection).  Disabling it halves memory use and is appropriate
+    /// for pure-performance experiments that never call
+    /// [`PmemDevice::crash`].
+    pub fn track_persistence(mut self, enable: bool) -> Self {
+        self.track_persistence = enable;
+        self
+    }
+
+    /// Sets the crash policy.
+    pub fn crash_policy(mut self, policy: CrashPolicy) -> Self {
+        self.crash_policy = policy;
+        self
+    }
+
+    /// Builds the device.
+    pub fn build(self) -> Arc<PmemDevice> {
+        let n_shards = self.size.div_ceil(SHARD_SIZE).max(1);
+        let shards = (0..n_shards)
+            .map(|_| {
+                RwLock::new(Shard {
+                    data: vec![0u8; SHARD_SIZE].into_boxed_slice(),
+                    shadow: if self.track_persistence {
+                        Some(vec![0u8; SHARD_SIZE].into_boxed_slice())
+                    } else {
+                        None
+                    },
+                })
+            })
+            .collect();
+        Arc::new(PmemDevice {
+            size: n_shards * SHARD_SIZE,
+            shards,
+            tracker: Mutex::new(PersistTracker::default()),
+            track_persistence: self.track_persistence,
+            crash_policy: self.crash_policy,
+            clock: Arc::new(SimClock::new()),
+            stats: Arc::new(Stats::new()),
+            cost: self.cost,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct Shard {
+    /// The volatile view: what loads observe right now.
+    data: Box<[u8]>,
+    /// The persistent image: what survives a crash.  `None` when
+    /// persistence tracking is disabled.
+    shadow: Option<Box<[u8]>>,
+}
+
+/// Tracks which cache lines are dirty (written but not flushed) and which
+/// are pending (flushed or written non-temporally, persistent at the next
+/// fence).  Keys are absolute cache-line indices (`offset / CACHE_LINE`).
+#[derive(Debug, Default)]
+struct PersistTracker {
+    dirty: HashSet<u64>,
+    pending: HashSet<u64>,
+}
+
+/// The emulated persistent-memory device.  See the module documentation.
+#[derive(Debug)]
+pub struct PmemDevice {
+    size: usize,
+    shards: Vec<RwLock<Shard>>,
+    tracker: Mutex<PersistTracker>,
+    track_persistence: bool,
+    crash_policy: CrashPolicy,
+    clock: Arc<SimClock>,
+    stats: Arc<Stats>,
+    cost: CostModel,
+}
+
+impl PmemDevice {
+    /// Total capacity in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The shared simulated clock.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// The shared statistics accumulator.
+    pub fn stats(&self) -> &Arc<Stats> {
+        &self.stats
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Charges `ns` of pure software time (kernel traps, allocation
+    /// decisions, bookkeeping) to the clock and stats.
+    pub fn charge_software(&self, ns: f64) {
+        self.clock.advance(ns);
+        self.stats.add_time(TimeCategory::Software, ns);
+    }
+
+    /// Charges `ns` of time attributed to an arbitrary category.
+    pub fn charge(&self, cat: TimeCategory, ns: f64) {
+        self.clock.advance(ns);
+        self.stats.add_time(cat, ns);
+    }
+
+    fn check_range(&self, offset: u64, len: usize) {
+        let end = offset
+            .checked_add(len as u64)
+            .expect("pmem access offset overflow");
+        assert!(
+            end <= self.size as u64,
+            "pmem access out of range: offset {offset} len {len} device size {}",
+            self.size
+        );
+    }
+
+    /// Reads `buf.len()` bytes starting at `offset`, charging read cost.
+    pub fn read(&self, offset: u64, buf: &mut [u8], pattern: AccessPattern, cat: TimeCategory) {
+        self.check_range(offset, buf.len());
+        self.read_uncharged(offset, buf);
+        let ns = self.cost.pm_read_cost(buf.len(), pattern.is_sequential());
+        self.clock.advance(ns);
+        self.stats.add_time(cat, ns);
+        self.stats.add_bytes_read(cat, buf.len() as u64);
+    }
+
+    /// Reads without charging any simulated time.  Used by recovery scans
+    /// whose cost is charged explicitly by the caller, and by tests.
+    pub fn read_uncharged(&self, offset: u64, buf: &mut [u8]) {
+        self.check_range(offset, buf.len());
+        let mut done = 0usize;
+        while done < buf.len() {
+            let abs = offset as usize + done;
+            let shard_idx = abs / SHARD_SIZE;
+            let within = abs % SHARD_SIZE;
+            let n = (SHARD_SIZE - within).min(buf.len() - done);
+            let shard = self.shards[shard_idx].read();
+            buf[done..done + n].copy_from_slice(&shard.data[within..within + n]);
+            done += n;
+        }
+    }
+
+    /// Writes `data` at `offset`, charging write cost.
+    ///
+    /// With [`PersistMode::Temporal`] the bytes are visible but not yet
+    /// persistent (the affected cache lines become *dirty*).  With
+    /// [`PersistMode::NonTemporal`] the lines become *pending* and will be
+    /// persistent after the next [`PmemDevice::fence`].
+    pub fn write(&self, offset: u64, data: &[u8], mode: PersistMode, cat: TimeCategory) {
+        self.check_range(offset, data.len());
+        self.write_volatile_view(offset, data);
+        if self.track_persistence {
+            self.mark_lines(offset, data.len(), mode);
+        }
+        let ns = self.cost.pm_write_cost(data.len());
+        self.clock.advance(ns);
+        self.stats.add_time(cat, ns);
+        self.stats.add_bytes_written(cat, data.len() as u64);
+    }
+
+    /// Charges the time and statistics of writing `len` bytes without
+    /// modifying any device contents.  Used to model traffic whose payload
+    /// is irrelevant to correctness (e.g. the jbd2 commit-block rewrite an
+    /// `fsync` forces) without clobbering live data structures.
+    pub fn charge_write_traffic(&self, len: usize, cat: TimeCategory) {
+        let ns = self.cost.pm_write_cost(len);
+        self.clock.advance(ns);
+        self.stats.add_time(cat, ns);
+        self.stats.add_bytes_written(cat, len as u64);
+    }
+
+    /// Writes without charging simulated time (bulk test setup, mkfs-style
+    /// initialization whose cost the experiments do not measure).
+    pub fn write_uncharged(&self, offset: u64, data: &[u8]) {
+        self.check_range(offset, data.len());
+        self.write_volatile_view(offset, data);
+        if self.track_persistence {
+            self.mark_lines(offset, data.len(), PersistMode::NonTemporal);
+        }
+    }
+
+    fn write_volatile_view(&self, offset: u64, data: &[u8]) {
+        let mut done = 0usize;
+        while done < data.len() {
+            let abs = offset as usize + done;
+            let shard_idx = abs / SHARD_SIZE;
+            let within = abs % SHARD_SIZE;
+            let n = (SHARD_SIZE - within).min(data.len() - done);
+            let mut shard = self.shards[shard_idx].write();
+            shard.data[within..within + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+        }
+    }
+
+    fn mark_lines(&self, offset: u64, len: usize, mode: PersistMode) {
+        if len == 0 {
+            return;
+        }
+        let first = offset / CACHE_LINE as u64;
+        let last = (offset + len as u64 - 1) / CACHE_LINE as u64;
+        let mut tracker = self.tracker.lock();
+        for line in first..=last {
+            match mode {
+                PersistMode::Temporal => {
+                    tracker.dirty.insert(line);
+                }
+                PersistMode::NonTemporal => {
+                    tracker.dirty.remove(&line);
+                    tracker.pending.insert(line);
+                }
+            }
+        }
+    }
+
+    /// Flushes (`clwb`) every cache line overlapping `[offset, offset+len)`:
+    /// dirty lines become pending and will persist at the next fence.
+    /// Charges one `clwb` per line touched.
+    pub fn flush(&self, offset: u64, len: usize, cat: TimeCategory) {
+        if len == 0 {
+            return;
+        }
+        self.check_range(offset, len);
+        let first = offset / CACHE_LINE as u64;
+        let last = (offset + len as u64 - 1) / CACHE_LINE as u64;
+        let lines = (last - first + 1) as usize;
+        if self.track_persistence {
+            let mut tracker = self.tracker.lock();
+            for line in first..=last {
+                if tracker.dirty.remove(&line) {
+                    tracker.pending.insert(line);
+                } else {
+                    // Flushing a clean or already-pending line is legal and
+                    // keeps it pending if it was pending.
+                    if !tracker.pending.contains(&line) {
+                        // Clean line: flush is a no-op for persistence but
+                        // still costs time; nothing to track.
+                    }
+                }
+            }
+        }
+        let ns = lines as f64 * self.cost.clwb_ns;
+        self.clock.advance(ns);
+        self.stats.add_time(cat, ns);
+        for _ in 0..lines {
+            self.stats.add_flush();
+        }
+    }
+
+    /// Issues an ordering fence (`sfence`): all pending lines reach the
+    /// persistence domain.  Charges one fence.
+    pub fn fence(&self, cat: TimeCategory) {
+        if self.track_persistence {
+            let pending: Vec<u64> = {
+                let mut tracker = self.tracker.lock();
+                tracker.pending.drain().collect()
+            };
+            for line in pending {
+                self.persist_line(line);
+            }
+        }
+        self.clock.advance(self.cost.sfence_ns);
+        self.stats.add_time(cat, self.cost.sfence_ns);
+        self.stats.add_fence();
+    }
+
+    fn persist_line(&self, line: u64) {
+        let abs = line as usize * CACHE_LINE;
+        if abs >= self.size {
+            return;
+        }
+        let shard_idx = abs / SHARD_SIZE;
+        let within = abs % SHARD_SIZE;
+        let mut guard = self.shards[shard_idx].write();
+        let shard: &mut Shard = &mut guard;
+        // A cache line never spans shards because SHARD_SIZE is a multiple
+        // of CACHE_LINE.
+        let n = CACHE_LINE.min(SHARD_SIZE - within);
+        if let Some(shadow) = shard.shadow.as_mut() {
+            shadow[within..within + n].copy_from_slice(&shard.data[within..within + n]);
+        }
+    }
+
+    /// Convenience: flush the range and fence, i.e. make `[offset,
+    /// offset+len)` persistent.  Equivalent to `clwb*; sfence`.
+    pub fn persist(&self, offset: u64, len: usize, cat: TimeCategory) {
+        self.flush(offset, len, cat);
+        self.fence(cat);
+    }
+
+    /// Writes zeroes over the range.
+    pub fn zero(&self, offset: u64, len: usize, mode: PersistMode, cat: TimeCategory) {
+        const CHUNK: usize = 64 * 1024;
+        let zeros = [0u8; CHUNK];
+        let mut done = 0usize;
+        while done < len {
+            let n = CHUNK.min(len - done);
+            self.write(offset + done as u64, &zeros[..n], mode, cat);
+            done += n;
+        }
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within the device, charging a
+    /// read and a (non-temporal) write.
+    pub fn copy_within(&self, src: u64, dst: u64, len: usize, cat: TimeCategory) {
+        const CHUNK: usize = 64 * 1024;
+        let mut buf = vec![0u8; CHUNK.min(len)];
+        let mut done = 0usize;
+        while done < len {
+            let n = CHUNK.min(len - done);
+            self.read(src + done as u64, &mut buf[..n], AccessPattern::Sequential, cat);
+            self.write(dst + done as u64, &buf[..n], PersistMode::NonTemporal, cat);
+            done += n;
+        }
+    }
+
+    /// Injects a crash: the volatile view is replaced by the persistent
+    /// image according to the [`CrashPolicy`].  After this call the device
+    /// contents are exactly what a real machine would find on PM after a
+    /// power failure, and recovery code can be exercised.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device was built with persistence tracking disabled —
+    /// crashing such a device is always a test-configuration bug.
+    pub fn crash(&self) {
+        assert!(
+            self.track_persistence,
+            "crash() requires a device built with track_persistence(true)"
+        );
+        match self.crash_policy {
+            CrashPolicy::KeepAll => {
+                // Everything survives: copy volatile view into the shadow so
+                // both views agree, then clear tracking.
+                for shard in &self.shards {
+                    let mut s = shard.write();
+                    let data: Vec<u8> = s.data.to_vec();
+                    if let Some(shadow) = s.shadow.as_mut() {
+                        shadow.copy_from_slice(&data);
+                    }
+                }
+            }
+            CrashPolicy::LoseUnflushed => {
+                for shard in &self.shards {
+                    let mut s = shard.write();
+                    let shadow: Vec<u8> = s
+                        .shadow
+                        .as_ref()
+                        .expect("persistence tracking enabled")
+                        .to_vec();
+                    s.data.copy_from_slice(&shadow);
+                }
+            }
+        }
+        let mut tracker = self.tracker.lock();
+        tracker.dirty.clear();
+        tracker.pending.clear();
+    }
+
+    /// Number of cache lines currently written but not yet persistent
+    /// (dirty or pending).  Used by tests asserting that a code path left
+    /// nothing unflushed.
+    pub fn unpersisted_lines(&self) -> usize {
+        let tracker = self.tracker.lock();
+        tracker.dirty.len() + tracker.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_device() -> Arc<PmemDevice> {
+        PmemBuilder::new(4 * SHARD_SIZE)
+            .cost_model(CostModel::calibrated())
+            .build()
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let dev = small_device();
+        let data = vec![0xABu8; 300];
+        dev.write(1000, &data, PersistMode::NonTemporal, TimeCategory::UserData);
+        let mut out = vec![0u8; 300];
+        dev.read(1000, &mut out, AccessPattern::Sequential, TimeCategory::UserData);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn writes_spanning_shards_round_trip() {
+        let dev = small_device();
+        let offset = SHARD_SIZE as u64 - 100;
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        dev.write(offset, &data, PersistMode::NonTemporal, TimeCategory::UserData);
+        let mut out = vec![0u8; 200];
+        dev.read_uncharged(offset, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn out_of_range_access_panics() {
+        let dev = small_device();
+        let size = dev.size() as u64;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.write_uncharged(size - 10, &[0u8; 20]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn temporal_store_is_lost_on_crash_without_flush() {
+        let dev = small_device();
+        dev.write(0, &[7u8; 64], PersistMode::Temporal, TimeCategory::UserData);
+        dev.crash();
+        let mut out = [0xFFu8; 64];
+        dev.read_uncharged(0, &mut out);
+        assert_eq!(out, [0u8; 64], "unflushed temporal store must not survive");
+    }
+
+    #[test]
+    fn temporal_store_survives_after_flush_and_fence() {
+        let dev = small_device();
+        dev.write(128, &[9u8; 64], PersistMode::Temporal, TimeCategory::UserData);
+        dev.flush(128, 64, TimeCategory::UserData);
+        dev.fence(TimeCategory::UserData);
+        dev.crash();
+        let mut out = [0u8; 64];
+        dev.read_uncharged(128, &mut out);
+        assert_eq!(out, [9u8; 64]);
+    }
+
+    #[test]
+    fn nt_store_survives_after_fence_only() {
+        let dev = small_device();
+        dev.write(256, &[5u8; 64], PersistMode::NonTemporal, TimeCategory::UserData);
+        dev.fence(TimeCategory::UserData);
+        dev.crash();
+        let mut out = [0u8; 64];
+        dev.read_uncharged(256, &mut out);
+        assert_eq!(out, [5u8; 64]);
+    }
+
+    #[test]
+    fn nt_store_without_fence_is_lost() {
+        let dev = small_device();
+        dev.write(320, &[4u8; 64], PersistMode::NonTemporal, TimeCategory::UserData);
+        dev.crash();
+        let mut out = [9u8; 64];
+        dev.read_uncharged(320, &mut out);
+        assert_eq!(out, [0u8; 64]);
+    }
+
+    #[test]
+    fn keep_all_crash_policy_preserves_unflushed_data() {
+        let dev = PmemBuilder::new(SHARD_SIZE)
+            .crash_policy(CrashPolicy::KeepAll)
+            .build();
+        dev.write(64, &[3u8; 64], PersistMode::Temporal, TimeCategory::UserData);
+        dev.crash();
+        let mut out = [0u8; 64];
+        dev.read_uncharged(64, &mut out);
+        assert_eq!(out, [3u8; 64]);
+    }
+
+    #[test]
+    fn write_charges_calibrated_cost() {
+        let dev = small_device();
+        let before = dev.clock().now_ns_f64();
+        dev.write(0, &[0u8; 4096], PersistMode::NonTemporal, TimeCategory::UserData);
+        let elapsed = dev.clock().now_ns_f64() - before;
+        assert!((elapsed - 671.0).abs() < 10.0, "4 KiB write cost was {elapsed}");
+    }
+
+    #[test]
+    fn stats_classify_traffic_by_category() {
+        let dev = small_device();
+        dev.write(0, &[0u8; 4096], PersistMode::NonTemporal, TimeCategory::UserData);
+        dev.write(8192, &[0u8; 64], PersistMode::NonTemporal, TimeCategory::Journal);
+        let snap = dev.stats().snapshot();
+        assert_eq!(snap.written(TimeCategory::UserData), 4096);
+        assert_eq!(snap.written(TimeCategory::Journal), 64);
+        assert!(snap.software_overhead_ns() > 0.0);
+    }
+
+    #[test]
+    fn unpersisted_lines_tracks_outstanding_writes() {
+        let dev = small_device();
+        assert_eq!(dev.unpersisted_lines(), 0);
+        dev.write(0, &[1u8; 256], PersistMode::Temporal, TimeCategory::UserData);
+        assert_eq!(dev.unpersisted_lines(), 4);
+        dev.flush(0, 256, TimeCategory::UserData);
+        assert_eq!(dev.unpersisted_lines(), 4); // pending, not yet fenced
+        dev.fence(TimeCategory::UserData);
+        assert_eq!(dev.unpersisted_lines(), 0);
+    }
+
+    #[test]
+    fn copy_within_moves_data_and_charges_both_sides() {
+        let dev = small_device();
+        let payload: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+        dev.write_uncharged(0, &payload);
+        let before = dev.stats().snapshot();
+        dev.copy_within(0, 100_000, 1024, TimeCategory::Metadata);
+        let mut out = vec![0u8; 1024];
+        dev.read_uncharged(100_000, &mut out);
+        assert_eq!(out, payload);
+        let delta = dev.stats().snapshot().delta_since(&before);
+        assert_eq!(delta.bytes_read[1], 1024); // Metadata index
+        assert_eq!(delta.bytes_written[1], 1024);
+    }
+
+    #[test]
+    fn zero_clears_the_range() {
+        let dev = small_device();
+        dev.write_uncharged(500, &[0xEEu8; 1000]);
+        dev.zero(500, 1000, PersistMode::NonTemporal, TimeCategory::Metadata);
+        let mut out = vec![0xAAu8; 1000];
+        dev.read_uncharged(500, &mut out);
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "track_persistence")]
+    fn crash_without_tracking_panics() {
+        let dev = PmemBuilder::new(SHARD_SIZE).track_persistence(false).build();
+        dev.crash();
+    }
+}

@@ -1,0 +1,314 @@
+//! Time and write-volume accounting.
+//!
+//! The SplitFS paper's central metric is *software overhead*: the time a
+//! file-system operation takes minus the time spent actually reading or
+//! writing the user's data on the PM device (§5.7).  To compute this the
+//! device and the file systems classify every charge into a
+//! [`TimeCategory`]; [`Stats`] accumulates per-category simulated time and
+//! per-category bytes written (the latter gives write amplification and PM
+//! wear, which the paper uses when comparing against Strata).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a charge of simulated time (or a burst of written bytes) was for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeCategory {
+    /// Reading or writing the application's own data bytes on the device.
+    /// This is the "time spent actually accessing data on the PM device"
+    /// term in the paper's software-overhead definition.
+    UserData,
+    /// File-system metadata on the device: inodes, allocator bitmaps,
+    /// directory blocks, extent trees.
+    Metadata,
+    /// Journal / log writes performed by the file system for crash
+    /// consistency (jbd2 transactions, NOVA inode logs, PMFS undo journal,
+    /// Strata private logs).
+    Journal,
+    /// SplitFS operation-log writes (64 B logical redo entries).
+    OpLog,
+    /// Pure software time: kernel traps, VFS path handling, allocation
+    /// decisions, index lookups, user-space bookkeeping, page faults.
+    Software,
+}
+
+impl TimeCategory {
+    /// All categories, in a stable order (used for reporting).
+    pub const ALL: [TimeCategory; 5] = [
+        TimeCategory::UserData,
+        TimeCategory::Metadata,
+        TimeCategory::Journal,
+        TimeCategory::OpLog,
+        TimeCategory::Software,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            TimeCategory::UserData => 0,
+            TimeCategory::Metadata => 1,
+            TimeCategory::Journal => 2,
+            TimeCategory::OpLog => 3,
+            TimeCategory::Software => 4,
+        }
+    }
+
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimeCategory::UserData => "user-data",
+            TimeCategory::Metadata => "metadata",
+            TimeCategory::Journal => "journal",
+            TimeCategory::OpLog => "oplog",
+            TimeCategory::Software => "software",
+        }
+    }
+}
+
+/// Shared, thread-safe accumulator of simulated time and device traffic.
+#[derive(Debug, Default)]
+pub struct Stats {
+    time_ps: [AtomicU64; 5],
+    bytes_written: [AtomicU64; 5],
+    bytes_read: [AtomicU64; 5],
+    flushes: AtomicU64,
+    fences: AtomicU64,
+    page_faults: AtomicU64,
+    huge_page_faults: AtomicU64,
+    kernel_traps: AtomicU64,
+}
+
+impl Stats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `ns` of simulated time attributed to `cat`.
+    pub fn add_time(&self, cat: TimeCategory, ns: f64) {
+        if !ns.is_finite() || ns <= 0.0 {
+            return;
+        }
+        self.time_ps[cat.index()].fetch_add((ns * 1000.0).round() as u64, Ordering::Relaxed);
+    }
+
+    /// Records `n` bytes written to the device attributed to `cat`.
+    pub fn add_bytes_written(&self, cat: TimeCategory, n: u64) {
+        self.bytes_written[cat.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` bytes read from the device attributed to `cat`.
+    pub fn add_bytes_read(&self, cat: TimeCategory, n: u64) {
+        self.bytes_read[cat.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one cache-line flush (`clwb`/`clflush`).
+    pub fn add_flush(&self) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one ordering fence (`sfence`).
+    pub fn add_fence(&self) {
+        self.fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` 4 KiB page faults.
+    pub fn add_page_faults(&self, n: u64) {
+        self.page_faults.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` 2 MiB huge-page faults.
+    pub fn add_huge_page_faults(&self, n: u64) {
+        self.huge_page_faults.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one user/kernel boundary crossing (a system call).
+    pub fn add_kernel_trap(&self) {
+        self.kernel_traps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a copyable snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut time_ns = [0.0f64; 5];
+        let mut written = [0u64; 5];
+        let mut read = [0u64; 5];
+        for (i, slot) in self.time_ps.iter().enumerate() {
+            time_ns[i] = slot.load(Ordering::Relaxed) as f64 / 1000.0;
+        }
+        for (i, slot) in self.bytes_written.iter().enumerate() {
+            written[i] = slot.load(Ordering::Relaxed);
+        }
+        for (i, slot) in self.bytes_read.iter().enumerate() {
+            read[i] = slot.load(Ordering::Relaxed);
+        }
+        StatsSnapshot {
+            time_ns,
+            bytes_written: written,
+            bytes_read: read,
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            page_faults: self.page_faults.load(Ordering::Relaxed),
+            huge_page_faults: self.huge_page_faults.load(Ordering::Relaxed),
+            kernel_traps: self.kernel_traps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for slot in &self.time_ps {
+            slot.store(0, Ordering::Relaxed);
+        }
+        for slot in &self.bytes_written {
+            slot.store(0, Ordering::Relaxed);
+        }
+        for slot in &self.bytes_read {
+            slot.store(0, Ordering::Relaxed);
+        }
+        self.flushes.store(0, Ordering::Relaxed);
+        self.fences.store(0, Ordering::Relaxed);
+        self.page_faults.store(0, Ordering::Relaxed);
+        self.huge_page_faults.store(0, Ordering::Relaxed);
+        self.kernel_traps.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`Stats`], plus derived metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Simulated nanoseconds per [`TimeCategory`] (indexed by `TimeCategory::ALL` order).
+    pub time_ns: [f64; 5],
+    /// Bytes written to the device per category.
+    pub bytes_written: [u64; 5],
+    /// Bytes read from the device per category.
+    pub bytes_read: [u64; 5],
+    /// Number of cache-line flushes issued.
+    pub flushes: u64,
+    /// Number of ordering fences issued.
+    pub fences: u64,
+    /// Number of 4 KiB page faults taken.
+    pub page_faults: u64,
+    /// Number of 2 MiB huge-page faults taken.
+    pub huge_page_faults: u64,
+    /// Number of kernel traps (system calls) taken.
+    pub kernel_traps: u64,
+}
+
+impl StatsSnapshot {
+    /// Simulated time attributed to `cat`.
+    pub fn time(&self, cat: TimeCategory) -> f64 {
+        self.time_ns[cat.index()]
+    }
+
+    /// Bytes written to the device for `cat`.
+    pub fn written(&self, cat: TimeCategory) -> u64 {
+        self.bytes_written[cat.index()]
+    }
+
+    /// Total simulated time across all categories.
+    pub fn total_time_ns(&self) -> f64 {
+        self.time_ns.iter().sum()
+    }
+
+    /// Total bytes written across all categories.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.bytes_written.iter().sum()
+    }
+
+    /// Total bytes read across all categories.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.bytes_read.iter().sum()
+    }
+
+    /// The paper's software overhead: total time minus user-data device time.
+    pub fn software_overhead_ns(&self) -> f64 {
+        self.total_time_ns() - self.time(TimeCategory::UserData)
+    }
+
+    /// Write amplification relative to `user_bytes` of application data.
+    /// Returns `None` when no user bytes were written.
+    pub fn write_amplification(&self, user_bytes: u64) -> Option<f64> {
+        if user_bytes == 0 {
+            None
+        } else {
+            Some(self.total_bytes_written() as f64 / user_bytes as f64)
+        }
+    }
+
+    /// Element-wise difference `self - earlier`; used to measure a phase.
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut out = *self;
+        for i in 0..5 {
+            out.time_ns[i] -= earlier.time_ns[i];
+            out.bytes_written[i] = out.bytes_written[i].saturating_sub(earlier.bytes_written[i]);
+            out.bytes_read[i] = out.bytes_read[i].saturating_sub(earlier.bytes_read[i]);
+        }
+        out.flushes = out.flushes.saturating_sub(earlier.flushes);
+        out.fences = out.fences.saturating_sub(earlier.fences);
+        out.page_faults = out.page_faults.saturating_sub(earlier.page_faults);
+        out.huge_page_faults = out.huge_page_faults.saturating_sub(earlier.huge_page_faults);
+        out.kernel_traps = out.kernel_traps.saturating_sub(earlier.kernel_traps);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_time_by_category() {
+        let s = Stats::new();
+        s.add_time(TimeCategory::UserData, 100.0);
+        s.add_time(TimeCategory::Software, 50.0);
+        s.add_time(TimeCategory::Software, 25.0);
+        let snap = s.snapshot();
+        assert!((snap.time(TimeCategory::UserData) - 100.0).abs() < 1e-6);
+        assert!((snap.time(TimeCategory::Software) - 75.0).abs() < 1e-6);
+        assert!((snap.total_time_ns() - 175.0).abs() < 1e-6);
+        assert!((snap.software_overhead_ns() - 75.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn write_amplification_counts_all_categories() {
+        let s = Stats::new();
+        s.add_bytes_written(TimeCategory::UserData, 4096);
+        s.add_bytes_written(TimeCategory::Journal, 4096);
+        let snap = s.snapshot();
+        assert_eq!(snap.total_bytes_written(), 8192);
+        assert_eq!(snap.write_amplification(4096), Some(2.0));
+        assert_eq!(snap.write_amplification(0), None);
+    }
+
+    #[test]
+    fn delta_since_isolates_a_phase() {
+        let s = Stats::new();
+        s.add_time(TimeCategory::UserData, 10.0);
+        s.add_fence();
+        let before = s.snapshot();
+        s.add_time(TimeCategory::UserData, 5.0);
+        s.add_fence();
+        s.add_fence();
+        let delta = s.snapshot().delta_since(&before);
+        assert!((delta.time(TimeCategory::UserData) - 5.0).abs() < 1e-6);
+        assert_eq!(delta.fences, 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let s = Stats::new();
+        s.add_time(TimeCategory::Journal, 10.0);
+        s.add_bytes_written(TimeCategory::Journal, 64);
+        s.add_kernel_trap();
+        s.reset();
+        let snap = s.snapshot();
+        assert_eq!(snap.total_time_ns(), 0.0);
+        assert_eq!(snap.total_bytes_written(), 0);
+        assert_eq!(snap.kernel_traps, 0);
+    }
+
+    #[test]
+    fn invalid_time_charges_are_ignored() {
+        let s = Stats::new();
+        s.add_time(TimeCategory::UserData, -1.0);
+        s.add_time(TimeCategory::UserData, f64::NAN);
+        assert_eq!(s.snapshot().total_time_ns(), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Tunable parameters of a SplitFS instance (paper §3.6).
+
+use crate::modes::Mode;
+
+/// Configuration of a U-Split instance.
+///
+/// The defaults follow the paper but are scaled down to fit the emulated
+/// devices the test-suite and benchmark harness create (the paper's 160 MiB
+/// staging files and 128 MiB operation log assume a multi-hundred-gigabyte
+/// PM module).  [`SplitConfig::paper_defaults`] restores the exact paper
+/// values for experiments run on large devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitConfig {
+    /// Consistency mode of this instance.
+    pub mode: Mode,
+    /// Granularity of target-file memory mappings.  The paper supports
+    /// 2 MiB – 512 MiB; 2 MiB is the default so huge pages can be used.
+    pub mmap_size: u64,
+    /// Number of staging files pre-allocated at startup.
+    pub staging_files: usize,
+    /// Size of each staging file in bytes.
+    pub staging_file_size: u64,
+    /// Size of the operation log in bytes (64 B per entry).
+    pub oplog_size: u64,
+    /// Ablation switch (Figure 3): route appends through staging files.
+    /// With this off, appends fall through to the kernel file system.
+    pub use_staging: bool,
+    /// Ablation switch (Figure 3): use the relink ioctl on `fsync`.  With
+    /// this off, staged appends are copied into the target file instead of
+    /// being relinked.
+    pub use_relink: bool,
+    /// Pre-fault mappings when they are created (`MAP_POPULATE`).
+    pub populate_mmaps: bool,
+}
+
+impl SplitConfig {
+    /// Default configuration (scaled for the emulated devices) in the given
+    /// mode.
+    pub fn new(mode: Mode) -> Self {
+        Self {
+            mode,
+            mmap_size: 2 * 1024 * 1024,
+            staging_files: 4,
+            staging_file_size: 16 * 1024 * 1024,
+            oplog_size: 8 * 1024 * 1024,
+            use_staging: true,
+            use_relink: true,
+            populate_mmaps: true,
+        }
+    }
+
+    /// The exact parameter values reported in §3.6 of the paper: ten
+    /// 160 MiB staging files and a 128 MiB operation log.
+    pub fn paper_defaults(mode: Mode) -> Self {
+        Self {
+            mode,
+            mmap_size: 2 * 1024 * 1024,
+            staging_files: 10,
+            staging_file_size: 160 * 1024 * 1024,
+            oplog_size: 128 * 1024 * 1024,
+            use_staging: true,
+            use_relink: true,
+            populate_mmaps: true,
+        }
+    }
+
+    /// Sets the mmap granularity (clamped to the paper's 2 MiB – 512 MiB
+    /// supported range).
+    pub fn with_mmap_size(mut self, size: u64) -> Self {
+        self.mmap_size = size.clamp(2 * 1024 * 1024, 512 * 1024 * 1024);
+        self
+    }
+
+    /// Sets the staging pool shape.
+    pub fn with_staging(mut self, files: usize, file_size: u64) -> Self {
+        self.staging_files = files.max(1);
+        self.staging_file_size = file_size.max(2 * 1024 * 1024);
+        self
+    }
+
+    /// Sets the operation-log size (minimum one 4 KiB block, i.e. 64
+    /// entries).
+    pub fn with_oplog_size(mut self, size: u64) -> Self {
+        self.oplog_size = size.max(4096);
+        self
+    }
+
+    /// Disables staging (Figure 3 ablation: "split architecture only").
+    pub fn without_staging(mut self) -> Self {
+        self.use_staging = false;
+        self.use_relink = false;
+        self
+    }
+
+    /// Disables relink but keeps staging (Figure 3 ablation: staged appends
+    /// are copied on `fsync` instead of relinked).
+    pub fn without_relink(mut self) -> Self {
+        self.use_relink = false;
+        self
+    }
+
+    /// Maximum number of 64-byte entries the operation log can hold.
+    pub fn oplog_capacity(&self) -> u64 {
+        self.oplog_size / 64
+    }
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        Self::new(Mode::Posix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper_shape() {
+        let c = SplitConfig::paper_defaults(Mode::Strict);
+        assert_eq!(c.mmap_size, 2 * 1024 * 1024);
+        assert_eq!(c.staging_files, 10);
+        assert_eq!(c.staging_file_size, 160 * 1024 * 1024);
+        assert_eq!(c.oplog_size, 128 * 1024 * 1024);
+        assert_eq!(c.oplog_capacity(), 2 * 1024 * 1024); // "up to 2M operations"
+    }
+
+    #[test]
+    fn mmap_size_is_clamped_to_supported_range() {
+        let c = SplitConfig::new(Mode::Posix).with_mmap_size(1);
+        assert_eq!(c.mmap_size, 2 * 1024 * 1024);
+        let c = SplitConfig::new(Mode::Posix).with_mmap_size(u64::MAX);
+        assert_eq!(c.mmap_size, 512 * 1024 * 1024);
+    }
+
+    #[test]
+    fn ablation_switches_compose() {
+        let c = SplitConfig::new(Mode::Posix).without_staging();
+        assert!(!c.use_staging && !c.use_relink);
+        let c = SplitConfig::new(Mode::Posix).without_relink();
+        assert!(c.use_staging && !c.use_relink);
+    }
+}

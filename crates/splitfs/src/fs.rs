@@ -1,0 +1,783 @@
+//! The U-Split user-space library file system.
+//!
+//! [`SplitFs`] implements the [`vfs::FileSystem`] trait the way the paper's
+//! LD_PRELOAD library implements the POSIX API:
+//!
+//! * **reads and overwrites** are served from the collection of memory
+//!   mappings with loads and non-temporal stores — no kernel trap;
+//! * **appends** (and, in strict mode, overwrites) are redirected to
+//!   pre-allocated staging files and moved into the target file with the
+//!   relink primitive at the next `fsync`/`close`;
+//! * **metadata operations** (`open`, `close`, `unlink`, `rename`,
+//!   `mkdir`, ...) are passed through to the kernel file system
+//!   ([`kernelfs::Ext4Dax`]), which journals them;
+//! * in sync/strict mode, staged operations are recorded in the
+//!   [operation log](crate::oplog) so they survive a crash that happens
+//!   before the relink.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use kernelfs::{Ext4Dax, BLOCK_SIZE};
+use pmem::{AccessPattern, PersistMode, PmemDevice, TimeCategory};
+use vfs::{
+    path as vpath, ConsistencyClass, Fd, FileStat, FileSystem, FsError, FsResult, OpenFlags,
+    SeekFrom,
+};
+
+use crate::config::SplitConfig;
+use crate::modes::Mode;
+use crate::oplog::{LogEntry, LogOp, OpLog};
+use crate::recovery;
+use crate::staging::StagingPool;
+use crate::state::{Descriptor, FdTable, FileRegistry, FileState, StagedExtent};
+
+/// Directory on the kernel file system holding SplitFS's own files
+/// (staging files and the operation log).
+pub const SPLITFS_DIR: &str = "/.splitfs";
+
+/// Path of the operation-log file.
+pub const OPLOG_PATH: &str = "/.splitfs/oplog";
+
+/// A SplitFS (U-Split) instance layered over a kernel file system.
+pub struct SplitFs {
+    pub(crate) kernel: Arc<Ext4Dax>,
+    pub(crate) device: Arc<PmemDevice>,
+    pub(crate) config: SplitConfig,
+    pub(crate) files: RwLock<FileRegistry>,
+    pub(crate) fds: RwLock<FdTable>,
+    pub(crate) staging: StagingPool,
+    pub(crate) oplog: Option<OpLog>,
+}
+
+impl std::fmt::Debug for SplitFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SplitFs")
+            .field("mode", &self.config.mode)
+            .field("open_files", &self.files.read().len())
+            .finish()
+    }
+}
+
+/// DRAM footprint of a U-Split instance (resource-consumption experiment,
+/// §5.10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryUsage {
+    /// Number of files with cached state.
+    pub cached_files: usize,
+    /// Number of staged extents awaiting relink.
+    pub staged_extents: usize,
+    /// Number of mapped segments across all collections.
+    pub mmap_segments: usize,
+    /// Approximate bytes of DRAM used by the above.
+    pub approx_bytes: usize,
+}
+
+impl SplitFs {
+    /// Creates a U-Split instance over `kernel` with the given
+    /// configuration.
+    ///
+    /// This pre-allocates the staging files, creates (or recovers) the
+    /// operation log when the mode requires one, and is the moral
+    /// equivalent of `LD_PRELOAD`-ing the SplitFS library into a process.
+    pub fn new(kernel: Arc<Ext4Dax>, config: SplitConfig) -> FsResult<Arc<Self>> {
+        let device = Arc::clone(kernel.device());
+
+        // If a previous instance crashed with pending operation-log entries,
+        // replay them before anything else touches the files.
+        if config.mode.logs_data_ops() && kernel.exists(OPLOG_PATH) {
+            recovery::recover(&kernel, &config)?;
+        }
+
+        let staging = StagingPool::new(
+            Arc::clone(&kernel),
+            Arc::clone(&device),
+            SPLITFS_DIR,
+            &config,
+        )?;
+
+        let oplog = if config.mode.logs_data_ops() {
+            let fd = kernel.open(OPLOG_PATH, OpenFlags::create())?;
+            kernel.ftruncate(fd, config.oplog_size)?;
+            let mapping = kernel.dax_map(fd, 0, config.oplog_size, config.populate_mmaps)?;
+            let log = OpLog::new(Arc::clone(&device), mapping, config.oplog_size);
+            // §3.3: the log is zeroed at initialization so recovery can tell
+            // written slots from never-used ones.
+            log.reset();
+            Some(log)
+        } else {
+            None
+        };
+
+        Ok(Arc::new(Self {
+            kernel,
+            device,
+            config,
+            files: RwLock::new(FileRegistry::new()),
+            fds: RwLock::new(FdTable::new()),
+            staging,
+            oplog,
+        }))
+    }
+
+    /// The mode this instance runs in.
+    pub fn mode(&self) -> Mode {
+        self.config.mode
+    }
+
+    /// The kernel file system underneath.
+    pub fn kernel(&self) -> &Arc<Ext4Dax> {
+        &self.kernel
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SplitConfig {
+        &self.config
+    }
+
+    /// Duplicates a descriptor; both descriptors share one file offset
+    /// (§3.5, "Handling dup").
+    pub fn dup(&self, fd: Fd) -> FsResult<Fd> {
+        self.charge_usplit();
+        self.fds.write().dup(fd)
+    }
+
+    /// DRAM footprint of the instance's bookkeeping structures.
+    pub fn memory_usage(&self) -> MemoryUsage {
+        let files = self.files.read();
+        let mut usage = MemoryUsage {
+            cached_files: files.len(),
+            ..MemoryUsage::default()
+        };
+        for state in files.values() {
+            let st = state.read();
+            usage.staged_extents += st.staged.len();
+            usage.mmap_segments += st.mmaps.len();
+        }
+        usage.approx_bytes = usage.cached_files * std::mem::size_of::<FileState>()
+            + usage.staged_extents * std::mem::size_of::<StagedExtent>()
+            + usage.mmap_segments * 24
+            + self.fds.read().len() * std::mem::size_of::<Descriptor>();
+        usage
+    }
+
+    /// Number of operation-log entries currently in use (0 in POSIX mode).
+    pub fn oplog_entries(&self) -> u64 {
+        self.oplog.as_ref().map(|l| l.entries_used()).unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Cost helpers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn charge_usplit(&self) {
+        let cost = self.device.cost().clone();
+        self.device.charge_software(cost.usplit_bookkeeping_ns);
+    }
+
+    fn charge_mmap_lookup(&self) {
+        let cost = self.device.cost().clone();
+        self.device.charge_software(cost.usplit_mmap_lookup_ns);
+    }
+
+    // ------------------------------------------------------------------
+    // File-state management
+    // ------------------------------------------------------------------
+
+    fn state_for_fd(&self, fd: Fd) -> FsResult<(Descriptor, Arc<RwLock<FileState>>)> {
+        let desc = self.fds.read().get(fd)?;
+        let state = self
+            .files
+            .read()
+            .get(&desc.ino)
+            .cloned()
+            .ok_or(FsError::BadFd)?;
+        Ok((desc, state))
+    }
+
+    /// Appends a record to the operation log.  Returns
+    /// [`FsError::NoSpace`] when the log is full; the write path reacts by
+    /// checkpointing and retrying, while best-effort records (invalidation
+    /// markers) are simply dropped — replay stays correct without them
+    /// because it is idempotent.
+    pub(crate) fn log_append(&self, entry: &LogEntry) -> FsResult<()> {
+        match self.oplog.as_ref() {
+            Some(oplog) => oplog.append(entry),
+            None => Ok(()),
+        }
+    }
+
+    /// Relinks every file with staged data and resets the operation log
+    /// (§3.3: performed when the log fills up, and by
+    /// [`FileSystem::sync`]).
+    pub fn checkpoint(&self) -> FsResult<()> {
+        self.checkpoint_excluding(None)
+    }
+
+    /// Checkpoint implementation.  `current` is the file whose state lock
+    /// the caller already holds (the file being written when the log filled
+    /// up); it is relinked through the provided reference instead of by
+    /// re-locking, which would self-deadlock.
+    pub(crate) fn checkpoint_excluding(
+        &self,
+        mut current: Option<&mut FileState>,
+    ) -> FsResult<()> {
+        let current_ino = current.as_ref().map(|c| c.ino);
+        // Collect (ino, state) pairs first; the current file is identified
+        // by its registry key so we never try to lock the state the caller
+        // already holds.
+        let states: Vec<(u64, Arc<RwLock<FileState>>)> = self
+            .files
+            .read()
+            .iter()
+            .map(|(ino, st)| (*ino, Arc::clone(st)))
+            .collect();
+        for (ino, state) in states {
+            if Some(ino) == current_ino {
+                continue;
+            }
+            let mut st = state.write();
+            if !st.staged.is_empty() {
+                self.relink_file(&mut st)?;
+            }
+        }
+        if let Some(st) = current.as_deref_mut() {
+            if !st.staged.is_empty() {
+                self.relink_file(st)?;
+            }
+        }
+        if let Some(oplog) = self.oplog.as_ref() {
+            oplog.reset();
+        }
+        Ok(())
+    }
+
+    /// Ensures a mapping of the target file covering `offset` exists in the
+    /// collection, creating a `mmap_size` region on demand.  Returns the
+    /// device offset and contiguous length, or `None` when the region
+    /// cannot be mapped (holes) and the caller must fall back to the kernel.
+    fn ensure_mapped(&self, state: &mut FileState, offset: u64) -> Option<(u64, u64)> {
+        self.charge_mmap_lookup();
+        if let Some(hit) = state.mmaps.lookup(offset) {
+            return Some(hit);
+        }
+        // Only ranges the kernel has blocks for can be mapped.
+        let alloc_end = state.kernel_size.div_ceil(BLOCK_SIZE as u64) * BLOCK_SIZE as u64;
+        if offset >= alloc_end {
+            return None;
+        }
+        let region_start = offset - offset % self.config.mmap_size;
+        let region_len = self.config.mmap_size.min(alloc_end - region_start);
+        match self.kernel.dax_map(
+            state.kernel_fd,
+            region_start,
+            region_len,
+            self.config.populate_mmaps,
+        ) {
+            Ok(mapping) => {
+                state.mmaps.record_mmap_call();
+                for seg in &mapping.segments {
+                    state
+                        .mmaps
+                        .insert(seg.file_offset, seg.device_offset, seg.len);
+                }
+                state.mmaps.lookup(offset)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Serves a read of committed (non-staged) file content.
+    fn read_committed(
+        &self,
+        state: &mut FileState,
+        offset: u64,
+        buf: &mut [u8],
+        pattern: AccessPattern,
+    ) -> FsResult<()> {
+        let mut pos = 0usize;
+        let mut first = true;
+        while pos < buf.len() {
+            let file_off = offset + pos as u64;
+            if file_off >= state.kernel_size {
+                buf[pos..].fill(0);
+                break;
+            }
+            let want = (buf.len() - pos).min((state.kernel_size - file_off) as usize);
+            match self.ensure_mapped(state, file_off) {
+                Some((dev_off, contig)) => {
+                    let n = want.min(contig as usize);
+                    let p = if first { pattern } else { AccessPattern::Sequential };
+                    self.device
+                        .read(dev_off, &mut buf[pos..pos + n], p, TimeCategory::UserData);
+                    pos += n;
+                }
+                None => {
+                    // Hole or unmappable region: fall back to the kernel
+                    // read path for this chunk.
+                    let n = self
+                        .kernel
+                        .read_at(state.kernel_fd, file_off, &mut buf[pos..pos + want])?;
+                    if n == 0 {
+                        buf[pos..pos + want].fill(0);
+                        pos += want;
+                    } else {
+                        pos += n;
+                    }
+                }
+            }
+            first = false;
+        }
+        Ok(())
+    }
+
+    /// Overlays staged extents (newest last) on top of a read.
+    fn overlay_staged(&self, state: &FileState, offset: u64, buf: &mut [u8]) {
+        let end = offset + buf.len() as u64;
+        for ext in &state.staged {
+            let ext_end = ext.target_offset + ext.len;
+            if ext.target_offset >= end || ext_end <= offset {
+                continue;
+            }
+            let copy_start = ext.target_offset.max(offset);
+            let copy_end = ext_end.min(end);
+            let dev = ext.device_offset + (copy_start - ext.target_offset);
+            let dst = (copy_start - offset) as usize;
+            let n = (copy_end - copy_start) as usize;
+            self.device.read(
+                dev,
+                &mut buf[dst..dst + n],
+                AccessPattern::Random,
+                TimeCategory::UserData,
+            );
+        }
+    }
+
+    /// Writes data in place through the collection of mmaps (POSIX/sync
+    /// overwrites).  Falls back to the kernel write path when a region
+    /// cannot be mapped.
+    fn write_in_place(&self, state: &mut FileState, offset: u64, data: &[u8]) -> FsResult<()> {
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let file_off = offset + pos as u64;
+            let want = data.len() - pos;
+            match self.ensure_mapped(state, file_off) {
+                Some((dev_off, contig)) => {
+                    let n = want.min(contig as usize);
+                    self.device.write(
+                        dev_off,
+                        &data[pos..pos + n],
+                        PersistMode::NonTemporal,
+                        TimeCategory::UserData,
+                    );
+                    pos += n;
+                }
+                None => {
+                    let n = self
+                        .kernel
+                        .write_at(state.kernel_fd, file_off, &data[pos..pos + want])?;
+                    state.kernel_size = state.kernel_size.max(file_off + n as u64);
+                    pos += n;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stages `data` at `target_offset`: writes it to staging space, records
+    /// the extent and (in sync/strict mode) appends an operation-log entry.
+    fn stage_write(&self, state: &mut FileState, target_offset: u64, data: &[u8]) -> FsResult<()> {
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let t_off = target_offset + pos as u64;
+            let remaining = (data.len() - pos) as u64;
+            let alloc = self.staging.take(remaining, t_off % BLOCK_SIZE as u64)?;
+            let n = alloc.len.min(remaining) as usize;
+            self.device.write(
+                alloc.device_offset,
+                &data[pos..pos + n],
+                PersistMode::NonTemporal,
+                TimeCategory::UserData,
+            );
+            let seq = if self.config.mode.logs_data_ops() {
+                // The staged data must be in the persistence domain before a
+                // valid log entry can point at it.
+                self.device.fence(TimeCategory::UserData);
+                let seq = self
+                    .oplog
+                    .as_ref()
+                    .map(|l| l.next_seq())
+                    .unwrap_or_default();
+                let entry = LogEntry {
+                    op: LogOp::StagedWrite,
+                    target_ino: state.ino,
+                    target_offset: t_off,
+                    len: n as u64,
+                    staging_ino: alloc.staging_ino,
+                    staging_offset: alloc.staging_offset,
+                    seq,
+                };
+                match self.log_append(&entry) {
+                    Ok(()) => {}
+                    Err(FsError::NoSpace) => {
+                        // The log is full: checkpoint (relink every file
+                        // with staged data, including this one, and re-zero
+                        // the log), then retry.
+                        self.checkpoint_excluding(Some(state))?;
+                        self.log_append(&entry)?;
+                    }
+                    Err(e) => return Err(e),
+                }
+                seq
+            } else {
+                0
+            };
+            state.staged.push(StagedExtent {
+                target_offset: t_off,
+                len: n as u64,
+                staging_ino: alloc.staging_ino,
+                staging_fd: alloc.staging_fd,
+                staging_offset: alloc.staging_offset,
+                device_offset: alloc.device_offset,
+                seq,
+            });
+            pos += n;
+        }
+        state.cached_size = state.cached_size.max(target_offset + data.len() as u64);
+        Ok(())
+    }
+}
+
+impl FileSystem for SplitFs {
+    fn name(&self) -> String {
+        self.config.mode.label().to_string()
+    }
+
+    fn consistency(&self) -> ConsistencyClass {
+        self.config.mode.consistency_class()
+    }
+
+    fn device(&self) -> &Arc<PmemDevice> {
+        &self.device
+    }
+
+    fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        self.charge_usplit();
+        let norm = vpath::normalize(path)?;
+        // Metadata operation: pass through to the kernel.
+        let kernel_fd = self.kernel.open(&norm, flags)?;
+        // Cache the attributes (§3.5: "performs stat() on the file and
+        // caches its attributes in user-space").
+        let stat = self.kernel.fstat(kernel_fd)?;
+
+        let mut files = self.files.write();
+        let mut created = false;
+        let state = files
+            .entry(stat.ino)
+            .or_insert_with(|| {
+                created = true;
+                let mut fresh = FileState::new(stat.ino, &norm, kernel_fd, stat.size);
+                fresh.kernel_fd_writable = flags.write;
+                Arc::new(RwLock::new(fresh))
+            })
+            .clone();
+        {
+            let mut st = state.write();
+            if !created && st.kernel_fd != kernel_fd {
+                // Keep exactly one kernel descriptor per file, preferring
+                // the most capable one: relink and the fallback write path
+                // need a writable descriptor even if the application later
+                // reopens the file read-only.
+                if flags.write && !st.kernel_fd_writable {
+                    let old = st.kernel_fd;
+                    st.kernel_fd = kernel_fd;
+                    st.kernel_fd_writable = true;
+                    let _ = self.kernel.close(old);
+                } else {
+                    let _ = self.kernel.close(kernel_fd);
+                }
+            }
+            if flags.truncate {
+                st.kernel_size = 0;
+                st.cached_size = 0;
+                st.staged.clear();
+                st.mmaps.clear();
+            } else {
+                st.kernel_size = stat.size;
+                st.cached_size = st.cached_size.max(stat.size);
+            }
+            st.path = norm.clone();
+            st.open_fds += 1;
+        }
+        drop(files);
+        Ok(self.fds.write().insert(stat.ino, flags))
+    }
+
+    fn close(&self, fd: Fd) -> FsResult<()> {
+        self.charge_usplit();
+        let (_, state) = self.state_for_fd(fd)?;
+        {
+            // Appends are relinked on fsync *or close* (§3.4).
+            let mut st = state.write();
+            if !st.staged.is_empty() && self.config.use_staging {
+                self.relink_file(&mut st)?;
+            }
+            st.open_fds = st.open_fds.saturating_sub(1);
+        }
+        self.fds.write().remove(fd)?;
+        // Cached attributes and mappings are retained after close (§3.5).
+        Ok(())
+    }
+
+    fn read_at(&self, fd: Fd, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        self.charge_usplit();
+        let (desc, state) = self.state_for_fd(fd)?;
+        if !desc.flags.read {
+            return Err(FsError::PermissionDenied);
+        }
+        let mut st = state.write();
+        if offset >= st.cached_size || buf.is_empty() {
+            return Ok(0);
+        }
+        let n = ((st.cached_size - offset) as usize).min(buf.len());
+        let pattern = {
+            let last = *desc.last_read_end.lock();
+            if offset == last {
+                AccessPattern::Sequential
+            } else {
+                AccessPattern::Random
+            }
+        };
+        self.read_committed(&mut st, offset, &mut buf[..n], pattern)?;
+        self.overlay_staged(&st, offset, &mut buf[..n]);
+        *desc.last_read_end.lock() = offset + n as u64;
+        Ok(n)
+    }
+
+    fn write_at(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.charge_usplit();
+        let (desc, state) = self.state_for_fd(fd)?;
+        if !desc.flags.write {
+            return Err(FsError::PermissionDenied);
+        }
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut st = state.write();
+
+        if self.config.mode.stages_overwrites() && self.config.use_staging {
+            // Strict mode: every data write is staged so it can be applied
+            // atomically at the next fsync.
+            self.stage_write(&mut st, offset, data)?;
+            return Ok(data.len());
+        }
+
+        let end = offset + data.len() as u64;
+        let overwrite_end = end.min(st.kernel_size);
+        if offset < overwrite_end {
+            // Overwrite of existing bytes: in place through the mmaps.
+            let n = (overwrite_end - offset) as usize;
+            self.write_in_place(&mut st, offset, &data[..n])?;
+            if self.config.mode.fences_data_ops() {
+                self.device.fence(TimeCategory::UserData);
+            }
+        }
+        if end > st.kernel_size {
+            // Append portion.
+            let append_from = offset.max(st.kernel_size);
+            let skip = (append_from - offset) as usize;
+            if self.config.use_staging {
+                self.stage_write(&mut st, append_from, &data[skip..])?;
+            } else {
+                // Figure 3 ablation: without staging, appends fall through
+                // to the kernel file system.
+                self.kernel
+                    .write_at(st.kernel_fd, append_from, &data[skip..])?;
+                st.kernel_size = end;
+                st.cached_size = st.cached_size.max(end);
+            }
+        }
+        st.cached_size = st.cached_size.max(end);
+        Ok(data.len())
+    }
+
+    fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {
+        let desc = self.fds.read().get(fd)?;
+        let offset = *desc.offset.lock();
+        let n = self.read_at(fd, offset, buf)?;
+        *desc.offset.lock() = offset + n as u64;
+        Ok(n)
+    }
+
+    fn write(&self, fd: Fd, data: &[u8]) -> FsResult<usize> {
+        let desc = self.fds.read().get(fd)?;
+        let offset = if desc.flags.append {
+            let (_, state) = self.state_for_fd(fd)?;
+            let size = state.read().cached_size;
+            size
+        } else {
+            *desc.offset.lock()
+        };
+        let n = self.write_at(fd, offset, data)?;
+        *desc.offset.lock() = offset + n as u64;
+        Ok(n)
+    }
+
+    fn lseek(&self, fd: Fd, pos: SeekFrom) -> FsResult<u64> {
+        // Seeks are resolved entirely in user space against the cached size.
+        self.charge_usplit();
+        let (desc, state) = self.state_for_fd(fd)?;
+        let size = state.read().cached_size;
+        let cur = *desc.offset.lock();
+        let new = match pos {
+            SeekFrom::Start(o) => o as i128,
+            SeekFrom::Current(d) => cur as i128 + d as i128,
+            SeekFrom::End(d) => size as i128 + d as i128,
+        };
+        if new < 0 {
+            return Err(FsError::InvalidArgument);
+        }
+        *desc.offset.lock() = new as u64;
+        Ok(new as u64)
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        self.charge_usplit();
+        let (_, state) = self.state_for_fd(fd)?;
+        let mut st = state.write();
+        if !st.staged.is_empty() && self.config.use_staging {
+            self.relink_file(&mut st)?;
+        } else {
+            // Push any in-place overwrites done with unfenced non-temporal
+            // stores (POSIX mode) into the persistence domain.
+            self.device.fence(TimeCategory::UserData);
+        }
+        Ok(())
+    }
+
+    fn ftruncate(&self, fd: Fd, size: u64) -> FsResult<()> {
+        self.charge_usplit();
+        let (_, state) = self.state_for_fd(fd)?;
+        let mut st = state.write();
+        self.kernel.ftruncate(st.kernel_fd, size)?;
+        st.drop_staged_beyond(size);
+        if size < st.kernel_size {
+            let shrink = st.kernel_size - size;
+            st.mmaps.remove_range(size, shrink);
+        }
+        st.kernel_size = size;
+        st.cached_size = size.max(st.staged.iter().map(|e| e.target_offset + e.len).max().unwrap_or(0));
+        Ok(())
+    }
+
+    fn fstat(&self, fd: Fd) -> FsResult<FileStat> {
+        self.charge_usplit();
+        let (_, state) = self.state_for_fd(fd)?;
+        let st = state.read();
+        Ok(FileStat {
+            ino: st.ino,
+            size: st.cached_size,
+            blocks: st.cached_size.div_ceil(BLOCK_SIZE as u64),
+            is_dir: false,
+            nlink: 1,
+        })
+    }
+
+    fn stat(&self, path: &str) -> FsResult<FileStat> {
+        self.charge_usplit();
+        let norm = vpath::normalize(path)?;
+        // Prefer the cached user-space view so staged appends are visible
+        // to the calling process immediately.
+        let cached = self
+            .files
+            .read()
+            .values()
+            .find(|s| s.read().path == norm)
+            .cloned();
+        if let Some(state) = cached {
+            let st = state.read();
+            return Ok(FileStat {
+                ino: st.ino,
+                size: st.cached_size,
+                blocks: st.cached_size.div_ceil(BLOCK_SIZE as u64),
+                is_dir: false,
+                nlink: 1,
+            });
+        }
+        self.kernel.stat(&norm)
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        self.charge_usplit();
+        let cost = self.device.cost().clone();
+        let norm = vpath::normalize(path)?;
+        // Drop cached state and unmap (the expensive part of unlink in
+        // SplitFS, §5.4).
+        let ino = {
+            let files = self.files.read();
+            files
+                .values()
+                .find(|s| s.read().path == norm)
+                .map(|s| s.read().ino)
+        };
+        if let Some(ino) = ino {
+            let state = self.files.write().remove(&ino);
+            if let Some(state) = state {
+                let st = state.read();
+                // munmap cost per mapped segment.
+                self.device
+                    .charge_software(st.mmaps.len() as f64 * cost.mmap_setup_ns * 0.5);
+                let _ = self.kernel.close(st.kernel_fd);
+            }
+        }
+        self.kernel.unlink(&norm)
+    }
+
+    fn rename(&self, old: &str, new: &str) -> FsResult<()> {
+        self.charge_usplit();
+        let old_norm = vpath::normalize(old)?;
+        let new_norm = vpath::normalize(new)?;
+        self.kernel.rename(&old_norm, &new_norm)?;
+        for state in self.files.read().values() {
+            let mut st = state.write();
+            if st.path == old_norm {
+                st.path = new_norm.clone();
+            } else if st.path == new_norm {
+                // The destination was replaced; its cached state is stale.
+                st.mmaps.clear();
+                st.staged.clear();
+            }
+        }
+        Ok(())
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        self.charge_usplit();
+        self.kernel.mkdir(path)
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.charge_usplit();
+        self.kernel.rmdir(path)
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
+        self.charge_usplit();
+        let mut entries = self.kernel.readdir(path)?;
+        // Hide SplitFS's own bookkeeping directory from applications.
+        if vpath::normalize(path)? == "/" {
+            entries.retain(|e| e != ".splitfs");
+        }
+        Ok(entries)
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        self.checkpoint()?;
+        self.kernel.sync()
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.stat(path).is_ok()
+    }
+}

@@ -1,0 +1,47 @@
+//! SplitFS: a user-space library file system for persistent memory.
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (*SplitFS: Reducing Software Overhead in File Systems for Persistent
+//! Memory*, SOSP 2019).  The design splits file-system responsibilities:
+//!
+//! * **U-Split** (this crate, [`SplitFs`]) serves data operations in user
+//!   space: reads and overwrites become loads and stores on memory-mapped
+//!   file regions, appends are staged in pre-allocated staging files, and
+//!   in strict mode every data operation is made atomic through a 64-byte,
+//!   single-fence operation log.
+//! * **K-Split** ([`kernelfs::Ext4Dax`]) handles every metadata operation
+//!   and provides the journaled, atomic [`relink`](kernelfs::Ext4Dax::ioctl_relink)
+//!   primitive that moves staged blocks into target files without copying
+//!   data.
+//!
+//! ```
+//! use splitfs::{SplitConfig, SplitFs, Mode};
+//! use vfs::{FileSystem, OpenFlags};
+//!
+//! let device = pmem::PmemBuilder::new(256 * 1024 * 1024).build();
+//! let kernel = kernelfs::Ext4Dax::mkfs(device).unwrap();
+//! let fs = SplitFs::new(kernel, SplitConfig::new(Mode::Strict)).unwrap();
+//!
+//! let fd = fs.open("/data.log", OpenFlags::create()).unwrap();
+//! fs.append(fd, b"hello persistent world").unwrap();
+//! fs.fsync(fd).unwrap();
+//! assert_eq!(fs.read_file("/data.log").unwrap(), b"hello persistent world");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod fs;
+pub mod mmap_collection;
+pub mod modes;
+pub mod oplog;
+pub mod recovery;
+pub mod relink;
+pub mod staging;
+pub mod state;
+
+pub use config::SplitConfig;
+pub use fs::{MemoryUsage, SplitFs, OPLOG_PATH, SPLITFS_DIR};
+pub use modes::{Guarantees, Mode};
+pub use recovery::{recover, RecoveryReport};

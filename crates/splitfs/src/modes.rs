@@ -1,0 +1,153 @@
+//! SplitFS consistency modes (paper §3.2, Table 3).
+//!
+//! Each U-Split instance runs in one of three modes.  Applications running
+//! concurrently on the same kernel file system may each pick their own mode
+//! without interfering with one another — one of the architectural points
+//! of the paper.
+
+use vfs::ConsistencyClass;
+
+/// The guarantee mode of a SplitFS instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Metadata consistency only (equivalent to ext4 DAX), plus atomic
+    /// appends.  Overwrites are in-place and synchronous-to-cache; appends
+    /// require an `fsync` to become durable.
+    #[default]
+    Posix,
+    /// All operations are synchronous: when the call returns, its effects
+    /// are durable.  Data operations are not atomic (equivalent to PMFS /
+    /// NOVA-relaxed).
+    Sync,
+    /// All operations are synchronous *and* atomic (equivalent to
+    /// NOVA-strict / Strata).  Overwrites are staged and relinked, and every
+    /// data operation is recorded in the operation log.
+    Strict,
+}
+
+/// The guarantee matrix of Table 3, as queryable predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Guarantees {
+    /// Data operations are durable when the call returns.
+    pub sync_data_ops: bool,
+    /// Data operations are atomic with respect to crashes.
+    pub atomic_data_ops: bool,
+    /// Metadata operations are durable when the call returns.
+    pub sync_metadata_ops: bool,
+    /// Metadata operations are atomic with respect to crashes.
+    pub atomic_metadata_ops: bool,
+    /// Appends become atomic (at the following `fsync`) in every mode.
+    pub atomic_appends: bool,
+}
+
+impl Mode {
+    /// The guarantees this mode provides (paper Table 3).
+    pub fn guarantees(self) -> Guarantees {
+        match self {
+            Mode::Posix => Guarantees {
+                sync_data_ops: false,
+                atomic_data_ops: false,
+                sync_metadata_ops: false,
+                atomic_metadata_ops: true,
+                atomic_appends: true,
+            },
+            Mode::Sync => Guarantees {
+                sync_data_ops: true,
+                atomic_data_ops: false,
+                sync_metadata_ops: true,
+                atomic_metadata_ops: true,
+                atomic_appends: true,
+            },
+            Mode::Strict => Guarantees {
+                sync_data_ops: true,
+                atomic_data_ops: true,
+                sync_metadata_ops: true,
+                atomic_metadata_ops: true,
+                atomic_appends: true,
+            },
+        }
+    }
+
+    /// The comparable guarantee class used to pick baselines.
+    pub fn consistency_class(self) -> ConsistencyClass {
+        match self {
+            Mode::Posix => ConsistencyClass::Posix,
+            Mode::Sync => ConsistencyClass::Sync,
+            Mode::Strict => ConsistencyClass::Strict,
+        }
+    }
+
+    /// Whether data operations must be logged in the operation log.
+    pub fn logs_data_ops(self) -> bool {
+        matches!(self, Mode::Sync | Mode::Strict)
+    }
+
+    /// Whether overwrites are staged (copy-on-write via relink) rather than
+    /// performed in place.
+    pub fn stages_overwrites(self) -> bool {
+        matches!(self, Mode::Strict)
+    }
+
+    /// Whether every data operation must be followed by a persistence fence
+    /// before returning.
+    pub fn fences_data_ops(self) -> bool {
+        matches!(self, Mode::Sync | Mode::Strict)
+    }
+
+    /// Display label matching the paper ("SplitFS-POSIX", etc.).
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Posix => "SplitFS-POSIX",
+            Mode::Sync => "SplitFS-sync",
+            Mode::Strict => "SplitFS-strict",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarantee_matrix_matches_table3() {
+        let posix = Mode::Posix.guarantees();
+        assert!(!posix.sync_data_ops && !posix.atomic_data_ops);
+        assert!(posix.atomic_metadata_ops && posix.atomic_appends);
+
+        let sync = Mode::Sync.guarantees();
+        assert!(sync.sync_data_ops && !sync.atomic_data_ops);
+        assert!(sync.sync_metadata_ops);
+
+        let strict = Mode::Strict.guarantees();
+        assert!(strict.sync_data_ops && strict.atomic_data_ops);
+        assert!(strict.sync_metadata_ops && strict.atomic_metadata_ops);
+    }
+
+    #[test]
+    fn strictness_is_monotone() {
+        // Every guarantee provided by a weaker mode is provided by stronger
+        // ones.
+        let modes = [Mode::Posix, Mode::Sync, Mode::Strict];
+        for pair in modes.windows(2) {
+            let (weak, strong) = (pair[0].guarantees(), pair[1].guarantees());
+            assert!(strong.sync_data_ops >= weak.sync_data_ops);
+            assert!(strong.atomic_data_ops >= weak.atomic_data_ops);
+            assert!(strong.sync_metadata_ops >= weak.sync_metadata_ops);
+            assert!(strong.atomic_metadata_ops >= weak.atomic_metadata_ops);
+        }
+    }
+
+    #[test]
+    fn consistency_classes_map_to_baseline_groups() {
+        assert_eq!(Mode::Posix.consistency_class(), ConsistencyClass::Posix);
+        assert_eq!(Mode::Sync.consistency_class(), ConsistencyClass::Sync);
+        assert_eq!(Mode::Strict.consistency_class(), ConsistencyClass::Strict);
+    }
+
+    #[test]
+    fn only_strict_stages_overwrites() {
+        assert!(!Mode::Posix.stages_overwrites());
+        assert!(!Mode::Sync.stages_overwrites());
+        assert!(Mode::Strict.stages_overwrites());
+    }
+}

@@ -1,0 +1,131 @@
+//! Crash recovery (paper §5.3).
+//!
+//! In POSIX and sync modes SplitFS needs nothing beyond the kernel file
+//! system's own journal recovery.  In strict (and sync-for-appends) mode,
+//! the operation log may contain staged writes that were durable in a
+//! staging file but had not yet been relinked into their target file when
+//! the crash hit.  Recovery:
+//!
+//! 1. scans the zero-initialized log and keeps every checksum-valid entry,
+//! 2. drops entries covered by an `Invalidate` record (their relink
+//!    completed before the crash),
+//! 3. for each remaining staged write, checks whether the staging range is
+//!    still mapped — if the relink had already moved the blocks the range
+//!    is a hole and the entry is skipped (this is what makes replay
+//!    idempotent),
+//! 4. copies the surviving staged data into the target file through the
+//!    kernel, and
+//! 5. re-zeroes the log.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use kernelfs::Ext4Dax;
+use vfs::{FileSystem, FsResult, OpenFlags};
+
+use crate::config::SplitConfig;
+use crate::fs::OPLOG_PATH;
+use crate::oplog::{LogEntry, LogOp, OpLog};
+
+/// Summary of a recovery pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Valid entries found in the log.
+    pub entries_scanned: usize,
+    /// Staged writes replayed into their target files.
+    pub replayed: usize,
+    /// Entries skipped because an `Invalidate` record covered them.
+    pub invalidated: usize,
+    /// Entries skipped because the staging range was already relinked.
+    pub already_applied: usize,
+}
+
+/// Replays the operation log at [`OPLOG_PATH`] on `kernel`.
+///
+/// Safe to call when no log exists (returns an empty report) and safe to
+/// call repeatedly: replay is idempotent.
+pub fn recover(kernel: &Arc<Ext4Dax>, config: &SplitConfig) -> FsResult<RecoveryReport> {
+    let mut report = RecoveryReport::default();
+    if !kernel.exists(OPLOG_PATH) {
+        return Ok(report);
+    }
+    let device = Arc::clone(kernel.device());
+    let log_fd = kernel.open(OPLOG_PATH, OpenFlags::read_write())?;
+    let log_size = kernel.fstat(log_fd)?.size.min(config.oplog_size.max(1));
+    if log_size == 0 {
+        kernel.close(log_fd)?;
+        return Ok(report);
+    }
+    let mapping = kernel.dax_map(log_fd, 0, log_size, false)?;
+    let entries = OpLog::scan(&device, &mapping, log_size);
+    report.entries_scanned = entries.len();
+
+    // Highest invalidated sequence number per target file.
+    let mut invalidated_up_to: HashMap<u64, u64> = HashMap::new();
+    for entry in &entries {
+        if entry.op == LogOp::Invalidate {
+            let slot = invalidated_up_to.entry(entry.target_ino).or_insert(0);
+            *slot = (*slot).max(entry.seq);
+        }
+    }
+
+    let mut staged: Vec<&LogEntry> = entries
+        .iter()
+        .filter(|e| e.op == LogOp::StagedWrite)
+        .collect();
+    staged.sort_by_key(|e| e.seq);
+
+    for entry in staged {
+        if invalidated_up_to
+            .get(&entry.target_ino)
+            .map(|&s| entry.seq <= s)
+            .unwrap_or(false)
+        {
+            report.invalidated += 1;
+            continue;
+        }
+        // Open the staging file and check whether its range still holds the
+        // data (idempotency test: a completed relink leaves a hole).
+        let staging_fd = match kernel.open_by_ino(entry.staging_ino, OpenFlags::read_write()) {
+            Ok(fd) => fd,
+            Err(_) => {
+                report.already_applied += 1;
+                continue;
+            }
+        };
+        let mapped = kernel.range_mapped(staging_fd, entry.staging_offset, entry.len)?;
+        if !mapped {
+            report.already_applied += 1;
+            kernel.close(staging_fd)?;
+            continue;
+        }
+        let target_fd = match kernel.open_by_ino(entry.target_ino, OpenFlags::read_write()) {
+            Ok(fd) => fd,
+            Err(_) => {
+                // The target was unlinked after the write was logged.
+                kernel.close(staging_fd)?;
+                report.already_applied += 1;
+                continue;
+            }
+        };
+        let mut buf = vec![0u8; entry.len as usize];
+        // The staging file's size may not cover the staged range (staging
+        // files are sized by ftruncate, so normally it does); read_at stops
+        // at EOF, so read what is there.
+        let n = kernel.read_at(staging_fd, entry.staging_offset, &mut buf)?;
+        buf.truncate(n.max(entry.len as usize).min(entry.len as usize));
+        if !buf.is_empty() {
+            kernel.write_at(target_fd, entry.target_offset, &buf)?;
+        }
+        kernel.fsync(target_fd)?;
+        kernel.close(target_fd)?;
+        kernel.close(staging_fd)?;
+        report.replayed += 1;
+    }
+
+    // The log's contents have been applied; zero it for the next instance.
+    let log = OpLog::new(device, mapping, log_size);
+    log.reset();
+    kernel.close(log_fd)?;
+    Ok(report)
+}

@@ -1,0 +1,261 @@
+//! Staging files (paper §3.3, "Staging").
+//!
+//! Appends — and, in strict mode, overwrites — are first written to
+//! pre-allocated, pre-mapped *staging files* and only attached to their
+//! target file at the next `fsync`/`close` via relink.  The pool
+//! pre-creates a configurable number of staging files at startup
+//! (`SplitConfig::staging_files` × `staging_file_size`) so that taking
+//! staging space in the write path is a cheap cursor bump; when a staging
+//! file is used up a replacement is created, which in the paper happens on
+//! a background thread and here happens inline (its cost amortizes over the
+//! thousands of appends that fit in one staging file).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use kernelfs::{DaxMapping, Ext4Dax, BLOCK_SIZE};
+use pmem::PmemDevice;
+use vfs::{Fd, FileSystem, FsResult, OpenFlags};
+
+use crate::config::SplitConfig;
+
+/// A slice of staging space handed to the write path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagingAllocation {
+    /// Inode of the staging file (recorded in operation-log entries).
+    pub staging_ino: u64,
+    /// Kernel descriptor of the staging file (used for relink).
+    pub staging_fd: Fd,
+    /// Byte offset of the allocation within the staging file.
+    pub staging_offset: u64,
+    /// Device offset where the data should be written directly.
+    pub device_offset: u64,
+    /// Usable length of the allocation (may be shorter than requested;
+    /// callers loop).
+    pub len: u64,
+}
+
+#[derive(Debug)]
+struct StagingFile {
+    fd: Fd,
+    ino: u64,
+    mapping: DaxMapping,
+    cursor: u64,
+    size: u64,
+}
+
+/// The pool of staging files owned by one U-Split instance.
+#[derive(Debug)]
+pub struct StagingPool {
+    kernel: Arc<Ext4Dax>,
+    device: Arc<PmemDevice>,
+    dir: String,
+    file_size: u64,
+    populate: bool,
+    inner: Mutex<PoolInner>,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    files: Vec<StagingFile>,
+    /// Index of the staging file allocations are currently served from.
+    active: usize,
+    created: u64,
+}
+
+impl StagingPool {
+    /// Creates the pool, pre-allocating `config.staging_files` staging files
+    /// under `dir` (created if missing) on the kernel file system.
+    pub fn new(
+        kernel: Arc<Ext4Dax>,
+        device: Arc<PmemDevice>,
+        dir: &str,
+        config: &SplitConfig,
+    ) -> FsResult<Self> {
+        if !kernel.exists(dir) {
+            kernel.mkdir(dir)?;
+        }
+        let pool = Self {
+            kernel,
+            device,
+            dir: dir.to_string(),
+            file_size: config.staging_file_size,
+            populate: config.populate_mmaps,
+            inner: Mutex::new(PoolInner {
+                files: Vec::new(),
+                active: 0,
+                created: 0,
+            }),
+        };
+        {
+            let mut inner = pool.inner.lock();
+            for _ in 0..config.staging_files.max(1) {
+                let file = pool.create_staging_file(&mut inner)?;
+                inner.files.push(file);
+            }
+        }
+        Ok(pool)
+    }
+
+    fn create_staging_file(&self, inner: &mut PoolInner) -> FsResult<StagingFile> {
+        let path = format!("{}/stage-{}", self.dir, inner.created);
+        inner.created += 1;
+        let fd = self.kernel.open(&path, OpenFlags::create())?;
+        // Pre-allocate the whole file so appends never allocate in the
+        // critical path, then map it once.
+        self.kernel.ftruncate(fd, self.file_size)?;
+        let mapping = self.kernel.dax_map(fd, 0, self.file_size, self.populate)?;
+        let ino = self.kernel.fd_ino(fd)?;
+        Ok(StagingFile {
+            fd,
+            ino,
+            mapping,
+            cursor: 0,
+            size: self.file_size,
+        })
+    }
+
+    /// Number of staging files created so far (pre-allocated plus
+    /// replenished).
+    pub fn files_created(&self) -> u64 {
+        self.inner.lock().created
+    }
+
+    /// Takes up to `len` bytes of staging space whose in-file offset is
+    /// congruent to `phase` modulo the block size, so that a later relink of
+    /// the target range can stay block-aligned.  Returns an allocation that
+    /// may be shorter than `len`; callers loop until satisfied.
+    pub fn take(&self, len: u64, phase: u64) -> FsResult<StagingAllocation> {
+        let cost = self.device.cost().clone();
+        self.device.charge_software(cost.usplit_staging_take_ns);
+        let mut inner = self.inner.lock();
+        loop {
+            let active = inner.active;
+            if active >= inner.files.len() {
+                // Every pre-allocated file is used up: replenish.  The paper
+                // performs this on a background thread; the cost here is
+                // amortized over an entire staging file worth of appends.
+                let file = self.create_staging_file(&mut inner)?;
+                inner.files.push(file);
+            }
+            let active = inner.active;
+            let file = &mut inner.files[active];
+            // Align the cursor to the requested phase within a block.
+            let misalign =
+                (phase + BLOCK_SIZE as u64 - file.cursor % BLOCK_SIZE as u64) % BLOCK_SIZE as u64;
+            let start = file.cursor + misalign;
+            if start >= file.size {
+                inner.active += 1;
+                continue;
+            }
+            let avail = file.size - start;
+            let take = avail.min(len);
+            if take == 0 {
+                inner.active += 1;
+                continue;
+            }
+            let (device_offset, contig) = file
+                .mapping
+                .translate(start)
+                .ok_or_else(|| vfs::FsError::Io("staging file mapping hole".into()))?;
+            let take = take.min(contig);
+            file.cursor = start + take;
+            return Ok(StagingAllocation {
+                staging_ino: file.ino,
+                staging_fd: file.fd,
+                staging_offset: start,
+                device_offset,
+                len: take,
+            });
+        }
+    }
+
+    /// Translates a (staging_ino, staging_offset) pair back to a device
+    /// offset; used by the read path for staged-but-not-yet-relinked data
+    /// and by crash recovery.
+    pub fn translate(&self, staging_ino: u64, staging_offset: u64) -> Option<(u64, u64)> {
+        let inner = self.inner.lock();
+        inner
+            .files
+            .iter()
+            .find(|f| f.ino == staging_ino)
+            .and_then(|f| f.mapping.translate(staging_offset))
+    }
+
+    /// Returns the kernel descriptor for a staging file by inode.
+    pub fn fd_for(&self, staging_ino: u64) -> Option<Fd> {
+        let inner = self.inner.lock();
+        inner.files.iter().find(|f| f.ino == staging_ino).map(|f| f.fd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::Mode;
+    use pmem::PmemBuilder;
+
+    fn setup() -> (Arc<PmemDevice>, Arc<Ext4Dax>, StagingPool) {
+        let device = PmemBuilder::new(256 * 1024 * 1024)
+            .track_persistence(false)
+            .build();
+        let kernel = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+        let config = SplitConfig::new(Mode::Posix).with_staging(2, 4 * 1024 * 1024);
+        let pool =
+            StagingPool::new(Arc::clone(&kernel), Arc::clone(&device), "/.splitfs", &config)
+                .unwrap();
+        (device, kernel, pool)
+    }
+
+    #[test]
+    fn pool_preallocates_staging_files() {
+        let (_d, kernel, pool) = setup();
+        assert_eq!(pool.files_created(), 2);
+        let entries = kernel.readdir("/.splitfs").unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.contains(&"stage-0".to_string()));
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let (_d, _k, pool) = setup();
+        let a = pool.take(4096, 0).unwrap();
+        let b = pool.take(4096, 0).unwrap();
+        assert_ne!(a.device_offset, b.device_offset);
+        assert!(a.staging_offset + a.len <= b.staging_offset || a.staging_ino != b.staging_ino);
+    }
+
+    #[test]
+    fn phase_alignment_is_respected() {
+        let (_d, _k, pool) = setup();
+        let a = pool.take(1000, 100).unwrap();
+        assert_eq!(a.staging_offset % BLOCK_SIZE as u64, 100);
+        let b = pool.take(4096, 0).unwrap();
+        assert_eq!(b.staging_offset % BLOCK_SIZE as u64, 0);
+    }
+
+    #[test]
+    fn exhausting_preallocated_files_replenishes() {
+        let (_d, _k, pool) = setup();
+        // 2 files x 4 MiB; take 3 MiB chunks until we exceed the initial
+        // capacity and force a replenish.
+        let mut taken = 0u64;
+        while taken < 10 * 1024 * 1024 {
+            let a = pool.take(3 * 1024 * 1024, 0).unwrap();
+            assert!(a.len > 0);
+            taken += a.len;
+        }
+        assert!(pool.files_created() > 2);
+    }
+
+    #[test]
+    fn translate_finds_staged_locations() {
+        let (_d, _k, pool) = setup();
+        let a = pool.take(8192, 0).unwrap();
+        let (dev, contig) = pool.translate(a.staging_ino, a.staging_offset).unwrap();
+        assert_eq!(dev, a.device_offset);
+        assert!(contig >= a.len);
+        assert!(pool.translate(9999, 0).is_none());
+    }
+}

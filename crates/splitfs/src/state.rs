@@ -1,0 +1,229 @@
+//! Per-file and per-descriptor bookkeeping kept in DRAM by U-Split.
+//!
+//! U-Split caches file attributes at `open` and keeps them after `close`
+//! (§3.5), tracks which byte ranges are staged in staging files awaiting a
+//! relink, and owns the collection of memory mappings for each file.
+//! Descriptors are thin: they share a single per-open-file offset so that
+//! `dup`-ed descriptors observe each other's seeks, as the paper requires.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use vfs::{Fd, FsError, FsResult, OpenFlags};
+
+use crate::mmap_collection::MmapCollection;
+
+/// A range of a target file whose data currently lives in a staging file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagedExtent {
+    /// Offset within the target file where this data belongs.
+    pub target_offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Inode of the staging file holding the bytes.
+    pub staging_ino: u64,
+    /// Kernel descriptor of the staging file.
+    pub staging_fd: Fd,
+    /// Offset of the bytes within the staging file.
+    pub staging_offset: u64,
+    /// Device offset of the bytes (staging files are pre-mapped).
+    pub device_offset: u64,
+    /// Operation-log sequence number (0 when the mode does not log).
+    pub seq: u64,
+}
+
+/// Everything U-Split knows about one file, shared by all descriptors that
+/// refer to it.
+#[derive(Debug)]
+pub struct FileState {
+    /// Inode number in the kernel file system.
+    pub ino: u64,
+    /// Path the file was last opened under (kept for diagnostics).
+    pub path: String,
+    /// The kernel descriptor U-Split keeps open for metadata operations,
+    /// DAX mapping and relink.
+    pub kernel_fd: Fd,
+    /// Whether `kernel_fd` was opened with write permission (relink and the
+    /// kernel-fallback write path require a writable descriptor).
+    pub kernel_fd_writable: bool,
+    /// File size as the kernel file system knows it.
+    pub kernel_size: u64,
+    /// File size as the application sees it (kernel size plus staged
+    /// appends).
+    pub cached_size: u64,
+    /// Staged-but-not-yet-relinked writes, in operation order.
+    pub staged: Vec<StagedExtent>,
+    /// The collection of memory mappings serving reads and overwrites.
+    pub mmaps: MmapCollection,
+    /// Number of application descriptors currently open on this file.
+    pub open_fds: u32,
+}
+
+impl FileState {
+    /// Creates the state for a freshly opened file.
+    pub fn new(ino: u64, path: &str, kernel_fd: Fd, size: u64) -> Self {
+        Self {
+            ino,
+            path: path.to_string(),
+            kernel_fd,
+            kernel_fd_writable: true,
+            kernel_size: size,
+            cached_size: size,
+            staged: Vec::new(),
+            mmaps: MmapCollection::new(),
+            open_fds: 0,
+        }
+    }
+
+    /// Total bytes currently staged for this file.
+    pub fn staged_bytes(&self) -> u64 {
+        self.staged.iter().map(|e| e.len).sum()
+    }
+
+    /// Drops staged extents whose target range lies entirely at or beyond
+    /// `size` (used by truncate).
+    pub fn drop_staged_beyond(&mut self, size: u64) {
+        self.staged.retain(|e| e.target_offset < size);
+        for e in &mut self.staged {
+            if e.target_offset + e.len > size {
+                e.len = size - e.target_offset;
+            }
+        }
+        self.staged.retain(|e| e.len > 0);
+    }
+}
+
+/// One application-visible file descriptor.
+#[derive(Debug, Clone)]
+pub struct Descriptor {
+    /// Inode of the file the descriptor refers to.
+    pub ino: u64,
+    /// Flags the descriptor was opened with.
+    pub flags: OpenFlags,
+    /// Current offset, shared between `dup`-ed descriptors.
+    pub offset: Arc<Mutex<u64>>,
+    /// End of the previous read (sequential-vs-random classification).
+    pub last_read_end: Arc<Mutex<u64>>,
+}
+
+/// The descriptor table of a U-Split instance.
+#[derive(Debug, Default)]
+pub struct FdTable {
+    fds: HashMap<Fd, Descriptor>,
+    next_fd: Fd,
+}
+
+impl FdTable {
+    /// Creates an empty table.  Descriptors start at 3, like a process whose
+    /// stdio is already occupied.
+    pub fn new() -> Self {
+        Self {
+            fds: HashMap::new(),
+            next_fd: 3,
+        }
+    }
+
+    /// Registers a new descriptor for `ino`.
+    pub fn insert(&mut self, ino: u64, flags: OpenFlags) -> Fd {
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(
+            fd,
+            Descriptor {
+                ino,
+                flags,
+                offset: Arc::new(Mutex::new(0)),
+                last_read_end: Arc::new(Mutex::new(u64::MAX)),
+            },
+        );
+        fd
+    }
+
+    /// Duplicates a descriptor; the new descriptor shares the original's
+    /// offset (POSIX `dup` semantics, §3.5).
+    pub fn dup(&mut self, fd: Fd) -> FsResult<Fd> {
+        let desc = self.fds.get(&fd).cloned().ok_or(FsError::BadFd)?;
+        let new_fd = self.next_fd;
+        self.next_fd += 1;
+        self.fds.insert(new_fd, desc);
+        Ok(new_fd)
+    }
+
+    /// Looks up a descriptor.
+    pub fn get(&self, fd: Fd) -> FsResult<Descriptor> {
+        self.fds.get(&fd).cloned().ok_or(FsError::BadFd)
+    }
+
+    /// Removes a descriptor, returning it.
+    pub fn remove(&mut self, fd: Fd) -> FsResult<Descriptor> {
+        self.fds.remove(&fd).ok_or(FsError::BadFd)
+    }
+
+    /// Number of open descriptors.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+}
+
+/// The registry of per-file state, keyed by inode.
+pub type FileRegistry = HashMap<u64, Arc<RwLock<FileState>>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dup_shares_the_offset() {
+        let mut table = FdTable::new();
+        let fd = table.insert(7, OpenFlags::read_write());
+        let dup = table.dup(fd).unwrap();
+        assert_ne!(fd, dup);
+        *table.get(fd).unwrap().offset.lock() = 4096;
+        assert_eq!(*table.get(dup).unwrap().offset.lock(), 4096);
+    }
+
+    #[test]
+    fn remove_invalidates_only_that_descriptor() {
+        let mut table = FdTable::new();
+        let a = table.insert(1, OpenFlags::read_only());
+        let b = table.insert(2, OpenFlags::read_only());
+        table.remove(a).unwrap();
+        assert!(table.get(a).is_err());
+        assert!(table.get(b).is_ok());
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn staged_bytes_and_truncation() {
+        let mut st = FileState::new(5, "/f", 10, 8192);
+        st.staged.push(StagedExtent {
+            target_offset: 8192,
+            len: 4096,
+            staging_ino: 70,
+            staging_fd: 11,
+            staging_offset: 0,
+            device_offset: 0,
+            seq: 1,
+        });
+        st.staged.push(StagedExtent {
+            target_offset: 12288,
+            len: 4096,
+            staging_ino: 70,
+            staging_fd: 11,
+            staging_offset: 4096,
+            device_offset: 4096,
+            seq: 2,
+        });
+        assert_eq!(st.staged_bytes(), 8192);
+        st.drop_staged_beyond(10_000);
+        assert_eq!(st.staged.len(), 1);
+        assert_eq!(st.staged[0].len, 10_000 - 8192);
+    }
+}

@@ -1,0 +1,442 @@
+//! Integration tests for SplitFS over the kernel file system, covering the
+//! behaviours the paper's design section promises: user-space data paths,
+//! staged appends with relink, the three consistency modes, functional
+//! equivalence with ext4 DAX (§5.3), and crash recovery of the operation
+//! log.
+
+use std::sync::Arc;
+
+use kernelfs::{Ext4Dax, BLOCK_SIZE};
+use pmem::{PmemBuilder, PmemDevice, TimeCategory};
+use splitfs::{recover, Mode, SplitConfig, SplitFs};
+use vfs::{FileSystem, FsError, OpenFlags, SeekFrom};
+
+fn device() -> Arc<PmemDevice> {
+    PmemBuilder::new(256 * 1024 * 1024).build()
+}
+
+fn small_config(mode: Mode) -> SplitConfig {
+    SplitConfig::new(mode)
+        .with_staging(2, 8 * 1024 * 1024)
+        .with_oplog_size(256 * 1024)
+}
+
+fn splitfs(mode: Mode) -> (Arc<PmemDevice>, Arc<Ext4Dax>, Arc<SplitFs>) {
+    let device = device();
+    let kernel = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+    let fs = SplitFs::new(Arc::clone(&kernel), small_config(mode)).unwrap();
+    (device, kernel, fs)
+}
+
+#[test]
+fn append_fsync_read_round_trip_in_all_modes() {
+    for mode in [Mode::Posix, Mode::Sync, Mode::Strict] {
+        let (_d, _k, fs) = splitfs(mode);
+        let fd = fs.open("/log", OpenFlags::create()).unwrap();
+        let mut expected = Vec::new();
+        for i in 0..20u32 {
+            let chunk = vec![i as u8; 4096];
+            fs.append(fd, &chunk).unwrap();
+            expected.extend_from_slice(&chunk);
+            if i % 5 == 4 {
+                fs.fsync(fd).unwrap();
+            }
+        }
+        fs.fsync(fd).unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(fs.read_file("/log").unwrap(), expected, "mode {mode:?}");
+    }
+}
+
+#[test]
+fn staged_appends_are_visible_before_fsync() {
+    let (_d, _k, fs) = splitfs(Mode::Posix);
+    let fd = fs.open("/f", OpenFlags::create()).unwrap();
+    fs.append(fd, b"hello ").unwrap();
+    fs.append(fd, b"world").unwrap();
+    // No fsync yet: the data lives in staging files but must be visible to
+    // this process.
+    assert_eq!(fs.fstat(fd).unwrap().size, 11);
+    let mut buf = vec![0u8; 11];
+    assert_eq!(fs.read_at(fd, 0, &mut buf).unwrap(), 11);
+    assert_eq!(&buf, b"hello world");
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn overwrites_round_trip_in_all_modes() {
+    for mode in [Mode::Posix, Mode::Sync, Mode::Strict] {
+        let (_d, _k, fs) = splitfs(mode);
+        let base: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
+        fs.write_file("/data", &base).unwrap();
+
+        let fd = fs.open("/data", OpenFlags::read_write()).unwrap();
+        // Aligned overwrite.
+        fs.write_at(fd, 8192, &vec![0xAB; 4096]).unwrap();
+        // Unaligned overwrite crossing a block boundary.
+        fs.write_at(fd, 4000, &vec![0xCD; 300]).unwrap();
+        fs.fsync(fd).unwrap();
+        fs.close(fd).unwrap();
+
+        let out = fs.read_file("/data").unwrap();
+        assert_eq!(&out[..4000], &base[..4000], "mode {mode:?}");
+        assert_eq!(&out[4000..4300], &[0xCD; 300][..], "mode {mode:?}");
+        assert_eq!(&out[4300..8192], &base[4300..8192], "mode {mode:?}");
+        assert_eq!(&out[8192..12288], &[0xAB; 4096][..], "mode {mode:?}");
+        assert_eq!(&out[12288..], &base[12288..], "mode {mode:?}");
+    }
+}
+
+#[test]
+fn functional_equivalence_with_ext4_dax() {
+    // §5.3: the file-system state after a workload on SplitFS must match
+    // the state the same workload produces on ext4 DAX.
+    let run = |fs: &dyn FileSystem| {
+        fs.mkdir("/app").unwrap();
+        let fd = fs.open("/app/a.db", OpenFlags::create()).unwrap();
+        for i in 0..10u32 {
+            fs.append(fd, &vec![i as u8; 1000]).unwrap();
+        }
+        fs.write_at(fd, 500, b"PATCHED").unwrap();
+        fs.fsync(fd).unwrap();
+        fs.close(fd).unwrap();
+        fs.write_file("/app/b.txt", b"second file").unwrap();
+        fs.rename("/app/b.txt", "/app/c.txt").unwrap();
+        fs.unlink("/app/a.db").unwrap();
+        fs.write_file("/app/a.db", b"recreated").unwrap();
+        (
+            fs.read_file("/app/a.db").unwrap(),
+            fs.read_file("/app/c.txt").unwrap(),
+            {
+                let mut names = fs.readdir("/app").unwrap();
+                names.sort();
+                names
+            },
+        )
+    };
+
+    let ext4_device = device();
+    let ext4 = Ext4Dax::mkfs(ext4_device).unwrap();
+    let expected = run(ext4.as_ref());
+
+    for mode in [Mode::Posix, Mode::Sync, Mode::Strict] {
+        let (_d, _k, fs) = splitfs(mode);
+        let got = run(fs.as_ref());
+        assert_eq!(got, expected, "mode {mode:?}");
+    }
+}
+
+#[test]
+fn data_operations_avoid_kernel_traps() {
+    let (d, _k, fs) = splitfs(Mode::Posix);
+    let payload: Vec<u8> = (0..256 * 1024u32).map(|i| (i % 199) as u8).collect();
+    fs.write_file("/big", &payload).unwrap();
+
+    let fd = fs.open("/big", OpenFlags::read_write()).unwrap();
+    // Warm the mapping with one read.
+    let mut buf = vec![0u8; 4096];
+    fs.read_at(fd, 0, &mut buf).unwrap();
+
+    let before = d.stats().snapshot();
+    for i in 0..32u64 {
+        fs.read_at(fd, i * 4096, &mut buf).unwrap();
+        fs.write_at(fd, i * 4096, &buf).unwrap();
+    }
+    let delta = d.stats().snapshot().delta_since(&before);
+    assert_eq!(
+        delta.kernel_traps, 0,
+        "reads and overwrites of mapped regions must not trap into the kernel"
+    );
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn append_fsync_relinks_without_copying_data() {
+    let (d, _k, fs) = splitfs(Mode::Posix);
+    let fd = fs.open("/wal", OpenFlags::create()).unwrap();
+    // Block-aligned appends: relink should move them with metadata only.
+    for i in 0..8u32 {
+        fs.append(fd, &vec![i as u8; BLOCK_SIZE]).unwrap();
+    }
+    let staged_bytes = 8 * BLOCK_SIZE as u64;
+    let before = d.stats().snapshot();
+    fs.fsync(fd).unwrap();
+    let delta = d.stats().snapshot().delta_since(&before);
+    assert!(
+        delta.written(TimeCategory::UserData) < BLOCK_SIZE as u64,
+        "fsync must not rewrite the {staged_bytes} staged bytes, wrote {}",
+        delta.written(TimeCategory::UserData)
+    );
+    fs.close(fd).unwrap();
+    // And the data is still correct.
+    let data = fs.read_file("/wal").unwrap();
+    assert_eq!(data.len(), staged_bytes as usize);
+    for i in 0..8usize {
+        assert!(data[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE]
+            .iter()
+            .all(|&b| b == i as u8));
+    }
+}
+
+#[test]
+fn unaligned_appends_still_round_trip() {
+    let (_d, _k, fs) = splitfs(Mode::Strict);
+    let fd = fs.open("/aof", OpenFlags::append()).unwrap();
+    let mut expected = Vec::new();
+    for i in 0..200u32 {
+        let record = format!("SET key{i} value{i}\n");
+        fs.write(fd, record.as_bytes()).unwrap();
+        expected.extend_from_slice(record.as_bytes());
+        if i % 50 == 49 {
+            fs.fsync(fd).unwrap();
+        }
+    }
+    fs.fsync(fd).unwrap();
+    fs.close(fd).unwrap();
+    assert_eq!(fs.read_file("/aof").unwrap(), expected);
+}
+
+#[test]
+fn strict_append_uses_one_log_entry_and_one_extra_fence() {
+    let (d, _k, fs) = splitfs(Mode::Strict);
+    let fd = fs.open("/f", OpenFlags::create()).unwrap();
+    // Warm up staging allocation paths.
+    fs.append(fd, &vec![0u8; BLOCK_SIZE]).unwrap();
+    let before = d.stats().snapshot();
+    fs.append(fd, &vec![1u8; BLOCK_SIZE]).unwrap();
+    let delta = d.stats().snapshot().delta_since(&before);
+    assert_eq!(
+        delta.written(TimeCategory::OpLog),
+        64,
+        "exactly one 64-byte operation-log entry per append"
+    );
+    assert_eq!(delta.kernel_traps, 0, "appends must not trap into the kernel");
+    assert!(
+        delta.fences <= 2,
+        "append needs at most a data fence plus one log fence, saw {}",
+        delta.fences
+    );
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn oplog_checkpoint_relinks_and_resets_when_full() {
+    let (_d, _k, fs) = {
+        let device = device();
+        let kernel = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+        // Tiny log: 64 entries.
+        let config = SplitConfig::new(Mode::Strict)
+            .with_staging(2, 8 * 1024 * 1024)
+            .with_oplog_size(64 * 64);
+        let fs = SplitFs::new(Arc::clone(&kernel), config).unwrap();
+        (device, kernel, fs)
+    };
+    let fd = fs.open("/f", OpenFlags::create()).unwrap();
+    // More appends than the log can hold: SplitFS must checkpoint and keep
+    // going rather than fail.
+    for i in 0..200u32 {
+        fs.append(fd, &vec![(i % 256) as u8; 512]).unwrap();
+    }
+    fs.fsync(fd).unwrap();
+    fs.close(fd).unwrap();
+    let data = fs.read_file("/f").unwrap();
+    assert_eq!(data.len(), 200 * 512);
+    assert!(fs.oplog_entries() < 64);
+}
+
+#[test]
+fn crash_before_fsync_loses_nothing_in_strict_mode() {
+    let device = device();
+    let kernel = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+    let config = small_config(Mode::Strict);
+    let fs = SplitFs::new(Arc::clone(&kernel), config.clone()).unwrap();
+
+    let fd = fs.open("/db", OpenFlags::create()).unwrap();
+    let payload: Vec<u8> = (0..3 * BLOCK_SIZE as u32).map(|i| (i % 253) as u8).collect();
+    fs.append(fd, &payload).unwrap();
+    // No fsync, no close: strict mode still guarantees the append is
+    // durable and atomic once the call returned.
+    device.crash();
+
+    let kernel2 = Ext4Dax::mount(Arc::clone(&device)).unwrap();
+    let report = recover(&kernel2, &config).unwrap();
+    assert!(report.replayed >= 1, "recovery must replay the staged append");
+    let data = kernel2.read_file("/db").unwrap();
+    assert_eq!(data, payload);
+}
+
+#[test]
+fn crash_after_fsync_does_not_double_apply() {
+    let device = device();
+    let kernel = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+    let config = small_config(Mode::Strict);
+    let fs = SplitFs::new(Arc::clone(&kernel), config.clone()).unwrap();
+
+    let fd = fs.open("/db", OpenFlags::create()).unwrap();
+    let payload = vec![7u8; 2 * BLOCK_SIZE];
+    fs.append(fd, &payload).unwrap();
+    fs.fsync(fd).unwrap();
+    device.crash();
+
+    let kernel2 = Ext4Dax::mount(Arc::clone(&device)).unwrap();
+    let report = recover(&kernel2, &config).unwrap();
+    assert_eq!(
+        report.replayed, 0,
+        "already-relinked appends must not be replayed (report: {report:?})"
+    );
+    assert_eq!(kernel2.read_file("/db").unwrap(), payload);
+}
+
+#[test]
+fn recovery_is_idempotent_across_repeated_crashes() {
+    let device = device();
+    let kernel = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+    let config = small_config(Mode::Strict);
+    let fs = SplitFs::new(Arc::clone(&kernel), config.clone()).unwrap();
+
+    let fd = fs.open("/db", OpenFlags::create()).unwrap();
+    let payload = vec![3u8; BLOCK_SIZE];
+    fs.append(fd, &payload).unwrap();
+    device.crash();
+
+    // First recovery, then crash again immediately (before the log reset is
+    // necessarily the last thing that persisted), then recover again.
+    let kernel2 = Ext4Dax::mount(Arc::clone(&device)).unwrap();
+    recover(&kernel2, &config).unwrap();
+    device.crash();
+    let kernel3 = Ext4Dax::mount(Arc::clone(&device)).unwrap();
+    recover(&kernel3, &config).unwrap();
+    assert_eq!(kernel3.read_file("/db").unwrap(), payload);
+}
+
+#[test]
+fn posix_mode_append_without_fsync_may_lose_data_but_keeps_metadata_consistent() {
+    let device = device();
+    let kernel = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+    let fs = SplitFs::new(Arc::clone(&kernel), small_config(Mode::Posix)).unwrap();
+    let fd = fs.open("/maybe", OpenFlags::create()).unwrap();
+    fs.append(fd, &vec![1u8; BLOCK_SIZE]).unwrap();
+    device.crash();
+
+    // POSIX mode promises only metadata consistency: the file exists, the
+    // file system mounts, but the unsynced append may be gone.
+    let kernel2 = Ext4Dax::mount(Arc::clone(&device)).unwrap();
+    assert!(kernel2.exists("/maybe"));
+    let size = kernel2.stat("/maybe").unwrap().size;
+    assert!(size == 0 || size == BLOCK_SIZE as u64);
+}
+
+#[test]
+fn dup_descriptors_share_their_offset() {
+    let (_d, _k, fs) = splitfs(Mode::Posix);
+    let fd = fs.open("/f", OpenFlags::create()).unwrap();
+    fs.write(fd, b"0123456789").unwrap();
+    fs.lseek(fd, SeekFrom::Start(2)).unwrap();
+    let dup = fs.dup(fd).unwrap();
+    let mut buf = [0u8; 3];
+    fs.read(dup, &mut buf).unwrap();
+    assert_eq!(&buf, b"234");
+    // The original descriptor observes the dup's reads.
+    let mut buf2 = [0u8; 2];
+    fs.read(fd, &mut buf2).unwrap();
+    assert_eq!(&buf2, b"56");
+    fs.close(fd).unwrap();
+    fs.close(dup).unwrap();
+}
+
+#[test]
+fn truncate_discards_staged_appends_beyond_new_size() {
+    let (_d, _k, fs) = splitfs(Mode::Posix);
+    let fd = fs.open("/t", OpenFlags::create()).unwrap();
+    fs.append(fd, &vec![1u8; 6000]).unwrap();
+    fs.ftruncate(fd, 1000).unwrap();
+    assert_eq!(fs.fstat(fd).unwrap().size, 1000);
+    fs.fsync(fd).unwrap();
+    fs.close(fd).unwrap();
+    let data = fs.read_file("/t").unwrap();
+    assert_eq!(data.len(), 1000);
+    assert!(data.iter().all(|&b| b == 1));
+}
+
+#[test]
+fn unlink_removes_file_and_cached_state() {
+    let (_d, _k, fs) = splitfs(Mode::Posix);
+    fs.write_file("/gone", b"bye").unwrap();
+    fs.unlink("/gone").unwrap();
+    assert!(!fs.exists("/gone"));
+    assert_eq!(fs.read_file("/gone"), Err(FsError::NotFound));
+    // Re-creating the path works and starts empty.
+    fs.write_file("/gone", b"new").unwrap();
+    assert_eq!(fs.read_file("/gone").unwrap(), b"new");
+}
+
+#[test]
+fn concurrent_instances_with_different_modes_coexist() {
+    // §3.2: applications using different modes run side by side on the same
+    // kernel file system without interfering.
+    let device = device();
+    let kernel = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+    let posix = SplitFs::new(Arc::clone(&kernel), small_config(Mode::Posix)).unwrap();
+    let strict = SplitFs::new(
+        Arc::clone(&kernel),
+        SplitConfig::new(Mode::Strict)
+            .with_staging(2, 4 * 1024 * 1024)
+            .with_oplog_size(128 * 1024),
+    )
+    .unwrap();
+
+    posix.write_file("/from_posix", b"posix data").unwrap();
+    strict.write_file("/from_strict", b"strict data").unwrap();
+
+    assert_eq!(strict.read_file("/from_posix").unwrap(), b"posix data");
+    assert_eq!(posix.read_file("/from_strict").unwrap(), b"strict data");
+    assert_eq!(posix.consistency(), vfs::ConsistencyClass::Posix);
+    assert_eq!(strict.consistency(), vfs::ConsistencyClass::Strict);
+}
+
+#[test]
+fn ablation_configurations_still_produce_correct_files() {
+    // Figure 3's ablation settings change performance, never correctness.
+    let configs = [
+        small_config(Mode::Posix).without_staging(),
+        small_config(Mode::Posix).without_relink(),
+        small_config(Mode::Posix),
+    ];
+    for config in configs {
+        let device = device();
+        let kernel = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+        let fs = SplitFs::new(Arc::clone(&kernel), config.clone()).unwrap();
+        let fd = fs.open("/w", OpenFlags::create()).unwrap();
+        let mut expected = Vec::new();
+        for i in 0..10u32 {
+            let block = vec![i as u8; BLOCK_SIZE];
+            fs.append(fd, &block).unwrap();
+            expected.extend_from_slice(&block);
+            if i % 3 == 2 {
+                fs.fsync(fd).unwrap();
+            }
+        }
+        fs.fsync(fd).unwrap();
+        fs.close(fd).unwrap();
+        assert_eq!(
+            fs.read_file("/w").unwrap(),
+            expected,
+            "config {:?}",
+            (config.use_staging, config.use_relink)
+        );
+    }
+}
+
+#[test]
+fn memory_usage_is_bounded_and_observable() {
+    let (_d, _k, fs) = splitfs(Mode::Strict);
+    for i in 0..20 {
+        fs.write_file(&format!("/file-{i}"), &vec![0u8; 8192]).unwrap();
+    }
+    let usage = fs.memory_usage();
+    assert!(usage.cached_files >= 20);
+    assert!(usage.approx_bytes > 0);
+    // §5.10: SplitFS metadata stays within ~100 MB even for large workloads;
+    // twenty small files must be nowhere near that.
+    assert!(usage.approx_bytes < 10 * 1024 * 1024);
+}

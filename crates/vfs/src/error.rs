@@ -1,0 +1,86 @@
+//! Error types shared by every file system in the workspace.
+
+use std::fmt;
+
+/// Result alias used throughout the file-system crates.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors a file-system operation can return.  The variants map onto the
+/// POSIX errno values an application linked against the real SplitFS
+/// library would observe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The path does not exist (`ENOENT`).
+    NotFound,
+    /// The path already exists and exclusive creation was requested
+    /// (`EEXIST`).
+    AlreadyExists,
+    /// A path component that must be a directory is not one (`ENOTDIR`).
+    NotADirectory,
+    /// The operation requires a regular file but got a directory
+    /// (`EISDIR`).
+    IsADirectory,
+    /// The directory is not empty (`ENOTEMPTY`).
+    NotEmpty,
+    /// The file descriptor is not open (`EBADF`).
+    BadFd,
+    /// The device ran out of space (`ENOSPC`).
+    NoSpace,
+    /// An argument was invalid, e.g. a negative seek (`EINVAL`).
+    InvalidArgument,
+    /// The descriptor was not opened for this access mode (`EACCES`).
+    PermissionDenied,
+    /// The operation is not supported by this file system (`ENOTSUP`).
+    NotSupported,
+    /// On-media state failed a consistency check during recovery.
+    Corrupted(String),
+    /// Any other I/O failure, with a description.
+    Io(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "no such file or directory"),
+            FsError::AlreadyExists => write!(f, "file already exists"),
+            FsError::NotADirectory => write!(f, "not a directory"),
+            FsError::IsADirectory => write!(f, "is a directory"),
+            FsError::NotEmpty => write!(f, "directory not empty"),
+            FsError::BadFd => write!(f, "bad file descriptor"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::InvalidArgument => write!(f, "invalid argument"),
+            FsError::PermissionDenied => write!(f, "permission denied"),
+            FsError::NotSupported => write!(f, "operation not supported"),
+            FsError::Corrupted(msg) => write!(f, "corrupted file system state: {msg}"),
+            FsError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_posix_like() {
+        assert_eq!(FsError::NotFound.to_string(), "no such file or directory");
+        assert_eq!(FsError::BadFd.to_string(), "bad file descriptor");
+        assert!(FsError::Corrupted("bad checksum".into())
+            .to_string()
+            .contains("bad checksum"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(FsError::NoSpace, FsError::NoSpace);
+        assert_ne!(FsError::NoSpace, FsError::NotFound);
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(FsError::InvalidArgument);
+        assert!(e.to_string().contains("invalid"));
+    }
+}

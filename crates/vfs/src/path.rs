@@ -1,0 +1,109 @@
+//! Absolute-path helpers shared by the file-system implementations.
+//!
+//! Paths in the reproduction are simple: absolute, `/`-separated, no `.` or
+//! `..` components after normalization, and no trailing slash except for
+//! the root itself.
+
+use crate::error::{FsError, FsResult};
+
+/// Normalizes `path` into a canonical absolute path.
+///
+/// * collapses repeated slashes,
+/// * removes `.` components,
+/// * resolves `..` components (never above the root),
+/// * strips any trailing slash (except for `/` itself).
+///
+/// Returns [`FsError::InvalidArgument`] for relative or empty paths.
+pub fn normalize(path: &str) -> FsResult<String> {
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidArgument);
+    }
+    let mut parts: Vec<&str> = Vec::new();
+    for comp in path.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            other => parts.push(other),
+        }
+    }
+    if parts.is_empty() {
+        Ok("/".to_string())
+    } else {
+        Ok(format!("/{}", parts.join("/")))
+    }
+}
+
+/// Splits a normalized path into `(parent, file_name)`.
+///
+/// The root has no parent and returns [`FsError::InvalidArgument`].
+pub fn split(path: &str) -> FsResult<(String, String)> {
+    let norm = normalize(path)?;
+    if norm == "/" {
+        return Err(FsError::InvalidArgument);
+    }
+    match norm.rfind('/') {
+        Some(0) => Ok(("/".to_string(), norm[1..].to_string())),
+        Some(idx) => Ok((norm[..idx].to_string(), norm[idx + 1..].to_string())),
+        None => Err(FsError::InvalidArgument),
+    }
+}
+
+/// Returns the components of a normalized path, excluding the root.
+pub fn components(path: &str) -> FsResult<Vec<String>> {
+    let norm = normalize(path)?;
+    if norm == "/" {
+        return Ok(Vec::new());
+    }
+    Ok(norm[1..].split('/').map(str::to_string).collect())
+}
+
+/// Joins a directory path with an entry name.
+pub fn join(dir: &str, name: &str) -> String {
+    if dir == "/" {
+        format!("/{name}")
+    } else {
+        format!("{dir}/{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_common_forms() {
+        assert_eq!(normalize("/a/b/c").unwrap(), "/a/b/c");
+        assert_eq!(normalize("//a///b/").unwrap(), "/a/b");
+        assert_eq!(normalize("/a/./b").unwrap(), "/a/b");
+        assert_eq!(normalize("/a/../b").unwrap(), "/b");
+        assert_eq!(normalize("/..").unwrap(), "/");
+        assert_eq!(normalize("/").unwrap(), "/");
+    }
+
+    #[test]
+    fn rejects_relative_paths() {
+        assert_eq!(normalize("a/b"), Err(FsError::InvalidArgument));
+        assert_eq!(normalize(""), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn splits_into_parent_and_name() {
+        assert_eq!(split("/a").unwrap(), ("/".to_string(), "a".to_string()));
+        assert_eq!(
+            split("/a/b/c").unwrap(),
+            ("/a/b".to_string(), "c".to_string())
+        );
+        assert_eq!(split("/"), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn components_and_join_round_trip() {
+        let comps = components("/x/y/z").unwrap();
+        assert_eq!(comps, vec!["x", "y", "z"]);
+        assert_eq!(join("/", "a"), "/a");
+        assert_eq!(join("/a/b", "c"), "/a/b/c");
+        assert!(components("/").unwrap().is_empty());
+    }
+}

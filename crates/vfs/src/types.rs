@@ -1,0 +1,165 @@
+//! Plain data types used across the file-system interface.
+
+/// A file descriptor.  Descriptors are per-file-system-instance integers.
+pub type Fd = u64;
+
+/// How a file is opened.  Mirrors the subset of `open(2)` flags the paper's
+/// workloads use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpenFlags {
+    /// Open for reading.
+    pub read: bool,
+    /// Open for writing.
+    pub write: bool,
+    /// Create the file if it does not exist (`O_CREAT`).
+    pub create: bool,
+    /// Truncate the file to zero length on open (`O_TRUNC`).
+    pub truncate: bool,
+    /// All writes go to the end of the file (`O_APPEND`).
+    pub append: bool,
+    /// Fail if the file already exists (`O_EXCL`, with `create`).
+    pub exclusive: bool,
+}
+
+impl OpenFlags {
+    /// `O_RDONLY`.
+    pub fn read_only() -> Self {
+        Self {
+            read: true,
+            ..Self::default()
+        }
+    }
+
+    /// `O_RDWR`.
+    pub fn read_write() -> Self {
+        Self {
+            read: true,
+            write: true,
+            ..Self::default()
+        }
+    }
+
+    /// `O_RDWR | O_CREAT`.
+    pub fn create() -> Self {
+        Self {
+            read: true,
+            write: true,
+            create: true,
+            ..Self::default()
+        }
+    }
+
+    /// `O_RDWR | O_CREAT | O_TRUNC`.
+    pub fn create_truncate() -> Self {
+        Self {
+            read: true,
+            write: true,
+            create: true,
+            truncate: true,
+            ..Self::default()
+        }
+    }
+
+    /// `O_RDWR | O_CREAT | O_EXCL`.
+    pub fn create_new() -> Self {
+        Self {
+            read: true,
+            write: true,
+            create: true,
+            exclusive: true,
+            ..Self::default()
+        }
+    }
+
+    /// `O_RDWR | O_CREAT | O_APPEND`.
+    pub fn append() -> Self {
+        Self {
+            read: true,
+            write: true,
+            create: true,
+            append: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// File metadata, the subset of `struct stat` the workloads need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FileStat {
+    /// Inode number.
+    pub ino: u64,
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// Number of file-system blocks allocated to the file.
+    pub blocks: u64,
+    /// Whether this is a directory.
+    pub is_dir: bool,
+    /// Link count.
+    pub nlink: u32,
+}
+
+/// Seek origin for [`crate::FileSystem::lseek`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeekFrom {
+    /// Absolute offset from the start of the file.
+    Start(u64),
+    /// Signed offset from the current position.
+    Current(i64),
+    /// Signed offset from the end of the file.
+    End(i64),
+}
+
+/// The guarantee class a file-system configuration provides, used to group
+/// comparable systems in the evaluation (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConsistencyClass {
+    /// Metadata consistency only; data operations are neither synchronous
+    /// nor atomic (ext4 DAX, SplitFS-POSIX).
+    Posix,
+    /// Data and metadata operations are synchronous but data operations are
+    /// not atomic (PMFS, NOVA-relaxed, SplitFS-sync).
+    Sync,
+    /// All operations are synchronous and atomic (NOVA-strict, Strata,
+    /// SplitFS-strict).
+    Strict,
+}
+
+impl ConsistencyClass {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConsistencyClass::Posix => "POSIX",
+            ConsistencyClass::Sync => "sync",
+            ConsistencyClass::Strict => "strict",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_flag_constructors_set_expected_bits() {
+        assert!(OpenFlags::read_only().read);
+        assert!(!OpenFlags::read_only().write);
+        assert!(OpenFlags::create_truncate().truncate);
+        assert!(OpenFlags::create_new().exclusive);
+        assert!(OpenFlags::append().append);
+        assert!(OpenFlags::append().create);
+    }
+
+    #[test]
+    fn consistency_labels() {
+        assert_eq!(ConsistencyClass::Posix.label(), "POSIX");
+        assert_eq!(ConsistencyClass::Sync.label(), "sync");
+        assert_eq!(ConsistencyClass::Strict.label(), "strict");
+    }
+
+    #[test]
+    fn file_stat_default_is_empty_regular_file() {
+        let st = FileStat::default();
+        assert_eq!(st.size, 0);
+        assert!(!st.is_dir);
+    }
+}

@@ -1,0 +1,186 @@
+//! Small utilities shared by the file-system implementations.
+
+/// 32-bit FNV-1a checksum.
+///
+/// Used as the transactional checksum embedded in journal records and in
+/// SplitFS operation-log entries (§3.3: a 4-byte checksum lets a log entry
+/// be validated with a single fence instead of two).  FNV-1a is not
+/// cryptographic; it only needs to detect torn or partially written
+/// entries, the same role CRC32 plays in the original system.
+pub fn checksum32(data: &[u8]) -> u32 {
+    const OFFSET: u32 = 0x811c_9dc5;
+    const PRIME: u32 = 0x0100_0193;
+    let mut hash = OFFSET;
+    for &b in data {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A tiny little-endian byte writer used to serialize metadata records.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16` (little endian).
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` (little endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` (little endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte string (u16 length).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u16(v.len() as u16);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Consumes the writer and returns the bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A little-endian byte reader matching [`ByteWriter`].
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn get_u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| {
+            u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
+        })
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.get_u16()? as usize;
+        self.take(len).map(|s| s.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Option<String> {
+        let bytes = self.get_bytes()?;
+        String::from_utf8(bytes).ok()
+    }
+
+    /// Number of bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_detects_single_bit_flips() {
+        let data = b"splitfs operation log entry";
+        let base = checksum32(data);
+        let mut corrupted = data.to_vec();
+        corrupted[3] ^= 0x01;
+        assert_ne!(base, checksum32(&corrupted));
+    }
+
+    #[test]
+    fn checksum_of_empty_is_fnv_offset() {
+        assert_eq!(checksum32(&[]), 0x811c_9dc5);
+    }
+
+    #[test]
+    fn byte_writer_reader_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_str("wal.log");
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8(), Some(7));
+        assert_eq!(r.get_u16(), Some(300));
+        assert_eq!(r.get_u32(), Some(70_000));
+        assert_eq!(r.get_u64(), Some(1 << 40));
+        assert_eq!(r.get_str().as_deref(), Some("wal.log"));
+        assert_eq!(r.position(), bytes.len());
+    }
+
+    #[test]
+    fn reader_returns_none_past_the_end() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert_eq!(r.get_u32(), None);
+        assert_eq!(r.get_u16(), Some(0x0201));
+        assert_eq!(r.get_u8(), None);
+    }
+}

@@ -1,0 +1,336 @@
+//! TPC-C-like transaction workload.
+//!
+//! The paper measures SQLite (WAL mode) running TPC-C.  This module
+//! generates the standard TPC-C transaction mix — new-order 45%, payment
+//! 43%, order-status 4%, delivery 4%, stock-level 4% — against the
+//! [`apps::waldb::WalDb`] page store, with the warehouse/district/customer/
+//! item/stock/order tables scaled down so the harness can run in seconds
+//! while producing the same read/overwrite/commit file-system pattern.
+
+use std::sync::Arc;
+
+use apps::waldb::{WalDb, WalDbConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use vfs::{FileSystem, FsResult};
+
+/// Table identifiers in the page store.
+mod table {
+    pub const WAREHOUSE: u8 = 1;
+    pub const DISTRICT: u8 = 2;
+    pub const CUSTOMER: u8 = 3;
+    pub const ORDERS: u8 = 4;
+    pub const ORDER_LINE: u8 = 5;
+    pub const ITEM: u8 = 6;
+    pub const STOCK: u8 = 7;
+    pub const HISTORY: u8 = 9;
+}
+
+/// Scale parameters (reduced from the TPC-C specification so a run finishes
+/// quickly; the transaction logic and table structure are unchanged).
+#[derive(Debug, Clone)]
+pub struct TpccConfig {
+    /// Number of warehouses.
+    pub warehouses: u64,
+    /// Districts per warehouse (spec: 10).
+    pub districts_per_warehouse: u64,
+    /// Customers per district (spec: 3000).
+    pub customers_per_district: u64,
+    /// Number of items (spec: 100 000).
+    pub items: u64,
+    /// WAL database configuration.
+    pub db: WalDbConfig,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        Self {
+            warehouses: 1,
+            districts_per_warehouse: 10,
+            customers_per_district: 120,
+            items: 1000,
+            db: WalDbConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Counts of each transaction type executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TpccCounts {
+    /// New-order transactions.
+    pub new_order: u64,
+    /// Payment transactions.
+    pub payment: u64,
+    /// Order-status transactions.
+    pub order_status: u64,
+    /// Delivery transactions.
+    pub delivery: u64,
+    /// Stock-level transactions.
+    pub stock_level: u64,
+}
+
+impl TpccCounts {
+    /// Total transactions.
+    pub fn total(&self) -> u64 {
+        self.new_order + self.payment + self.order_status + self.delivery + self.stock_level
+    }
+}
+
+/// The TPC-C driver.
+pub struct TpccDriver {
+    db: WalDb,
+    config: TpccConfig,
+    rng: StdRng,
+    next_order_id: u64,
+    counts: TpccCounts,
+}
+
+impl std::fmt::Debug for TpccDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TpccDriver")
+            .field("counts", &self.counts)
+            .finish()
+    }
+}
+
+fn row(tag: &str, len: usize) -> Vec<u8> {
+    let mut v = tag.as_bytes().to_vec();
+    v.resize(len, b'x');
+    v
+}
+
+impl TpccDriver {
+    /// Creates the database on `fs` and loads the initial table population.
+    pub fn setup(fs: Arc<dyn FileSystem>, config: TpccConfig) -> FsResult<Self> {
+        let mut db = WalDb::open(fs, config.db.clone())?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        for w in 0..config.warehouses {
+            db.upsert(table::WAREHOUSE, w, &row("warehouse", 90))?;
+            for d in 0..config.districts_per_warehouse {
+                let d_key = w * 100 + d;
+                db.upsert(table::DISTRICT, d_key, &row("district", 95))?;
+                for c in 0..config.customers_per_district {
+                    let c_key = d_key * 10_000 + c;
+                    db.upsert(table::CUSTOMER, c_key, &row("customer", 250))?;
+                }
+            }
+            db.commit()?;
+        }
+        for i in 0..config.items {
+            db.upsert(table::ITEM, i, &row("item", 82))?;
+            for w in 0..config.warehouses {
+                db.upsert(table::STOCK, w * 1_000_000 + i, &row("stock", 120))?;
+            }
+            if i % 200 == 199 {
+                db.commit()?;
+            }
+        }
+        db.commit()?;
+        let _ = &mut rng;
+        let run_rng = StdRng::seed_from_u64(config.seed ^ 0xDEAD);
+        Ok(Self {
+            db,
+            config,
+            rng: run_rng,
+            next_order_id: 1,
+            counts: TpccCounts::default(),
+        })
+    }
+
+    /// The counts of each transaction type run so far.
+    pub fn counts(&self) -> TpccCounts {
+        self.counts
+    }
+
+    /// Access to the underlying database (for assertions in tests).
+    pub fn db(&self) -> &WalDb {
+        &self.db
+    }
+
+    fn random_customer(&mut self) -> u64 {
+        let w = self.rng.random_range(0..self.config.warehouses);
+        let d = self.rng.random_range(0..self.config.districts_per_warehouse);
+        let c = self.rng.random_range(0..self.config.customers_per_district);
+        (w * 100 + d) * 10_000 + c
+    }
+
+    fn random_district(&mut self) -> u64 {
+        let w = self.rng.random_range(0..self.config.warehouses);
+        let d = self.rng.random_range(0..self.config.districts_per_warehouse);
+        w * 100 + d
+    }
+
+    /// Runs one transaction chosen from the standard mix.
+    pub fn run_transaction(&mut self) -> FsResult<()> {
+        let r: f64 = self.rng.random();
+        if r < 0.45 {
+            self.new_order()
+        } else if r < 0.88 {
+            self.payment()
+        } else if r < 0.92 {
+            self.order_status()
+        } else if r < 0.96 {
+            self.delivery()
+        } else {
+            self.stock_level()
+        }
+    }
+
+    /// Runs `n` transactions.
+    pub fn run(&mut self, n: u64) -> FsResult<TpccCounts> {
+        for _ in 0..n {
+            self.run_transaction()?;
+        }
+        Ok(self.counts)
+    }
+
+    fn new_order(&mut self) -> FsResult<()> {
+        let district = self.random_district();
+        let customer = self.random_customer();
+        // Read warehouse, district, customer.
+        self.db.get(table::WAREHOUSE, district / 100)?;
+        self.db.get(table::DISTRICT, district)?;
+        self.db.get(table::CUSTOMER, customer)?;
+        // Update the district (next order id) and insert the order.
+        self.db.upsert(table::DISTRICT, district, &row("district'", 95))?;
+        let order_id = self.next_order_id;
+        self.next_order_id += 1;
+        self.db.upsert(table::ORDERS, order_id, &row("order", 70))?;
+        // 5–15 order lines, each reading an item and updating its stock.
+        let lines = self.rng.random_range(5..=15);
+        for line in 0..lines {
+            let item = self.rng.random_range(0..self.config.items);
+            self.db.get(table::ITEM, item)?;
+            let stock_key = (district / 100) * 1_000_000 + item;
+            self.db.get(table::STOCK, stock_key)?;
+            self.db.upsert(table::STOCK, stock_key, &row("stock'", 120))?;
+            self.db
+                .upsert(table::ORDER_LINE, order_id * 100 + line, &row("orderline", 54))?;
+        }
+        self.db.commit()?;
+        self.counts.new_order += 1;
+        Ok(())
+    }
+
+    fn payment(&mut self) -> FsResult<()> {
+        let district = self.random_district();
+        let customer = self.random_customer();
+        self.db.get(table::WAREHOUSE, district / 100)?;
+        self.db.get(table::DISTRICT, district)?;
+        self.db.get(table::CUSTOMER, customer)?;
+        self.db
+            .upsert(table::WAREHOUSE, district / 100, &row("warehouse'", 90))?;
+        self.db.upsert(table::DISTRICT, district, &row("district'", 95))?;
+        self.db.upsert(table::CUSTOMER, customer, &row("customer'", 250))?;
+        let hist_key = self.counts.payment * 7 + district;
+        self.db.upsert(table::HISTORY, hist_key, &row("history", 46))?;
+        self.db.commit()?;
+        self.counts.payment += 1;
+        Ok(())
+    }
+
+    fn order_status(&mut self) -> FsResult<()> {
+        let customer = self.random_customer();
+        self.db.get(table::CUSTOMER, customer)?;
+        if self.next_order_id > 1 {
+            let order = self.rng.random_range(1..self.next_order_id);
+            self.db.get(table::ORDERS, order)?;
+            for line in 0..5 {
+                self.db.get(table::ORDER_LINE, order * 100 + line)?;
+            }
+        }
+        self.db.commit()?;
+        self.counts.order_status += 1;
+        Ok(())
+    }
+
+    fn delivery(&mut self) -> FsResult<()> {
+        // Deliver up to 10 oldest orders: read + update each.
+        let start = self.counts.delivery * 10 + 1;
+        for order in start..start + 10 {
+            if order >= self.next_order_id {
+                break;
+            }
+            self.db.get(table::ORDERS, order)?;
+            self.db.upsert(table::ORDERS, order, &row("order-delivered", 70))?;
+        }
+        self.db.commit()?;
+        self.counts.delivery += 1;
+        Ok(())
+    }
+
+    fn stock_level(&mut self) -> FsResult<()> {
+        let district = self.random_district();
+        self.db.get(table::DISTRICT, district)?;
+        for _ in 0..20 {
+            let item = self.rng.random_range(0..self.config.items);
+            self.db
+                .get(table::STOCK, (district / 100) * 1_000_000 + item)?;
+        }
+        self.db.commit()?;
+        self.counts.stock_level += 1;
+        Ok(())
+    }
+
+    /// Flushes and closes the database.
+    pub fn shutdown(&mut self) -> FsResult<()> {
+        self.db.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernelfs::Ext4Dax;
+    use pmem::PmemBuilder;
+
+    fn fs() -> Arc<dyn FileSystem> {
+        let device = PmemBuilder::new(256 * 1024 * 1024)
+            .track_persistence(false)
+            .build();
+        Ext4Dax::mkfs(device).unwrap() as Arc<dyn FileSystem>
+    }
+
+    fn tiny_config() -> TpccConfig {
+        TpccConfig {
+            warehouses: 1,
+            districts_per_warehouse: 2,
+            customers_per_district: 20,
+            items: 100,
+            ..TpccConfig::default()
+        }
+    }
+
+    #[test]
+    fn setup_populates_all_tables() {
+        let driver = TpccDriver::setup(fs(), tiny_config()).unwrap();
+        // warehouses + districts + customers + items + stock
+        let expected_rows = 1 + 2 + 2 * 20 + 100 + 100;
+        assert_eq!(driver.db().row_count() as u64, expected_rows);
+    }
+
+    #[test]
+    fn transaction_mix_roughly_matches_spec() {
+        let mut driver = TpccDriver::setup(fs(), tiny_config()).unwrap();
+        let counts = driver.run(500).unwrap();
+        assert_eq!(counts.total(), 500);
+        let no_frac = counts.new_order as f64 / 500.0;
+        let pay_frac = counts.payment as f64 / 500.0;
+        assert!((no_frac - 0.45).abs() < 0.1, "new-order fraction {no_frac}");
+        assert!((pay_frac - 0.43).abs() < 0.1, "payment fraction {pay_frac}");
+        assert!(counts.order_status + counts.delivery + counts.stock_level > 0);
+    }
+
+    #[test]
+    fn transactions_commit_durably() {
+        let mut driver = TpccDriver::setup(fs(), tiny_config()).unwrap();
+        let before = driver.db().commit_count();
+        driver.run(50).unwrap();
+        assert!(driver.db().commit_count() >= before + 50);
+        driver.shutdown().unwrap();
+    }
+}

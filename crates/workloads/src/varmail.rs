@@ -1,0 +1,134 @@
+//! Varmail-like system-call latency microbenchmark (paper §5.4, Table 6).
+//!
+//! The sequence per file, exactly as the paper describes it: create a file,
+//! append 16 KiB as four 4 KiB appends each followed by `fsync`, close it,
+//! open it again, read the whole file with one read call, close, open and
+//! close once more, and finally delete it.  The harness repeats this for
+//! many files and reports the mean simulated latency of each system call.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vfs::{FileSystem, FsResult, OpenFlags};
+
+/// Mean latency (simulated microseconds) per system call type.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SyscallLatencies {
+    /// Mean `open` latency in microseconds.
+    pub open_us: f64,
+    /// Mean `close` latency in microseconds.
+    pub close_us: f64,
+    /// Mean 4 KiB append latency in microseconds.
+    pub append_us: f64,
+    /// Mean `fsync` latency in microseconds.
+    pub fsync_us: f64,
+    /// Mean 16 KiB read latency in microseconds.
+    pub read_us: f64,
+    /// Mean `unlink` latency in microseconds.
+    pub unlink_us: f64,
+}
+
+impl SyscallLatencies {
+    /// Table-6 row ordering: open, close, append, fsync, read, unlink.
+    pub fn as_rows(&self) -> [(&'static str, f64); 6] {
+        [
+            ("open", self.open_us),
+            ("close", self.close_us),
+            ("append", self.append_us),
+            ("fsync", self.fsync_us),
+            ("read", self.read_us),
+            ("unlink", self.unlink_us),
+        ]
+    }
+}
+
+/// Runs the Varmail-like sequence over `iterations` files and returns the
+/// mean per-call latencies.
+pub fn run(fs: &Arc<dyn FileSystem>, iterations: u64) -> FsResult<SyscallLatencies> {
+    let device = Arc::clone(fs.device());
+    let clock = Arc::clone(device.clock());
+    let mut sums: HashMap<&'static str, f64> = HashMap::new();
+    let mut counts: HashMap<&'static str, u64> = HashMap::new();
+
+    let timed = |name: &'static str, sums: &mut HashMap<&'static str, f64>, counts: &mut HashMap<&'static str, u64>, f: &mut dyn FnMut() -> FsResult<()>| -> FsResult<()> {
+        let start = clock.now_ns_f64();
+        f()?;
+        let elapsed = clock.now_ns_f64() - start;
+        *sums.entry(name).or_default() += elapsed;
+        *counts.entry(name).or_default() += 1;
+        Ok(())
+    };
+
+    let append_block = vec![0xA5u8; 4096];
+    for i in 0..iterations {
+        let path = format!("/varmail-{i}.mail");
+        let mut fd = 0;
+        timed("open", &mut sums, &mut counts, &mut || {
+            fd = fs.open(&path, OpenFlags::create())?;
+            Ok(())
+        })?;
+        for _ in 0..4 {
+            timed("append", &mut sums, &mut counts, &mut || {
+                fs.append(fd, &append_block)?;
+                Ok(())
+            })?;
+            timed("fsync", &mut sums, &mut counts, &mut || fs.fsync(fd))?;
+        }
+        timed("close", &mut sums, &mut counts, &mut || fs.close(fd))?;
+
+        timed("open", &mut sums, &mut counts, &mut || {
+            fd = fs.open(&path, OpenFlags::read_write())?;
+            Ok(())
+        })?;
+        let mut buf = vec![0u8; 16 * 1024];
+        timed("read", &mut sums, &mut counts, &mut || {
+            fs.read_at(fd, 0, &mut buf)?;
+            Ok(())
+        })?;
+        timed("close", &mut sums, &mut counts, &mut || fs.close(fd))?;
+
+        timed("open", &mut sums, &mut counts, &mut || {
+            fd = fs.open(&path, OpenFlags::read_only())?;
+            Ok(())
+        })?;
+        timed("close", &mut sums, &mut counts, &mut || fs.close(fd))?;
+
+        timed("unlink", &mut sums, &mut counts, &mut || fs.unlink(&path))?;
+    }
+
+    let mean_us = |name: &str| -> f64 {
+        let sum = sums.get(name).copied().unwrap_or(0.0);
+        let count = counts.get(name).copied().unwrap_or(1).max(1);
+        sum / count as f64 / 1000.0
+    };
+    Ok(SyscallLatencies {
+        open_us: mean_us("open"),
+        close_us: mean_us("close"),
+        append_us: mean_us("append"),
+        fsync_us: mean_us("fsync"),
+        read_us: mean_us("read"),
+        unlink_us: mean_us("unlink"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernelfs::Ext4Dax;
+    use pmem::PmemBuilder;
+
+    #[test]
+    fn varmail_reports_latency_for_every_call_type() {
+        let device = PmemBuilder::new(128 * 1024 * 1024)
+            .track_persistence(false)
+            .build();
+        let fs = Ext4Dax::mkfs(device).unwrap() as Arc<dyn FileSystem>;
+        let lat = run(&fs, 5).unwrap();
+        for (name, us) in lat.as_rows() {
+            assert!(us > 0.0, "{name} latency must be positive");
+        }
+        // Appends on a kernel file system are far more expensive than reads
+        // of already-written data, as in Table 6's ext4 DAX column.
+        assert!(lat.append_us > lat.read_us / 4.0);
+    }
+}

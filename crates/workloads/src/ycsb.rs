@@ -1,0 +1,343 @@
+//! YCSB core workload generator.
+//!
+//! Reproduces the Yahoo! Cloud Serving Benchmark request streams the paper
+//! runs against LevelDB: workloads A–F with their standard operation mixes
+//! and key distributions (zipfian, latest, uniform).  The generator is
+//! deterministic for a given seed so experiments are repeatable.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which of the six core workloads to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbWorkload {
+    /// 50% reads, 50% updates, zipfian ("update heavy").
+    A,
+    /// 95% reads, 5% updates, zipfian ("read mostly").
+    B,
+    /// 100% reads, zipfian ("read only").
+    C,
+    /// 95% reads, 5% inserts, latest ("read latest").
+    D,
+    /// 95% scans, 5% inserts, zipfian ("short ranges").
+    E,
+    /// 50% reads, 50% read-modify-writes, zipfian.
+    F,
+}
+
+impl YcsbWorkload {
+    /// All six workloads in order.
+    pub const ALL: [YcsbWorkload; 6] = [
+        YcsbWorkload::A,
+        YcsbWorkload::B,
+        YcsbWorkload::C,
+        YcsbWorkload::D,
+        YcsbWorkload::E,
+        YcsbWorkload::F,
+    ];
+
+    /// Workload label ("A" … "F").
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbWorkload::A => "A",
+            YcsbWorkload::B => "B",
+            YcsbWorkload::C => "C",
+            YcsbWorkload::D => "D",
+            YcsbWorkload::E => "E",
+            YcsbWorkload::F => "F",
+        }
+    }
+
+    /// (read, update, insert, scan, read-modify-write) proportions.
+    fn mix(self) -> (f64, f64, f64, f64, f64) {
+        match self {
+            YcsbWorkload::A => (0.5, 0.5, 0.0, 0.0, 0.0),
+            YcsbWorkload::B => (0.95, 0.05, 0.0, 0.0, 0.0),
+            YcsbWorkload::C => (1.0, 0.0, 0.0, 0.0, 0.0),
+            YcsbWorkload::D => (0.95, 0.0, 0.05, 0.0, 0.0),
+            YcsbWorkload::E => (0.0, 0.0, 0.05, 0.95, 0.0),
+            YcsbWorkload::F => (0.5, 0.0, 0.0, 0.0, 0.5),
+        }
+    }
+
+    fn uses_latest_distribution(self) -> bool {
+        matches!(self, YcsbWorkload::D)
+    }
+}
+
+/// One generated request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YcsbOp {
+    /// Read a single record.
+    Read(u64),
+    /// Overwrite a record with a new value.
+    Update(u64, Vec<u8>),
+    /// Insert a new record (key beyond the loaded range).
+    Insert(u64, Vec<u8>),
+    /// Scan `count` records starting at the key.
+    Scan(u64, usize),
+    /// Read a record and write it back modified.
+    ReadModifyWrite(u64, Vec<u8>),
+}
+
+impl YcsbOp {
+    /// The record key this operation targets.
+    pub fn key(&self) -> u64 {
+        match self {
+            YcsbOp::Read(k)
+            | YcsbOp::Update(k, _)
+            | YcsbOp::Insert(k, _)
+            | YcsbOp::Scan(k, _)
+            | YcsbOp::ReadModifyWrite(k, _) => *k,
+        }
+    }
+}
+
+/// Zipfian generator over `[0, n)` with the YCSB default skew
+/// (theta = 0.99), following the standard Gray et al. construction used by
+/// the original YCSB `ZipfianGenerator`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl Zipfian {
+    /// Creates a generator over `n` items.
+    pub fn new(n: u64) -> Self {
+        let theta = 0.99;
+        let zeta2theta = Self::zeta(2, theta);
+        let zetan = Self::zeta(n, theta);
+        Self {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan),
+            zeta2theta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact up to a cap, then the standard integral approximation so
+        // that large record counts do not make construction O(n).
+        const EXACT: u64 = 100_000;
+        let exact_n = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT {
+            // ∫ x^-theta dx from EXACT to n.
+            sum += ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta))
+                / (1.0 - theta);
+        }
+        sum
+    }
+
+    /// Draws the next zipfian-distributed value in `[0, n)`.
+    pub fn next(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        (spread as u64).min(self.n - 1)
+    }
+
+    /// The skew parameter (always 0.99 here).
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Number of items.
+    pub fn item_count(&self) -> u64 {
+        self.n
+    }
+
+    /// The `zeta(2, theta)` constant (exposed for tests).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+/// Generator of YCSB request streams.
+#[derive(Debug)]
+pub struct YcsbGenerator {
+    workload: YcsbWorkload,
+    record_count: u64,
+    inserted: u64,
+    value_size: usize,
+    zipf: Zipfian,
+    rng: StdRng,
+}
+
+impl YcsbGenerator {
+    /// Creates a generator for `workload` over `record_count` pre-loaded
+    /// records with `value_size`-byte values.
+    pub fn new(workload: YcsbWorkload, record_count: u64, value_size: usize, seed: u64) -> Self {
+        Self {
+            workload,
+            record_count,
+            inserted: record_count,
+            value_size,
+            zipf: Zipfian::new(record_count.max(1)),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The key space size including inserts so far.
+    pub fn key_count(&self) -> u64 {
+        self.inserted
+    }
+
+    /// YCSB key formatting ("user" prefix).
+    pub fn format_key(key: u64) -> Vec<u8> {
+        format!("user{key:016}").into_bytes()
+    }
+
+    /// Generates the keys for the load phase (0..record_count, in insertion
+    /// order).
+    pub fn load_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        0..self.record_count
+    }
+
+    /// Generates a deterministic value for a key.
+    pub fn value_for(&mut self, key: u64) -> Vec<u8> {
+        let mut value = vec![0u8; self.value_size];
+        let mut state = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for b in value.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (state >> 56) as u8;
+        }
+        value
+    }
+
+    fn next_key(&mut self) -> u64 {
+        if self.workload.uses_latest_distribution() {
+            // "Latest": zipfian over recency.
+            let offset = self.zipf.next(&mut self.rng).min(self.inserted - 1);
+            self.inserted - 1 - offset
+        } else {
+            self.zipf.next(&mut self.rng).min(self.inserted - 1)
+        }
+    }
+
+    /// Generates the next request.
+    pub fn next_op(&mut self) -> YcsbOp {
+        let (read, update, insert, scan, rmw) = self.workload.mix();
+        let r: f64 = self.rng.random();
+        let key = self.next_key();
+        if r < read {
+            YcsbOp::Read(key)
+        } else if r < read + update {
+            let value = self.value_for(key ^ 0xFF);
+            YcsbOp::Update(key, value)
+        } else if r < read + update + insert {
+            let new_key = self.inserted;
+            self.inserted += 1;
+            let value = self.value_for(new_key);
+            YcsbOp::Insert(new_key, value)
+        } else if r < read + update + insert + scan {
+            let len = self.rng.random_range(1..=100);
+            YcsbOp::Scan(key, len)
+        } else {
+            let _ = rmw;
+            let value = self.value_for(key ^ 0xAA);
+            YcsbOp::ReadModifyWrite(key, value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let z = Zipfian::new(1000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..50_000 {
+            let v = z.next(&mut rng);
+            assert!(v < 1000);
+            *counts.entry(v).or_default() += 1;
+        }
+        // The most popular item should be far more frequent than the
+        // uniform expectation (50 per item).
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 1000, "zipfian skew too weak: max count {max}");
+    }
+
+    #[test]
+    fn workload_mixes_match_ycsb_definitions() {
+        for wl in YcsbWorkload::ALL {
+            let (r, u, i, s, f) = wl.mix();
+            assert!((r + u + i + s + f - 1.0).abs() < 1e-9, "workload {wl:?}");
+        }
+        let mut generator = YcsbGenerator::new(YcsbWorkload::A, 1000, 100, 42);
+        let mut reads = 0;
+        let mut updates = 0;
+        for _ in 0..10_000 {
+            match generator.next_op() {
+                YcsbOp::Read(_) => reads += 1,
+                YcsbOp::Update(..) => updates += 1,
+                other => panic!("workload A must not produce {other:?}"),
+            }
+        }
+        let ratio = reads as f64 / (reads + updates) as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "A read ratio {ratio}");
+    }
+
+    #[test]
+    fn workload_e_produces_scans() {
+        let mut generator = YcsbGenerator::new(YcsbWorkload::E, 1000, 100, 1);
+        let mut scans = 0;
+        for _ in 0..1000 {
+            if let YcsbOp::Scan(_, len) = generator.next_op() {
+                assert!((1..=100).contains(&len));
+                scans += 1;
+            }
+        }
+        assert!(scans > 900, "E is 95% scans, saw {scans}");
+    }
+
+    #[test]
+    fn inserts_extend_the_key_space() {
+        let mut generator = YcsbGenerator::new(YcsbWorkload::D, 100, 100, 3);
+        let before = generator.key_count();
+        let mut inserts = 0;
+        for _ in 0..1000 {
+            if let YcsbOp::Insert(key, _) = generator.next_op() {
+                assert!(key >= 100);
+                inserts += 1;
+            }
+        }
+        assert_eq!(generator.key_count(), before + inserts);
+        assert!(inserts > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = YcsbGenerator::new(YcsbWorkload::B, 500, 64, 99);
+        let mut b = YcsbGenerator::new(YcsbWorkload::B, 500, 64, 99);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn keys_format_with_fixed_width() {
+        assert_eq!(YcsbGenerator::format_key(7).len(), 20);
+        assert!(YcsbGenerator::format_key(7) < YcsbGenerator::format_key(10));
+    }
+}

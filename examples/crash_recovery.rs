@@ -1,0 +1,63 @@
+//! Demonstrate SplitFS strict-mode crash consistency: appends that were
+//! never fsync-ed survive a crash because they are staged durably and
+//! recorded in the operation log, and recovery replays them into the
+//! target file (paper §3.3 / §5.3).
+//!
+//! Run with: `cargo run --example crash_recovery`
+
+use std::sync::Arc;
+
+use splitfs_repro::kernelfs::Ext4Dax;
+use splitfs_repro::pmem::PmemBuilder;
+use splitfs_repro::splitfs::{recover, Mode, SplitConfig, SplitFs};
+use splitfs_repro::vfs::{FileSystem, OpenFlags};
+
+fn main() {
+    // Persistence tracking stays ON: we want real crash semantics.
+    let device = PmemBuilder::new(512 * 1024 * 1024).build();
+    let kernel = Ext4Dax::mkfs(Arc::clone(&device)).expect("mkfs");
+    let config = SplitConfig::new(Mode::Strict);
+    let fs = SplitFs::new(Arc::clone(&kernel), config.clone()).expect("splitfs");
+
+    // A database-style workload: append committed transactions to a log.
+    let fd = fs.open("/txn.log", OpenFlags::create()).expect("open");
+    let mut expected = Vec::new();
+    for i in 0..32u32 {
+        let record = format!("txn {i:05} COMMIT\n");
+        fs.append(fd, record.as_bytes()).expect("append");
+        expected.extend_from_slice(record.as_bytes());
+    }
+    println!(
+        "appended 32 transaction records ({} bytes), operation log holds {} entries",
+        expected.len(),
+        fs.oplog_entries()
+    );
+    println!("NOT calling fsync — in strict mode each append is already durable and atomic");
+
+    // Power failure: everything that was not flushed+fenced is gone.
+    device.crash();
+    println!("\n-- crash injected --\n");
+
+    // Reboot: mount the kernel file system (journal recovery) and replay
+    // the SplitFS operation log.
+    let kernel_after = Ext4Dax::mount(Arc::clone(&device)).expect("remount after crash");
+    let report = recover(&kernel_after, &config).expect("splitfs recovery");
+    println!(
+        "recovery: {} log entries scanned, {} staged writes replayed, {} already applied",
+        report.entries_scanned, report.replayed, report.already_applied
+    );
+
+    let data = kernel_after.read_file("/txn.log").expect("read after recovery");
+    assert_eq!(data, expected, "every committed append must survive the crash");
+    println!(
+        "verified: /txn.log holds all {} bytes written before the crash",
+        data.len()
+    );
+
+    // The file system is usable again through a fresh SplitFS instance.
+    let fs_after = SplitFs::new(kernel_after, config).expect("restart splitfs");
+    let fd = fs_after.open("/txn.log", OpenFlags::append()).expect("reopen");
+    fs_after.append(fd, b"txn 00032 COMMIT (post-recovery)\n").expect("append");
+    fs_after.fsync(fd).expect("fsync");
+    println!("appended one more transaction after recovery — the store keeps working");
+}

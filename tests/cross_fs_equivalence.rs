@@ -1,0 +1,126 @@
+//! Cross-crate integration test: the same application workloads must
+//! produce identical observable state on every file system in the
+//! workspace, from the ext4-DAX kernel substrate to the baselines and all
+//! three SplitFS modes.  This is the repository-wide version of the
+//! paper's §5.3 correctness validation.
+
+use std::sync::Arc;
+
+use splitfs_repro::apps::aof::{AofStore, FsyncPolicy};
+use splitfs_repro::apps::lsm::{LsmConfig, LsmStore};
+use splitfs_repro::baselines::{Nova, NovaMode, Pmfs, Strata};
+use splitfs_repro::kernelfs::Ext4Dax;
+use splitfs_repro::pmem::PmemBuilder;
+use splitfs_repro::splitfs::{Mode, SplitConfig, SplitFs};
+use splitfs_repro::vfs::{FileSystem, OpenFlags};
+
+fn all_filesystems() -> Vec<Arc<dyn FileSystem>> {
+    let mut out: Vec<Arc<dyn FileSystem>> = Vec::new();
+    for i in 0..7 {
+        let device = PmemBuilder::new(256 * 1024 * 1024)
+            .track_persistence(false)
+            .build();
+        match i {
+            0 => out.push(Ext4Dax::mkfs(device).unwrap()),
+            1 => out.push(Pmfs::new(device)),
+            2 => out.push(Nova::new(device, NovaMode::Relaxed)),
+            3 => out.push(Nova::new(device, NovaMode::Strict)),
+            4 => out.push(Strata::new(device)),
+            5 => {
+                let kernel = Ext4Dax::mkfs(device).unwrap();
+                out.push(SplitFs::new(kernel, SplitConfig::new(Mode::Posix)).unwrap());
+            }
+            _ => {
+                let kernel = Ext4Dax::mkfs(device).unwrap();
+                out.push(SplitFs::new(kernel, SplitConfig::new(Mode::Strict)).unwrap());
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn posix_file_operations_agree_across_all_filesystems() {
+    let mut states = Vec::new();
+    for fs in all_filesystems() {
+        fs.mkdir("/work").unwrap();
+        let fd = fs.open("/work/data.bin", OpenFlags::create()).unwrap();
+        // Mixed appends and overwrites, some unaligned.
+        for i in 0..30u32 {
+            fs.append(fd, &vec![i as u8; 700]).unwrap();
+        }
+        fs.write_at(fd, 1000, b"OVERWRITTEN-REGION").unwrap();
+        fs.fsync(fd).unwrap();
+        fs.ftruncate(fd, 15_000).unwrap();
+        fs.close(fd).unwrap();
+        fs.rename("/work/data.bin", "/work/renamed.bin").unwrap();
+
+        let content = fs.read_file("/work/renamed.bin").unwrap();
+        let mut listing = fs.readdir("/work").unwrap();
+        listing.sort();
+        states.push((fs.name(), content, listing));
+    }
+    let (_, first_content, first_listing) = &states[0];
+    for (name, content, listing) in &states {
+        assert_eq!(content, first_content, "file content differs on {name}");
+        assert_eq!(listing, first_listing, "directory listing differs on {name}");
+    }
+}
+
+#[test]
+fn lsm_store_produces_identical_results_on_every_filesystem() {
+    let mut answers = Vec::new();
+    for fs in all_filesystems() {
+        let mut store = LsmStore::open(
+            Arc::clone(&fs),
+            LsmConfig {
+                dir: "/db".to_string(),
+                memtable_bytes: 32 * 1024,
+                sync_writes: false,
+                compaction_trigger: 3,
+            },
+        )
+        .unwrap();
+        for i in 0..400u32 {
+            store
+                .put(format!("key{:05}", i % 150).as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        store.flush_memtable().unwrap();
+        let mut probe = Vec::new();
+        for key in (0..150u32).step_by(13) {
+            probe.push(store.get(format!("key{key:05}").as_bytes()).unwrap());
+        }
+        let scan = store.scan(b"key00050", 5).unwrap();
+        answers.push((fs.name(), probe, scan));
+    }
+    let (_, first_probe, first_scan) = &answers[0];
+    for (name, probe, scan) in &answers {
+        assert_eq!(probe, first_probe, "LSM point reads differ on {name}");
+        assert_eq!(scan, first_scan, "LSM scans differ on {name}");
+    }
+}
+
+#[test]
+fn aof_store_state_agrees_across_filesystems() {
+    let mut sizes = Vec::new();
+    for fs in all_filesystems() {
+        let mut store = AofStore::open(Arc::clone(&fs), "/redis.aof", FsyncPolicy::EveryN(16)).unwrap();
+        for i in 0..200 {
+            store.set(&format!("k{i}"), &format!("v{i}")).unwrap();
+        }
+        for i in (0..200).step_by(3) {
+            store.del(&format!("k{i}")).unwrap();
+        }
+        store.shutdown().unwrap();
+        // Reopen to force a full AOF replay.
+        let store = AofStore::open(Arc::clone(&fs), "/redis.aof", FsyncPolicy::Never).unwrap();
+        sizes.push((fs.name(), store.len(), store.get("k1").cloned(), store.get("k3").cloned()));
+    }
+    let (_, first_len, first_k1, first_k3) = &sizes[0];
+    for (name, len, k1, k3) in &sizes {
+        assert_eq!(len, first_len, "AOF key count differs on {name}");
+        assert_eq!(k1, first_k1, "AOF value differs on {name}");
+        assert_eq!(k3, first_k3, "AOF deleted key differs on {name}");
+    }
+}
