@@ -204,7 +204,10 @@ mod tests {
         let before = fs.stat("/redis.aof").unwrap().size;
         store.rewrite_aof().unwrap();
         let after = fs.stat("/redis.aof").unwrap().size;
-        assert!(after < before, "rewrite must shrink the AOF ({before} -> {after})");
+        assert!(
+            after < before,
+            "rewrite must shrink the AOF ({before} -> {after})"
+        );
         // State unchanged.
         assert_eq!(store.get("hot-key"), Some(&"v".to_string()));
     }

@@ -176,7 +176,7 @@ impl LsmStore {
 
     fn parse_wal(data: &[u8]) -> Vec<(Vec<u8>, MemValue)> {
         let mut out = Vec::new();
-        let mut cursor = &data[..];
+        let mut cursor = data;
         while cursor.remaining() >= 8 {
             let klen = cursor.get_u32_le() as usize;
             let vlen_raw = cursor.get_u32_le();
@@ -339,10 +339,8 @@ impl LsmStore {
             }
         }
         // Drop tombstones entirely: this is a full merge.
-        let entries: Vec<(Vec<u8>, MemValue)> = merged
-            .into_iter()
-            .filter(|(_, v)| v.is_some())
-            .collect();
+        let entries: Vec<(Vec<u8>, MemValue)> =
+            merged.into_iter().filter(|(_, v)| v.is_some()).collect();
         let id = self.next_table_id;
         self.next_table_id += 1;
         let path = format!("{}/sstable-{:06}.sst", self.config.dir, id);
@@ -473,7 +471,10 @@ mod tests {
         let mut store = LsmStore::open(fs(), small_config()).unwrap();
         for i in 0..500u32 {
             store
-                .put(format!("key{i:05}").as_bytes(), format!("value-{i}").as_bytes())
+                .put(
+                    format!("key{i:05}").as_bytes(),
+                    format!("value-{i}").as_bytes(),
+                )
                 .unwrap();
         }
         for i in (0..500u32).step_by(37) {

@@ -179,7 +179,7 @@ impl WalDb {
 
     fn parse_page(page: &[u8]) -> (Vec<(RowKey, usize, usize)>, usize) {
         let mut rows = Vec::new();
-        let mut cursor = &page[..];
+        let mut cursor = page;
         if cursor.remaining() < 2 {
             return (rows, PAGE_SIZE - 2);
         }
@@ -258,7 +258,8 @@ impl WalDb {
     fn mark_dirty(&mut self, page_no: u64, rows: &BTreeMap<RowKey, Vec<u8>>) {
         let page = Self::rebuild_page(rows);
         let used: usize = 2 + rows.values().map(|v| 11 + v.len()).sum::<usize>();
-        self.free_space.insert(page_no, PAGE_SIZE.saturating_sub(used));
+        self.free_space
+            .insert(page_no, PAGE_SIZE.saturating_sub(used));
         self.cache.remove(&page_no);
         self.dirty.insert(page_no, page);
     }
@@ -267,7 +268,8 @@ impl WalDb {
         let page_no = self.page_count;
         self.page_count += 1;
         self.free_space.insert(page_no, PAGE_SIZE - 2);
-        self.dirty.insert(page_no, Self::rebuild_page(&BTreeMap::new()));
+        self.dirty
+            .insert(page_no, Self::rebuild_page(&BTreeMap::new()));
         page_no
     }
 
@@ -351,7 +353,10 @@ impl WalDb {
         let mut buf = BytesMut::with_capacity(dirty.len() * (PAGE_SIZE + FRAME_HEADER));
         let mut offsets = Vec::with_capacity(dirty.len());
         for (page_no, page) in &dirty {
-            offsets.push((*page_no, self.wal_len + buf.len() as u64 + FRAME_HEADER as u64));
+            offsets.push((
+                *page_no,
+                self.wal_len + buf.len() as u64 + FRAME_HEADER as u64,
+            ));
             buf.put_u64_le(*page_no);
             buf.put_u64_le(PAGE_SIZE as u64);
             buf.put_slice(page);
@@ -491,7 +496,10 @@ mod tests {
             }
         }
         db.commit().unwrap();
-        assert!(db.checkpoint_count() > 0, "WAL threshold must force checkpoints");
+        assert!(
+            db.checkpoint_count() > 0,
+            "WAL threshold must force checkpoints"
+        );
         db.checkpoint().unwrap();
         for key in (0..500u64).step_by(71) {
             assert_eq!(
@@ -517,14 +525,16 @@ mod tests {
         {
             let mut db = WalDb::open(Arc::clone(&fs), config()).unwrap();
             for key in 0..100u64 {
-                db.upsert(1, key, format!("persistent-{key}").as_bytes()).unwrap();
+                db.upsert(1, key, format!("persistent-{key}").as_bytes())
+                    .unwrap();
             }
             db.commit().unwrap();
             // Half the data is checkpointed into the main file, half stays
             // in the WAL.
             db.checkpoint().unwrap();
             for key in 100..150u64 {
-                db.upsert(1, key, format!("persistent-{key}").as_bytes()).unwrap();
+                db.upsert(1, key, format!("persistent-{key}").as_bytes())
+                    .unwrap();
             }
             db.commit().unwrap();
             // No clean shutdown.

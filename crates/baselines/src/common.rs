@@ -379,7 +379,11 @@ impl FsCore {
             let chunk = (BLOCK_SIZE - within).min(buf.len() - pos);
             match node.blocks.get(block_idx) {
                 Some(&phys) => {
-                    let p = if first { pattern } else { AccessPattern::Sequential };
+                    let p = if first {
+                        pattern
+                    } else {
+                        AccessPattern::Sequential
+                    };
                     self.device.read(
                         phys * BLOCK_SIZE as u64 + within as u64,
                         &mut buf[pos..pos + chunk],
@@ -455,8 +459,14 @@ mod tests {
         let ino = c.create_node(ROOT_INO, "f", false).unwrap();
         let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
         c.ensure_blocks(ino, 0, data.len() as u64).unwrap();
-        c.write_data(ino, 0, &data, PersistMode::NonTemporal, TimeCategory::UserData)
-            .unwrap();
+        c.write_data(
+            ino,
+            0,
+            &data,
+            PersistMode::NonTemporal,
+            TimeCategory::UserData,
+        )
+        .unwrap();
         c.node_mut(ino).unwrap().size = data.len() as u64;
         let mut out = vec![0u8; data.len()];
         c.read_data(

@@ -80,14 +80,22 @@ impl Nova {
             *head = 0;
         }
         let entry = [0u8; LOG_ENTRY];
-        self.device
-            .write(*head, &entry, PersistMode::NonTemporal, TimeCategory::Journal);
+        self.device.write(
+            *head,
+            &entry,
+            PersistMode::NonTemporal,
+            TimeCategory::Journal,
+        );
         self.device.fence(TimeCategory::Journal);
         *head += LOG_ENTRY as u64;
         // Persist the log tail pointer (one cache line) with a second fence.
         let tail = [0u8; 64];
-        self.device
-            .write(*head, &tail, PersistMode::NonTemporal, TimeCategory::Journal);
+        self.device.write(
+            *head,
+            &tail,
+            PersistMode::NonTemporal,
+            TimeCategory::Journal,
+        );
         self.device.fence(TimeCategory::Journal);
         *head += 64;
         self.device.charge_software(cost.nova_radix_update_ns);
@@ -166,7 +174,13 @@ impl FileSystem for Nova {
         } else {
             AccessPattern::Random
         };
-        core.read_data(file.ino, offset, &mut buf[..n], pattern, TimeCategory::UserData)?;
+        core.read_data(
+            file.ino,
+            offset,
+            &mut buf[..n],
+            pattern,
+            TimeCategory::UserData,
+        )?;
         core.fd_mut(fd)?.last_read_end = offset + n as u64;
         Ok(n)
     }
@@ -226,7 +240,8 @@ impl FileSystem for Nova {
                     }
                     // Overlay the new bytes.
                     let copy_start = offset.max(block_start);
-                    let copy_end = (offset + data.len() as u64).min(block_start + BLOCK_SIZE as u64);
+                    let copy_end =
+                        (offset + data.len() as u64).min(block_start + BLOCK_SIZE as u64);
                     let src_from = (copy_start - offset) as usize;
                     let src_to = (copy_end - offset) as usize;
                     let dst_from = (copy_start - block_start) as usize;
@@ -419,7 +434,7 @@ mod tests {
         fs.write_at(fd, 0, &vec![1u8; BLOCK_SIZE]).unwrap();
         let delta = fs.device().stats().snapshot().delta_since(&before);
         assert_eq!(delta.written(TimeCategory::Journal), 192); // 128 + 64
-        // Data fence + two log fences.
+                                                               // Data fence + two log fences.
         assert_eq!(delta.fences, 3);
     }
 

@@ -59,8 +59,12 @@ impl Pmfs {
             if *head + JOURNAL_RECORD as u64 > JOURNAL_RESERVED {
                 *head = 0;
             }
-            self.device
-                .write(*head, &entry, PersistMode::NonTemporal, TimeCategory::Journal);
+            self.device.write(
+                *head,
+                &entry,
+                PersistMode::NonTemporal,
+                TimeCategory::Journal,
+            );
             *head += JOURNAL_RECORD as u64;
         }
         self.device.fence(TimeCategory::Journal);
@@ -131,7 +135,13 @@ impl FileSystem for Pmfs {
         } else {
             AccessPattern::Random
         };
-        core.read_data(file.ino, offset, &mut buf[..n], pattern, TimeCategory::UserData)?;
+        core.read_data(
+            file.ino,
+            offset,
+            &mut buf[..n],
+            pattern,
+            TimeCategory::UserData,
+        )?;
         core.fd_mut(fd)?.last_read_end = offset + n as u64;
         Ok(n)
     }
@@ -334,11 +344,19 @@ mod tests {
     #[test]
     fn metadata_operations_journal() {
         let fs = fs();
-        let before = fs.device().stats().snapshot().written(TimeCategory::Journal);
+        let before = fs
+            .device()
+            .stats()
+            .snapshot()
+            .written(TimeCategory::Journal);
         let fd = fs.open("/newfile", OpenFlags::create()).unwrap();
         fs.close(fd).unwrap();
         fs.unlink("/newfile").unwrap();
-        let after = fs.device().stats().snapshot().written(TimeCategory::Journal);
+        let after = fs
+            .device()
+            .stats()
+            .snapshot()
+            .written(TimeCategory::Journal);
         assert!(after > before, "create/unlink must write journal records");
     }
 

@@ -311,9 +311,8 @@ impl FileSystem for Strata {
                 }
             }
             image[within..within + chunk].copy_from_slice(&data[pos..pos + chunk]);
-            let valid = (within + chunk).max(
-                (old_size.saturating_sub(block * BLOCK_SIZE as u64) as usize).min(BLOCK_SIZE),
-            );
+            let valid = (within + chunk)
+                .max((old_size.saturating_sub(block * BLOCK_SIZE as u64) as usize).min(BLOCK_SIZE));
             let log_offset = self.log_append(&mut state, &image[..valid]);
             state.pending.insert(
                 (file.ino, block),

@@ -28,7 +28,7 @@ fn bench_append(c: &mut Criterion) {
             b.iter(|| {
                 fixture.fs.append(fd, black_box(&block)).unwrap();
                 appended += 1;
-                if appended % 4_096 == 0 {
+                if appended.is_multiple_of(4_096) {
                     // Relink staged data, then release the blocks, so the
                     // emulated device is not exhausted by criterion's
                     // unbounded iteration count.
@@ -55,10 +55,10 @@ fn bench_append_fsync(c: &mut Criterion) {
             b.iter(|| {
                 fixture.fs.append(fd, black_box(&block)).unwrap();
                 i += 1;
-                if i % 10 == 0 {
+                if i.is_multiple_of(10) {
                     fixture.fs.fsync(fd).unwrap();
                 }
-                if i % 8_192 == 0 {
+                if i.is_multiple_of(8_192) {
                     fixture.fs.fsync(fd).unwrap();
                     fixture.fs.ftruncate(fd, 0).unwrap();
                 }

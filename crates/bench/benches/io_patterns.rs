@@ -42,7 +42,12 @@ fn bench_read4k(c: &mut Criterion) {
 fn bench_overwrite4k(c: &mut Criterion) {
     let mut group = c.benchmark_group("overwrite_4k");
     group.sample_size(30);
-    for kind in [FsKind::Ext4Dax, FsKind::Pmfs, FsKind::SplitPosix, FsKind::SplitStrict] {
+    for kind in [
+        FsKind::Ext4Dax,
+        FsKind::Pmfs,
+        FsKind::SplitPosix,
+        FsKind::SplitStrict,
+    ] {
         let fixture = make_fs(kind, 256 * 1024 * 1024);
         let fd = prepared_fd(&fixture);
         let block = vec![0x77u8; 4096];
@@ -50,15 +55,12 @@ fn bench_overwrite4k(c: &mut Criterion) {
         let mut ops = 0u64;
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
-                fixture
-                    .fs
-                    .write_at(fd, black_box(offset), &block)
-                    .unwrap();
+                fixture.fs.write_at(fd, black_box(offset), &block).unwrap();
                 offset = (offset + 4096) % FILE_SIZE;
                 ops += 1;
                 // Periodic fsync keeps strict-mode staging bounded (staged
                 // overwrites are relinked and their old blocks freed).
-                if ops % 2_048 == 0 {
+                if ops.is_multiple_of(2_048) {
                     fixture.fs.fsync(fd).unwrap();
                 }
             });

@@ -53,7 +53,12 @@ fn bench_oplog_append(c: &mut Criterion) {
             if head + 192 > nova_region_end {
                 head = 40 * 1024 * 1024;
             }
-            device.write(head, &[0u8; 128], PersistMode::NonTemporal, TimeCategory::Journal);
+            device.write(
+                head,
+                &[0u8; 128],
+                PersistMode::NonTemporal,
+                TimeCategory::Journal,
+            );
             device.fence(TimeCategory::Journal);
             device.write(
                 head + 128,

@@ -42,7 +42,7 @@ fn bench_fsync_after_appends(c: &mut Criterion) {
                 }
                 fixture.fs.fsync(fd).unwrap();
                 batches += 1;
-                if batches % 1_000 == 0 {
+                if batches.is_multiple_of(1_000) {
                     fixture.fs.ftruncate(fd, 0).unwrap();
                 }
             });

@@ -14,6 +14,7 @@
 //!   fig5       relative software overhead in applications (Figure 5)
 //!   fig6       application performance and utilities (Figure 6)
 //!   recovery   operation-log replay time vs entries (§5.3)
+//!   daemon     inline vs daemon-backed maintenance on concurrent appends
 //!   resources  U-Split DRAM footprint after a YCSB run (§5.10)
 //!   all        everything above
 //!
@@ -28,7 +29,12 @@ fn run(which: &str, scale: Scale) {
     match which {
         "table1" => print_table(
             "Table 1 — software overhead of appending a 4 KiB block",
-            &["File system", "Append (ns)", "Overhead (ns)", "Overhead (%)"],
+            &[
+                "File system",
+                "Append (ns)",
+                "Overhead (ns)",
+                "Overhead (%)",
+            ],
             &experiments::table1(scale),
         ),
         "table2" => {
@@ -77,7 +83,13 @@ fn run(which: &str, scale: Scale) {
         ),
         "fig4" => print_table(
             "Figure 4 — IO-pattern throughput by guarantee class",
-            &["Class", "File system", "Pattern", "Throughput", "vs baseline"],
+            &[
+                "Class",
+                "File system",
+                "Pattern",
+                "Throughput",
+                "vs baseline",
+            ],
             &experiments::fig4(scale),
         ),
         "fig5" => print_table(
@@ -95,6 +107,20 @@ fn run(which: &str, scale: Scale) {
             &["Log entries", "Replayed", "Recovery time"],
             &experiments::recovery(scale),
         ),
+        "daemon" => print_table(
+            "Background maintenance — inline vs daemon-backed append/fsync",
+            &[
+                "Configuration",
+                "ns/append",
+                "Inline creates",
+                "BG creates",
+                "Relink batches",
+                "Ops/batch",
+                "Group commits",
+                "BG checkpoints",
+            ],
+            &experiments::daemon_maintenance(scale),
+        ),
         "resources" => print_table(
             "§5.10 — resource consumption after YCSB-A on SplitFS-strict",
             &["Metric", "Value"],
@@ -102,7 +128,9 @@ fn run(which: &str, scale: Scale) {
         ),
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery resources all");
+            eprintln!(
+                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon resources all"
+            );
             std::process::exit(2);
         }
     }
@@ -120,7 +148,16 @@ fn main() {
     let which = if which.is_empty() { vec!["all"] } else { which };
 
     let everything = [
-        "table1", "table2", "table6", "table7", "fig3", "fig4", "fig5", "fig6", "recovery",
+        "table1",
+        "table2",
+        "table6",
+        "table7",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "recovery",
+        "daemon",
         "resources",
     ];
     for experiment in which {

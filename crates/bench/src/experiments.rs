@@ -331,7 +331,11 @@ pub fn fig4(scale: Scale) -> Vec<Row> {
 pub fn fig5(scale: Scale) -> Vec<Row> {
     let groups: [(&str, FsKind, Vec<FsKind>); 3] = [
         ("POSIX", FsKind::SplitPosix, vec![FsKind::Ext4Dax]),
-        ("sync", FsKind::SplitSync, vec![FsKind::Pmfs, FsKind::NovaRelaxed]),
+        (
+            "sync",
+            FsKind::SplitSync,
+            vec![FsKind::Pmfs, FsKind::NovaRelaxed],
+        ),
         ("strict", FsKind::SplitStrict, vec![FsKind::NovaStrict]),
     ];
     let ycsb_config = YcsbRunConfig {
@@ -389,7 +393,11 @@ pub fn fig5(scale: Scale) -> Vec<Row> {
 pub fn fig6(scale: Scale) -> Vec<Row> {
     let groups: [(&str, FsKind, Vec<FsKind>); 3] = [
         ("POSIX", FsKind::Ext4Dax, vec![FsKind::SplitPosix]),
-        ("sync", FsKind::Pmfs, vec![FsKind::NovaRelaxed, FsKind::SplitSync]),
+        (
+            "sync",
+            FsKind::Pmfs,
+            vec![FsKind::NovaRelaxed, FsKind::SplitSync],
+        ),
         ("strict", FsKind::NovaStrict, vec![FsKind::SplitStrict]),
     ];
     let ycsb_config = YcsbRunConfig {
@@ -480,15 +488,23 @@ pub fn recovery(scale: Scale) -> Vec<Row> {
     for &entries in entry_counts {
         let device = pmem::PmemBuilder::new(scale.device_bytes()).build();
         let kernel = kernelfs::Ext4Dax::mkfs(Arc::clone(&device)).expect("mkfs");
+        // The daemon is disabled here on purpose: this experiment measures
+        // how recovery cost scales with the number of *surviving* log
+        // entries, and a background checkpoint would relink the staged
+        // data and truncate the log mid-run.
         let config = SplitConfig::new(Mode::Strict)
             .with_staging(4, 16 * 1024 * 1024)
-            .with_oplog_size((entries + 16) * 64);
+            .with_oplog_size((entries + 16) * 64)
+            .without_daemon();
         let fs = SplitFs::new(Arc::clone(&kernel), config.clone()).expect("splitfs");
-        let fd = fs.open("/recover-me", vfs::OpenFlags::create()).expect("open");
+        let fd = fs
+            .open("/recover-me", vfs::OpenFlags::create())
+            .expect("open");
         // Cache-line-sized appends, as in the paper's worst-case experiment.
         for i in 0..entries {
             fs.append(fd, &[i as u8; 64]).expect("append");
         }
+        drop(fs);
         device.crash();
 
         let kernel2 = kernelfs::Ext4Dax::mount(Arc::clone(&device)).expect("mount");
@@ -539,6 +555,117 @@ pub fn resources(scale: Scale) -> Vec<Row> {
     ]
 }
 
+// ----------------------------------------------------------------------
+// Background maintenance daemon — inline vs daemon-backed append/fsync
+// ----------------------------------------------------------------------
+
+/// Raw metrics of one [`daemon_maintenance`] configuration run.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonRunResult {
+    /// Total simulated nanoseconds for the measured phase.
+    pub elapsed_ns: f64,
+    /// Append operations performed across all threads.
+    pub ops: u64,
+    /// Device statistics delta for the measured phase.
+    pub stats: pmem::StatsSnapshot,
+}
+
+/// Runs the concurrent append/fsync workload behind the daemon experiment:
+/// four threads, each appending 4 KiB blocks to its own file with an
+/// `fsync` every 64 appends, over a deliberately small staging pool that
+/// the workload exhausts many times over.  With `daemon_enabled` the
+/// maintenance workers replenish the pool asynchronously and checkpoint
+/// the log; without it every replenishment happens inline on the append
+/// path (the seed's behaviour).
+pub fn daemon_run(scale: Scale, daemon_enabled: bool) -> DaemonRunResult {
+    let device = pmem::PmemBuilder::new(scale.device_bytes())
+        .track_persistence(false)
+        .build();
+    let kernel = kernelfs::Ext4Dax::mkfs(Arc::clone(&device)).expect("mkfs");
+    // The log holds 4096 entries, so the append stream crosses the
+    // daemon's 50% checkpoint threshold (and, without the daemon, fills
+    // the log and forces the stop-the-world foreground checkpoint).
+    let mut config = SplitConfig::new(Mode::Strict)
+        .with_staging(4, 2 * 1024 * 1024)
+        .with_staging_watermarks(3, 8)
+        .with_oplog_size(256 * 1024);
+    if !daemon_enabled {
+        config = config.without_daemon();
+    }
+    let fs = SplitFs::new(Arc::clone(&kernel), config).expect("splitfs");
+
+    const THREADS: usize = 4;
+    const APPENDS_PER_FSYNC: usize = 64;
+    // Sized so the workload pushes several times the initial pool capacity
+    // (4 × 2 MiB) through staging, forcing replenishment to happen.
+    let rounds = match scale {
+        Scale::Quick => 24,
+        Scale::Full => 96,
+    };
+
+    let before = device.stats().snapshot();
+    let start = device.clock().now_ns_f64();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let fs = Arc::clone(&fs);
+            scope.spawn(move || {
+                let fd = fs
+                    .open(&format!("/appender-{t}"), vfs::OpenFlags::create())
+                    .expect("open");
+                let block = vec![t as u8; 4096];
+                for round in 0..rounds {
+                    for _ in 0..APPENDS_PER_FSYNC {
+                        fs.append(fd, &block).expect("append");
+                    }
+                    fs.fsync(fd).expect("fsync");
+                    if round % 4 == 3 {
+                        // Deterministic pacing point: nudged background
+                        // work (provisioning, checkpoints) has landed.
+                        fs.maintenance_quiesce();
+                    }
+                }
+                fs.close(fd).expect("close");
+            });
+        }
+    });
+    fs.maintenance_quiesce();
+    let elapsed_ns = device.clock().now_ns_f64() - start;
+    let stats = device.stats().snapshot().delta_since(&before);
+    DaemonRunResult {
+        elapsed_ns,
+        ops: (THREADS * APPENDS_PER_FSYNC * rounds) as u64,
+        stats,
+    }
+}
+
+/// Compares inline maintenance (the seed's behaviour, daemon disabled)
+/// against daemon-backed maintenance on the concurrent append/fsync
+/// workload.  The daemon row must show zero inline staging-file creations
+/// and multi-extent relink batches.
+pub fn daemon_maintenance(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (label, enabled) in [("inline (daemon off)", false), ("daemon-backed", true)] {
+        let result = daemon_run(scale, enabled);
+        let s = result.stats;
+        let ops_per_batch = if s.batched_relinks > 0 {
+            s.relink_batch_ops as f64 / s.batched_relinks as f64
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            label.to_string(),
+            crate::fmt_ns(result.elapsed_ns / result.ops as f64),
+            s.staging_inline_creates.to_string(),
+            s.staging_bg_creates.to_string(),
+            s.batched_relinks.to_string(),
+            format!("{ops_per_batch:.1}"),
+            s.oplog_group_commits.to_string(),
+            s.daemon_checkpoints.to_string(),
+        ]);
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,9 +683,52 @@ mod tests {
         let ext4 = append_ns[0];
         let split_posix = append_ns[4];
         let split_strict = append_ns[3];
-        assert!(ext4 > split_strict, "ext4 {ext4} vs SplitFS-strict {split_strict}");
-        assert!(split_strict >= split_posix, "strict {split_strict} vs posix {split_posix}");
-        assert!(ext4 / split_posix > 2.0, "SplitFS should be several times faster");
+        assert!(
+            ext4 > split_strict,
+            "ext4 {ext4} vs SplitFS-strict {split_strict}"
+        );
+        assert!(
+            split_strict >= split_posix,
+            "strict {split_strict} vs posix {split_posix}"
+        );
+        assert!(
+            ext4 / split_posix > 2.0,
+            "SplitFS should be several times faster"
+        );
+    }
+
+    #[test]
+    fn daemon_eliminates_inline_creations_and_batches_relinks() {
+        // The acceptance bar for the maintenance daemon: on the concurrent
+        // append workload, zero staging files are created inline and at
+        // least one batched relink covers multiple extents.
+        let with_daemon = daemon_run(Scale::Quick, true);
+        assert_eq!(
+            with_daemon.stats.staging_inline_creates, 0,
+            "daemon-backed run created staging files inline: {:?}",
+            with_daemon.stats
+        );
+        assert!(with_daemon.stats.staging_bg_creates > 0);
+        assert!(with_daemon.stats.batched_relinks >= 1);
+        assert!(
+            with_daemon.stats.relink_batch_ops > with_daemon.stats.batched_relinks,
+            "no batch covered more than one staged run: {:?}",
+            with_daemon.stats
+        );
+        assert!(
+            with_daemon.stats.daemon_checkpoints >= 1,
+            "the daemon checkpointed the log in the background: {:?}",
+            with_daemon.stats
+        );
+
+        // The ablation shows what the daemon is saving us from.
+        let inline = daemon_run(Scale::Quick, false);
+        assert!(
+            inline.stats.staging_inline_creates > 0,
+            "without the daemon the pool must replenish inline: {:?}",
+            inline.stats
+        );
+        assert_eq!(inline.stats.staging_bg_creates, 0);
     }
 
     #[test]

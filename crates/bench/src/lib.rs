@@ -115,11 +115,7 @@ pub fn make_fs(kind: FsKind, device_size: usize) -> Fixture {
             SplitFs::new(kernel, config).expect("splitfs init")
         }
     };
-    Fixture {
-        fs,
-        device,
-        kind,
-    }
+    Fixture { fs, device, kind }
 }
 
 /// Builds a SplitFS fixture with an explicit configuration (used by the
@@ -135,11 +131,7 @@ pub fn make_splitfs(config: SplitConfig, device_size: usize) -> Fixture {
         Mode::Strict => FsKind::SplitStrict,
     };
     let fs = SplitFs::new(kernel, config).expect("splitfs init");
-    Fixture {
-        fs,
-        device,
-        kind,
-    }
+    Fixture { fs, device, kind }
 }
 
 /// Resets the fixture's clock and statistics; used between the setup phase
@@ -164,7 +156,10 @@ pub fn fmt_ns(ns: f64) -> String {
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

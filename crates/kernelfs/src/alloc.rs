@@ -296,8 +296,7 @@ mod tests {
         let mut alloc = BlockAllocator::format(&sb);
         let a = alloc.alloc_extents(16).unwrap();
         let b = alloc.alloc_extents(16).unwrap();
-        let a_set: std::collections::HashSet<u64> =
-            (a[0].start..a[0].start + a[0].len).collect();
+        let a_set: std::collections::HashSet<u64> = (a[0].start..a[0].start + a[0].len).collect();
         for run in &b {
             for blk in run.start..run.start + run.len {
                 assert!(!a_set.contains(&blk));

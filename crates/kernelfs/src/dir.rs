@@ -60,7 +60,9 @@ pub fn scan_entries(data: &[u8]) -> FsResult<Vec<DirEntry>> {
     let mut pos = 0usize;
     while pos + 10 <= data.len() {
         let mut r = ByteReader::new(&data[pos..]);
-        let ino = r.get_u64().ok_or(FsError::Corrupted("short dirent".into()))?;
+        let ino = r
+            .get_u64()
+            .ok_or(FsError::Corrupted("short dirent".into()))?;
         let name_bytes = r
             .get_bytes()
             .ok_or(FsError::Corrupted("short dirent name".into()))?;

@@ -81,6 +81,25 @@ pub struct Ext4Dax {
     inner: RwLock<FsInner>,
 }
 
+/// One block move inside an [`Ext4Dax::ioctl_relink_batch`] call.
+///
+/// Equivalent to the argument list of [`Ext4Dax::ioctl_relink`]: move the
+/// blocks backing `[src_offset, src_offset + len)` of `src_fd` so they back
+/// `[dst_offset, dst_offset + len)` of `dst_fd`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelinkOp {
+    /// Descriptor of the file the blocks move out of (a staging file).
+    pub src_fd: Fd,
+    /// Block-aligned byte offset of the source range.
+    pub src_offset: u64,
+    /// Descriptor of the file the blocks move into (the target file).
+    pub dst_fd: Fd,
+    /// Block-aligned byte offset of the destination range.
+    pub dst_offset: u64,
+    /// Block-aligned length of the move in bytes.
+    pub len: u64,
+}
+
 impl Ext4Dax {
     /// Formats the device and returns a mounted file system.
     ///
@@ -97,7 +116,10 @@ impl Ext4Dax {
         let alloc = BlockAllocator::format(&sb);
         // Zero the inode table so unused slots parse as free.
         let itable_bytes = (sb.itable_blocks * BLOCK_SIZE as u64) as usize;
-        device.write_uncharged(sb.itable_start * BLOCK_SIZE as u64, &vec![0u8; itable_bytes]);
+        device.write_uncharged(
+            sb.itable_start * BLOCK_SIZE as u64,
+            &vec![0u8; itable_bytes],
+        );
         device.write_uncharged(
             sb.bitmap_start * BLOCK_SIZE as u64,
             &alloc.to_bitmap_image(&sb),
@@ -141,8 +163,7 @@ impl Ext4Dax {
         let (records, journal_end, max_tid) = Journal::recover(&device, &sb);
 
         // 2. Read the bitmap and inode table.
-        let mut bitmap_image =
-            vec![0u8; (sb.bitmap_blocks * BLOCK_SIZE as u64) as usize];
+        let mut bitmap_image = vec![0u8; (sb.bitmap_blocks * BLOCK_SIZE as u64) as usize];
         device.read_uncharged(sb.bitmap_start * BLOCK_SIZE as u64, &mut bitmap_image);
         let mut alloc = BlockAllocator::from_bitmap_image(&sb, &bitmap_image);
 
@@ -151,8 +172,7 @@ impl Ext4Dax {
         let mut next_ino = ROOT_INO + 1;
         for ino in 1..sb.inode_count {
             device.read_uncharged(sb.inode_offset(ino), &mut record_buf);
-            if let Some((mut inode, _count, overflow_head)) =
-                Inode::deserialize(ino, &record_buf)?
+            if let Some((mut inode, _count, overflow_head)) = Inode::deserialize(ino, &record_buf)?
             {
                 let mut next = overflow_head;
                 let mut block = vec![0u8; BLOCK_SIZE];
@@ -462,8 +482,12 @@ impl Ext4Dax {
         let (record, overflow) = inode.serialize();
         let off = inner.sb.inode_offset(ino);
         if charged {
-            self.device
-                .write(off, &record, PersistMode::NonTemporal, TimeCategory::Metadata);
+            self.device.write(
+                off,
+                &record,
+                PersistMode::NonTemporal,
+                TimeCategory::Metadata,
+            );
             for (block, image) in &overflow {
                 self.device.write(
                     block * BLOCK_SIZE as u64,
@@ -476,7 +500,8 @@ impl Ext4Dax {
         } else {
             self.device.write_uncharged(off, &record);
             for (block, image) in &overflow {
-                self.device.write_uncharged(block * BLOCK_SIZE as u64, image);
+                self.device
+                    .write_uncharged(block * BLOCK_SIZE as u64, image);
             }
         }
     }
@@ -567,9 +592,7 @@ impl Ext4Dax {
             all_runs.extend(runs);
         }
         inner.journal.commit(&records)?;
-        inner
-            .alloc
-            .persist_runs(&self.device, &inner.sb, &all_runs);
+        inner.alloc.persist_runs(&self.device, &inner.sb, &all_runs);
         Ok(all_runs)
     }
 
@@ -616,7 +639,13 @@ impl Ext4Dax {
             .ok_or(FsError::NotFound)?;
         if slot.entry_offset != u64::MAX {
             let tomb = dir::encode_tombstone(slot.entry_len - 10);
-            self.write_blocks(inner, parent, slot.entry_offset, &tomb, TimeCategory::Metadata)?;
+            self.write_blocks(
+                inner,
+                parent,
+                slot.entry_offset,
+                &tomb,
+                TimeCategory::Metadata,
+            )?;
         }
         Ok(slot)
     }
@@ -674,7 +703,11 @@ impl Ext4Dax {
             self.charge(cost.ext4_extent_lookup_ns);
             match inode.extents.lookup(block) {
                 Some((phys, _)) => {
-                    let p = if first { pattern } else { AccessPattern::Sequential };
+                    let p = if first {
+                        pattern
+                    } else {
+                        AccessPattern::Sequential
+                    };
                     self.device.read(
                         phys * BLOCK_SIZE as u64 + within as u64,
                         &mut buf[pos..pos + chunk],
@@ -844,111 +877,188 @@ impl Ext4Dax {
         dst_offset: u64,
         len: u64,
     ) -> FsResult<()> {
-        if src_offset % BLOCK_SIZE as u64 != 0
-            || dst_offset % BLOCK_SIZE as u64 != 0
-            || len % BLOCK_SIZE as u64 != 0
-        {
-            return Err(FsError::InvalidArgument);
+        self.ioctl_relink_batch(&[RelinkOp {
+            src_fd,
+            src_offset,
+            dst_fd,
+            dst_offset,
+            len,
+        }])
+        .map(|_| ())
+    }
+
+    /// The batched relink ioctl: applies every op in `ops` as **one**
+    /// journal transaction.
+    ///
+    /// Semantically each op is an [`Ext4Dax::ioctl_relink`], but the whole
+    /// batch commits atomically: after a crash either every move in the
+    /// batch is visible or none is, and the jbd2-style transaction cost is
+    /// paid once instead of once per op.  SplitFS's `fsync` path submits
+    /// all of a file's coalesced staged extents through this entry point,
+    /// and the background maintenance daemon uses it to retire many files'
+    /// staged data in a single transaction.
+    ///
+    /// Constraints, checked up front before any state changes:
+    ///
+    /// * every op's offsets and length are block-aligned,
+    /// * `src != dst` within an op, and every source range is fully mapped,
+    /// * ops must not consume another op's output (a batch never relinks
+    ///   out of a range that an earlier op of the same batch wrote).
+    ///
+    /// Zero-length ops are permitted and skipped.  Returns the number of
+    /// ops applied.
+    pub fn ioctl_relink_batch(&self, ops: &[RelinkOp]) -> FsResult<usize> {
+        // Validate alignment before taking the lock.
+        for op in ops {
+            if !op.src_offset.is_multiple_of(BLOCK_SIZE as u64)
+                || !op.dst_offset.is_multiple_of(BLOCK_SIZE as u64)
+                || !op.len.is_multiple_of(BLOCK_SIZE as u64)
+            {
+                return Err(FsError::InvalidArgument);
+            }
         }
-        if len == 0 {
-            return Ok(());
+        let ops: Vec<&RelinkOp> = ops.iter().filter(|op| op.len > 0).collect();
+        if ops.is_empty() {
+            return Ok(0);
         }
+        // One kernel trap for the whole batch.
         self.charge_syscall();
         let cost = self.device.cost().clone();
         let mut inner = self.inner.write();
-        let src = Self::lookup_fd(&inner, src_fd)?;
-        let dst = Self::lookup_fd(&inner, dst_fd)?;
-        if src.ino == dst.ino {
-            return Err(FsError::InvalidArgument);
-        }
-        let src_block = src_offset / BLOCK_SIZE as u64;
-        let dst_block = dst_offset / BLOCK_SIZE as u64;
-        let count = len / BLOCK_SIZE as u64;
 
-        self.charge(cost.ext4_extent_lookup_ns * 2.0);
-
-        // The source range must be fully mapped.
-        let moved = {
+        // Upfront validation pass: all fds resolve, no self-moves, and all
+        // source ranges are fully mapped.  Nothing is mutated until every
+        // op has passed, so a bad batch leaves the file system untouched.
+        let mut ranges: Vec<(u64, u64, u64)> = Vec::with_capacity(ops.len() * 2);
+        for op in &ops {
+            let src = Self::lookup_fd(&inner, op.src_fd)?;
+            let dst = Self::lookup_fd(&inner, op.dst_fd)?;
+            if src.ino == dst.ino {
+                return Err(FsError::InvalidArgument);
+            }
             let src_inode = inner.inodes.get(&src.ino).ok_or(FsError::BadFd)?;
-            src_inode.extents.extract_range(src_block, count)?
-        };
-
-        // Unmap the destination range, freeing replaced blocks.
-        let freed = {
-            let dst_inode = inner.inodes.get_mut(&dst.ino).ok_or(FsError::BadFd)?;
-            dst_inode.extents.remove_range(dst_block, count)
-        };
-        for run in &freed {
-            inner.alloc.mark_free(run.start, run.len);
+            src_inode.extents.extract_range(
+                op.src_offset / BLOCK_SIZE as u64,
+                op.len / BLOCK_SIZE as u64,
+            )?;
+            inner.inodes.get(&dst.ino).ok_or(FsError::BadFd)?;
+            ranges.push((src.ino, op.src_offset, op.len));
+            ranges.push((dst.ino, op.dst_offset, op.len));
         }
-
-        // Move the source mappings into the destination.
-        let mut dst_extents_record = Vec::new();
-        {
-            let dst_inode = inner.inodes.get_mut(&dst.ino).expect("checked above");
-            for ext in &moved {
-                let logical = dst_block + (ext.logical - src_block);
-                dst_inode.extents.insert(Extent {
-                    logical,
-                    phys: ext.phys,
-                    len: ext.len,
-                });
-                dst_extents_record.push((logical, ext.phys, ext.len));
-            }
-        }
-        // Unmap the source range (the blocks now belong to the destination).
-        {
-            let src_inode = inner.inodes.get_mut(&src.ino).expect("checked above");
-            src_inode.extents.remove_range(src_block, count);
-        }
-
-        // Grow the destination size for the append case.
-        let new_end = dst_offset + len;
-        let mut size_records = Vec::new();
-        {
-            let dst_inode = inner.inodes.get_mut(&dst.ino).expect("checked above");
-            if new_end > dst_inode.size {
-                dst_inode.size = new_end;
-                size_records.push(JournalRecord::SetSize {
-                    ino: dst.ino,
-                    size: new_end,
-                });
+        // The initial-state validation above is only sound if no op
+        // consumes another op's input or output: reject any overlapping
+        // ranges within one file across the batch, so a mid-apply failure
+        // (which would leave volatile state diverged from the journal) is
+        // impossible by construction.
+        for (i, &(ino_a, off_a, len_a)) in ranges.iter().enumerate() {
+            for &(ino_b, off_b, len_b) in &ranges[i + 1..] {
+                if ino_a == ino_b && off_a < off_b + len_b && off_b < off_a + len_a {
+                    return Err(FsError::InvalidArgument);
+                }
             }
         }
 
-        // Journal the whole move as one transaction.
-        let mut records = vec![
-            JournalRecord::SetRangeMapping {
+        let mut records: Vec<JournalRecord> = Vec::with_capacity(ops.len() * 2 + 2);
+        let mut freed_all: Vec<BlockRun> = Vec::new();
+        let mut touched: Vec<u64> = Vec::new();
+
+        for op in &ops {
+            let src = Self::lookup_fd(&inner, op.src_fd)?;
+            let dst = Self::lookup_fd(&inner, op.dst_fd)?;
+            let src_block = op.src_offset / BLOCK_SIZE as u64;
+            let dst_block = op.dst_offset / BLOCK_SIZE as u64;
+            let count = op.len / BLOCK_SIZE as u64;
+
+            self.charge(cost.ext4_extent_lookup_ns * 2.0);
+
+            // The source range was validated as fully mapped above.
+            let moved = {
+                let src_inode = inner.inodes.get(&src.ino).expect("validated above");
+                src_inode.extents.extract_range(src_block, count)?
+            };
+
+            // Unmap the destination range, freeing replaced blocks.
+            let freed = {
+                let dst_inode = inner.inodes.get_mut(&dst.ino).expect("validated above");
+                dst_inode.extents.remove_range(dst_block, count)
+            };
+            for run in &freed {
+                inner.alloc.mark_free(run.start, run.len);
+            }
+
+            // Move the source mappings into the destination.
+            let mut dst_extents_record = Vec::new();
+            {
+                let dst_inode = inner.inodes.get_mut(&dst.ino).expect("validated above");
+                for ext in &moved {
+                    let logical = dst_block + (ext.logical - src_block);
+                    dst_inode.extents.insert(Extent {
+                        logical,
+                        phys: ext.phys,
+                        len: ext.len,
+                    });
+                    dst_extents_record.push((logical, ext.phys, ext.len));
+                }
+            }
+            // Unmap the source range (the blocks now belong to the
+            // destination).
+            {
+                let src_inode = inner.inodes.get_mut(&src.ino).expect("validated above");
+                src_inode.extents.remove_range(src_block, count);
+            }
+
+            records.push(JournalRecord::SetRangeMapping {
                 ino: dst.ino,
                 logical: dst_block,
                 count,
                 extents: dst_extents_record,
-            },
-            JournalRecord::SetRangeMapping {
+            });
+            records.push(JournalRecord::SetRangeMapping {
                 ino: src.ino,
                 logical: src_block,
                 count,
                 extents: Vec::new(),
-            },
-        ];
-        for run in &freed {
-            records.push(JournalRecord::FreeBlocks {
-                start: run.start,
-                len: run.len,
             });
+            for run in &freed {
+                records.push(JournalRecord::FreeBlocks {
+                    start: run.start,
+                    len: run.len,
+                });
+            }
+            freed_all.extend(freed);
+
+            // Grow the destination size for the append case.
+            let new_end = op.dst_offset + op.len;
+            {
+                let dst_inode = inner.inodes.get_mut(&dst.ino).expect("validated above");
+                if new_end > dst_inode.size {
+                    dst_inode.size = new_end;
+                    records.push(JournalRecord::SetSize {
+                        ino: dst.ino,
+                        size: new_end,
+                    });
+                }
+            }
+            touched.push(src.ino);
+            touched.push(dst.ino);
         }
-        records.extend(size_records);
+
+        // Journal every move of the batch as one transaction.
         inner.journal.commit(&records)?;
 
-        // In-place metadata updates.
-        let src_ino = src.ino;
-        let dst_ino = dst.ino;
-        self.write_inode(&mut inner, src_ino);
-        self.write_inode(&mut inner, dst_ino);
-        if !freed.is_empty() {
-            inner.alloc.persist_runs(&self.device, &inner.sb, &freed);
+        // In-place metadata updates, once per touched inode.
+        touched.sort_unstable();
+        touched.dedup();
+        for ino in touched {
+            self.write_inode(&mut inner, ino);
         }
-        Ok(())
+        if !freed_all.is_empty() {
+            inner
+                .alloc
+                .persist_runs(&self.device, &inner.sb, &freed_all);
+        }
+        self.device.stats().add_batched_relink(ops.len() as u64);
+        Ok(ops.len())
     }
 
     /// Returns the number of free data blocks (used by tests and by the
@@ -1547,6 +1657,121 @@ mod tests {
         assert_eq!(fs.fstat(target).unwrap().size, 2 * BLOCK_SIZE as u64);
         // The staging range is now a hole.
         assert_eq!(fs.fstat(staging).unwrap().blocks, 0);
+    }
+
+    #[test]
+    fn relink_batch_moves_many_extents_in_one_transaction() {
+        let fs = fs();
+        let staging = fs.open("/staging", OpenFlags::create()).unwrap();
+        let a = fs.open("/a", OpenFlags::create()).unwrap();
+        let b = fs.open("/b", OpenFlags::create()).unwrap();
+        // Four distinct blocks of staged data.
+        for i in 0..4u8 {
+            fs.write_at(
+                staging,
+                i as u64 * BLOCK_SIZE as u64,
+                &vec![0x10 + i; BLOCK_SIZE],
+            )
+            .unwrap();
+        }
+        let before = fs.device().stats().snapshot();
+        let applied = fs
+            .ioctl_relink_batch(&[
+                RelinkOp {
+                    src_fd: staging,
+                    src_offset: 0,
+                    dst_fd: a,
+                    dst_offset: 0,
+                    len: 2 * BLOCK_SIZE as u64,
+                },
+                RelinkOp {
+                    src_fd: staging,
+                    src_offset: 2 * BLOCK_SIZE as u64,
+                    dst_fd: b,
+                    dst_offset: 0,
+                    len: 2 * BLOCK_SIZE as u64,
+                },
+            ])
+            .unwrap();
+        assert_eq!(applied, 2);
+        let delta = fs.device().stats().snapshot().delta_since(&before);
+        assert_eq!(delta.kernel_traps, 1, "one syscall for the whole batch");
+        assert_eq!(delta.batched_relinks, 1);
+        assert_eq!(delta.relink_batch_ops, 2);
+        // No data was copied.
+        assert!(delta.written(TimeCategory::UserData) == 0);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        fs.read_at(a, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&v| v == 0x10));
+        fs.read_at(b, BLOCK_SIZE as u64, &mut buf).unwrap();
+        assert!(buf.iter().all(|&v| v == 0x13));
+        // Staging ranges became holes.
+        assert_eq!(fs.fstat(staging).unwrap().blocks, 0);
+    }
+
+    #[test]
+    fn relink_batch_validates_before_mutating() {
+        let fs = fs();
+        let staging = fs.open("/staging", OpenFlags::create()).unwrap();
+        let target = fs.open("/t", OpenFlags::create()).unwrap();
+        fs.write_at(staging, 0, &vec![9u8; BLOCK_SIZE]).unwrap();
+        // Second op references an unmapped source range, so the whole batch
+        // must be rejected with the first op not applied.
+        let err = fs.ioctl_relink_batch(&[
+            RelinkOp {
+                src_fd: staging,
+                src_offset: 0,
+                dst_fd: target,
+                dst_offset: 0,
+                len: BLOCK_SIZE as u64,
+            },
+            RelinkOp {
+                src_fd: staging,
+                src_offset: 64 * BLOCK_SIZE as u64,
+                dst_fd: target,
+                dst_offset: BLOCK_SIZE as u64,
+                len: BLOCK_SIZE as u64,
+            },
+        ]);
+        assert!(err.is_err());
+        assert_eq!(fs.fstat(target).unwrap().size, 0);
+        assert_eq!(fs.fstat(staging).unwrap().blocks, 1, "source untouched");
+    }
+
+    #[test]
+    fn crash_after_relink_batch_preserves_every_move() {
+        let device = PmemBuilder::new(256 * 1024 * 1024).build();
+        let fs = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+        let staging = fs.open("/staging", OpenFlags::create()).unwrap();
+        let a = fs.open("/a", OpenFlags::create()).unwrap();
+        let b = fs.open("/b", OpenFlags::create()).unwrap();
+        let pa = vec![1u8; BLOCK_SIZE];
+        let pb = vec![2u8; BLOCK_SIZE];
+        fs.write_at(staging, 0, &pa).unwrap();
+        fs.write_at(staging, BLOCK_SIZE as u64, &pb).unwrap();
+        fs.fsync(staging).unwrap();
+        fs.ioctl_relink_batch(&[
+            RelinkOp {
+                src_fd: staging,
+                src_offset: 0,
+                dst_fd: a,
+                dst_offset: 0,
+                len: BLOCK_SIZE as u64,
+            },
+            RelinkOp {
+                src_fd: staging,
+                src_offset: BLOCK_SIZE as u64,
+                dst_fd: b,
+                dst_offset: 0,
+                len: BLOCK_SIZE as u64,
+            },
+        ])
+        .unwrap();
+
+        device.crash();
+        let fs2 = Ext4Dax::mount(device).unwrap();
+        assert_eq!(fs2.read_file("/a").unwrap(), pa);
+        assert_eq!(fs2.read_file("/b").unwrap(), pb);
     }
 
     #[test]

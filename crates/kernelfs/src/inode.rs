@@ -134,7 +134,8 @@ impl Inode {
     /// Number of overflow blocks needed for the current extent count.
     pub fn overflow_blocks_needed(&self) -> usize {
         let n = self.extents.len();
-        n.saturating_sub(INLINE_EXTENTS).div_ceil(EXTENTS_PER_OVERFLOW)
+        n.saturating_sub(INLINE_EXTENTS)
+            .div_ceil(EXTENTS_PER_OVERFLOW)
     }
 
     /// Deserializes an inode from its table record; spilled extents are
@@ -151,16 +152,30 @@ impl Inode {
             2 => InodeKind::Directory,
             _ => return Err(FsError::Corrupted(format!("bad inode mode {mode}"))),
         };
-        let nlink = r.get_u32().ok_or(FsError::Corrupted("short inode".into()))?;
-        let size = r.get_u64().ok_or(FsError::Corrupted("short inode".into()))?;
-        let extent_count = r.get_u64().ok_or(FsError::Corrupted("short inode".into()))?;
-        let overflow_head = r.get_u64().ok_or(FsError::Corrupted("short inode".into()))?;
+        let nlink = r
+            .get_u32()
+            .ok_or(FsError::Corrupted("short inode".into()))?;
+        let size = r
+            .get_u64()
+            .ok_or(FsError::Corrupted("short inode".into()))?;
+        let extent_count = r
+            .get_u64()
+            .ok_or(FsError::Corrupted("short inode".into()))?;
+        let overflow_head = r
+            .get_u64()
+            .ok_or(FsError::Corrupted("short inode".into()))?;
         let mut map = ExtentMap::new();
         let inline = (extent_count as usize).min(INLINE_EXTENTS);
         for _ in 0..inline {
-            let logical = r.get_u64().ok_or(FsError::Corrupted("short extent".into()))?;
-            let phys = r.get_u64().ok_or(FsError::Corrupted("short extent".into()))?;
-            let len = r.get_u64().ok_or(FsError::Corrupted("short extent".into()))?;
+            let logical = r
+                .get_u64()
+                .ok_or(FsError::Corrupted("short extent".into()))?;
+            let phys = r
+                .get_u64()
+                .ok_or(FsError::Corrupted("short extent".into()))?;
+            let len = r
+                .get_u64()
+                .ok_or(FsError::Corrupted("short extent".into()))?;
             map.insert(Extent { logical, phys, len });
         }
         let inode = Self {
@@ -232,11 +247,9 @@ impl ExtentMap {
 
     /// Iterates extents in logical order.
     pub fn iter(&self) -> impl Iterator<Item = Extent> + '_ {
-        self.map.iter().map(|(&logical, &(phys, len))| Extent {
-            logical,
-            phys,
-            len,
-        })
+        self.map
+            .iter()
+            .map(|(&logical, &(phys, len))| Extent { logical, phys, len })
     }
 
     /// Looks up the physical block backing `logical`, returning the physical
@@ -478,8 +491,7 @@ mod tests {
         let (record, overflow) = ino.serialize();
         assert_eq!(record.len(), INODE_RECORD_SIZE);
         assert!(overflow.is_empty());
-        let (parsed, count, overflow_head) =
-            Inode::deserialize(7, &record).unwrap().unwrap();
+        let (parsed, count, overflow_head) = Inode::deserialize(7, &record).unwrap().unwrap();
         assert_eq!(count, 5);
         assert_eq!(overflow_head, 0);
         assert_eq!(parsed.size, 12345);

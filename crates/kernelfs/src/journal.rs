@@ -511,11 +511,7 @@ mod tests {
         let device = PmemBuilder::new(64 * 1024 * 1024)
             .cost_model(pmem::CostModel::calibrated())
             .build();
-        let sb = Superblock::compute(
-            device.size() as u64 / BLOCK_SIZE as u64,
-            1024,
-        )
-        .unwrap();
+        let sb = Superblock::compute(device.size() as u64 / BLOCK_SIZE as u64, 1024).unwrap();
         (device, sb)
     }
 

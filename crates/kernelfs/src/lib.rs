@@ -25,5 +25,5 @@ pub mod journal;
 pub mod layout;
 
 pub use dax::{DaxMapping, MapSegment};
-pub use fs::{Ext4Dax, ROOT_INO};
+pub use fs::{Ext4Dax, RelinkOp, ROOT_INO};
 pub use layout::BLOCK_SIZE;

@@ -370,7 +370,12 @@ impl PmemDevice {
         let mut done = 0usize;
         while done < len {
             let n = CHUNK.min(len - done);
-            self.read(src + done as u64, &mut buf[..n], AccessPattern::Sequential, cat);
+            self.read(
+                src + done as u64,
+                &mut buf[..n],
+                AccessPattern::Sequential,
+                cat,
+            );
             self.write(dst + done as u64, &buf[..n], PersistMode::NonTemporal, cat);
             done += n;
         }
@@ -442,9 +447,19 @@ mod tests {
     fn read_back_what_was_written() {
         let dev = small_device();
         let data = vec![0xABu8; 300];
-        dev.write(1000, &data, PersistMode::NonTemporal, TimeCategory::UserData);
+        dev.write(
+            1000,
+            &data,
+            PersistMode::NonTemporal,
+            TimeCategory::UserData,
+        );
         let mut out = vec![0u8; 300];
-        dev.read(1000, &mut out, AccessPattern::Sequential, TimeCategory::UserData);
+        dev.read(
+            1000,
+            &mut out,
+            AccessPattern::Sequential,
+            TimeCategory::UserData,
+        );
         assert_eq!(out, data);
     }
 
@@ -453,7 +468,12 @@ mod tests {
         let dev = small_device();
         let offset = SHARD_SIZE as u64 - 100;
         let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
-        dev.write(offset, &data, PersistMode::NonTemporal, TimeCategory::UserData);
+        dev.write(
+            offset,
+            &data,
+            PersistMode::NonTemporal,
+            TimeCategory::UserData,
+        );
         let mut out = vec![0u8; 200];
         dev.read_uncharged(offset, &mut out);
         assert_eq!(out, data);
@@ -482,7 +502,12 @@ mod tests {
     #[test]
     fn temporal_store_survives_after_flush_and_fence() {
         let dev = small_device();
-        dev.write(128, &[9u8; 64], PersistMode::Temporal, TimeCategory::UserData);
+        dev.write(
+            128,
+            &[9u8; 64],
+            PersistMode::Temporal,
+            TimeCategory::UserData,
+        );
         dev.flush(128, 64, TimeCategory::UserData);
         dev.fence(TimeCategory::UserData);
         dev.crash();
@@ -494,7 +519,12 @@ mod tests {
     #[test]
     fn nt_store_survives_after_fence_only() {
         let dev = small_device();
-        dev.write(256, &[5u8; 64], PersistMode::NonTemporal, TimeCategory::UserData);
+        dev.write(
+            256,
+            &[5u8; 64],
+            PersistMode::NonTemporal,
+            TimeCategory::UserData,
+        );
         dev.fence(TimeCategory::UserData);
         dev.crash();
         let mut out = [0u8; 64];
@@ -505,7 +535,12 @@ mod tests {
     #[test]
     fn nt_store_without_fence_is_lost() {
         let dev = small_device();
-        dev.write(320, &[4u8; 64], PersistMode::NonTemporal, TimeCategory::UserData);
+        dev.write(
+            320,
+            &[4u8; 64],
+            PersistMode::NonTemporal,
+            TimeCategory::UserData,
+        );
         dev.crash();
         let mut out = [9u8; 64];
         dev.read_uncharged(320, &mut out);
@@ -517,7 +552,12 @@ mod tests {
         let dev = PmemBuilder::new(SHARD_SIZE)
             .crash_policy(CrashPolicy::KeepAll)
             .build();
-        dev.write(64, &[3u8; 64], PersistMode::Temporal, TimeCategory::UserData);
+        dev.write(
+            64,
+            &[3u8; 64],
+            PersistMode::Temporal,
+            TimeCategory::UserData,
+        );
         dev.crash();
         let mut out = [0u8; 64];
         dev.read_uncharged(64, &mut out);
@@ -528,16 +568,34 @@ mod tests {
     fn write_charges_calibrated_cost() {
         let dev = small_device();
         let before = dev.clock().now_ns_f64();
-        dev.write(0, &[0u8; 4096], PersistMode::NonTemporal, TimeCategory::UserData);
+        dev.write(
+            0,
+            &[0u8; 4096],
+            PersistMode::NonTemporal,
+            TimeCategory::UserData,
+        );
         let elapsed = dev.clock().now_ns_f64() - before;
-        assert!((elapsed - 671.0).abs() < 10.0, "4 KiB write cost was {elapsed}");
+        assert!(
+            (elapsed - 671.0).abs() < 10.0,
+            "4 KiB write cost was {elapsed}"
+        );
     }
 
     #[test]
     fn stats_classify_traffic_by_category() {
         let dev = small_device();
-        dev.write(0, &[0u8; 4096], PersistMode::NonTemporal, TimeCategory::UserData);
-        dev.write(8192, &[0u8; 64], PersistMode::NonTemporal, TimeCategory::Journal);
+        dev.write(
+            0,
+            &[0u8; 4096],
+            PersistMode::NonTemporal,
+            TimeCategory::UserData,
+        );
+        dev.write(
+            8192,
+            &[0u8; 64],
+            PersistMode::NonTemporal,
+            TimeCategory::Journal,
+        );
         let snap = dev.stats().snapshot();
         assert_eq!(snap.written(TimeCategory::UserData), 4096);
         assert_eq!(snap.written(TimeCategory::Journal), 64);
@@ -548,7 +606,12 @@ mod tests {
     fn unpersisted_lines_tracks_outstanding_writes() {
         let dev = small_device();
         assert_eq!(dev.unpersisted_lines(), 0);
-        dev.write(0, &[1u8; 256], PersistMode::Temporal, TimeCategory::UserData);
+        dev.write(
+            0,
+            &[1u8; 256],
+            PersistMode::Temporal,
+            TimeCategory::UserData,
+        );
         assert_eq!(dev.unpersisted_lines(), 4);
         dev.flush(0, 256, TimeCategory::UserData);
         assert_eq!(dev.unpersisted_lines(), 4); // pending, not yet fenced
@@ -584,7 +647,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "track_persistence")]
     fn crash_without_tracking_panics() {
-        let dev = PmemBuilder::new(SHARD_SIZE).track_persistence(false).build();
+        let dev = PmemBuilder::new(SHARD_SIZE)
+            .track_persistence(false)
+            .build();
         dev.crash();
     }
 }

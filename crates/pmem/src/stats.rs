@@ -74,6 +74,31 @@ pub struct Stats {
     page_faults: AtomicU64,
     huge_page_faults: AtomicU64,
     kernel_traps: AtomicU64,
+    maintenance: MaintenanceCounters,
+}
+
+/// Counters for the U-Split background-maintenance subsystem: staging-file
+/// provisioning, batched relink and operation-log group commit.  They live
+/// on the device's shared [`Stats`] so the daemon (splitfs), the batched
+/// relink entry point (kernelfs) and the experiment harness (bench) all
+/// observe one consistent view.
+#[derive(Debug, Default)]
+pub struct MaintenanceCounters {
+    /// Staging files created inline on the foreground write path because
+    /// the pool ran dry (the failure mode the daemon exists to eliminate).
+    staging_inline_creates: AtomicU64,
+    /// Staging files created asynchronously by a maintenance worker.
+    staging_bg_creates: AtomicU64,
+    /// Invocations of the batched relink entry point.
+    batched_relinks: AtomicU64,
+    /// Total relink operations (coalesced staged runs) across all
+    /// batched invocations.
+    relink_batch_ops: AtomicU64,
+    /// Operation-log group commits (multiple entries, one fence).
+    oplog_group_commits: AtomicU64,
+    /// Background checkpoints (relink-all plus log truncate) completed by a
+    /// maintenance worker.
+    daemon_checkpoints: AtomicU64,
 }
 
 impl Stats {
@@ -125,6 +150,44 @@ impl Stats {
         self.kernel_traps.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one staging file created inline on the write path.
+    pub fn add_staging_inline_create(&self) {
+        self.maintenance
+            .staging_inline_creates
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one staging file created by a background worker.
+    pub fn add_staging_bg_create(&self) {
+        self.maintenance
+            .staging_bg_creates
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one batched relink applying `ops` relink operations.
+    pub fn add_batched_relink(&self, ops: u64) {
+        self.maintenance
+            .batched_relinks
+            .fetch_add(1, Ordering::Relaxed);
+        self.maintenance
+            .relink_batch_ops
+            .fetch_add(ops, Ordering::Relaxed);
+    }
+
+    /// Records one operation-log group commit.
+    pub fn add_oplog_group_commit(&self) {
+        self.maintenance
+            .oplog_group_commits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one completed background checkpoint.
+    pub fn add_daemon_checkpoint(&self) {
+        self.maintenance
+            .daemon_checkpoints
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a copyable snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut time_ns = [0.0f64; 5];
@@ -148,6 +211,15 @@ impl Stats {
             page_faults: self.page_faults.load(Ordering::Relaxed),
             huge_page_faults: self.huge_page_faults.load(Ordering::Relaxed),
             kernel_traps: self.kernel_traps.load(Ordering::Relaxed),
+            staging_inline_creates: self
+                .maintenance
+                .staging_inline_creates
+                .load(Ordering::Relaxed),
+            staging_bg_creates: self.maintenance.staging_bg_creates.load(Ordering::Relaxed),
+            batched_relinks: self.maintenance.batched_relinks.load(Ordering::Relaxed),
+            relink_batch_ops: self.maintenance.relink_batch_ops.load(Ordering::Relaxed),
+            oplog_group_commits: self.maintenance.oplog_group_commits.load(Ordering::Relaxed),
+            daemon_checkpoints: self.maintenance.daemon_checkpoints.load(Ordering::Relaxed),
         }
     }
 
@@ -167,6 +239,22 @@ impl Stats {
         self.page_faults.store(0, Ordering::Relaxed);
         self.huge_page_faults.store(0, Ordering::Relaxed);
         self.kernel_traps.store(0, Ordering::Relaxed);
+        self.maintenance
+            .staging_inline_creates
+            .store(0, Ordering::Relaxed);
+        self.maintenance
+            .staging_bg_creates
+            .store(0, Ordering::Relaxed);
+        self.maintenance.batched_relinks.store(0, Ordering::Relaxed);
+        self.maintenance
+            .relink_batch_ops
+            .store(0, Ordering::Relaxed);
+        self.maintenance
+            .oplog_group_commits
+            .store(0, Ordering::Relaxed);
+        self.maintenance
+            .daemon_checkpoints
+            .store(0, Ordering::Relaxed);
     }
 }
 
@@ -189,6 +277,18 @@ pub struct StatsSnapshot {
     pub huge_page_faults: u64,
     /// Number of kernel traps (system calls) taken.
     pub kernel_traps: u64,
+    /// Staging files created inline on the foreground write path.
+    pub staging_inline_creates: u64,
+    /// Staging files created by a background maintenance worker.
+    pub staging_bg_creates: u64,
+    /// Invocations of the batched relink entry point.
+    pub batched_relinks: u64,
+    /// Total relink operations (coalesced staged runs) across all batches.
+    pub relink_batch_ops: u64,
+    /// Operation-log group commits (multiple entries, one fence).
+    pub oplog_group_commits: u64,
+    /// Background checkpoints completed by a maintenance worker.
+    pub daemon_checkpoints: u64,
 }
 
 impl StatsSnapshot {
@@ -243,8 +343,26 @@ impl StatsSnapshot {
         out.flushes = out.flushes.saturating_sub(earlier.flushes);
         out.fences = out.fences.saturating_sub(earlier.fences);
         out.page_faults = out.page_faults.saturating_sub(earlier.page_faults);
-        out.huge_page_faults = out.huge_page_faults.saturating_sub(earlier.huge_page_faults);
+        out.huge_page_faults = out
+            .huge_page_faults
+            .saturating_sub(earlier.huge_page_faults);
         out.kernel_traps = out.kernel_traps.saturating_sub(earlier.kernel_traps);
+        out.staging_inline_creates = out
+            .staging_inline_creates
+            .saturating_sub(earlier.staging_inline_creates);
+        out.staging_bg_creates = out
+            .staging_bg_creates
+            .saturating_sub(earlier.staging_bg_creates);
+        out.batched_relinks = out.batched_relinks.saturating_sub(earlier.batched_relinks);
+        out.relink_batch_ops = out
+            .relink_batch_ops
+            .saturating_sub(earlier.relink_batch_ops);
+        out.oplog_group_commits = out
+            .oplog_group_commits
+            .saturating_sub(earlier.oplog_group_commits);
+        out.daemon_checkpoints = out
+            .daemon_checkpoints
+            .saturating_sub(earlier.daemon_checkpoints);
         out
     }
 }

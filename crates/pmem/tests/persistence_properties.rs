@@ -24,8 +24,11 @@ fn action_strategy() -> impl Strategy<Value = Action> {
     prop_oneof![
         (off.clone(), len.clone(), any::<u8>())
             .prop_map(|(offset, len, value)| Action::WriteTemporal { offset, len, value }),
-        (off.clone(), len.clone(), any::<u8>())
-            .prop_map(|(offset, len, value)| Action::WriteNt { offset, len, value }),
+        (off.clone(), len.clone(), any::<u8>()).prop_map(|(offset, len, value)| Action::WriteNt {
+            offset,
+            len,
+            value
+        }),
         (off, len).prop_map(|(offset, len)| Action::Flush { offset, len }),
         Just(Action::Fence),
     ]

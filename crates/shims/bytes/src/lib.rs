@@ -1,0 +1,200 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the serialization surface `apps::waldb` uses: [`BytesMut`]
+//! as a growable little-endian builder (via [`BufMut`]) and [`Buf`] as a
+//! consuming cursor implemented for `&[u8]`.
+
+#![warn(missing_docs)]
+
+/// An immutable chunk of bytes (thin wrapper over `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Copies the contents into a plain `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A cursor over a buffer of bytes, consumed front to back.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes.  Panics when fewer remain.
+    fn advance(&mut self, n: usize);
+
+    /// Copies the next `len` bytes out, consuming them.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+
+    /// Reads the next byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads the next little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Reads the next little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads the next little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "Buf::advance past end");
+        *self = &self[n..];
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes(self[..len].to_vec());
+        self.advance(len);
+        out
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self[..2].try_into().expect("two bytes"));
+        self.advance(2);
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().expect("four bytes"));
+        self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self[..8].try_into().expect("eight bytes"));
+        self.advance(8);
+        v
+    }
+}
+
+/// A sink for serialized bytes.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Appends a slice verbatim.
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+/// A growable byte buffer (thin wrapper over `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Creates an empty buffer with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self(Vec::with_capacity(cap))
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copies the contents into a plain `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+
+    /// Empties the buffer, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.0.extend_from_slice(v);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Self {
+        b.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_builder_and_cursor() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u16_le(300);
+        b.put_u64_le(1 << 40);
+        b.put_slice(b"xyz");
+        let mut cursor = &b[..];
+        assert_eq!(cursor.remaining(), 1 + 2 + 8 + 3);
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u16_le(), 300);
+        assert_eq!(cursor.get_u64_le(), 1 << 40);
+        cursor.advance(3);
+        assert_eq!(cursor.remaining(), 0);
+    }
+}

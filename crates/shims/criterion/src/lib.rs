@@ -1,0 +1,149 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the benches use — `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`, `Bencher::iter`
+//! and the `criterion_group!`/`criterion_main!` macros — with a simple
+//! timed runner: each benchmark is warmed up briefly, then run for a fixed
+//! number of samples whose median time per iteration is printed.  There is
+//! no statistical analysis or HTML report; the point is that
+//! `cargo bench` compiles and produces comparable numbers offline.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites can use `criterion::black_box` too.
+pub use std::hint::black_box;
+
+/// The benchmark context handed to registered functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: find an iteration count that takes a measurable slice of
+        // time (at least ~2 ms per sample) without running forever.
+        let mut iters = 1u64;
+        loop {
+            bencher.iters = iters;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let best = samples_ns.first().copied().unwrap_or(median);
+        println!(
+            "  {id}: median {median:.1} ns/iter (best {best:.1} ns/iter, {iters} iters/sample)"
+        );
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the sample's iteration count, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_the_closure_and_times_it() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        let mut count = 0u64;
+        group.sample_size(2).bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

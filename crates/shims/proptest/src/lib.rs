@@ -1,0 +1,424 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`, strategies for
+//! integer ranges, tuples, [`Just`], `any::<T>()`, `prop::collection::vec`
+//! and `prop_oneof!`, plus the [`proptest!`] test macro, `prop_assert!`
+//! assertions and [`ProptestConfig`].  Cases are generated from a
+//! deterministic per-test seed; there is no shrinking — a failing case
+//! panics with the case number so it can be reproduced by rerunning.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T` (`any::<u8>()`, ...).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u128) - (start as u128) + 1;
+                start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_for_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_strategy_for_tuple!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Strategy combinators that need named types.
+pub mod strategy {
+    use super::{Strategy, TestRng};
+    use rand::RngCore;
+
+    /// A boxed, object-safe strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    /// Boxes a strategy (helper used by `prop_oneof!`).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        Box::new(s)
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Uniform choice between several strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Creates a union over `options`; each case picks one uniformly.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::RngCore;
+
+        /// Accepted size arguments for [`vec`]: an exact length or a
+        /// half-open range of lengths.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            min: usize,
+            max_exclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self {
+                    min: n,
+                    max_exclusive: n + 1,
+                }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty vec size range");
+                Self {
+                    min: r.start,
+                    max_exclusive: r.end,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                Self {
+                    min: *r.start(),
+                    max_exclusive: *r.end() + 1,
+                }
+            }
+        }
+
+        /// Strategy generating `Vec`s of values from an element strategy.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors whose length is drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.max_exclusive - self.size.min) as u64;
+                let len = self.size.min + (rng.next_u64() % span.max(1)) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Runs one property: `cases` seeded executions of `body`.
+///
+/// Called by the [`proptest!`] macro; public so the macro expansion can
+/// reach it.  The per-test seed mixes the property name so different
+/// properties see different streams, and the case index is reported on
+/// failure.
+pub fn run_proptest(
+    config: ProptestConfig,
+    name: &str,
+    mut body: impl FnMut(&mut TestRng) -> Result<(), String>,
+) {
+    use rand::SeedableRng;
+    let name_seed: u64 = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    });
+    for case in 0..config.cases {
+        let mut rng =
+            TestRng::seed_from_u64(name_seed ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        if let Err(msg) = body(&mut rng) {
+            panic!(
+                "property '{name}' failed on case {case}/{}: {msg}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Declares property tests, mirroring proptest's macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg); $($rest)*);
+    };
+    (@funcs ($cfg:expr); $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_proptest($cfg, stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                result
+            });
+        }
+        $crate::proptest!(@funcs ($cfg); $($rest)*);
+    };
+    (@funcs ($cfg:expr);) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Fails the enclosing property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` != `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left: {:?}\n right: {:?}", format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Fails the enclosing property when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` == `{}` (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategy expressions.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![ $( $crate::strategy::boxed($strat) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Sanity: generated values respect their strategies.
+        #[test]
+        fn generated_values_respect_strategies(
+            small in 1u8..5,
+            items in prop::collection::vec(any::<u16>(), 2..6),
+            tagged in prop_oneof![
+                (0u32..10).prop_map(|v| ("low", v)),
+                Just(("fixed", 99u32)),
+            ],
+        ) {
+            prop_assert!((1..5).contains(&small));
+            prop_assert!((2..6).contains(&items.len()));
+            prop_assert!(tagged.0 == "low" || tagged.1 == 99);
+            prop_assert_eq!(items.len(), items.len());
+            prop_assert_ne!(items.len(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failing_property_panics_with_case_number() {
+        super::run_proptest(ProptestConfig::with_cases(3), "always_fails", |_rng| {
+            Err("nope".to_string())
+        });
+    }
+}

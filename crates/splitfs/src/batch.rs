@@ -1,0 +1,310 @@
+//! Relink batching: turning staged extents into one batched kernel call.
+//!
+//! The seed applied each staged run with its own `ioctl_relink` call — one
+//! kernel trap and one journal transaction per run.  This module plans the
+//! work instead: staged extents are coalesced into runs, each run is split
+//! into a block-aligned middle (moved with zero copies) and unaligned
+//! head/tail bytes (copied), and every aligned middle of every run becomes
+//! one [`RelinkOp`] in a single [`kernelfs::Ext4Dax::ioctl_relink_batch`]
+//! submission.  One journal transaction then covers the whole `fsync` — or,
+//! when the [maintenance daemon](crate::daemon) checkpoints in the
+//! background, many files' worth of staged data at once.
+
+use kernelfs::{RelinkOp, BLOCK_SIZE};
+use vfs::Fd;
+
+use crate::state::StagedExtent;
+
+/// A group of staged extents that are contiguous in both the target file
+/// and the staging file, so they can be applied with a single relink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagedRun {
+    /// Offset of the run within the target file.
+    pub target_offset: u64,
+    /// Kernel descriptor of the staging file holding the run's bytes.
+    pub staging_fd: Fd,
+    /// Offset of the run within the staging file.
+    pub staging_offset: u64,
+    /// Device offset of the run (staging files are pre-mapped).
+    pub device_offset: u64,
+    /// Length of the run in bytes.
+    pub len: u64,
+    /// Highest operation-log sequence number the run covers.
+    pub max_seq: u64,
+}
+
+/// Coalesces staged extents (in operation order) into maximal runs.
+pub fn coalesce(staged: &[StagedExtent]) -> Vec<StagedRun> {
+    let mut runs: Vec<StagedRun> = Vec::new();
+    for ext in staged {
+        if let Some(last) = runs.last_mut() {
+            let contiguous_target = last.target_offset + last.len == ext.target_offset;
+            let contiguous_staging = last.staging_fd == ext.staging_fd
+                && last.staging_offset + last.len == ext.staging_offset;
+            if contiguous_target && contiguous_staging {
+                last.len += ext.len;
+                last.max_seq = last.max_seq.max(ext.seq);
+                continue;
+            }
+        }
+        runs.push(StagedRun {
+            target_offset: ext.target_offset,
+            staging_fd: ext.staging_fd,
+            staging_offset: ext.staging_offset,
+            device_offset: ext.device_offset,
+            len: ext.len,
+            max_seq: ext.seq,
+        });
+    }
+    runs
+}
+
+/// Partitions `runs` (in operation order) into *generations*: contiguous
+/// groups whose target ranges are mutually disjoint.  A run overwriting a
+/// range that an earlier run of the current group already covers starts a
+/// new generation.
+///
+/// Each generation can be applied with one batched relink (the kernel
+/// rejects overlapping ranges within a batch); applying the generations
+/// **in order** preserves last-writer-wins semantics for overwrites — in
+/// strict mode the same file range is routinely staged more than once
+/// between fsyncs.
+pub fn generations(runs: &[StagedRun]) -> Vec<&[StagedRun]> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for i in 0..runs.len() {
+        let overlaps_current = runs[start..i].iter().any(|prev| {
+            prev.target_offset < runs[i].target_offset + runs[i].len
+                && runs[i].target_offset < prev.target_offset + prev.len
+        });
+        if overlaps_current {
+            out.push(&runs[start..i]);
+            start = i;
+        }
+    }
+    if start < runs.len() {
+        out.push(&runs[start..]);
+    }
+    out
+}
+
+/// A byte span that must be copied into the target through the kernel
+/// write path (unaligned head/tail bytes, or whole runs when relink is
+/// disabled or the staging phase does not match).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopySpan {
+    /// Device offset the bytes are read from (staging blocks).
+    pub device_offset: u64,
+    /// Target-file offset the bytes are written to.
+    pub target_offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// A staging mapping retained for the target file's mmap collection: after
+/// the relink the physical blocks that backed the staging range back the
+/// target range, so reads keep hitting them without new page faults
+/// (paper Figure 2, step 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetainedMapping {
+    /// Target-file offset the mapping now serves.
+    pub target_offset: u64,
+    /// Device offset of the physical blocks.
+    pub device_offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// Everything needed to apply a file's staged runs.
+#[derive(Debug, Default)]
+pub struct RelinkPlan {
+    /// Block moves, submitted through `ioctl_relink_batch`.
+    pub ops: Vec<RelinkOp>,
+    /// Byte spans applied by copying.
+    pub copies: Vec<CopySpan>,
+    /// Mappings to retain in the target's collection after the moves.
+    pub retained: Vec<RetainedMapping>,
+}
+
+impl RelinkPlan {
+    /// Whether the plan does nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty() && self.copies.is_empty()
+    }
+}
+
+/// Plans the application of `runs` to the target file behind `target_fd`.
+///
+/// With `use_relink`, every run's block-aligned middle becomes a
+/// [`RelinkOp`] and only unaligned head/tail bytes (or phase-mismatched
+/// runs) are copied; without it (the Figure 3 ablation) everything is
+/// copied.
+pub fn plan(runs: &[StagedRun], target_fd: Fd, use_relink: bool) -> RelinkPlan {
+    let block = BLOCK_SIZE as u64;
+    let mut plan = RelinkPlan::default();
+    for run in runs {
+        if !use_relink {
+            plan.copies.push(CopySpan {
+                device_offset: run.device_offset,
+                target_offset: run.target_offset,
+                len: run.len,
+            });
+            continue;
+        }
+        let t_start = run.target_offset;
+        let t_end = run.target_offset + run.len;
+        let aligned_start = t_start.div_ceil(block) * block;
+        let aligned_end = (t_end / block) * block;
+
+        // The staging allocation was phase-aligned with the target, so the
+        // aligned target range corresponds to an aligned staging range.
+        let phase_matches = run.staging_offset % block == t_start % block;
+
+        if phase_matches && aligned_end > aligned_start {
+            let head = aligned_start - t_start;
+            let len = aligned_end - aligned_start;
+            plan.ops.push(RelinkOp {
+                src_fd: run.staging_fd,
+                src_offset: run.staging_offset + head,
+                dst_fd: target_fd,
+                dst_offset: aligned_start,
+                len,
+            });
+            plan.retained.push(RetainedMapping {
+                target_offset: aligned_start,
+                device_offset: run.device_offset + head,
+                len,
+            });
+            if head > 0 {
+                plan.copies.push(CopySpan {
+                    device_offset: run.device_offset,
+                    target_offset: t_start,
+                    len: head,
+                });
+            }
+            let tail = t_end - aligned_end;
+            if tail > 0 {
+                plan.copies.push(CopySpan {
+                    device_offset: run.device_offset + (aligned_end - t_start),
+                    target_offset: aligned_end,
+                    len: tail,
+                });
+            }
+        } else {
+            // Fully unaligned (sub-block) run: copy it.
+            plan.copies.push(CopySpan {
+                device_offset: run.device_offset,
+                target_offset: run.target_offset,
+                len: run.len,
+            });
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ext(target: u64, staging: u64, len: u64, seq: u64) -> StagedExtent {
+        StagedExtent {
+            target_offset: target,
+            len,
+            staging_ino: 70,
+            staging_fd: 10,
+            staging_offset: staging,
+            device_offset: 1_000_000 + staging,
+            seq,
+        }
+    }
+
+    #[test]
+    fn contiguous_staged_extents_coalesce_into_one_run() {
+        let staged = vec![
+            ext(0, 0, 4096, 1),
+            ext(4096, 4096, 4096, 2),
+            ext(8192, 8192, 4096, 3),
+        ];
+        let runs = coalesce(&staged);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len, 12288);
+        assert_eq!(runs[0].max_seq, 3);
+    }
+
+    #[test]
+    fn gaps_in_target_or_staging_split_runs() {
+        // Gap in the target range.
+        let staged = vec![ext(0, 0, 4096, 1), ext(8192, 4096, 4096, 2)];
+        assert_eq!(coalesce(&staged).len(), 2);
+        // Gap in the staging range.
+        let staged = vec![ext(0, 0, 4096, 1), ext(4096, 8192, 4096, 2)];
+        assert_eq!(coalesce(&staged).len(), 2);
+    }
+
+    #[test]
+    fn overlapping_runs_split_into_ordered_generations() {
+        // Two overwrites of [0, 4096) with a disjoint run between them.
+        let runs = coalesce(&[
+            ext(0, 0, 4096, 1),
+            ext(8192, 4096, 4096, 2),
+            ext(0, 8192, 4096, 3),
+        ]);
+        assert_eq!(runs.len(), 3);
+        let gens = generations(&runs);
+        assert_eq!(gens.len(), 2, "overwrite of the same range splits");
+        assert_eq!(gens[0].len(), 2);
+        assert_eq!(gens[1].len(), 1);
+        assert_eq!(gens[1][0].max_seq, 3, "the later write lands last");
+
+        // Disjoint runs stay in one generation.
+        let runs = coalesce(&[ext(0, 0, 4096, 1), ext(8192, 4096, 4096, 2)]);
+        assert_eq!(generations(&runs).len(), 1);
+        assert!(generations(&[]).is_empty());
+    }
+
+    #[test]
+    fn aligned_runs_become_pure_relink_ops() {
+        let runs = coalesce(&[ext(0, 0, 8192, 1), ext(16384, 16384, 4096, 2)]);
+        let plan = plan(&runs, 42, true);
+        assert_eq!(plan.ops.len(), 2);
+        assert!(plan.copies.is_empty());
+        assert_eq!(plan.retained.len(), 2);
+        assert_eq!(plan.ops[0].dst_fd, 42);
+        assert_eq!(plan.ops[0].len, 8192);
+        assert_eq!(plan.ops[1].dst_offset, 16384);
+    }
+
+    #[test]
+    fn unaligned_head_and_tail_are_copied() {
+        // Run covering [100, 8292): head [100, 4096), middle [4096, 8192),
+        // tail [8192, 8292).
+        let runs = coalesce(&[ext(100, 100, 8192, 5)]);
+        let plan = plan(&runs, 7, true);
+        assert_eq!(plan.ops.len(), 1);
+        assert_eq!(plan.ops[0].dst_offset, 4096);
+        assert_eq!(plan.ops[0].len, 4096);
+        assert_eq!(plan.copies.len(), 2);
+        assert_eq!(plan.copies[0].len, 4096 - 100);
+        assert_eq!(plan.copies[1].target_offset, 8192);
+        assert_eq!(plan.copies[1].len, 100);
+    }
+
+    #[test]
+    fn phase_mismatch_falls_back_to_copy() {
+        // Target offset aligned but staging offset is not congruent.
+        let mut e = ext(0, 100, 4096, 1);
+        e.staging_offset = 100;
+        let plan = plan(&coalesce(&[e]), 7, true);
+        assert!(plan.ops.is_empty());
+        assert_eq!(plan.copies.len(), 1);
+    }
+
+    #[test]
+    fn relink_disabled_copies_everything() {
+        let runs = coalesce(&[ext(0, 0, 8192, 1)]);
+        let plan = plan(&runs, 7, false);
+        assert!(plan.ops.is_empty());
+        assert_eq!(plan.copies.len(), 1);
+        assert_eq!(plan.copies[0].len, 8192);
+    }
+}

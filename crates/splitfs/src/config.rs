@@ -2,6 +2,60 @@
 
 use crate::modes::Mode;
 
+/// Configuration of the background maintenance daemon (paper §3.3: staging
+/// pre-allocation and garbage collection happen "on a background thread").
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonConfig {
+    /// Whether maintenance workers run at all.  With this off, staging
+    /// replenishment, log truncation and relink all happen inline on the
+    /// foreground paths (the seed's behaviour, kept for ablation).
+    pub enabled: bool,
+    /// Number of maintenance worker threads.
+    pub workers: usize,
+    /// When fewer than this many unconsumed staging files remain, a worker
+    /// starts provisioning replacements.
+    pub staging_low_watermark: usize,
+    /// Workers provision until this many unconsumed staging files exist.
+    pub staging_high_watermark: usize,
+    /// Maximum number of relink ops submitted per `ioctl_relink_batch`
+    /// call; larger batches amortize the journal transaction further but
+    /// hold the kernel lock longer.
+    pub relink_batch_size: usize,
+    /// When the operation log passes this fill fraction, a worker performs
+    /// a background checkpoint (batched relink of every dirty file plus a
+    /// group-commit truncate of the log) so the foreground never hits a
+    /// full log.
+    pub oplog_checkpoint_fraction: f64,
+}
+
+impl DaemonConfig {
+    /// Daemon enabled with the scaled-down defaults.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            workers: 1,
+            staging_low_watermark: 1,
+            staging_high_watermark: 3,
+            relink_batch_size: 64,
+            oplog_checkpoint_fraction: 0.5,
+        }
+    }
+
+    /// Daemon disabled: all maintenance happens inline (ablation mode).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::enabled()
+        }
+    }
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self::enabled()
+    }
+}
+
 /// Configuration of a U-Split instance.
 ///
 /// The defaults follow the paper but are scaled down to fit the emulated
@@ -31,6 +85,8 @@ pub struct SplitConfig {
     pub use_relink: bool,
     /// Pre-fault mappings when they are created (`MAP_POPULATE`).
     pub populate_mmaps: bool,
+    /// Background maintenance daemon parameters.
+    pub daemon: DaemonConfig,
 }
 
 impl SplitConfig {
@@ -46,6 +102,7 @@ impl SplitConfig {
             use_staging: true,
             use_relink: true,
             populate_mmaps: true,
+            daemon: DaemonConfig::default(),
         }
     }
 
@@ -61,6 +118,7 @@ impl SplitConfig {
             use_staging: true,
             use_relink: true,
             populate_mmaps: true,
+            daemon: DaemonConfig::default(),
         }
     }
 
@@ -99,6 +157,26 @@ impl SplitConfig {
         self
     }
 
+    /// Replaces the daemon configuration wholesale.
+    pub fn with_daemon(mut self, daemon: DaemonConfig) -> Self {
+        self.daemon = daemon;
+        self
+    }
+
+    /// Disables the background maintenance daemon (ablation: the seed's
+    /// inline-maintenance behaviour).
+    pub fn without_daemon(mut self) -> Self {
+        self.daemon.enabled = false;
+        self
+    }
+
+    /// Sets the staging-pool watermarks the daemon provisions between.
+    pub fn with_staging_watermarks(mut self, low: usize, high: usize) -> Self {
+        self.daemon.staging_low_watermark = low.max(1);
+        self.daemon.staging_high_watermark = high.max(low.max(1) + 1);
+        self
+    }
+
     /// Maximum number of 64-byte entries the operation log can hold.
     pub fn oplog_capacity(&self) -> u64 {
         self.oplog_size / 64
@@ -131,6 +209,20 @@ mod tests {
         assert_eq!(c.mmap_size, 2 * 1024 * 1024);
         let c = SplitConfig::new(Mode::Posix).with_mmap_size(u64::MAX);
         assert_eq!(c.mmap_size, 512 * 1024 * 1024);
+    }
+
+    #[test]
+    fn daemon_defaults_and_builders() {
+        let c = SplitConfig::new(Mode::Strict);
+        assert!(c.daemon.enabled, "daemon is on by default");
+        let c = SplitConfig::new(Mode::Strict).without_daemon();
+        assert!(!c.daemon.enabled);
+        let c = SplitConfig::new(Mode::Posix).with_staging_watermarks(2, 2);
+        assert_eq!(c.daemon.staging_low_watermark, 2);
+        assert!(
+            c.daemon.staging_high_watermark > c.daemon.staging_low_watermark,
+            "high watermark stays above low"
+        );
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! The U-Split background maintenance daemon.
+//!
+//! The SplitFS paper (§3.3) moves staging-file pre-allocation and
+//! log/staging garbage collection off the critical path onto a background
+//! thread; this module is that subsystem.  One or more worker threads,
+//! owned by a [`MaintenanceDaemon`] attached to a [`SplitFs`] instance,
+//! perform three kinds of work:
+//!
+//! 1. **Asynchronous staging provisioning** — when the
+//!    [`StagingPool`](crate::staging::StagingPool) drops below its low
+//!    watermark, workers create and map fresh staging files until the high
+//!    watermark is restored, so [`StagingPool::take`] never has to fall
+//!    back to inline file creation under load.
+//! 2. **Batched background relink** — files that accumulate many staged
+//!    extents are relinked in the background through
+//!    [`kernelfs::Ext4Dax::ioctl_relink_batch`], shrinking the work left
+//!    for the next foreground `fsync`.
+//! 3. **Operation-log group-commit and truncation** — once the log passes
+//!    its configured fill fraction, a worker checkpoints: it quiesces every
+//!    cached file (all state locks held), relinks their staged data,
+//!    group-commits the resulting `Invalidate` markers under a single
+//!    fence, and truncates the log by re-zeroing only its used prefix.
+//!    The foreground `NoSpace` fallback still exists but becomes
+//!    practically unreachable.
+//!
+//! Work arrives two ways: foreground paths *nudge* the daemon when they
+//! observe a watermark or threshold crossing, and workers also wake on a
+//! periodic tick so maintenance happens even without nudges.  The daemon
+//! holds only a [`Weak`] reference to its file system; a worker upgrades
+//! it for the duration of one task, so an in-flight task briefly keeps
+//! the instance alive after the application drops its last handle — the
+//! instance's `Drop` (and the worker join) then runs when that task
+//! finishes.  No thread ever outlives the instance or touches a
+//! torn-down one; callers that need *all* background work finished at a
+//! known point (e.g. before simulating a crash) use
+//! [`SplitFs::maintenance_quiesce`].
+//!
+//! Crash safety: every background relink goes through the same journaled,
+//! atomic kernel primitive as a foreground `fsync`, and recovery
+//! ([`crate::recovery`]) treats relinked staging ranges (holes) and
+//! `Invalidate` markers identically whether the relink was foreground or
+//! background — a crash before, during, or after a background batch
+//! produces identical recovered file contents.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Weak};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::config::DaemonConfig;
+use crate::fs::SplitFs;
+use crate::state::FileState;
+
+/// How often an idle worker wakes to poll watermarks without a nudge.
+const TICK: Duration = Duration::from_millis(1);
+
+/// How many times a checkpoint retries acquiring a contended file-state
+/// lock before giving up the round (it retries on a later tick).
+const CHECKPOINT_LOCK_RETRIES: u32 = 200;
+
+/// One unit of background maintenance work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Provision staging files until the high watermark is restored.
+    ProvisionStaging,
+    /// Relink the staged extents of the file with this inode.
+    RelinkFile(u64),
+    /// Relink every cached file and truncate the operation log.
+    Checkpoint,
+}
+
+#[derive(Debug, Default)]
+struct Queue {
+    tasks: VecDeque<Task>,
+    in_flight: usize,
+    shutdown: bool,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when work is submitted or shutdown is requested.
+    work: Condvar,
+    /// Signalled when the queue drains and no task is in flight.
+    idle: Condvar,
+}
+
+/// Handle to the worker threads of one U-Split instance.
+pub struct MaintenanceDaemon {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MaintenanceDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintenanceDaemon")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl MaintenanceDaemon {
+    /// Starts `config.workers` maintenance threads for `fs`.
+    ///
+    /// Workers hold only a weak reference: they cannot keep the instance
+    /// alive, and they exit as soon as it is gone or shutdown is signalled.
+    pub(crate) fn start(fs: &Arc<SplitFs>, config: &DaemonConfig) -> Self {
+        let shared = Arc::new(Shared::default());
+        let mut workers = Vec::new();
+        for i in 0..config.workers.max(1) {
+            let weak = Arc::downgrade(fs);
+            let shared_handle = Arc::clone(&shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("usplit-maint-{i}"))
+                    .spawn(move || worker_loop(weak, shared_handle))
+                    .expect("spawn maintenance worker"),
+            );
+        }
+        Self { shared, workers }
+    }
+
+    /// Enqueues `task` unless an identical task is already queued.
+    pub(crate) fn submit(&self, task: Task) {
+        let mut q = self.shared.queue.lock();
+        if q.shutdown || q.tasks.contains(&task) {
+            return;
+        }
+        q.tasks.push_back(task);
+        drop(q);
+        self.shared.work.notify_one();
+    }
+
+    /// A clonable handle used to wait for idleness without holding the
+    /// owner's daemon mutex.
+    pub(crate) fn shared_handle(&self) -> Arc<Shared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Blocks until the queue is empty and no task is in flight.
+    pub(crate) fn wait_idle(shared: &Arc<Shared>) {
+        let mut q = shared.queue.lock();
+        while !q.shutdown && (!q.tasks.is_empty() || q.in_flight > 0) {
+            shared.idle.wait(&mut q);
+        }
+    }
+
+    fn shutdown(&mut self) {
+        {
+            let mut q = self.shared.queue.lock();
+            q.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        self.shared.idle.notify_all();
+        let me = thread::current().id();
+        for handle in self.workers.drain(..) {
+            // A worker can be the thread dropping the last Arc<SplitFs>
+            // (and therefore the daemon); it must not join itself.
+            if handle.thread().id() != me {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for MaintenanceDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(fs: Weak<SplitFs>, shared: Arc<Shared>) {
+    loop {
+        // Wait for a nudge, a tick timeout, or shutdown.
+        let task = {
+            let mut q = shared.queue.lock();
+            loop {
+                if q.shutdown {
+                    return;
+                }
+                if let Some(task) = q.tasks.pop_front() {
+                    q.in_flight += 1;
+                    break Some(task);
+                }
+                let timed_out = shared.work.wait_for(&mut q, TICK).timed_out();
+                if q.shutdown {
+                    return;
+                }
+                if timed_out {
+                    q.in_flight += 1;
+                    break None; // periodic tick
+                }
+            }
+        };
+
+        let alive = match fs.upgrade() {
+            Some(fs) => {
+                match task {
+                    Some(Task::ProvisionStaging) | None => fs.maintenance_tick(),
+                    Some(Task::RelinkFile(ino)) => fs.background_relink(ino),
+                    Some(Task::Checkpoint) => fs.background_checkpoint(),
+                }
+                true
+            }
+            None => false,
+        };
+
+        {
+            let mut q = shared.queue.lock();
+            q.in_flight -= 1;
+            if q.tasks.is_empty() && q.in_flight == 0 {
+                shared.idle.notify_all();
+            }
+        }
+        if !alive {
+            return;
+        }
+    }
+}
+
+impl SplitFs {
+    /// One maintenance pass: restore the staging watermarks, then
+    /// checkpoint if the operation log is past its threshold.  Runs on a
+    /// worker for every tick and every [`Task::ProvisionStaging`] nudge.
+    pub(crate) fn maintenance_tick(&self) {
+        use std::sync::atomic::Ordering;
+        let cfg = &self.config.daemon;
+        if self.config.use_staging && self.staging.needs_provisioning(cfg.staging_low_watermark) {
+            while self.staging.unconsumed_files() < cfg.staging_high_watermark {
+                if self.staging.provision_one().is_err() {
+                    // Device full or similar: the foreground inline path
+                    // will surface the error to the application.
+                    break;
+                }
+            }
+        }
+        // Re-arm the foreground's provisioning nudge after the pool is
+        // refilled (or found healthy).
+        self.provision_nudged.store(false, Ordering::Relaxed);
+        if let Some(oplog) = self.oplog.as_ref() {
+            if oplog.utilization() >= cfg.oplog_checkpoint_fraction {
+                self.background_checkpoint();
+            }
+        }
+    }
+
+    /// Background relink of one file's staged extents (batched through
+    /// `ioctl_relink_batch` like every relink).  Errors are swallowed: the
+    /// staged data stays staged and the next foreground `fsync` retries
+    /// and reports them.
+    pub(crate) fn background_relink(&self, ino: u64) {
+        let state = self.files.read().get(&ino).cloned();
+        if let Some(state) = state {
+            let mut st = state.write();
+            if !st.staged.is_empty() {
+                let _ = self.relink_file(&mut st);
+            }
+        }
+    }
+
+    /// Background checkpoint; counted in the device statistics when the
+    /// quiesced pass actually ran.
+    pub(crate) fn background_checkpoint(&self) {
+        let ran = self.checkpoint_quiesced();
+        // Re-arm the foreground's checkpoint nudge either way: on success
+        // utilization is back to zero; on give-up a later append re-nudges
+        // and a later tick retries.
+        self.checkpoint_nudged
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+        if ran {
+            self.device.stats().add_daemon_checkpoint();
+        }
+    }
+
+    /// The safe checkpoint: quiesces every cached file by holding **all**
+    /// file-state write locks (plus the registry read lock, so no new file
+    /// can be opened mid-pass), relinks all staged data, group-commits the
+    /// `Invalidate` markers under one fence, and truncates the log.
+    ///
+    /// Holding every lock across the truncate closes the seed's race in
+    /// which a concurrent writer's fresh log entry could be zeroed before
+    /// its data was relinked.  Locks are acquired in inode order with
+    /// bounded retries; under contention the pass gives up and returns
+    /// `false` (a later tick retries), so it can never deadlock against
+    /// foreground writers.
+    pub(crate) fn checkpoint_quiesced(&self) -> bool {
+        self.checkpoint_quiesced_with(None, CHECKPOINT_LOCK_RETRIES)
+    }
+
+    /// Quiesced checkpoint, parameterized for the log-full path: `current`
+    /// is a file whose write lock the caller already holds (it is relinked
+    /// through the reference instead of re-locked), and `retries` bounds
+    /// the per-lock acquisition attempts.
+    ///
+    /// Every lock here is acquired with `try_*` when the caller holds a
+    /// state lock — including the registry read lock, because a blocked
+    /// `open` may hold the registry write lock while waiting on a state
+    /// lock the caller owns.  Never blocking while holding locks is what
+    /// makes this path deadlock-free by construction.
+    pub(crate) fn checkpoint_quiesced_with(
+        &self,
+        current: Option<&mut FileState>,
+        retries: u32,
+    ) -> bool {
+        let under_state_lock = current.is_some();
+        let files = if under_state_lock {
+            match self.files.try_read() {
+                Some(guard) => guard,
+                None => return false,
+            }
+        } else {
+            self.files.read()
+        };
+        let current_ino = current.as_ref().map(|c| c.ino);
+        let mut entries: Vec<(u64, Arc<RwLock<FileState>>)> = files
+            .iter()
+            .filter(|(ino, _)| Some(**ino) != current_ino)
+            .map(|(ino, st)| (*ino, Arc::clone(st)))
+            .collect();
+        entries.sort_by_key(|(ino, _)| *ino);
+
+        let mut guards = Vec::with_capacity(entries.len());
+        for (_, state) in &entries {
+            let mut attempts = 0;
+            loop {
+                if let Some(guard) = state.try_write() {
+                    guards.push(guard);
+                    break;
+                }
+                attempts += 1;
+                if attempts > retries {
+                    return false; // contended: the caller retries later
+                }
+                thread::sleep(Duration::from_micros(20));
+            }
+        }
+
+        let mut deferred = Vec::new();
+        for guard in guards.iter_mut() {
+            if !guard.staged.is_empty()
+                && self
+                    .relink_file_deferring(&mut *guard, &mut deferred)
+                    .is_err()
+            {
+                // A failed relink leaves that file's data staged and its
+                // log entries live; skip the truncate and let the
+                // foreground path surface the error.
+                return false;
+            }
+        }
+        if let Some(st) = current {
+            if !st.staged.is_empty() && self.relink_file_deferring(st, &mut deferred).is_err() {
+                return false;
+            }
+        }
+        if let Some(oplog) = self.oplog.as_ref() {
+            // The markers are an optimization (recovery also skips
+            // relinked entries because their staging ranges are holes), so
+            // a full log just drops them.
+            let _ = oplog.append_batch(&deferred);
+            oplog.reset();
+        }
+        true
+    }
+}

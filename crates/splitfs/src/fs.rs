@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use kernelfs::{Ext4Dax, BLOCK_SIZE};
 use pmem::{AccessPattern, PersistMode, PmemDevice, TimeCategory};
@@ -27,6 +27,7 @@ use vfs::{
 };
 
 use crate::config::SplitConfig;
+use crate::daemon::{MaintenanceDaemon, Task};
 use crate::modes::Mode;
 use crate::oplog::{LogEntry, LogOp, OpLog};
 use crate::recovery;
@@ -49,6 +50,19 @@ pub struct SplitFs {
     pub(crate) fds: RwLock<FdTable>,
     pub(crate) staging: StagingPool,
     pub(crate) oplog: Option<OpLog>,
+    /// Background maintenance workers (None when disabled by config).
+    /// Behind a mutex so `Drop` can take and join them.
+    pub(crate) daemon: Mutex<Option<MaintenanceDaemon>>,
+    /// Serializes [`SplitFs::grow_oplog`]'s extend/zero/install sequence:
+    /// without it a stale grower could zero a region a concurrent grower
+    /// already handed to appenders, or ftruncate the file back down.
+    grow_lock: Mutex<()>,
+    /// Set when a checkpoint nudge is outstanding, so the append hot path
+    /// can skip the daemon mutexes while utilization stays above the
+    /// threshold.  Cleared by the worker when the checkpoint runs.
+    pub(crate) checkpoint_nudged: std::sync::atomic::AtomicBool,
+    /// Same, for staging-provisioning nudges.
+    pub(crate) provision_nudged: std::sync::atomic::AtomicBool,
 }
 
 impl std::fmt::Debug for SplitFs {
@@ -110,7 +124,7 @@ impl SplitFs {
             None
         };
 
-        Ok(Arc::new(Self {
+        let fs = Arc::new(Self {
             kernel,
             device,
             config,
@@ -118,12 +132,49 @@ impl SplitFs {
             fds: RwLock::new(FdTable::new()),
             staging,
             oplog,
-        }))
+            daemon: Mutex::new(None),
+            grow_lock: Mutex::new(()),
+            checkpoint_nudged: std::sync::atomic::AtomicBool::new(false),
+            provision_nudged: std::sync::atomic::AtomicBool::new(false),
+        });
+        if fs.config.daemon.enabled && fs.config.use_staging {
+            *fs.daemon.lock() = Some(MaintenanceDaemon::start(&fs, &fs.config.daemon));
+        }
+        Ok(fs)
     }
 
     /// The mode this instance runs in.
     pub fn mode(&self) -> Mode {
         self.config.mode
+    }
+
+    /// Whether background maintenance workers are running.
+    pub fn daemon_running(&self) -> bool {
+        self.daemon.lock().is_some()
+    }
+
+    /// The staging pool (exposed for experiments and tests that assert on
+    /// provisioning behaviour).
+    pub fn staging_pool(&self) -> &StagingPool {
+        &self.staging
+    }
+
+    /// Blocks until the maintenance daemon has drained its queue and every
+    /// worker is idle.  A no-op when the daemon is disabled.  Used by
+    /// experiments that need a deterministic point at which all nudged
+    /// background work (provisioning, relinks, checkpoints) has landed.
+    pub fn maintenance_quiesce(&self) {
+        let shared = self.daemon.lock().as_ref().map(|d| d.shared_handle());
+        if let Some(shared) = shared {
+            MaintenanceDaemon::wait_idle(&shared);
+        }
+    }
+
+    /// Nudges the daemon with `task`; a no-op when the daemon is disabled.
+    pub(crate) fn nudge(&self, task: Task) {
+        if let Some(daemon) = self.daemon.lock().as_ref() {
+            daemon.submit(task);
+        }
     }
 
     /// The kernel file system underneath.
@@ -209,47 +260,76 @@ impl SplitFs {
     }
 
     /// Relinks every file with staged data and resets the operation log
-    /// (§3.3: performed when the log fills up, and by
-    /// [`FileSystem::sync`]).
+    /// (§3.3: performed when the log fills up, by [`FileSystem::sync`],
+    /// and in the background by the maintenance daemon).
+    ///
+    /// Prefers the quiesced pass: all file-state locks are held across the
+    /// relink-and-truncate, so a concurrent writer's fresh log entry can
+    /// never be zeroed before its data is relinked.  Under heavy lock
+    /// contention the quiesced pass gives up; files are then relinked one
+    /// at a time (never holding two state locks — deadlock-free) and the
+    /// log is left for a later quiesced pass to truncate.
     pub fn checkpoint(&self) -> FsResult<()> {
-        self.checkpoint_excluding(None)
-    }
-
-    /// Checkpoint implementation.  `current` is the file whose state lock
-    /// the caller already holds (the file being written when the log filled
-    /// up); it is relinked through the provided reference instead of by
-    /// re-locking, which would self-deadlock.
-    pub(crate) fn checkpoint_excluding(
-        &self,
-        mut current: Option<&mut FileState>,
-    ) -> FsResult<()> {
-        let current_ino = current.as_ref().map(|c| c.ino);
-        // Collect (ino, state) pairs first; the current file is identified
-        // by its registry key so we never try to lock the state the caller
-        // already holds.
-        let states: Vec<(u64, Arc<RwLock<FileState>>)> = self
-            .files
-            .read()
-            .iter()
-            .map(|(ino, st)| (*ino, Arc::clone(st)))
-            .collect();
-        for (ino, state) in states {
-            if Some(ino) == current_ino {
-                continue;
-            }
+        if self.checkpoint_quiesced() {
+            return Ok(());
+        }
+        let states: Vec<Arc<RwLock<FileState>>> =
+            self.files.read().values().map(Arc::clone).collect();
+        for state in states {
             let mut st = state.write();
             if !st.staged.is_empty() {
                 self.relink_file(&mut st)?;
             }
         }
-        if let Some(st) = current.as_deref_mut() {
-            if !st.staged.is_empty() {
-                self.relink_file(st)?;
-            }
+        Ok(())
+    }
+
+    /// Handles a full operation log from inside `stage_write`, where the
+    /// caller holds `state`'s write lock.  First tries the quiesced
+    /// checkpoint (acquiring every *other* file's lock without blocking —
+    /// succeeds whenever no other writer is mid-operation); if that fails,
+    /// **grows** the log instead so this writer makes progress without
+    /// waiting on anyone.  The seed's behaviour here — blocking on other
+    /// files' locks while holding one — deadlocked as soon as two writers
+    /// filled the log concurrently.
+    fn handle_log_full(&self, state: &mut FileState) -> FsResult<()> {
+        if self.checkpoint_quiesced_with(Some(state), 3) {
+            return Ok(());
         }
-        if let Some(oplog) = self.oplog.as_ref() {
-            oplog.reset();
+        self.grow_oplog()
+    }
+
+    /// Doubles the operation log: extends the file, maps the larger range
+    /// and swaps it into the live log.  Concurrent growers are harmless
+    /// (both compute the same target size; [`OpLog::grow`] ignores
+    /// non-growth).
+    fn grow_oplog(&self) -> FsResult<()> {
+        let oplog = self.oplog.as_ref().ok_or(FsError::NoSpace)?;
+        // One grower at a time: a stale second grower would re-zero a
+        // region the first already published to appenders, or ftruncate
+        // the file back below its live size.
+        let _guard = self.grow_lock.lock();
+        if !oplog.is_full() {
+            // A concurrent grower or checkpoint already made room while we
+            // waited for the lock; retry the append instead of doubling
+            // the log again.
+            return Ok(());
         }
+        let old_size = oplog.size();
+        let new_size = old_size.saturating_mul(2).max(4096);
+        let fd = self.kernel.open(OPLOG_PATH, OpenFlags::read_write())?;
+        self.kernel.ftruncate(fd, new_size)?;
+        let mapping = self
+            .kernel
+            .dax_map(fd, 0, new_size, self.config.populate_mmaps)?;
+        let _ = self.kernel.close(fd);
+        // The extension may sit on recycled blocks still holding
+        // checksum-valid entries from an earlier log incarnation (the
+        // allocator does not zero freed blocks).  Recovery scans the whole
+        // file, so such ghost entries would replay stale data — zero the
+        // extension before the log starts using it.
+        OpLog::zero_range(&self.device, &mapping, old_size, new_size);
+        oplog.grow(mapping, new_size);
         Ok(())
     }
 
@@ -308,7 +388,11 @@ impl SplitFs {
             match self.ensure_mapped(state, file_off) {
                 Some((dev_off, contig)) => {
                     let n = want.min(contig as usize);
-                    let p = if first { pattern } else { AccessPattern::Sequential };
+                    let p = if first {
+                        pattern
+                    } else {
+                        AccessPattern::Sequential
+                    };
                     self.device
                         .read(dev_off, &mut buf[pos..pos + n], p, TimeCategory::UserData);
                     pos += n;
@@ -316,9 +400,11 @@ impl SplitFs {
                 None => {
                     // Hole or unmappable region: fall back to the kernel
                     // read path for this chunk.
-                    let n = self
-                        .kernel
-                        .read_at(state.kernel_fd, file_off, &mut buf[pos..pos + want])?;
+                    let n = self.kernel.read_at(
+                        state.kernel_fd,
+                        file_off,
+                        &mut buf[pos..pos + want],
+                    )?;
                     if n == 0 {
                         buf[pos..pos + want].fill(0);
                         pos += want;
@@ -374,9 +460,9 @@ impl SplitFs {
                     pos += n;
                 }
                 None => {
-                    let n = self
-                        .kernel
-                        .write_at(state.kernel_fd, file_off, &data[pos..pos + want])?;
+                    let n =
+                        self.kernel
+                            .write_at(state.kernel_fd, file_off, &data[pos..pos + want])?;
                     state.kernel_size = state.kernel_size.max(file_off + n as u64);
                     pos += n;
                 }
@@ -418,16 +504,18 @@ impl SplitFs {
                     staging_offset: alloc.staging_offset,
                     seq,
                 };
-                match self.log_append(&entry) {
-                    Ok(()) => {}
-                    Err(FsError::NoSpace) => {
-                        // The log is full: checkpoint (relink every file
-                        // with staged data, including this one, and re-zero
-                        // the log), then retry.
-                        self.checkpoint_excluding(Some(state))?;
-                        self.log_append(&entry)?;
+                loop {
+                    match self.log_append(&entry) {
+                        Ok(()) => break,
+                        Err(FsError::NoSpace) => {
+                            // The log is full: checkpoint if every other
+                            // writer is quiescent, else grow the log, then
+                            // retry (concurrent growers may briefly race a
+                            // reservation past the new end, so loop).
+                            self.handle_log_full(state)?;
+                        }
+                        Err(e) => return Err(e),
                     }
-                    Err(e) => return Err(e),
                 }
                 seq
             } else {
@@ -445,7 +533,50 @@ impl SplitFs {
             pos += n;
         }
         state.cached_size = state.cached_size.max(target_offset + data.len() as u64);
+
+        // Nudge the maintenance daemon on threshold crossings.  The
+        // condition checks are lock-free (an atomic watermark mirror and
+        // per-task pending flags), so a threshold that stays crossed while
+        // the daemon works does not put mutex traffic on every append.
+        if self.config.daemon.enabled {
+            use std::sync::atomic::Ordering;
+            let cfg = &self.config.daemon;
+            if self.staging.needs_provisioning(cfg.staging_low_watermark)
+                && self
+                    .provision_nudged
+                    .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.nudge(Task::ProvisionStaging);
+            }
+            if let Some(oplog) = self.oplog.as_ref() {
+                if oplog.utilization() >= cfg.oplog_checkpoint_fraction
+                    && self
+                        .checkpoint_nudged
+                        .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    self.nudge(Task::Checkpoint);
+                }
+            }
+            if state.staged.len() >= cfg.relink_batch_size.saturating_mul(4) {
+                // A long-running writer that never fsyncs would otherwise
+                // accumulate unbounded staged state; retire it in the
+                // background.
+                self.nudge(Task::RelinkFile(state.ino));
+            }
+        }
         Ok(())
+    }
+}
+
+impl Drop for SplitFs {
+    fn drop(&mut self) {
+        // Shut down and join the maintenance workers before the instance's
+        // pools and logs disappear.
+        if let Some(daemon) = self.daemon.get_mut().take() {
+            drop(daemon);
+        }
     }
 }
 
@@ -471,17 +602,23 @@ impl FileSystem for SplitFs {
         // caches its attributes in user-space").
         let stat = self.kernel.fstat(kernel_fd)?;
 
-        let mut files = self.files.write();
+        // Take the registry lock only to find or insert the entry; the
+        // state itself is locked after the registry guard is released, so
+        // no thread ever holds the registry lock while waiting on a state
+        // lock (the quiesced checkpoint relies on the inverse order).
         let mut created = false;
-        let state = files
-            .entry(stat.ino)
-            .or_insert_with(|| {
-                created = true;
-                let mut fresh = FileState::new(stat.ino, &norm, kernel_fd, stat.size);
-                fresh.kernel_fd_writable = flags.write;
-                Arc::new(RwLock::new(fresh))
-            })
-            .clone();
+        let state = {
+            let mut files = self.files.write();
+            files
+                .entry(stat.ino)
+                .or_insert_with(|| {
+                    created = true;
+                    let mut fresh = FileState::new(stat.ino, &norm, kernel_fd, stat.size);
+                    fresh.kernel_fd_writable = flags.write;
+                    Arc::new(RwLock::new(fresh))
+                })
+                .clone()
+        };
         {
             let mut st = state.write();
             if !created && st.kernel_fd != kernel_fd {
@@ -510,7 +647,6 @@ impl FileSystem for SplitFs {
             st.path = norm.clone();
             st.open_fds += 1;
         }
-        drop(files);
         Ok(self.fds.write().insert(stat.ino, flags))
     }
 
@@ -667,7 +803,13 @@ impl FileSystem for SplitFs {
             st.mmaps.remove_range(size, shrink);
         }
         st.kernel_size = size;
-        st.cached_size = size.max(st.staged.iter().map(|e| e.target_offset + e.len).max().unwrap_or(0));
+        st.cached_size = size.max(
+            st.staged
+                .iter()
+                .map(|e| e.target_offset + e.len)
+                .max()
+                .unwrap_or(0),
+        );
         Ok(())
     }
 

@@ -10,9 +10,44 @@
 //!   in strict mode every data operation is made atomic through a 64-byte,
 //!   single-fence operation log.
 //! * **K-Split** ([`kernelfs::Ext4Dax`]) handles every metadata operation
-//!   and provides the journaled, atomic [`relink`](kernelfs::Ext4Dax::ioctl_relink)
-//!   primitive that moves staged blocks into target files without copying
-//!   data.
+//!   and provides the journaled, atomic relink primitive that moves staged
+//!   blocks into target files without copying data — submitted in bulk
+//!   through [`kernelfs::Ext4Dax::ioctl_relink_batch`], so one journal
+//!   transaction covers every staged extent an `fsync` retires.
+//!
+//! # Architecture
+//!
+//! The crate is organized as a foreground data path plus a background
+//! maintenance subsystem:
+//!
+//! * [`fs`] — the POSIX-like entry points ([`SplitFs`]), per-mode routing
+//!   of reads/overwrites/appends, and the operation-log full handling
+//!   (quiesced checkpoint or on-demand log growth, never a deadlock);
+//! * [`staging`] — the pool of pre-allocated, pre-mapped staging files the
+//!   append path carves allocations out of, with watermark accounting and
+//!   separate counters for pre-allocated, background-provisioned and
+//!   emergency inline file creations;
+//! * [`batch`] — planning: staged extents are coalesced into runs and
+//!   split into block-aligned [`kernelfs::RelinkOp`]s plus unaligned
+//!   head/tail copy spans;
+//! * [`relink`] — the user-space half of relink: submits the planned ops
+//!   through the batched kernel entry point, retains the staging mappings
+//!   for the target's mmap collection, and emits `Invalidate` markers;
+//! * [`oplog`] — the single-fence redo log, with group commit
+//!   ([`oplog::OpLog::append_batch`]: many entries, one fence), cheap
+//!   truncation (only the used prefix is re-zeroed) and on-demand growth;
+//! * [`daemon`] — the **background maintenance daemon**
+//!   ([`daemon::MaintenanceDaemon`]): worker threads that replenish the
+//!   staging pool before it runs dry, relink heavily-staged files in the
+//!   background, and checkpoint the operation log once it passes a
+//!   configured fill fraction, so the foreground never performs file
+//!   creation or stop-the-world log truncation on the critical path;
+//! * [`recovery`] — idempotent crash recovery by log replay; recovered
+//!   contents are identical whether a crash lands before, during, or
+//!   after a background batch relink;
+//! * [`config`] / [`modes`] / [`state`] / [`mmap_collection`] — tunables
+//!   (including [`DaemonConfig`]), the three consistency modes, and the
+//!   DRAM bookkeeping structures.
 //!
 //! ```
 //! use splitfs::{SplitConfig, SplitFs, Mode};
@@ -20,6 +55,8 @@
 //!
 //! let device = pmem::PmemBuilder::new(256 * 1024 * 1024).build();
 //! let kernel = kernelfs::Ext4Dax::mkfs(device).unwrap();
+//! // The maintenance daemon starts by default; `SplitConfig::without_daemon`
+//! // restores the seed's inline-maintenance behaviour for ablations.
 //! let fs = SplitFs::new(kernel, SplitConfig::new(Mode::Strict)).unwrap();
 //!
 //! let fd = fs.open("/data.log", OpenFlags::create()).unwrap();
@@ -31,7 +68,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod config;
+pub mod daemon;
 pub mod fs;
 pub mod mmap_collection;
 pub mod modes;
@@ -41,7 +80,7 @@ pub mod relink;
 pub mod staging;
 pub mod state;
 
-pub use config::SplitConfig;
+pub use config::{DaemonConfig, SplitConfig};
 pub use fs::{MemoryUsage, SplitFs, OPLOG_PATH, SPLITFS_DIR};
 pub use modes::{Guarantees, Mode};
 pub use recovery::{recover, RecoveryReport};

@@ -117,8 +117,7 @@ impl MmapCollection {
         let mut dev = device_offset;
         let mut length = len;
         // Merge with predecessor.
-        if let Some((&prev_start, &(prev_dev, prev_len))) =
-            self.segments.range(..start).next_back()
+        if let Some((&prev_start, &(prev_dev, prev_len))) = self.segments.range(..start).next_back()
         {
             if prev_start + prev_len == start && prev_dev + prev_len == dev {
                 self.segments.remove(&prev_start);
@@ -128,8 +127,7 @@ impl MmapCollection {
             }
         }
         // Merge with successor.
-        if let Some((&next_start, &(next_dev, next_len))) =
-            self.segments.range(start + 1..).next()
+        if let Some((&next_start, &(next_dev, next_len))) = self.segments.range(start + 1..).next()
         {
             if start + length == next_start && dev + length == next_dev {
                 self.segments.remove(&next_start);

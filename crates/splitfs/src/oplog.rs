@@ -21,6 +21,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
 use kernelfs::DaxMapping;
 use pmem::{PersistMode, PmemDevice, TimeCategory};
 use vfs::util::checksum32;
@@ -135,10 +137,20 @@ impl LogEntry {
 #[derive(Debug)]
 pub struct OpLog {
     device: Arc<PmemDevice>,
-    mapping: DaxMapping,
-    size: u64,
+    /// Mapping of the log file.  Behind a lock because the log can *grow*:
+    /// when the log fills while a checkpoint cannot safely run (concurrent
+    /// writers hold their file locks), the owner extends the file and
+    /// swaps in a larger mapping instead of blocking — see
+    /// [`crate::fs::SplitFs`]'s log-full handling.
+    mapping: RwLock<DaxMapping>,
+    size: AtomicU64,
     /// DRAM-only tail: byte offset of the next free slot.
     tail: AtomicU64,
+    /// DRAM-only high-water mark: one past the last byte ever written since
+    /// the previous reset.  Truncation only needs to re-zero this prefix,
+    /// which turns the stop-the-world whole-log zeroing into work
+    /// proportional to actual log usage.
+    high_water: AtomicU64,
     /// Monotonic sequence counter.
     seq: AtomicU64,
 }
@@ -148,9 +160,14 @@ impl OpLog {
     pub fn new(device: Arc<PmemDevice>, mapping: DaxMapping, size: u64) -> Self {
         Self {
             device,
-            mapping,
-            size,
+            mapping: RwLock::new(mapping),
+            size: AtomicU64::new(size),
             tail: AtomicU64::new(0),
+            // A fresh instance wraps a mapping of unknown content (it may
+            // hold a previous incarnation's entries), so the first reset
+            // must zero everything; only after that does the mark tighten
+            // to the actually-used prefix.
+            high_water: AtomicU64::new(size),
             seq: AtomicU64::new(1),
         }
     }
@@ -162,7 +179,37 @@ impl OpLog {
 
     /// Whether an append would not fit.
     pub fn is_full(&self) -> bool {
-        self.tail.load(Ordering::Relaxed) + ENTRY_SIZE > self.size
+        self.tail.load(Ordering::Relaxed) + ENTRY_SIZE > self.size()
+    }
+
+    /// Current capacity of the log in bytes (grows on demand).
+    pub fn size(&self) -> u64 {
+        self.size.load(Ordering::Relaxed)
+    }
+
+    /// Installs a larger mapping after the log file was extended.  The
+    /// new mapping must cover `[0, new_size)` of the same file, and the
+    /// caller must have **zeroed the extension** `[size, new_size)` first —
+    /// the kernel allocator recycles freed blocks without zeroing, and a
+    /// checksum-valid ghost entry in the extension would be replayed by
+    /// recovery.  Shrinking is not supported.  Safe under concurrent
+    /// appends: a reservation past the old size fails with `NoSpace` and
+    /// is retried by the caller after the growth lands.
+    pub fn grow(&self, mapping: DaxMapping, new_size: u64) {
+        let mut m = self.mapping.write();
+        if new_size <= self.size() {
+            return;
+        }
+        *m = mapping;
+        self.size.store(new_size, Ordering::Relaxed);
+    }
+
+    /// Fraction of the log currently in use, in `[0, 1]`.  The maintenance
+    /// daemon checkpoints in the background once this passes its configured
+    /// threshold so the foreground never observes [`FsError::NoSpace`].
+    pub fn utilization(&self) -> f64 {
+        let size = self.size();
+        self.tail.load(Ordering::Relaxed).min(size) as f64 / size.max(1) as f64
     }
 
     /// Reserves the next sequence number.
@@ -180,7 +227,7 @@ impl OpLog {
         // Reserve a slot with a DRAM-only CAS/fetch-add (the optimization
         // over persisting a tail pointer).
         let offset = self.tail.fetch_add(ENTRY_SIZE, Ordering::Relaxed);
-        if offset + ENTRY_SIZE > self.size {
+        if offset + ENTRY_SIZE > self.size() {
             // Roll the reservation back so a later checkpoint starts clean.
             self.tail.fetch_sub(ENTRY_SIZE, Ordering::Relaxed);
             return Err(FsError::NoSpace);
@@ -188,6 +235,7 @@ impl OpLog {
         self.device.charge_software(cost.usplit_log_entry_cpu_ns);
         let (dev_off, _) = self
             .mapping
+            .read()
             .translate(offset)
             .ok_or_else(|| FsError::Io("operation log mapping hole".into()))?;
         let bytes = entry.encode();
@@ -198,18 +246,78 @@ impl OpLog {
             TimeCategory::OpLog,
         );
         self.device.fence(TimeCategory::OpLog);
+        self.high_water
+            .fetch_max(offset + ENTRY_SIZE, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Zeroes the log and resets the DRAM tail (checkpoint, §3.3).
+    /// Appends several entries under **one** fence (group commit).
+    ///
+    /// The slots are reserved with a single fetch-and-add, every entry is
+    /// written with non-temporal stores, and one fence makes the whole
+    /// group durable together.  Callers must only use this for entries
+    /// whose durability may land together — SplitFS uses it for the
+    /// `Invalidate` markers a batched relink produces, which are an
+    /// optimization and may trail the relink itself.
+    ///
+    /// Returns [`FsError::NoSpace`] (reserving nothing) when the group does
+    /// not fit.
+    pub fn append_batch(&self, entries: &[LogEntry]) -> FsResult<()> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let cost = self.device.cost().clone();
+        let need = ENTRY_SIZE * entries.len() as u64;
+        let offset = self.tail.fetch_add(need, Ordering::Relaxed);
+        if offset + need > self.size() {
+            self.tail.fetch_sub(need, Ordering::Relaxed);
+            return Err(FsError::NoSpace);
+        }
+        for (i, entry) in entries.iter().enumerate() {
+            self.device.charge_software(cost.usplit_log_entry_cpu_ns);
+            let slot = offset + ENTRY_SIZE * i as u64;
+            let (dev_off, _) = self
+                .mapping
+                .read()
+                .translate(slot)
+                .ok_or_else(|| FsError::Io("operation log mapping hole".into()))?;
+            self.device.write(
+                dev_off,
+                &entry.encode(),
+                PersistMode::NonTemporal,
+                TimeCategory::OpLog,
+            );
+        }
+        self.device.fence(TimeCategory::OpLog);
+        self.high_water.fetch_max(offset + need, Ordering::Relaxed);
+        self.device.stats().add_oplog_group_commit();
+        Ok(())
+    }
+
+    /// Zeroes the used prefix of the log and resets the DRAM tail
+    /// (checkpoint, §3.3).  Only the bytes up to the high-water mark are
+    /// re-zeroed: slots past it were never written since the last reset, so
+    /// recovery already treats them as empty.
     pub fn reset(&self) {
-        let mut off = 0u64;
+        let used = self.high_water.load(Ordering::Relaxed).min(self.size());
+        let mapping = self.mapping.read();
+        Self::zero_range(&self.device, &mapping, 0, used);
+        self.high_water.store(0, Ordering::Relaxed);
+        self.tail.store(0, Ordering::Relaxed);
+    }
+
+    /// Zeroes `[from, to)` of a log mapping with non-temporal stores and
+    /// one trailing fence.  Used by [`OpLog::reset`] (truncation) and by
+    /// the owner when zeroing a freshly grown extension before
+    /// [`OpLog::grow`] installs it.
+    pub fn zero_range(device: &Arc<PmemDevice>, mapping: &DaxMapping, from: u64, to: u64) {
         let zeros = [0u8; 4096];
-        while off < self.size {
-            let chunk = (self.size - off).min(zeros.len() as u64) as usize;
-            if let Some((dev_off, contig)) = self.mapping.translate(off) {
+        let mut off = from;
+        while off < to {
+            let chunk = (to - off).min(zeros.len() as u64) as usize;
+            if let Some((dev_off, contig)) = mapping.translate(off) {
                 let n = chunk.min(contig as usize);
-                self.device.write(
+                device.write(
                     dev_off,
                     &zeros[..n],
                     PersistMode::NonTemporal,
@@ -220,8 +328,7 @@ impl OpLog {
                 off += chunk as u64;
             }
         }
-        self.device.fence(TimeCategory::OpLog);
-        self.tail.store(0, Ordering::Relaxed);
+        device.fence(TimeCategory::OpLog);
     }
 
     /// Scans the whole log (recovery path) and returns every valid entry,
@@ -341,6 +448,57 @@ mod tests {
         device.fence(TimeCategory::OpLog);
         let entries = OpLog::scan(&device, &mapping, 256);
         assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn group_commit_uses_one_fence_for_many_entries() {
+        let (device, oplog, mapping) = log(64 * 1024);
+        oplog.reset(); // establish a known-zero log, then measure
+        let before = device.stats().snapshot();
+        let batch: Vec<LogEntry> = (0..8).map(|_| sample_entry(oplog.next_seq())).collect();
+        oplog.append_batch(&batch).unwrap();
+        let delta = device.stats().snapshot().delta_since(&before);
+        assert_eq!(delta.written(TimeCategory::OpLog), 8 * 64);
+        assert_eq!(delta.fences, 1, "one fence covers the whole group");
+        assert_eq!(delta.oplog_group_commits, 1);
+        let entries = OpLog::scan(&device, &mapping, 64 * 1024);
+        assert_eq!(entries.len(), 8);
+    }
+
+    #[test]
+    fn group_commit_rejects_oversized_batches_without_reserving() {
+        let (_device, oplog, _mapping) = log(256); // 4 entries
+        let batch: Vec<LogEntry> = (0..5).map(|_| sample_entry(oplog.next_seq())).collect();
+        assert_eq!(oplog.append_batch(&batch), Err(FsError::NoSpace));
+        assert_eq!(oplog.entries_used(), 0, "failed batch reserves nothing");
+        oplog.append(&sample_entry(oplog.next_seq())).unwrap();
+    }
+
+    #[test]
+    fn reset_only_zeroes_the_used_prefix() {
+        let (device, oplog, _mapping) = log(1024 * 1024);
+        oplog.reset(); // first reset pays for the whole (unknown) log
+        for _ in 0..4 {
+            oplog.append(&sample_entry(oplog.next_seq())).unwrap();
+        }
+        let before = device.stats().snapshot();
+        oplog.reset();
+        let delta = device.stats().snapshot().delta_since(&before);
+        assert_eq!(
+            delta.written(TimeCategory::OpLog),
+            4 * 64,
+            "truncation work is proportional to entries used, not log size"
+        );
+        assert_eq!(oplog.entries_used(), 0);
+    }
+
+    #[test]
+    fn utilization_tracks_fill_fraction() {
+        let (_device, oplog, _mapping) = log(256); // 4 entries
+        assert_eq!(oplog.utilization(), 0.0);
+        oplog.append(&sample_entry(oplog.next_seq())).unwrap();
+        oplog.append(&sample_entry(oplog.next_seq())).unwrap();
+        assert!((oplog.utilization() - 0.5).abs() < 1e-9);
     }
 
     #[test]

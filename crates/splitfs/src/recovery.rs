@@ -44,14 +44,17 @@ pub struct RecoveryReport {
 ///
 /// Safe to call when no log exists (returns an empty report) and safe to
 /// call repeatedly: replay is idempotent.
-pub fn recover(kernel: &Arc<Ext4Dax>, config: &SplitConfig) -> FsResult<RecoveryReport> {
+pub fn recover(kernel: &Arc<Ext4Dax>, _config: &SplitConfig) -> FsResult<RecoveryReport> {
     let mut report = RecoveryReport::default();
     if !kernel.exists(OPLOG_PATH) {
         return Ok(report);
     }
     let device = Arc::clone(kernel.device());
     let log_fd = kernel.open(OPLOG_PATH, OpenFlags::read_write())?;
-    let log_size = kernel.fstat(log_fd)?.size.min(config.oplog_size.max(1));
+    // The actual file size, not the configured one: the log grows on
+    // demand when it fills while a checkpoint cannot run, and every
+    // grown slot must be scanned.
+    let log_size = kernel.fstat(log_fd)?.size;
     if log_size == 0 {
         kernel.close(log_fd)?;
         return Ok(report);

@@ -1,84 +1,95 @@
 //! The user-space half of the relink primitive (paper §3.3, Figure 2).
 //!
-//! On `fsync` (or `close`, or an operation-log checkpoint), every staged
-//! extent of a file is moved into the target file:
+//! On `fsync` (or `close`, an operation-log checkpoint, or a background
+//! maintenance pass), every staged extent of a file is moved into the
+//! target file:
 //!
-//! * block-aligned portions are moved with the kernel's
-//!   [`kernelfs::Ext4Dax::ioctl_relink`] — a journaled, atomic,
-//!   metadata-only operation that copies **no data**;
+//! * staged extents are coalesced into runs and planned by
+//!   [`crate::batch`]: block-aligned portions become [`kernelfs::RelinkOp`]s
+//!   submitted through the **batched**
+//!   [`kernelfs::Ext4Dax::ioctl_relink_batch`] entry point, so one kernel
+//!   trap and one journal transaction cover every aligned run of the file;
 //! * unaligned head/tail bytes are copied (the paper's partial-block case);
 //! * the mappings that served the staged data are retained in the target
 //!   file's collection of mmaps, so later reads hit the same physical
 //!   blocks without new page faults;
 //! * in sync/strict mode an `Invalidate` entry is appended to the operation
-//!   log so recovery will not replay the now-applied staged writes.
+//!   log so recovery will not replay the now-applied staged writes.  A
+//!   caller retiring many files at once (the daemon's checkpoint) can defer
+//!   these markers and group-commit them under a single fence.
 //!
 //! With `use_relink` disabled (Figure 3 ablation) the staged data is copied
 //! into the target through the kernel write path instead, which is exactly
 //! the "staging without relink" configuration whose cost the paper
 //! measures.
 
-use kernelfs::BLOCK_SIZE;
 use pmem::{AccessPattern, TimeCategory};
 use vfs::{FileSystem, FsResult};
 
+use crate::batch::{self, CopySpan};
 use crate::fs::SplitFs;
 use crate::oplog::{LogEntry, LogOp};
-use crate::state::{FileState, StagedExtent};
-
-/// A group of staged extents that are contiguous in both the target file
-/// and the staging file, so they can be applied with a single relink.
-#[derive(Debug, Clone, Copy)]
-struct StagedRun {
-    target_offset: u64,
-    staging_fd: vfs::Fd,
-    staging_offset: u64,
-    device_offset: u64,
-    len: u64,
-    max_seq: u64,
-}
-
-fn coalesce(staged: &[StagedExtent]) -> Vec<StagedRun> {
-    let mut runs: Vec<StagedRun> = Vec::new();
-    for ext in staged {
-        if let Some(last) = runs.last_mut() {
-            let contiguous_target = last.target_offset + last.len == ext.target_offset;
-            let contiguous_staging = last.staging_fd == ext.staging_fd
-                && last.staging_offset + last.len == ext.staging_offset;
-            if contiguous_target && contiguous_staging {
-                last.len += ext.len;
-                last.max_seq = last.max_seq.max(ext.seq);
-                continue;
-            }
-        }
-        runs.push(StagedRun {
-            target_offset: ext.target_offset,
-            staging_fd: ext.staging_fd,
-            staging_offset: ext.staging_offset,
-            device_offset: ext.device_offset,
-            len: ext.len,
-            max_seq: ext.seq,
-        });
-    }
-    runs
-}
+use crate::state::FileState;
 
 impl SplitFs {
-    /// Applies every staged extent of `state` to the target file.  Called
-    /// with the file's state lock held.
+    /// Applies every staged extent of `state` to the target file, appending
+    /// the `Invalidate` marker inline.  Called with the file's state lock
+    /// held.
     pub(crate) fn relink_file(&self, state: &mut FileState) -> FsResult<()> {
+        let mut deferred = Vec::new();
+        self.relink_file_deferring(state, &mut deferred)?;
+        // Mark the applied operations as not-to-be-replayed.  This is an
+        // optimization (recovery would also skip them because the staging
+        // ranges are holes after the relink), so a full log is not an error:
+        // the marker is simply dropped.
+        for entry in &deferred {
+            match self.log_append(entry) {
+                Ok(()) | Err(vfs::FsError::NoSpace) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies every staged extent of `state`, pushing the resulting
+    /// `Invalidate` marker (if any) onto `deferred` instead of appending it.
+    /// The daemon's checkpoint path uses this to group-commit the markers
+    /// of many files under one fence.  Called with the file's state lock
+    /// held.
+    pub(crate) fn relink_file_deferring(
+        &self,
+        state: &mut FileState,
+        deferred: &mut Vec<LogEntry>,
+    ) -> FsResult<()> {
         if state.staged.is_empty() {
             return Ok(());
         }
-        let runs = coalesce(&state.staged);
+        let runs = batch::coalesce(&state.staged);
         let max_seq = state.staged.iter().map(|e| e.seq).max().unwrap_or(0);
         let target_ino = state.ino;
 
-        for run in &runs {
-            if self.config.use_relink {
-                self.apply_run_with_relink(state, run)?;
-            } else {
-                self.apply_run_by_copy(state, run)?;
+        // Overlapping runs (strict-mode overwrites of the same range) are
+        // split into ordered generations; within a generation all ranges
+        // are disjoint, so one batched relink covers it and the ordering
+        // across generations gives last-writer-wins.
+        let chunk_size = self.config.daemon.relink_batch_size.max(1);
+        for generation in batch::generations(&runs) {
+            let plan = batch::plan(generation, state.kernel_fd, self.config.use_relink);
+
+            // Submit every aligned move, chunked by the configured batch
+            // size: one kernel trap and one journal transaction per chunk
+            // instead of one per run.
+            for chunk in plan.ops.chunks(chunk_size) {
+                self.kernel.ioctl_relink_batch(chunk)?;
+            }
+            // Retain the staging mappings: the physical blocks that backed
+            // the staging ranges now back the target ranges, so reads keep
+            // using them without faulting (Figure 2, step 3).
+            for m in &plan.retained {
+                state.mmaps.insert(m.target_offset, m.device_offset, m.len);
+            }
+            for span in &plan.copies {
+                self.copy_span_to_target(state, span)?;
             }
         }
 
@@ -87,12 +98,8 @@ impl SplitFs {
         state.kernel_size = self.kernel.fstat(state.kernel_fd)?.size;
         state.cached_size = state.cached_size.max(state.kernel_size);
 
-        // Mark the applied operations as not-to-be-replayed.  This is an
-        // optimization (recovery would also skip them because the staging
-        // ranges are holes after the relink), so a full log is not an error:
-        // the marker is simply dropped.
         if self.config.mode.logs_data_ops() && max_seq > 0 {
-            match self.log_append(&LogEntry {
+            deferred.push(LogEntry {
                 op: LogOp::Invalidate,
                 target_ino,
                 target_offset: 0,
@@ -100,128 +107,25 @@ impl SplitFs {
                 staging_ino: 0,
                 staging_offset: 0,
                 seq: max_seq,
-            }) {
-                Ok(()) | Err(vfs::FsError::NoSpace) => {}
-                Err(e) => return Err(e),
-            }
+            });
         }
         self.device.fence(TimeCategory::UserData);
         Ok(())
     }
 
-    /// Applies one staged run using the relink ioctl for the block-aligned
-    /// middle and byte copies for the unaligned head and tail.
-    fn apply_run_with_relink(&self, state: &mut FileState, run: &StagedRun) -> FsResult<()> {
-        let block = BLOCK_SIZE as u64;
-        let t_start = run.target_offset;
-        let t_end = run.target_offset + run.len;
-        let aligned_start = t_start.div_ceil(block) * block;
-        let aligned_end = (t_end / block) * block;
-
-        // The staging allocation was phase-aligned with the target, so the
-        // aligned target range corresponds to an aligned staging range.
-        let phase_matches = run.staging_offset % block == t_start % block;
-
-        if phase_matches && aligned_end > aligned_start {
-            let head = aligned_start - t_start;
-            let staging_aligned = run.staging_offset + head;
-            let len = aligned_end - aligned_start;
-            self.kernel.ioctl_relink(
-                run.staging_fd,
-                staging_aligned,
-                state.kernel_fd,
-                aligned_start,
-                len,
-            )?;
-            // Retain the mapping: the physical blocks that backed the
-            // staging range now back the target range, so reads can keep
-            // using them without faulting (Figure 2, step 3).
-            state
-                .mmaps
-                .insert(aligned_start, run.device_offset + head, len);
-
-            // Copy the unaligned head and tail, if any.
-            if head > 0 {
-                self.copy_range_to_target(state, run, 0, head)?;
-            }
-            let tail = t_end - aligned_end;
-            if tail > 0 {
-                self.copy_range_to_target(state, run, aligned_end - t_start, tail)?;
-            }
-        } else {
-            // Fully unaligned (sub-block) run: copy it.
-            self.copy_range_to_target(state, run, 0, run.len)?;
-        }
-        Ok(())
-    }
-
-    /// Applies one staged run by copying it through the kernel write path
-    /// (used for unaligned bytes and for the no-relink ablation).
-    fn apply_run_by_copy(&self, state: &mut FileState, run: &StagedRun) -> FsResult<()> {
-        self.copy_range_to_target(state, run, 0, run.len)
-    }
-
-    /// Copies `len` bytes starting `skip` bytes into the staged run from the
-    /// staging blocks into the target file via the kernel.
-    fn copy_range_to_target(
-        &self,
-        state: &mut FileState,
-        run: &StagedRun,
-        skip: u64,
-        len: u64,
-    ) -> FsResult<()> {
-        let mut buf = vec![0u8; len as usize];
+    /// Copies one planned span from the staging blocks into the target file
+    /// via the kernel.
+    fn copy_span_to_target(&self, state: &mut FileState, span: &CopySpan) -> FsResult<()> {
+        let mut buf = vec![0u8; span.len as usize];
         self.device.read(
-            run.device_offset + skip,
+            span.device_offset,
             &mut buf,
             AccessPattern::Sequential,
             TimeCategory::UserData,
         );
         self.kernel
-            .write_at(state.kernel_fd, run.target_offset + skip, &buf)?;
-        state.kernel_size = state
-            .kernel_size
-            .max(run.target_offset + skip + len);
+            .write_at(state.kernel_fd, span.target_offset, &buf)?;
+        state.kernel_size = state.kernel_size.max(span.target_offset + span.len);
         Ok(())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn ext(target: u64, staging: u64, len: u64, seq: u64) -> StagedExtent {
-        StagedExtent {
-            target_offset: target,
-            len,
-            staging_ino: 70,
-            staging_fd: 10,
-            staging_offset: staging,
-            device_offset: 1_000_000 + staging,
-            seq,
-        }
-    }
-
-    #[test]
-    fn contiguous_staged_extents_coalesce_into_one_run() {
-        let staged = vec![
-            ext(0, 0, 4096, 1),
-            ext(4096, 4096, 4096, 2),
-            ext(8192, 8192, 4096, 3),
-        ];
-        let runs = coalesce(&staged);
-        assert_eq!(runs.len(), 1);
-        assert_eq!(runs[0].len, 12288);
-        assert_eq!(runs[0].max_seq, 3);
-    }
-
-    #[test]
-    fn gaps_in_target_or_staging_split_runs() {
-        // Gap in the target range.
-        let staged = vec![ext(0, 0, 4096, 1), ext(8192, 4096, 4096, 2)];
-        assert_eq!(coalesce(&staged).len(), 2);
-        // Gap in the staging range.
-        let staged = vec![ext(0, 0, 4096, 1), ext(4096, 8192, 4096, 2)];
-        assert_eq!(coalesce(&staged).len(), 2);
     }
 }

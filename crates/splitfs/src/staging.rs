@@ -5,11 +5,21 @@
 //! target file at the next `fsync`/`close` via relink.  The pool
 //! pre-creates a configurable number of staging files at startup
 //! (`SplitConfig::staging_files` × `staging_file_size`) so that taking
-//! staging space in the write path is a cheap cursor bump; when a staging
-//! file is used up a replacement is created, which in the paper happens on
-//! a background thread and here happens inline (its cost amortizes over the
-//! thousands of appends that fit in one staging file).
+//! staging space in the write path is a cheap cursor bump.
+//!
+//! When the pool runs low, replacements come from two sources:
+//!
+//! * the [background maintenance daemon](crate::daemon) provisions fresh
+//!   files asynchronously whenever the number of unconsumed files falls
+//!   below `DaemonConfig::staging_low_watermark` (this is the paper's
+//!   design: staging allocation happens "on a background thread"), and
+//! * as a last resort, [`StagingPool::take`] creates a file **inline** on
+//!   the foreground write path.  Inline creations are counted separately
+//!   ([`StagingPool::files_created_inline`] and the device-wide
+//!   `staging_inline_creates` statistic) so experiments can verify the
+//!   daemon eliminates them.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -54,14 +64,22 @@ pub struct StagingPool {
     file_size: u64,
     populate: bool,
     inner: Mutex<PoolInner>,
+    /// Mirror of `files.len() - active`, readable without the pool lock so
+    /// the append fast path can check the provisioning watermark without
+    /// serializing on the mutex.
+    unconsumed: AtomicUsize,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct PoolInner {
     files: Vec<StagingFile>,
     /// Index of the staging file allocations are currently served from.
     active: usize,
-    created: u64,
+    /// Name counter for `stage-N` paths (monotonic across all sources).
+    next_name: u64,
+    created_preallocated: u64,
+    created_inline: u64,
+    created_background: u64,
 }
 
 impl StagingPool {
@@ -82,25 +100,43 @@ impl StagingPool {
             dir: dir.to_string(),
             file_size: config.staging_file_size,
             populate: config.populate_mmaps,
-            inner: Mutex::new(PoolInner {
-                files: Vec::new(),
-                active: 0,
-                created: 0,
-            }),
+            inner: Mutex::new(PoolInner::default()),
+            unconsumed: AtomicUsize::new(0),
         };
-        {
+        for _ in 0..config.staging_files.max(1) {
+            let name = pool.reserve_name();
+            let file = pool.build_staging_file(name)?;
             let mut inner = pool.inner.lock();
-            for _ in 0..config.staging_files.max(1) {
-                let file = pool.create_staging_file(&mut inner)?;
-                inner.files.push(file);
-            }
+            inner.files.push(file);
+            inner.created_preallocated += 1;
+            pool.refresh_unconsumed(&inner);
         }
         Ok(pool)
     }
 
-    fn create_staging_file(&self, inner: &mut PoolInner) -> FsResult<StagingFile> {
-        let path = format!("{}/stage-{}", self.dir, inner.created);
-        inner.created += 1;
+    /// Refreshes the lock-free unconsumed-files mirror; call with the pool
+    /// lock held after any mutation of `files`/`active`.
+    fn refresh_unconsumed(&self, inner: &PoolInner) {
+        self.unconsumed.store(
+            inner.files.len().saturating_sub(inner.active),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Reserves the next `stage-N` name.
+    fn reserve_name(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let name = inner.next_name;
+        inner.next_name += 1;
+        name
+    }
+
+    /// Creates, pre-allocates and maps one staging file.  Deliberately does
+    /// **not** hold the pool lock: file creation goes through the kernel
+    /// file system and is the expensive part, so builders (the daemon, or
+    /// an unlucky foreground thread) must not block concurrent `take`s.
+    fn build_staging_file(&self, name: u64) -> FsResult<StagingFile> {
+        let path = format!("{}/stage-{}", self.dir, name);
         let fd = self.kernel.open(&path, OpenFlags::create())?;
         // Pre-allocate the whole file so appends never allocate in the
         // critical path, then map it once.
@@ -116,10 +152,55 @@ impl StagingPool {
         })
     }
 
-    /// Number of staging files created so far (pre-allocated plus
-    /// replenished).
+    /// Asynchronously provisions one staging file (called by a maintenance
+    /// worker).  The new file is appended to the pool's unconsumed tail.
+    pub fn provision_one(&self) -> FsResult<()> {
+        let name = self.reserve_name();
+        let file = self.build_staging_file(name)?;
+        let mut inner = self.inner.lock();
+        inner.files.push(file);
+        inner.created_background += 1;
+        self.refresh_unconsumed(&inner);
+        drop(inner);
+        self.device.stats().add_staging_bg_create();
+        Ok(())
+    }
+
+    /// Number of staging files that still have unconsumed capacity (the
+    /// active file plus every file after it).  Lock-free: reads a mirror
+    /// maintained by the mutating paths.
+    pub fn unconsumed_files(&self) -> usize {
+        self.unconsumed.load(Ordering::Relaxed)
+    }
+
+    /// Whether the pool has fallen below `low_watermark` unconsumed files
+    /// and background provisioning should run.
+    pub fn needs_provisioning(&self, low_watermark: usize) -> bool {
+        self.unconsumed_files() < low_watermark
+    }
+
+    /// Number of staging files created so far, from every source
+    /// (pre-allocated at startup, background-provisioned, and emergency
+    /// inline creations).
     pub fn files_created(&self) -> u64 {
-        self.inner.lock().created
+        let inner = self.inner.lock();
+        inner.created_preallocated + inner.created_inline + inner.created_background
+    }
+
+    /// Staging files pre-allocated at startup.
+    pub fn files_created_preallocated(&self) -> u64 {
+        self.inner.lock().created_preallocated
+    }
+
+    /// Staging files created inline on the foreground write path because
+    /// the pool ran dry — the number the daemon exists to keep at zero.
+    pub fn files_created_inline(&self) -> u64 {
+        self.inner.lock().created_inline
+    }
+
+    /// Staging files provisioned asynchronously by maintenance workers.
+    pub fn files_created_background(&self) -> u64 {
+        self.inner.lock().created_background
     }
 
     /// Takes up to `len` bytes of staging space whose in-file offset is
@@ -131,13 +212,20 @@ impl StagingPool {
         self.device.charge_software(cost.usplit_staging_take_ns);
         let mut inner = self.inner.lock();
         loop {
-            let active = inner.active;
-            if active >= inner.files.len() {
-                // Every pre-allocated file is used up: replenish.  The paper
-                // performs this on a background thread; the cost here is
-                // amortized over an entire staging file worth of appends.
-                let file = self.create_staging_file(&mut inner)?;
+            if inner.active >= inner.files.len() {
+                // Every pre-allocated file is used up and the daemon has not
+                // kept pace (or is disabled): replenish inline.  The lock is
+                // dropped while the file is built so concurrent takers and
+                // the daemon can still make progress.
+                let name = inner.next_name;
+                inner.next_name += 1;
+                drop(inner);
+                let file = self.build_staging_file(name)?;
+                inner = self.inner.lock();
                 inner.files.push(file);
+                inner.created_inline += 1;
+                self.refresh_unconsumed(&inner);
+                self.device.stats().add_staging_inline_create();
             }
             let active = inner.active;
             let file = &mut inner.files[active];
@@ -147,12 +235,14 @@ impl StagingPool {
             let start = file.cursor + misalign;
             if start >= file.size {
                 inner.active += 1;
+                self.refresh_unconsumed(&inner);
                 continue;
             }
             let avail = file.size - start;
             let take = avail.min(len);
             if take == 0 {
                 inner.active += 1;
+                self.refresh_unconsumed(&inner);
                 continue;
             }
             let (device_offset, contig) = file
@@ -186,7 +276,11 @@ impl StagingPool {
     /// Returns the kernel descriptor for a staging file by inode.
     pub fn fd_for(&self, staging_ino: u64) -> Option<Fd> {
         let inner = self.inner.lock();
-        inner.files.iter().find(|f| f.ino == staging_ino).map(|f| f.fd)
+        inner
+            .files
+            .iter()
+            .find(|f| f.ino == staging_ino)
+            .map(|f| f.fd)
     }
 }
 
@@ -202,9 +296,13 @@ mod tests {
             .build();
         let kernel = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
         let config = SplitConfig::new(Mode::Posix).with_staging(2, 4 * 1024 * 1024);
-        let pool =
-            StagingPool::new(Arc::clone(&kernel), Arc::clone(&device), "/.splitfs", &config)
-                .unwrap();
+        let pool = StagingPool::new(
+            Arc::clone(&kernel),
+            Arc::clone(&device),
+            "/.splitfs",
+            &config,
+        )
+        .unwrap();
         (device, kernel, pool)
     }
 
@@ -212,6 +310,9 @@ mod tests {
     fn pool_preallocates_staging_files() {
         let (_d, kernel, pool) = setup();
         assert_eq!(pool.files_created(), 2);
+        assert_eq!(pool.files_created_preallocated(), 2);
+        assert_eq!(pool.files_created_inline(), 0);
+        assert_eq!(pool.unconsumed_files(), 2);
         let entries = kernel.readdir("/.splitfs").unwrap();
         assert_eq!(entries.len(), 2);
         assert!(entries.contains(&"stage-0".to_string()));
@@ -236,10 +337,10 @@ mod tests {
     }
 
     #[test]
-    fn exhausting_preallocated_files_replenishes() {
-        let (_d, _k, pool) = setup();
+    fn exhausting_preallocated_files_replenishes_inline() {
+        let (device, _k, pool) = setup();
         // 2 files x 4 MiB; take 3 MiB chunks until we exceed the initial
-        // capacity and force a replenish.
+        // capacity and force an inline replenish.
         let mut taken = 0u64;
         while taken < 10 * 1024 * 1024 {
             let a = pool.take(3 * 1024 * 1024, 0).unwrap();
@@ -247,6 +348,38 @@ mod tests {
             taken += a.len;
         }
         assert!(pool.files_created() > 2);
+        assert!(
+            pool.files_created_inline() > 0,
+            "emergency creations are attributed to the inline counter"
+        );
+        assert_eq!(pool.files_created_background(), 0);
+        assert_eq!(
+            device.stats().snapshot().staging_inline_creates,
+            pool.files_created_inline(),
+            "device-wide statistic mirrors the pool counter"
+        );
+    }
+
+    #[test]
+    fn background_provisioning_prevents_inline_creation() {
+        let (device, _k, pool) = setup();
+        // Drain most of the pre-allocated capacity, then provision like the
+        // daemon would before the pool runs dry.
+        let mut taken = 0u64;
+        while taken < 7 * 1024 * 1024 {
+            taken += pool.take(1024 * 1024, 0).unwrap().len;
+        }
+        assert!(pool.needs_provisioning(2));
+        pool.provision_one().unwrap();
+        pool.provision_one().unwrap();
+        assert!(!pool.needs_provisioning(2));
+        while taken < 14 * 1024 * 1024 {
+            taken += pool.take(1024 * 1024, 0).unwrap().len;
+        }
+        assert_eq!(pool.files_created_inline(), 0);
+        assert_eq!(pool.files_created_background(), 2);
+        assert_eq!(device.stats().snapshot().staging_bg_creates, 2);
+        assert_eq!(device.stats().snapshot().staging_inline_creates, 0);
     }
 
     #[test]

@@ -64,6 +64,26 @@ fn staged_appends_are_visible_before_fsync() {
 }
 
 #[test]
+fn repeated_overwrites_of_the_same_range_keep_the_last_write() {
+    // Regression test: strict mode stages every write, so overwriting one
+    // range twice between fsyncs produces overlapping staged runs; the
+    // relink path must apply them in generations (last writer wins), not
+    // reject the batch as overlapping.
+    let (_d, _k, fs) = splitfs(Mode::Strict);
+    let fd = fs.open("/page", OpenFlags::create()).unwrap();
+    fs.write_at(fd, 0, &vec![0xAAu8; 4096]).unwrap();
+    fs.write_at(fd, 0, &vec![0xBBu8; 4096]).unwrap();
+    // Partial third overwrite on top, unaligned.
+    fs.write_at(fd, 100, &[0xCCu8; 200]).unwrap();
+    fs.fsync(fd).expect("fsync after overlapping overwrites");
+    let data = fs.read_file("/page").unwrap();
+    assert!(data[..100].iter().all(|&b| b == 0xBB));
+    assert!(data[100..300].iter().all(|&b| b == 0xCC));
+    assert!(data[300..4096].iter().all(|&b| b == 0xBB));
+    fs.close(fd).unwrap();
+}
+
+#[test]
 fn overwrites_round_trip_in_all_modes() {
     for mode in [Mode::Posix, Mode::Sync, Mode::Strict] {
         let (_d, _k, fs) = splitfs(mode);
@@ -210,7 +230,10 @@ fn strict_append_uses_one_log_entry_and_one_extra_fence() {
         64,
         "exactly one 64-byte operation-log entry per append"
     );
-    assert_eq!(delta.kernel_traps, 0, "appends must not trap into the kernel");
+    assert_eq!(
+        delta.kernel_traps, 0,
+        "appends must not trap into the kernel"
+    );
     assert!(
         delta.fences <= 2,
         "append needs at most a data fence plus one log fence, saw {}",
@@ -252,7 +275,9 @@ fn crash_before_fsync_loses_nothing_in_strict_mode() {
     let fs = SplitFs::new(Arc::clone(&kernel), config.clone()).unwrap();
 
     let fd = fs.open("/db", OpenFlags::create()).unwrap();
-    let payload: Vec<u8> = (0..3 * BLOCK_SIZE as u32).map(|i| (i % 253) as u8).collect();
+    let payload: Vec<u8> = (0..3 * BLOCK_SIZE as u32)
+        .map(|i| (i % 253) as u8)
+        .collect();
     fs.append(fd, &payload).unwrap();
     // No fsync, no close: strict mode still guarantees the append is
     // durable and atomic once the call returned.
@@ -260,7 +285,10 @@ fn crash_before_fsync_loses_nothing_in_strict_mode() {
 
     let kernel2 = Ext4Dax::mount(Arc::clone(&device)).unwrap();
     let report = recover(&kernel2, &config).unwrap();
-    assert!(report.replayed >= 1, "recovery must replay the staged append");
+    assert!(
+        report.replayed >= 1,
+        "recovery must replay the staged append"
+    );
     let data = kernel2.read_file("/db").unwrap();
     assert_eq!(data, payload);
 }
@@ -431,7 +459,8 @@ fn ablation_configurations_still_produce_correct_files() {
 fn memory_usage_is_bounded_and_observable() {
     let (_d, _k, fs) = splitfs(Mode::Strict);
     for i in 0..20 {
-        fs.write_file(&format!("/file-{i}"), &vec![0u8; 8192]).unwrap();
+        fs.write_file(&format!("/file-{i}"), &vec![0u8; 8192])
+            .unwrap();
     }
     let usage = fs.memory_usage();
     assert!(usage.cached_files >= 20);

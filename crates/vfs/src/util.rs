@@ -117,9 +117,8 @@ impl<'a> ByteReader<'a> {
 
     /// Reads a `u64`.
     pub fn get_u64(&mut self) -> Option<u64> {
-        self.take(8).map(|s| {
-            u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
-        })
+        self.take(8)
+            .map(|s| u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]))
     }
 
     /// Reads a length-prefixed byte string.

@@ -71,8 +71,12 @@ pub fn run_ycsb(
     workload: YcsbWorkload,
     config: &YcsbRunConfig,
 ) -> FsResult<YcsbResult> {
-    let mut generator =
-        YcsbGenerator::new(workload, config.record_count, config.value_size, config.seed);
+    let mut generator = YcsbGenerator::new(
+        workload,
+        config.record_count,
+        config.value_size,
+        config.seed,
+    );
     let mut store = LsmStore::open(Arc::clone(fs), config.lsm.clone())?;
 
     // Load phase.
@@ -142,11 +146,7 @@ pub fn run_tpcc(
 /// Runs `sets` Redis-like SET commands against the AOF store over `fs`
 /// (the paper's "Set in Redis" workload: 1 M key-value pairs, AOF mode,
 /// periodic fsync).
-pub fn run_redis_set(
-    fs: &Arc<dyn FileSystem>,
-    sets: u64,
-    fsync_every: u64,
-) -> FsResult<RunResult> {
+pub fn run_redis_set(fs: &Arc<dyn FileSystem>, sets: u64, fsync_every: u64) -> FsResult<RunResult> {
     let mut store = AofStore::open(
         Arc::clone(fs),
         "/redis.aof",

@@ -138,7 +138,7 @@ pub fn run_pattern(
         IoPattern::SequentialWrite | IoPattern::RandomWrite => {
             for (i, &off) in offsets.iter().enumerate() {
                 fs.write_at(fd, off, &write_block)?;
-                if config.fsync_every > 0 && (i as u64 + 1) % config.fsync_every == 0 {
+                if config.fsync_every > 0 && (i as u64 + 1).is_multiple_of(config.fsync_every) {
                     fs.fsync(fd)?;
                 }
             }
@@ -262,7 +262,10 @@ mod tests {
         let fs = fs();
         let row = append_software_overhead(&fs, 1024 * 1024).unwrap();
         assert!((row.device_write_ns - 671.0).abs() < 10.0);
-        assert!(row.overhead_ns > 0.0, "kernel FS appends must have overhead");
+        assert!(
+            row.overhead_ns > 0.0,
+            "kernel FS appends must have overhead"
+        );
         assert!(row.append_ns > row.device_write_ns);
     }
 }

@@ -113,9 +113,11 @@ mod tests {
 
     #[test]
     fn derived_metrics_are_consistent() {
-        let mut stats = StatsSnapshot::default();
-        stats.time_ns = [600.0, 100.0, 100.0, 100.0, 100.0];
-        stats.bytes_written = [4096, 0, 1024, 64, 0];
+        let stats = StatsSnapshot {
+            time_ns: [600.0, 100.0, 100.0, 100.0, 100.0],
+            bytes_written: [4096, 0, 1024, 64, 0],
+            ..StatsSnapshot::default()
+        };
         let r = RunResult::new("fs", "wl", 1000, 1_000_000.0, stats);
         assert!((r.kops_per_sec() - 1000.0).abs() < 0.001);
         assert!((r.ns_per_op() - 1000.0).abs() < 1e-9);

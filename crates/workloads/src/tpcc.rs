@@ -153,14 +153,18 @@ impl TpccDriver {
 
     fn random_customer(&mut self) -> u64 {
         let w = self.rng.random_range(0..self.config.warehouses);
-        let d = self.rng.random_range(0..self.config.districts_per_warehouse);
+        let d = self
+            .rng
+            .random_range(0..self.config.districts_per_warehouse);
         let c = self.rng.random_range(0..self.config.customers_per_district);
         (w * 100 + d) * 10_000 + c
     }
 
     fn random_district(&mut self) -> u64 {
         let w = self.rng.random_range(0..self.config.warehouses);
-        let d = self.rng.random_range(0..self.config.districts_per_warehouse);
+        let d = self
+            .rng
+            .random_range(0..self.config.districts_per_warehouse);
         w * 100 + d
     }
 
@@ -196,7 +200,8 @@ impl TpccDriver {
         self.db.get(table::DISTRICT, district)?;
         self.db.get(table::CUSTOMER, customer)?;
         // Update the district (next order id) and insert the order.
-        self.db.upsert(table::DISTRICT, district, &row("district'", 95))?;
+        self.db
+            .upsert(table::DISTRICT, district, &row("district'", 95))?;
         let order_id = self.next_order_id;
         self.next_order_id += 1;
         self.db.upsert(table::ORDERS, order_id, &row("order", 70))?;
@@ -207,9 +212,13 @@ impl TpccDriver {
             self.db.get(table::ITEM, item)?;
             let stock_key = (district / 100) * 1_000_000 + item;
             self.db.get(table::STOCK, stock_key)?;
-            self.db.upsert(table::STOCK, stock_key, &row("stock'", 120))?;
             self.db
-                .upsert(table::ORDER_LINE, order_id * 100 + line, &row("orderline", 54))?;
+                .upsert(table::STOCK, stock_key, &row("stock'", 120))?;
+            self.db.upsert(
+                table::ORDER_LINE,
+                order_id * 100 + line,
+                &row("orderline", 54),
+            )?;
         }
         self.db.commit()?;
         self.counts.new_order += 1;
@@ -224,10 +233,13 @@ impl TpccDriver {
         self.db.get(table::CUSTOMER, customer)?;
         self.db
             .upsert(table::WAREHOUSE, district / 100, &row("warehouse'", 90))?;
-        self.db.upsert(table::DISTRICT, district, &row("district'", 95))?;
-        self.db.upsert(table::CUSTOMER, customer, &row("customer'", 250))?;
+        self.db
+            .upsert(table::DISTRICT, district, &row("district'", 95))?;
+        self.db
+            .upsert(table::CUSTOMER, customer, &row("customer'", 250))?;
         let hist_key = self.counts.payment * 7 + district;
-        self.db.upsert(table::HISTORY, hist_key, &row("history", 46))?;
+        self.db
+            .upsert(table::HISTORY, hist_key, &row("history", 46))?;
         self.db.commit()?;
         self.counts.payment += 1;
         Ok(())
@@ -256,7 +268,8 @@ impl TpccDriver {
                 break;
             }
             self.db.get(table::ORDERS, order)?;
-            self.db.upsert(table::ORDERS, order, &row("order-delivered", 70))?;
+            self.db
+                .upsert(table::ORDERS, order, &row("order-delivered", 70))?;
         }
         self.db.commit()?;
         self.counts.delivery += 1;

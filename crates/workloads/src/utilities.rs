@@ -46,7 +46,11 @@ impl Default for TreeConfig {
 
 /// Creates the synthetic source tree under `root` (setup, not measured by
 /// callers that reset stats afterwards).
-pub fn build_tree(fs: &Arc<dyn FileSystem>, root: &str, config: &TreeConfig) -> FsResult<Vec<String>> {
+pub fn build_tree(
+    fs: &Arc<dyn FileSystem>,
+    root: &str,
+    config: &TreeConfig,
+) -> FsResult<Vec<String>> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     if !fs.exists(root) {
         fs.mkdir(root)?;
@@ -60,7 +64,9 @@ pub fn build_tree(fs: &Arc<dyn FileSystem>, root: &str, config: &TreeConfig) -> 
         for f in 0..config.files_per_dir {
             let path = format!("{dir}/file{f:04}.c");
             let size = rng.random_range(config.mean_file_size / 2..config.mean_file_size * 2);
-            let content: Vec<u8> = (0..size).map(|i| ((i * 31 + f * 7 + d) % 251) as u8).collect();
+            let content: Vec<u8> = (0..size)
+                .map(|i| ((i * 31 + f * 7 + d) % 251) as u8)
+                .collect();
             fs.write_file(&path, &content)?;
             paths.push(path);
         }
@@ -105,9 +111,7 @@ pub fn git_like(fs: &Arc<dyn FileSystem>, root: &str, paths: &[String]) -> FsRes
             let hash = vfs::util::checksum32(&data);
             let object_path = format!("{objects}/obj-{hash:08x}-{i}");
             fs2.write_file(&object_path, &data)?;
-            index.extend_from_slice(
-                format!("{path} {hash:08x} {}\n", meta.size).as_bytes(),
-            );
+            index.extend_from_slice(format!("{path} {hash:08x} {}\n", meta.size).as_bytes());
         }
         // Write the index and commit ref via temp-file + rename, as git does.
         let index_tmp = format!("{root}/.git-index.tmp");
@@ -226,10 +230,7 @@ mod tests {
         let paths = build_tree(&fs, "/src", &tiny_tree()).unwrap();
         let result = tar_like(&fs, &paths, "/archive.tar").unwrap();
         assert_eq!(result.ops, 16);
-        let total_input: u64 = paths
-            .iter()
-            .map(|p| fs.stat(p).unwrap().size)
-            .sum();
+        let total_input: u64 = paths.iter().map(|p| fs.stat(p).unwrap().size).sum();
         let archive_size = fs.stat("/archive.tar").unwrap().size;
         assert!(archive_size >= total_input, "archive must contain all data");
     }

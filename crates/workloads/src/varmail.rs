@@ -50,7 +50,11 @@ pub fn run(fs: &Arc<dyn FileSystem>, iterations: u64) -> FsResult<SyscallLatenci
     let mut sums: HashMap<&'static str, f64> = HashMap::new();
     let mut counts: HashMap<&'static str, u64> = HashMap::new();
 
-    let timed = |name: &'static str, sums: &mut HashMap<&'static str, f64>, counts: &mut HashMap<&'static str, u64>, f: &mut dyn FnMut() -> FsResult<()>| -> FsResult<()> {
+    let timed = |name: &'static str,
+                 sums: &mut HashMap<&'static str, f64>,
+                 counts: &mut HashMap<&'static str, u64>,
+                 f: &mut dyn FnMut() -> FsResult<()>|
+     -> FsResult<()> {
         let start = clock.now_ns_f64();
         f()?;
         let elapsed = clock.now_ns_f64() - start;

@@ -133,8 +133,8 @@ impl Zipfian {
         }
         if n > EXACT {
             // ∫ x^-theta dx from EXACT to n.
-            sum += ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta))
-                / (1.0 - theta);
+            sum +=
+                ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
         }
         sum
     }
@@ -215,7 +215,9 @@ impl YcsbGenerator {
         let mut value = vec![0u8; self.value_size];
         let mut state = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
         for b in value.iter_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *b = (state >> 56) as u8;
         }
         value

@@ -47,8 +47,13 @@ fn main() {
         report.entries_scanned, report.replayed, report.already_applied
     );
 
-    let data = kernel_after.read_file("/txn.log").expect("read after recovery");
-    assert_eq!(data, expected, "every committed append must survive the crash");
+    let data = kernel_after
+        .read_file("/txn.log")
+        .expect("read after recovery");
+    assert_eq!(
+        data, expected,
+        "every committed append must survive the crash"
+    );
     println!(
         "verified: /txn.log holds all {} bytes written before the crash",
         data.len()
@@ -56,8 +61,12 @@ fn main() {
 
     // The file system is usable again through a fresh SplitFS instance.
     let fs_after = SplitFs::new(kernel_after, config).expect("restart splitfs");
-    let fd = fs_after.open("/txn.log", OpenFlags::append()).expect("reopen");
-    fs_after.append(fd, b"txn 00032 COMMIT (post-recovery)\n").expect("append");
+    let fd = fs_after
+        .open("/txn.log", OpenFlags::append())
+        .expect("reopen");
+    fs_after
+        .append(fd, b"txn 00032 COMMIT (post-recovery)\n")
+        .expect("append");
     fs_after.fsync(fd).expect("fsync");
     println!("appended one more transaction after recovery — the store keeps working");
 }

@@ -45,7 +45,10 @@ fn main() {
         "file system", "load kops/s", "run kops/s", "sw overhead (run)", "write amp"
     );
 
-    for (name, fs) in [("ext4-DAX", build_ext4()), ("SplitFS-POSIX", build_splitfs())] {
+    for (name, fs) in [
+        ("ext4-DAX", build_ext4()),
+        ("SplitFS-POSIX", build_splitfs()),
+    ] {
         let result = run_ycsb(&fs, YcsbWorkload::A, &config).expect("ycsb run");
         println!(
             "{:<16} {:>14.1} {:>14.1} {:>18.1}% {:>11.2}x",

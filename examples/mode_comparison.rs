@@ -68,7 +68,10 @@ fn main() {
     let pmfs: Arc<dyn FileSystem> = Pmfs::new(device());
     rows.push(("PMFS (sync class)".into(), measure_append_cost(&pmfs)));
     let nova: Arc<dyn FileSystem> = Nova::new(device(), NovaMode::Strict);
-    rows.push(("NOVA-strict (strict class)".into(), measure_append_cost(&nova)));
+    rows.push((
+        "NOVA-strict (strict class)".into(),
+        measure_append_cost(&nova),
+    ));
 
     for (name, ns) in &rows {
         println!("  {name:<28} {ns:>10.0} ns/append");

@@ -24,7 +24,11 @@ fn main() {
     //    synchronous and atomic.
     let fs = SplitFs::new(kernel, SplitConfig::new(Mode::Strict)).expect("start SplitFS");
 
-    println!("mounted {} on a {} MiB device", fs.name(), device.size() / (1024 * 1024));
+    println!(
+        "mounted {} on a {} MiB device",
+        fs.name(),
+        device.size() / (1024 * 1024)
+    );
 
     // 4. Write a log file with a few appends.  The parent directory must
     //    exist first: metadata operations are passed through to the kernel.
@@ -57,7 +61,10 @@ fn main() {
 
     // 6. Read it back through the collection of memory mappings.
     let contents = fs.read_file("/app/wal.log").expect("read back");
-    let lines = contents.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count();
+    let lines = contents
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .count();
     println!("read back {} bytes ({lines} records)", contents.len());
 
     fs.close(fd).expect("close");

@@ -63,7 +63,10 @@ fn posix_file_operations_agree_across_all_filesystems() {
     let (_, first_content, first_listing) = &states[0];
     for (name, content, listing) in &states {
         assert_eq!(content, first_content, "file content differs on {name}");
-        assert_eq!(listing, first_listing, "directory listing differs on {name}");
+        assert_eq!(
+            listing, first_listing,
+            "directory listing differs on {name}"
+        );
     }
 }
 
@@ -83,7 +86,10 @@ fn lsm_store_produces_identical_results_on_every_filesystem() {
         .unwrap();
         for i in 0..400u32 {
             store
-                .put(format!("key{:05}", i % 150).as_bytes(), format!("v{i}").as_bytes())
+                .put(
+                    format!("key{:05}", i % 150).as_bytes(),
+                    format!("v{i}").as_bytes(),
+                )
                 .unwrap();
         }
         store.flush_memtable().unwrap();
@@ -105,7 +111,8 @@ fn lsm_store_produces_identical_results_on_every_filesystem() {
 fn aof_store_state_agrees_across_filesystems() {
     let mut sizes = Vec::new();
     for fs in all_filesystems() {
-        let mut store = AofStore::open(Arc::clone(&fs), "/redis.aof", FsyncPolicy::EveryN(16)).unwrap();
+        let mut store =
+            AofStore::open(Arc::clone(&fs), "/redis.aof", FsyncPolicy::EveryN(16)).unwrap();
         for i in 0..200 {
             store.set(&format!("k{i}"), &format!("v{i}")).unwrap();
         }
@@ -115,7 +122,12 @@ fn aof_store_state_agrees_across_filesystems() {
         store.shutdown().unwrap();
         // Reopen to force a full AOF replay.
         let store = AofStore::open(Arc::clone(&fs), "/redis.aof", FsyncPolicy::Never).unwrap();
-        sizes.push((fs.name(), store.len(), store.get("k1").cloned(), store.get("k3").cloned()));
+        sizes.push((
+            fs.name(),
+            store.len(),
+            store.get("k1").cloned(),
+            store.get("k3").cloned(),
+        ));
     }
     let (_, first_len, first_k1, first_k3) = &sizes[0];
     for (name, len, k1, k3) in &sizes {
