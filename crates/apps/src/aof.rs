@@ -5,12 +5,15 @@
 //! or on every command.  What the file system sees is a stream of small,
 //! unaligned appends plus periodic fsyncs — a worst case for file systems
 //! that pay a high per-append cost and exactly the pattern SplitFS's
-//! staging + relink path accelerates.
+//! staging + relink path accelerates.  Records are emitted with
+//! [`FileSystem::appendv`]: the command is gathered from its parts
+//! (`"SET "`, key, `" "`, value, `"\n"`) with no intermediate `format!`
+//! buffer, and the whole record commits as one append.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use vfs::{Fd, FileSystem, FsResult, OpenFlags};
+use vfs::{Fd, FileSystem, FsResult, IoVec, OpenFlags};
 
 /// When the append-only file is fsynced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,8 +110,16 @@ impl AofStore {
 
     /// `SET key value`.
     pub fn set(&mut self, key: &str, value: &str) -> FsResult<()> {
-        let record = format!("SET {key} {value}\n");
-        self.fs.write(self.aof_fd, record.as_bytes())?;
+        self.fs.appendv(
+            self.aof_fd,
+            &[
+                IoVec::new(b"SET "),
+                IoVec::new(key.as_bytes()),
+                IoVec::new(b" "),
+                IoVec::new(value.as_bytes()),
+                IoVec::new(b"\n"),
+            ],
+        )?;
         self.maybe_sync()?;
         self.map.insert(key.to_string(), value.to_string());
         self.sets += 1;
@@ -122,8 +133,14 @@ impl AofStore {
 
     /// `DEL key`; returns whether the key existed.
     pub fn del(&mut self, key: &str) -> FsResult<bool> {
-        let record = format!("DEL {key}\n");
-        self.fs.write(self.aof_fd, record.as_bytes())?;
+        self.fs.appendv(
+            self.aof_fd,
+            &[
+                IoVec::new(b"DEL "),
+                IoVec::new(key.as_bytes()),
+                IoVec::new(b"\n"),
+            ],
+        )?;
         self.maybe_sync()?;
         Ok(self.map.remove(key).is_some())
     }

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut, BytesMut};
-use vfs::{Fd, FileSystem, FsError, FsResult, OpenFlags};
+use vfs::{Fd, FileSystem, FsError, FsResult, IoVec, OpenFlags};
 
 /// Tuning knobs for [`LsmStore`].
 #[derive(Debug, Clone)]
@@ -160,18 +160,18 @@ impl LsmStore {
         self.sstables.len()
     }
 
-    fn wal_record(key: &[u8], value: Option<&[u8]>) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(12 + key.len() + value.map_or(0, <[u8]>::len));
-        buf.put_u32_le(key.len() as u32);
-        match value {
-            Some(v) => buf.put_u32_le(v.len() as u32),
-            None => buf.put_u32_le(TOMBSTONE),
-        }
-        buf.put_slice(key);
-        if let Some(v) = value {
-            buf.put_slice(v);
-        }
-        buf.to_vec()
+    /// Encodes the 8-byte WAL record header (key length + value length or
+    /// tombstone marker).  The record body is gathered from the caller's
+    /// key/value slices directly via `appendv` — no concatenation buffer.
+    fn wal_header(key: &[u8], value: Option<&[u8]>) -> [u8; 8] {
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&(key.len() as u32).to_le_bytes());
+        let vlen = match value {
+            Some(v) => v.len() as u32,
+            None => TOMBSTONE,
+        };
+        header[4..].copy_from_slice(&vlen.to_le_bytes());
+        header
     }
 
     fn parse_wal(data: &[u8]) -> Vec<(Vec<u8>, MemValue)> {
@@ -210,10 +210,14 @@ impl LsmStore {
     }
 
     fn write_entry(&mut self, key: &[u8], value: Option<&[u8]>) -> FsResult<()> {
-        let record = Self::wal_record(key, value);
-        self.fs.write(self.wal_fd, &record)?;
+        let header = Self::wal_header(key, value);
+        let mut iov = [IoVec::new(&header), IoVec::new(key), IoVec::new(&[])];
+        if let Some(v) = value {
+            iov[2] = IoVec::new(v);
+        }
+        self.fs.appendv(self.wal_fd, &iov)?;
         if self.config.sync_writes {
-            self.fs.fsync(self.wal_fd)?;
+            self.fs.fdatasync(self.wal_fd)?;
         }
         self.memtable_bytes += key.len() + value.map_or(0, <[u8]>::len) + 16;
         self.memtable
@@ -234,9 +238,10 @@ impl LsmStore {
                 if len == TOMBSTONE {
                     return Ok(None);
                 }
-                let mut buf = vec![0u8; len as usize];
-                self.fs.read_at(table.fd, offset, &mut buf)?;
-                return Ok(Some(buf));
+                // Zero-copy on file systems that serve mapped views; the
+                // value is materialized once, into its final Vec.
+                let view = self.fs.read_view(table.fd, offset, len as usize)?;
+                return Ok(Some(view.into_vec()));
             }
         }
         Ok(None)
@@ -284,9 +289,8 @@ impl LsmStore {
                         continue;
                     }
                     let table = &self.sstables[table_idx];
-                    let mut buf = vec![0u8; len as usize];
-                    self.fs.read_at(table.fd, off, &mut buf)?;
-                    out.push((k, buf));
+                    let view = self.fs.read_view(table.fd, off, len as usize)?;
+                    out.push((k, view.into_vec()));
                 }
             }
         }
@@ -332,9 +336,8 @@ impl LsmStore {
                 if *len == TOMBSTONE {
                     merged.insert(key.clone(), None);
                 } else {
-                    let mut buf = vec![0u8; *len as usize];
-                    self.fs.read_at(table.fd, *offset, &mut buf)?;
-                    merged.insert(key.clone(), Some(buf));
+                    let view = self.fs.read_view(table.fd, *offset, *len as usize)?;
+                    merged.insert(key.clone(), Some(view.into_vec()));
                 }
             }
         }

@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut, BytesMut};
-use vfs::{Fd, FileSystem, FsError, FsResult, OpenFlags};
+use vfs::{Fd, FileSystem, FsError, FsResult, IoVec, OpenFlags};
 
 /// Page size used by the pager.
 pub const PAGE_SIZE: usize = 4096;
@@ -350,22 +350,32 @@ impl WalDb {
             return Ok(());
         }
         let dirty: Vec<(u64, Vec<u8>)> = self.dirty.drain().collect();
-        let mut buf = BytesMut::with_capacity(dirty.len() * (PAGE_SIZE + FRAME_HEADER));
+        // Every frame is gathered from its 16-byte header and the page
+        // image in place — one vectored write commits the transaction
+        // instead of one copy into a contiguous buffer.
+        let mut headers = Vec::with_capacity(dirty.len());
         let mut offsets = Vec::with_capacity(dirty.len());
-        for (page_no, page) in &dirty {
-            offsets.push((
-                *page_no,
-                self.wal_len + buf.len() as u64 + FRAME_HEADER as u64,
-            ));
-            buf.put_u64_le(*page_no);
-            buf.put_u64_le(PAGE_SIZE as u64);
-            buf.put_slice(page);
+        let mut frame_off = self.wal_len;
+        for (page_no, _) in &dirty {
+            let mut header = [0u8; FRAME_HEADER];
+            header[..8].copy_from_slice(&page_no.to_le_bytes());
+            header[8..].copy_from_slice(&(PAGE_SIZE as u64).to_le_bytes());
+            headers.push(header);
+            offsets.push((*page_no, frame_off + FRAME_HEADER as u64));
+            frame_off += (FRAME_HEADER + PAGE_SIZE) as u64;
         }
-        self.fs.write_at(self.wal_fd, self.wal_len, &buf)?;
+        let mut iov = Vec::with_capacity(dirty.len() * 2);
+        for (header, (_, page)) in headers.iter().zip(&dirty) {
+            iov.push(IoVec::new(&header[..]));
+            iov.push(IoVec::new(page));
+        }
+        let written = self.fs.writev_at(self.wal_fd, self.wal_len, &iov)?;
         if self.config.sync_commits {
-            self.fs.fsync(self.wal_fd)?;
+            // The WAL is data-durability only: the page images must be
+            // persistent, the file metadata can trail (fdatasync).
+            self.fs.fdatasync(self.wal_fd)?;
         }
-        self.wal_len += buf.len() as u64;
+        self.wal_len += written as u64;
         self.wal_frames += dirty.len();
         for (page_no, off) in offsets {
             self.wal_index.insert(page_no, off);

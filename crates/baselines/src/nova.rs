@@ -13,7 +13,7 @@
 //! least **two cache lines written and two fences** per operation (the log
 //! entry and the persisted log tail), versus SplitFS's single 64 B entry
 //! and single fence (§3.3).  That behaviour is reproduced here: every
-//! mutating operation calls [`Nova::log_op`], which writes a 128 B entry,
+//! mutating operation calls `Nova::log_op`, which writes a 128 B entry,
 //! fences, updates the on-PM tail, and fences again.
 
 use std::sync::Arc;
@@ -21,7 +21,10 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use pmem::{AccessPattern, PersistMode, PmemDevice, TimeCategory};
-use vfs::{ConsistencyClass, Fd, FileStat, FileSystem, FsError, FsResult, OpenFlags, SeekFrom};
+use vfs::{
+    iov_total_len, ConsistencyClass, Fd, FileStat, FileSystem, FsError, FsResult, IoVec, OpenFlags,
+    SeekFrom,
+};
 
 use crate::common::{FsCore, BLOCK_SIZE};
 
@@ -99,6 +102,116 @@ impl Nova {
         self.device.fence(TimeCategory::Journal);
         *head += 64;
         self.device.charge_software(cost.nova_radix_update_ns);
+    }
+
+    /// Writes one slice's bytes with the core lock held, in the mode's
+    /// style (relaxed: in place; strict: copy-on-write per touched block).
+    /// Does not fence, update the size, or log — the caller does that once
+    /// per logical operation.
+    fn write_slice(&self, core: &mut FsCore, ino: u64, offset: u64, data: &[u8]) -> FsResult<()> {
+        let cost = self.device.cost().clone();
+        let old_size = core.node(ino)?.size;
+        match self.mode {
+            NovaMode::Relaxed => {
+                let newly = core.ensure_blocks(ino, offset, data.len() as u64)?;
+                if newly > 0 {
+                    self.device.charge_software(cost.nova_alloc_ns);
+                }
+                core.write_data(
+                    ino,
+                    offset,
+                    data,
+                    PersistMode::NonTemporal,
+                    TimeCategory::UserData,
+                )?;
+            }
+            NovaMode::Strict => {
+                // Copy-on-write: every touched block gets a freshly
+                // allocated replacement containing merged old + new bytes.
+                // Holes below the write are filled with allocated blocks
+                // first so the logical-to-physical map stays dense.
+                core.ensure_blocks(ino, offset, data.len() as u64)?;
+                let first_block = offset / BLOCK_SIZE as u64;
+                let last_block = (offset + data.len() as u64 - 1) / BLOCK_SIZE as u64;
+                self.device.charge_software(cost.nova_alloc_ns);
+                for block in first_block..=last_block {
+                    let block_start = block * BLOCK_SIZE as u64;
+                    let mut image = vec![0u8; BLOCK_SIZE];
+                    // Preserve existing bytes of a partially overwritten
+                    // block.
+                    let had_old = old_size > block_start;
+                    if had_old {
+                        core.read_data(
+                            ino,
+                            block_start,
+                            &mut image,
+                            AccessPattern::Sequential,
+                            TimeCategory::UserData,
+                        )?;
+                    }
+                    // Overlay the new bytes.
+                    let copy_start = offset.max(block_start);
+                    let copy_end =
+                        (offset + data.len() as u64).min(block_start + BLOCK_SIZE as u64);
+                    let src_from = (copy_start - offset) as usize;
+                    let src_to = (copy_end - offset) as usize;
+                    let dst_from = (copy_start - block_start) as usize;
+                    image[dst_from..dst_from + (src_to - src_from)]
+                        .copy_from_slice(&data[src_from..src_to]);
+
+                    // Write the replacement block and swap it in.
+                    let new_block = core.alloc_block()?;
+                    self.device.write(
+                        new_block * BLOCK_SIZE as u64,
+                        &image,
+                        PersistMode::NonTemporal,
+                        TimeCategory::UserData,
+                    );
+                    let node = core.node_mut(ino)?;
+                    let old_block = node.blocks[block as usize];
+                    node.blocks[block as usize] = new_block;
+                    core.free_block(old_block);
+                }
+            }
+        }
+        let new_end = offset + data.len() as u64;
+        if new_end > old_size {
+            core.node_mut(ino)?.size = new_end;
+        }
+        Ok(())
+    }
+
+    /// The shared write path: one trap, one data fence and **one** inode
+    /// log commit (2 cache lines, 2 fences) for the whole gather.  With
+    /// `at == None` the write lands at the end of file, resolved under the
+    /// same core lock as the write — concurrent appenders serialize.
+    fn vectored_write(&self, fd: Fd, at: Option<u64>, iov: &[IoVec<'_>]) -> FsResult<usize> {
+        self.charge_syscall();
+        let mut core = self.core.write();
+        let file = core.fd(fd)?;
+        if !file.flags.write {
+            return Err(FsError::PermissionDenied);
+        }
+        let total = iov_total_len(iov);
+        if total == 0 {
+            return Ok(0);
+        }
+        let offset = match at {
+            Some(offset) => offset,
+            None => core.node(file.ino)?.size,
+        };
+        let mut cur = offset;
+        for v in iov {
+            if v.is_empty() {
+                continue;
+            }
+            self.write_slice(&mut core, file.ino, cur, v.as_slice())?;
+            cur += v.len() as u64;
+        }
+        self.device.fence(TimeCategory::UserData);
+        // Commit the operation in the inode log (2 cache lines, 2 fences).
+        self.log_op();
+        Ok(total as usize)
     }
 }
 
@@ -186,92 +299,31 @@ impl FileSystem for Nova {
     }
 
     fn write_at(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.vectored_write(fd, Some(offset), &[IoVec::new(data)])
+    }
+
+    fn writev_at(&self, fd: Fd, offset: u64, iov: &[IoVec<'_>]) -> FsResult<usize> {
+        self.vectored_write(fd, Some(offset), iov)
+    }
+
+    fn appendv(&self, fd: Fd, iov: &[IoVec<'_>]) -> FsResult<usize> {
+        let n = self.vectored_write(fd, None, iov)?;
+        self.device.stats().add_appendv(iov.len() as u64);
+        Ok(n)
+    }
+
+    fn fsync_many(&self, fds: &[Fd]) -> FsResult<()> {
+        // Operations are synchronous; the batch pays one trap for the set.
+        if fds.is_empty() {
+            return Ok(());
+        }
         self.charge_syscall();
-        let cost = self.device.cost().clone();
-        let mut core = self.core.write();
-        let file = core.fd(fd)?;
-        if !file.flags.write {
-            return Err(FsError::PermissionDenied);
+        let core = self.core.read();
+        for &fd in fds {
+            core.fd(fd)?;
         }
-        if data.is_empty() {
-            return Ok(0);
-        }
-        let ino = file.ino;
-        let old_size = core.node(ino)?.size;
-
-        match self.mode {
-            NovaMode::Relaxed => {
-                let newly = core.ensure_blocks(ino, offset, data.len() as u64)?;
-                if newly > 0 {
-                    self.device.charge_software(cost.nova_alloc_ns);
-                }
-                core.write_data(
-                    ino,
-                    offset,
-                    data,
-                    PersistMode::NonTemporal,
-                    TimeCategory::UserData,
-                )?;
-                self.device.fence(TimeCategory::UserData);
-            }
-            NovaMode::Strict => {
-                // Copy-on-write: every touched block gets a freshly
-                // allocated replacement containing merged old + new bytes.
-                // Holes below the write are filled with allocated blocks
-                // first so the logical-to-physical map stays dense.
-                core.ensure_blocks(ino, offset, data.len() as u64)?;
-                let first_block = offset / BLOCK_SIZE as u64;
-                let last_block = (offset + data.len() as u64 - 1) / BLOCK_SIZE as u64;
-                self.device.charge_software(cost.nova_alloc_ns);
-                for block in first_block..=last_block {
-                    let block_start = block * BLOCK_SIZE as u64;
-                    let mut image = vec![0u8; BLOCK_SIZE];
-                    // Preserve existing bytes of a partially overwritten
-                    // block.
-                    let had_old = old_size > block_start;
-                    if had_old {
-                        core.read_data(
-                            ino,
-                            block_start,
-                            &mut image,
-                            AccessPattern::Sequential,
-                            TimeCategory::UserData,
-                        )?;
-                    }
-                    // Overlay the new bytes.
-                    let copy_start = offset.max(block_start);
-                    let copy_end =
-                        (offset + data.len() as u64).min(block_start + BLOCK_SIZE as u64);
-                    let src_from = (copy_start - offset) as usize;
-                    let src_to = (copy_end - offset) as usize;
-                    let dst_from = (copy_start - block_start) as usize;
-                    image[dst_from..dst_from + (src_to - src_from)]
-                        .copy_from_slice(&data[src_from..src_to]);
-
-                    // Write the replacement block and swap it in.
-                    let new_block = core.alloc_block()?;
-                    self.device.write(
-                        new_block * BLOCK_SIZE as u64,
-                        &image,
-                        PersistMode::NonTemporal,
-                        TimeCategory::UserData,
-                    );
-                    let node = core.node_mut(ino)?;
-                    let old_block = node.blocks[block as usize];
-                    node.blocks[block as usize] = new_block;
-                    core.free_block(old_block);
-                }
-                self.device.fence(TimeCategory::UserData);
-            }
-        }
-
-        let new_end = offset + data.len() as u64;
-        if new_end > old_size {
-            core.node_mut(ino)?.size = new_end;
-        }
-        // Commit the operation in the inode log (2 cache lines, 2 fences).
-        self.log_op();
-        Ok(data.len())
+        self.device.stats().add_fsync_many(fds.len() as u64);
+        Ok(())
     }
 
     fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {

@@ -12,7 +12,10 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use pmem::{AccessPattern, PersistMode, PmemDevice, TimeCategory};
-use vfs::{ConsistencyClass, Fd, FileStat, FileSystem, FsError, FsResult, OpenFlags, SeekFrom};
+use vfs::{
+    iov_total_len, ConsistencyClass, Fd, FileStat, FileSystem, FsError, FsResult, IoVec, OpenFlags,
+    SeekFrom,
+};
 
 use crate::common::FsCore;
 
@@ -68,6 +71,62 @@ impl Pmfs {
             *head += JOURNAL_RECORD as u64;
         }
         self.device.fence(TimeCategory::Journal);
+    }
+
+    /// The shared write path: one trap, one allocation/journal decision
+    /// and one trailing fence for the whole gather.  With `at == None` the
+    /// write lands at the end of file, resolved under the same core lock
+    /// as the write itself — concurrent appenders serialize instead of
+    /// racing a stale `fstat`.
+    fn vectored_write(&self, fd: Fd, at: Option<u64>, iov: &[IoVec<'_>]) -> FsResult<usize> {
+        self.charge_syscall();
+        let cost = self.device.cost().clone();
+        let mut core = self.core.write();
+        let file = core.fd(fd)?;
+        if !file.flags.write {
+            return Err(FsError::PermissionDenied);
+        }
+        let total = iov_total_len(iov);
+        if total == 0 {
+            return Ok(0);
+        }
+        let offset = match at {
+            Some(offset) => offset,
+            None => core.node(file.ino)?.size,
+        };
+        let newly = core.ensure_blocks(file.ino, offset, total)?;
+        if newly > 0 {
+            // Block allocation updates allocator metadata under journal
+            // protection.
+            self.device
+                .charge_software(cost.pmfs_alloc_ns * newly.div_ceil(8) as f64);
+            self.journal(1 + (newly as usize).div_ceil(64));
+        }
+        // In-place synchronous data writes, one fence for the gather.
+        let mut cur = offset;
+        for v in iov {
+            if v.is_empty() {
+                continue;
+            }
+            core.write_data(
+                file.ino,
+                cur,
+                v.as_slice(),
+                PersistMode::NonTemporal,
+                TimeCategory::UserData,
+            )?;
+            cur += v.len() as u64;
+        }
+        self.device.fence(TimeCategory::UserData);
+        let node = core.node_mut(file.ino)?;
+        let new_end = offset + total;
+        if new_end > node.size {
+            node.size = new_end;
+            self.device.charge_software(cost.pmfs_inode_update_ns);
+            drop(core);
+            self.journal(1);
+        }
+        Ok(total as usize)
     }
 }
 
@@ -147,42 +206,32 @@ impl FileSystem for Pmfs {
     }
 
     fn write_at(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.vectored_write(fd, Some(offset), &[IoVec::new(data)])
+    }
+
+    fn writev_at(&self, fd: Fd, offset: u64, iov: &[IoVec<'_>]) -> FsResult<usize> {
+        self.vectored_write(fd, Some(offset), iov)
+    }
+
+    fn appendv(&self, fd: Fd, iov: &[IoVec<'_>]) -> FsResult<usize> {
+        let n = self.vectored_write(fd, None, iov)?;
+        self.device.stats().add_appendv(iov.len() as u64);
+        Ok(n)
+    }
+
+    fn fsync_many(&self, fds: &[Fd]) -> FsResult<()> {
+        // Every operation is already synchronous; the batch pays one trap
+        // instead of one per descriptor.
+        if fds.is_empty() {
+            return Ok(());
+        }
         self.charge_syscall();
-        let cost = self.device.cost().clone();
-        let mut core = self.core.write();
-        let file = core.fd(fd)?;
-        if !file.flags.write {
-            return Err(FsError::PermissionDenied);
+        let core = self.core.read();
+        for &fd in fds {
+            core.fd(fd)?;
         }
-        if data.is_empty() {
-            return Ok(0);
-        }
-        let newly = core.ensure_blocks(file.ino, offset, data.len() as u64)?;
-        if newly > 0 {
-            // Block allocation updates allocator metadata under journal
-            // protection.
-            self.device
-                .charge_software(cost.pmfs_alloc_ns * newly.div_ceil(8) as f64);
-            self.journal(1 + (newly as usize).div_ceil(64));
-        }
-        // In-place synchronous data write.
-        core.write_data(
-            file.ino,
-            offset,
-            data,
-            PersistMode::NonTemporal,
-            TimeCategory::UserData,
-        )?;
-        self.device.fence(TimeCategory::UserData);
-        let node = core.node_mut(file.ino)?;
-        let new_end = offset + data.len() as u64;
-        if new_end > node.size {
-            node.size = new_end;
-            self.device.charge_software(cost.pmfs_inode_update_ns);
-            drop(core);
-            self.journal(1);
-        }
-        Ok(data.len())
+        self.device.stats().add_fsync_many(fds.len() as u64);
+        Ok(())
     }
 
     fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {

@@ -21,7 +21,10 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use pmem::{AccessPattern, PersistMode, PmemDevice, TimeCategory};
-use vfs::{ConsistencyClass, Fd, FileStat, FileSystem, FsError, FsResult, OpenFlags, SeekFrom};
+use vfs::{
+    iov_total_len, ConsistencyClass, Fd, FileStat, FileSystem, FsError, FsResult, IoVec, OpenFlags,
+    SeekFrom,
+};
 
 use crate::common::{FsCore, BLOCK_SIZE};
 
@@ -165,6 +168,105 @@ impl Strata {
         }
         Ok(())
     }
+
+    /// Logs one slice's bytes with both locks held.  Each touched block
+    /// becomes one log entry (header + block image); the caller updates
+    /// the size and runs the digest check once per logical operation.
+    fn write_slice_locked(
+        &self,
+        core: &mut FsCore,
+        state: &mut LogState,
+        ino: u64,
+        offset: u64,
+        data: &[u8],
+    ) -> FsResult<()> {
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let file_off = offset + pos as u64;
+            let block = file_off / BLOCK_SIZE as u64;
+            let within = (file_off % BLOCK_SIZE as u64) as usize;
+            let chunk = (BLOCK_SIZE - within).min(data.len() - pos);
+            // Build the full-block image the log stores (merge with any
+            // previous content so the digest can copy whole blocks).
+            let mut image = vec![0u8; BLOCK_SIZE];
+            let old_size = core.node(ino)?.size;
+            if old_size > block * BLOCK_SIZE as u64 {
+                // Read existing content (from log or shared area) without
+                // recursing through read_at's permission/offset logic.
+                match state.pending.get(&(ino, block)) {
+                    Some(ext) => {
+                        let take = ext.len as usize;
+                        self.device.read(
+                            ext.log_offset,
+                            &mut image[..take],
+                            AccessPattern::Random,
+                            TimeCategory::UserData,
+                        );
+                    }
+                    None => {
+                        core.read_data(
+                            ino,
+                            block * BLOCK_SIZE as u64,
+                            &mut image,
+                            AccessPattern::Random,
+                            TimeCategory::UserData,
+                        )?;
+                    }
+                }
+            }
+            image[within..within + chunk].copy_from_slice(&data[pos..pos + chunk]);
+            let valid = (within + chunk)
+                .max((old_size.saturating_sub(block * BLOCK_SIZE as u64) as usize).min(BLOCK_SIZE));
+            let log_offset = self.log_append(state, &image[..valid]);
+            state.pending.insert(
+                (ino, block),
+                LogExtent {
+                    log_offset,
+                    len: valid as u64,
+                },
+            );
+            // Writes become visible (to this process) as they land, so the
+            // size must track each logged block for the merge reads above.
+            let new_end = file_off + chunk as u64;
+            if new_end > core.node(ino)?.size {
+                core.node_mut(ino)?.size = new_end;
+            }
+            pos += chunk;
+        }
+        Ok(())
+    }
+
+    /// The shared write path: one LibFS bookkeeping charge and one digest
+    /// check for the whole gather.  With `at == None` the write lands at
+    /// the end of file, resolved under the same locks as the write —
+    /// concurrent appenders serialize.
+    fn vectored_write(&self, fd: Fd, at: Option<u64>, iov: &[IoVec<'_>]) -> FsResult<usize> {
+        self.charge_libfs();
+        let mut core = self.core.write();
+        let mut state = self.state.write();
+        let file = core.fd(fd)?;
+        if !file.flags.write {
+            return Err(FsError::PermissionDenied);
+        }
+        let total = iov_total_len(iov);
+        if total == 0 {
+            return Ok(0);
+        }
+        let offset = match at {
+            Some(offset) => offset,
+            None => core.node(file.ino)?.size,
+        };
+        let mut cur = offset;
+        for v in iov {
+            if v.is_empty() {
+                continue;
+            }
+            self.write_slice_locked(&mut core, &mut state, file.ino, cur, v.as_slice())?;
+            cur += v.len() as u64;
+        }
+        self.maybe_digest(&mut core, &mut state)?;
+        Ok(total as usize)
+    }
 }
 
 impl FileSystem for Strata {
@@ -265,70 +367,32 @@ impl FileSystem for Strata {
     }
 
     fn write_at(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.vectored_write(fd, Some(offset), &[IoVec::new(data)])
+    }
+
+    fn writev_at(&self, fd: Fd, offset: u64, iov: &[IoVec<'_>]) -> FsResult<usize> {
+        self.vectored_write(fd, Some(offset), iov)
+    }
+
+    fn appendv(&self, fd: Fd, iov: &[IoVec<'_>]) -> FsResult<usize> {
+        let n = self.vectored_write(fd, None, iov)?;
+        self.device.stats().add_appendv(iov.len() as u64);
+        Ok(n)
+    }
+
+    fn fsync_many(&self, fds: &[Fd]) -> FsResult<()> {
+        // Log writes are already persistent; the batch pays the LibFS
+        // bookkeeping once for the set.
+        if fds.is_empty() {
+            return Ok(());
+        }
         self.charge_libfs();
-        let mut core = self.core.write();
-        let mut state = self.state.write();
-        let file = core.fd(fd)?;
-        if !file.flags.write {
-            return Err(FsError::PermissionDenied);
+        let core = self.core.read();
+        for &fd in fds {
+            core.fd(fd)?;
         }
-        if data.is_empty() {
-            return Ok(0);
-        }
-        // Each touched block becomes one log entry (header + block image).
-        let mut pos = 0usize;
-        while pos < data.len() {
-            let file_off = offset + pos as u64;
-            let block = file_off / BLOCK_SIZE as u64;
-            let within = (file_off % BLOCK_SIZE as u64) as usize;
-            let chunk = (BLOCK_SIZE - within).min(data.len() - pos);
-            // Build the full-block image the log stores (merge with any
-            // previous content so the digest can copy whole blocks).
-            let mut image = vec![0u8; BLOCK_SIZE];
-            let old_size = core.node(file.ino)?.size;
-            if old_size > block * BLOCK_SIZE as u64 {
-                // Read existing content (from log or shared area) without
-                // recursing through read_at's permission/offset logic.
-                match state.pending.get(&(file.ino, block)) {
-                    Some(ext) => {
-                        let take = ext.len as usize;
-                        self.device.read(
-                            ext.log_offset,
-                            &mut image[..take],
-                            AccessPattern::Random,
-                            TimeCategory::UserData,
-                        );
-                    }
-                    None => {
-                        core.read_data(
-                            file.ino,
-                            block * BLOCK_SIZE as u64,
-                            &mut image,
-                            AccessPattern::Random,
-                            TimeCategory::UserData,
-                        )?;
-                    }
-                }
-            }
-            image[within..within + chunk].copy_from_slice(&data[pos..pos + chunk]);
-            let valid = (within + chunk)
-                .max((old_size.saturating_sub(block * BLOCK_SIZE as u64) as usize).min(BLOCK_SIZE));
-            let log_offset = self.log_append(&mut state, &image[..valid]);
-            state.pending.insert(
-                (file.ino, block),
-                LogExtent {
-                    log_offset,
-                    len: valid as u64,
-                },
-            );
-            pos += chunk;
-        }
-        let new_end = offset + data.len() as u64;
-        if new_end > core.node(file.ino)?.size {
-            core.node_mut(file.ino)?.size = new_end;
-        }
-        self.maybe_digest(&mut core, &mut state)?;
-        Ok(data.len())
+        self.device.stats().add_fsync_many(fds.len() as u64);
+        Ok(())
     }
 
     fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {

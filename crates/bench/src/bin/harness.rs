@@ -15,6 +15,7 @@
 //!   fig6       application performance and utilities (Figure 6)
 //!   recovery   operation-log replay time vs entries (§5.3)
 //!   daemon     inline vs daemon-backed maintenance on concurrent appends
+//!   vectored   N x append vs one appendv of N slices (fences, journal txns)
 //!   resources  U-Split DRAM footprint after a YCSB run (§5.10)
 //!   all        everything above
 //!
@@ -121,6 +122,19 @@ fn run(which: &str, scale: Scale) {
             ],
             &experiments::daemon_maintenance(scale),
         ),
+        "vectored" => print_table(
+            "Vectored I/O — N x append vs one appendv of N slices",
+            &[
+                "File system",
+                "Shape",
+                "ns/record",
+                "Fences/record",
+                "Journal txns/record",
+                "Group commits",
+                "appendv calls",
+            ],
+            &experiments::vectored(scale),
+        ),
         "resources" => print_table(
             "§5.10 — resource consumption after YCSB-A on SplitFS-strict",
             &["Metric", "Value"],
@@ -129,7 +143,7 @@ fn run(which: &str, scale: Scale) {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon resources all"
+                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon vectored resources all"
             );
             std::process::exit(2);
         }
@@ -158,6 +172,7 @@ fn main() {
         "fig6",
         "recovery",
         "daemon",
+        "vectored",
         "resources",
     ];
     for experiment in which {

@@ -11,7 +11,7 @@
 //!
 //! Costs: each record is a non-temporal device write in the
 //! [`TimeCategory::Journal`] class; the commit charges the per-transaction
-//! software cost from the [`CostModel`] plus one fence.
+//! software cost from the [`CostModel`](pmem::CostModel) plus one fence.
 
 use std::sync::Arc;
 
@@ -394,6 +394,7 @@ impl Journal {
     pub fn commit(&mut self, records: &[JournalRecord]) -> FsResult<u64> {
         let tid = self.next_tid;
         self.next_tid += 1;
+        self.device.stats().add_journal_txn();
 
         let mut bytes = Vec::new();
         for rec in records {

@@ -17,9 +17,10 @@
 //! through the page table.
 
 use std::collections::HashSet;
+use std::ops::Deref;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
 use crate::clock::SimClock;
 use crate::cost::CostModel;
@@ -185,6 +186,48 @@ impl PmemDevice {
         self.clock.advance(ns);
         self.stats.add_time(cat, ns);
         self.stats.add_bytes_read(cat, buf.len() as u64);
+    }
+
+    /// Serves a read as a **zero-copy borrow** of device memory, charging
+    /// read cost but performing no memcpy.  This models a load-from-DAX
+    /// access: the caller gets the physical bytes directly.
+    ///
+    /// Returns `None` when the range is empty or crosses a shard boundary
+    /// (the borrow is backed by one shard's read guard); callers fall back
+    /// to an owned [`PmemDevice::read`].  The returned [`PmemView`] holds a
+    /// shard read lock for its lifetime, so **any** writer to the same
+    /// 1 MiB shard — same thread or another — blocks until it is dropped.
+    /// Treat a view as short-lived: drop (or copy out of) it before
+    /// issuing further device writes from the same thread, and never hold
+    /// one while blocking on a lock another writing thread may own, or
+    /// the pinned shard becomes one side of an ABBA deadlock.
+    pub fn try_read_view(
+        &self,
+        offset: u64,
+        len: usize,
+        pattern: AccessPattern,
+        cat: TimeCategory,
+    ) -> Option<PmemView<'_>> {
+        if len == 0 {
+            return None;
+        }
+        self.check_range(offset, len);
+        let start = offset as usize;
+        let shard_idx = start / SHARD_SIZE;
+        if (start + len - 1) / SHARD_SIZE != shard_idx {
+            return None;
+        }
+        let guard = self.shards[shard_idx].read();
+        let ns = self.cost.pm_read_cost(len, pattern.is_sequential());
+        self.clock.advance(ns);
+        self.stats.add_time(cat, ns);
+        self.stats.add_bytes_read(cat, len as u64);
+        self.stats.add_zero_copy_read_bytes(len as u64);
+        Some(PmemView {
+            guard,
+            start: start % SHARD_SIZE,
+            len,
+        })
     }
 
     /// Reads without charging any simulated time.  Used by recovery scans
@@ -433,6 +476,31 @@ impl PmemDevice {
     }
 }
 
+/// A zero-copy borrow of a contiguous device range, returned by
+/// [`PmemDevice::try_read_view`].
+///
+/// Dereferences to the bytes as they are *now* — the volatile view, exactly
+/// what a load from a DAX mapping observes.  The view holds a shard read
+/// lock; writers to the same 1 MiB shard block while it is alive.
+pub struct PmemView<'a> {
+    guard: RwLockReadGuard<'a, Shard>,
+    start: usize,
+    len: usize,
+}
+
+impl Deref for PmemView<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.guard.data[self.start..self.start + self.len]
+    }
+}
+
+impl std::fmt::Debug for PmemView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmemView").field("len", &self.len).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -632,6 +700,38 @@ mod tests {
         let delta = dev.stats().snapshot().delta_since(&before);
         assert_eq!(delta.bytes_read[1], 1024); // Metadata index
         assert_eq!(delta.bytes_written[1], 1024);
+    }
+
+    #[test]
+    fn read_view_borrows_without_copy_and_counts_zero_copy_bytes() {
+        let dev = small_device();
+        let data: Vec<u8> = (0..300u32).map(|i| (i % 251) as u8).collect();
+        dev.write_uncharged(2048, &data);
+        let before = dev.stats().snapshot();
+        let view = dev
+            .try_read_view(2048, 300, AccessPattern::Sequential, TimeCategory::UserData)
+            .expect("in-shard range");
+        assert_eq!(&*view, &data[..]);
+        drop(view);
+        let delta = dev.stats().snapshot().delta_since(&before);
+        assert_eq!(delta.zero_copy_read_bytes, 300);
+        assert_eq!(delta.bytes_read[0], 300); // UserData index
+    }
+
+    #[test]
+    fn read_view_refuses_shard_straddling_and_empty_ranges() {
+        let dev = small_device();
+        assert!(dev
+            .try_read_view(
+                SHARD_SIZE as u64 - 10,
+                20,
+                AccessPattern::Sequential,
+                TimeCategory::UserData
+            )
+            .is_none());
+        assert!(dev
+            .try_read_view(0, 0, AccessPattern::Sequential, TimeCategory::UserData)
+            .is_none());
     }
 
     #[test]

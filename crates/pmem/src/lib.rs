@@ -36,7 +36,7 @@ pub mod stats;
 pub use clock::SimClock;
 pub use cost::CostModel;
 pub use crash::CrashPolicy;
-pub use device::{PmemBuilder, PmemDevice};
+pub use device::{PmemBuilder, PmemDevice, PmemView};
 pub use persist::{AccessPattern, PersistMode};
 pub use stats::{Stats, StatsSnapshot, TimeCategory};
 

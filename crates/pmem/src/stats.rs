@@ -75,6 +75,7 @@ pub struct Stats {
     huge_page_faults: AtomicU64,
     kernel_traps: AtomicU64,
     maintenance: MaintenanceCounters,
+    vectored: VectoredCounters,
 }
 
 /// Counters for the U-Split background-maintenance subsystem: staging-file
@@ -99,6 +100,28 @@ pub struct MaintenanceCounters {
     /// Background checkpoints (relink-all plus log truncate) completed by a
     /// maintenance worker.
     daemon_checkpoints: AtomicU64,
+}
+
+/// Counters for the vectored / zero-copy / batch-durable I/O API: bytes
+/// served without a memcpy through [`read views`](crate::PmemView),
+/// gathered `appendv`/`writev_at` calls, `fsync_many` batches and kernel
+/// journal transactions.  They make the API's wins observable (the paper's
+/// methodology: count fences and transactions, don't assert).
+#[derive(Debug, Default)]
+pub struct VectoredCounters {
+    /// Bytes served as zero-copy borrows of device memory (no memcpy).
+    zero_copy_read_bytes: AtomicU64,
+    /// Gathered (multi-slice) `appendv` calls.
+    appendv_calls: AtomicU64,
+    /// Total slices gathered across all `appendv` calls.
+    appendv_slices: AtomicU64,
+    /// Batched durability (`fsync_many`) calls.
+    fsync_many_calls: AtomicU64,
+    /// Total descriptors retired across all `fsync_many` calls.
+    fsync_many_files: AtomicU64,
+    /// Kernel journal transactions committed (jbd2-style commits plus the
+    /// forced commits an `fsync` models).
+    journal_txns: AtomicU64,
 }
 
 impl Stats {
@@ -188,6 +211,42 @@ impl Stats {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` bytes served zero-copy (no memcpy) from device memory.
+    pub fn add_zero_copy_read_bytes(&self, n: u64) {
+        self.vectored
+            .zero_copy_read_bytes
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one vectored append of `slices` slices.  Single-slice
+    /// calls are not counted: plain `append` delegates to `appendv`
+    /// everywhere, and the counter's purpose is to evidence *gathering* —
+    /// counting degenerate gathers would drown that signal.
+    pub fn add_appendv(&self, slices: u64) {
+        if slices < 2 {
+            return;
+        }
+        self.vectored.appendv_calls.fetch_add(1, Ordering::Relaxed);
+        self.vectored
+            .appendv_slices
+            .fetch_add(slices, Ordering::Relaxed);
+    }
+
+    /// Records one `fsync_many` call retiring `files` descriptors.
+    pub fn add_fsync_many(&self, files: u64) {
+        self.vectored
+            .fsync_many_calls
+            .fetch_add(1, Ordering::Relaxed);
+        self.vectored
+            .fsync_many_files
+            .fetch_add(files, Ordering::Relaxed);
+    }
+
+    /// Records one kernel journal transaction commit.
+    pub fn add_journal_txn(&self) {
+        self.vectored.journal_txns.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a copyable snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut time_ns = [0.0f64; 5];
@@ -220,6 +279,12 @@ impl Stats {
             relink_batch_ops: self.maintenance.relink_batch_ops.load(Ordering::Relaxed),
             oplog_group_commits: self.maintenance.oplog_group_commits.load(Ordering::Relaxed),
             daemon_checkpoints: self.maintenance.daemon_checkpoints.load(Ordering::Relaxed),
+            zero_copy_read_bytes: self.vectored.zero_copy_read_bytes.load(Ordering::Relaxed),
+            appendv_calls: self.vectored.appendv_calls.load(Ordering::Relaxed),
+            appendv_slices: self.vectored.appendv_slices.load(Ordering::Relaxed),
+            fsync_many_calls: self.vectored.fsync_many_calls.load(Ordering::Relaxed),
+            fsync_many_files: self.vectored.fsync_many_files.load(Ordering::Relaxed),
+            journal_txns: self.vectored.journal_txns.load(Ordering::Relaxed),
         }
     }
 
@@ -255,6 +320,14 @@ impl Stats {
         self.maintenance
             .daemon_checkpoints
             .store(0, Ordering::Relaxed);
+        self.vectored
+            .zero_copy_read_bytes
+            .store(0, Ordering::Relaxed);
+        self.vectored.appendv_calls.store(0, Ordering::Relaxed);
+        self.vectored.appendv_slices.store(0, Ordering::Relaxed);
+        self.vectored.fsync_many_calls.store(0, Ordering::Relaxed);
+        self.vectored.fsync_many_files.store(0, Ordering::Relaxed);
+        self.vectored.journal_txns.store(0, Ordering::Relaxed);
     }
 }
 
@@ -289,6 +362,18 @@ pub struct StatsSnapshot {
     pub oplog_group_commits: u64,
     /// Background checkpoints completed by a maintenance worker.
     pub daemon_checkpoints: u64,
+    /// Bytes served as zero-copy borrows (no memcpy) of device memory.
+    pub zero_copy_read_bytes: u64,
+    /// Gathered (multi-slice) `appendv` calls.
+    pub appendv_calls: u64,
+    /// Total slices gathered across all `appendv` calls.
+    pub appendv_slices: u64,
+    /// Batched durability (`fsync_many`) calls.
+    pub fsync_many_calls: u64,
+    /// Total descriptors retired across all `fsync_many` calls.
+    pub fsync_many_files: u64,
+    /// Kernel journal transactions committed.
+    pub journal_txns: u64,
 }
 
 impl StatsSnapshot {
@@ -363,6 +448,18 @@ impl StatsSnapshot {
         out.daemon_checkpoints = out
             .daemon_checkpoints
             .saturating_sub(earlier.daemon_checkpoints);
+        out.zero_copy_read_bytes = out
+            .zero_copy_read_bytes
+            .saturating_sub(earlier.zero_copy_read_bytes);
+        out.appendv_calls = out.appendv_calls.saturating_sub(earlier.appendv_calls);
+        out.appendv_slices = out.appendv_slices.saturating_sub(earlier.appendv_slices);
+        out.fsync_many_calls = out
+            .fsync_many_calls
+            .saturating_sub(earlier.fsync_many_calls);
+        out.fsync_many_files = out
+            .fsync_many_files
+            .saturating_sub(earlier.fsync_many_files);
+        out.journal_txns = out.journal_txns.saturating_sub(earlier.journal_txns);
         out
     }
 }

@@ -12,9 +12,12 @@
 use std::fmt;
 use std::sync::{
     Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
-    RwLockReadGuard, RwLockWriteGuard,
 };
 use std::time::Duration;
+
+// Guard types are the std guards directly; re-exported so callers can name
+// them (real parking_lot exports its own guard types the same way).
+pub use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock whose `lock` returns the guard directly.
 #[derive(Default)]

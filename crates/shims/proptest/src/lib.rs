@@ -203,7 +203,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use rand::RngCore;
 
-        /// Accepted size arguments for [`vec`]: an exact length or a
+        /// Accepted size arguments for [`vec()`]: an exact length or a
         /// half-open range of lengths.
         #[derive(Debug, Clone)]
         pub struct SizeRange {

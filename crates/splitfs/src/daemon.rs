@@ -9,8 +9,9 @@
 //! 1. **Asynchronous staging provisioning** — when the
 //!    [`StagingPool`](crate::staging::StagingPool) drops below its low
 //!    watermark, workers create and map fresh staging files until the high
-//!    watermark is restored, so [`StagingPool::take`] never has to fall
-//!    back to inline file creation under load.
+//!    watermark is restored, so
+//!    [`StagingPool::take`](crate::staging::StagingPool::take) never has
+//!    to fall back to inline file creation under load.
 //! 2. **Batched background relink** — files that accumulate many staged
 //!    extents are relinked in the background through
 //!    [`kernelfs::Ext4Dax::ioctl_relink_batch`], shrinking the work left

@@ -22,8 +22,8 @@ use parking_lot::{Mutex, RwLock};
 use kernelfs::{Ext4Dax, BLOCK_SIZE};
 use pmem::{AccessPattern, PersistMode, PmemDevice, TimeCategory};
 use vfs::{
-    path as vpath, ConsistencyClass, Fd, FileStat, FileSystem, FsError, FsResult, OpenFlags,
-    SeekFrom,
+    iov_total_len, path as vpath, ConsistencyClass, Fd, FileStat, FileSystem, FsError, FsResult,
+    IoVec, OpenFlags, ReadView, SeekFrom,
 };
 
 use crate::config::SplitConfig;
@@ -474,65 +474,104 @@ impl SplitFs {
     /// Stages `data` at `target_offset`: writes it to staging space, records
     /// the extent and (in sync/strict mode) appends an operation-log entry.
     fn stage_write(&self, state: &mut FileState, target_offset: u64, data: &[u8]) -> FsResult<()> {
-        let mut pos = 0usize;
-        while pos < data.len() {
-            let t_off = target_offset + pos as u64;
-            let remaining = (data.len() - pos) as u64;
-            let alloc = self.staging.take(remaining, t_off % BLOCK_SIZE as u64)?;
-            let n = alloc.len.min(remaining) as usize;
-            self.device.write(
-                alloc.device_offset,
-                &data[pos..pos + n],
-                PersistMode::NonTemporal,
-                TimeCategory::UserData,
-            );
-            let seq = if self.config.mode.logs_data_ops() {
-                // The staged data must be in the persistence domain before a
-                // valid log entry can point at it.
-                self.device.fence(TimeCategory::UserData);
-                let seq = self
-                    .oplog
-                    .as_ref()
-                    .map(|l| l.next_seq())
-                    .unwrap_or_default();
-                let entry = LogEntry {
+        self.stage_writev(state, target_offset, &[IoVec::new(data)])
+    }
+
+    /// Stages a gather list at `target_offset` as **one** logical write:
+    /// every slice lands in (cursor-contiguous) staging space, a single
+    /// fence makes the whole gather durable, and in sync/strict mode the
+    /// operation-log entries for all of it group-commit under one more
+    /// fence ([`OpLog::append_batch`]).  A gather of N slices therefore
+    /// costs two fences total where N staged writes used to cost 2N.
+    fn stage_writev(
+        &self,
+        state: &mut FileState,
+        target_offset: u64,
+        iov: &[IoVec<'_>],
+    ) -> FsResult<()> {
+        let total = iov_total_len(iov);
+        if total == 0 {
+            return Ok(());
+        }
+        // Phase 1: write every slice into staging space.  Allocations are
+        // cursor bumps, so consecutive chunks are contiguous in the staging
+        // file and coalesce into one run at relink time.
+        let mut pending: Vec<(crate::staging::StagingAllocation, u64, usize)> = Vec::new();
+        let mut t_off = target_offset;
+        for v in iov {
+            let data = v.as_slice();
+            let mut pos = 0usize;
+            while pos < data.len() {
+                let cur = t_off + pos as u64;
+                let remaining = (data.len() - pos) as u64;
+                let alloc = self.staging.take(remaining, cur % BLOCK_SIZE as u64)?;
+                let n = alloc.len.min(remaining) as usize;
+                self.device.write(
+                    alloc.device_offset,
+                    &data[pos..pos + n],
+                    PersistMode::NonTemporal,
+                    TimeCategory::UserData,
+                );
+                pending.push((alloc, cur, n));
+                pos += n;
+            }
+            t_off += data.len() as u64;
+        }
+
+        // Phase 2: make the gather durable and log it.
+        let seqs: Vec<u64> = if self.config.mode.logs_data_ops() {
+            // The staged data must be in the persistence domain before a
+            // valid log entry can point at it — one fence for the gather.
+            self.device.fence(TimeCategory::UserData);
+            let entries: Vec<LogEntry> = pending
+                .iter()
+                .map(|(alloc, cur, n)| LogEntry {
                     op: LogOp::StagedWrite,
                     target_ino: state.ino,
-                    target_offset: t_off,
-                    len: n as u64,
+                    target_offset: *cur,
+                    len: *n as u64,
                     staging_ino: alloc.staging_ino,
                     staging_offset: alloc.staging_offset,
-                    seq,
+                    seq: self
+                        .oplog
+                        .as_ref()
+                        .map(|l| l.next_seq())
+                        .unwrap_or_default(),
+                })
+                .collect();
+            loop {
+                // One entry appends directly; a gather group-commits under
+                // a single fence.  On NoSpace: checkpoint if every other
+                // writer is quiescent, else grow the log, then retry
+                // (concurrent growers may briefly race a reservation past
+                // the new end, so loop).
+                let res = match (self.oplog.as_ref(), entries.len()) {
+                    (None, _) => Ok(()),
+                    (Some(_), 1) => self.log_append(&entries[0]),
+                    (Some(oplog), _) => oplog.append_batch(&entries),
                 };
-                loop {
-                    match self.log_append(&entry) {
-                        Ok(()) => break,
-                        Err(FsError::NoSpace) => {
-                            // The log is full: checkpoint if every other
-                            // writer is quiescent, else grow the log, then
-                            // retry (concurrent growers may briefly race a
-                            // reservation past the new end, so loop).
-                            self.handle_log_full(state)?;
-                        }
-                        Err(e) => return Err(e),
-                    }
+                match res {
+                    Ok(()) => break,
+                    Err(FsError::NoSpace) => self.handle_log_full(state)?,
+                    Err(e) => return Err(e),
                 }
-                seq
-            } else {
-                0
-            };
+            }
+            entries.iter().map(|e| e.seq).collect()
+        } else {
+            vec![0; pending.len()]
+        };
+        for ((alloc, cur, n), seq) in pending.iter().zip(seqs) {
             state.staged.push(StagedExtent {
-                target_offset: t_off,
-                len: n as u64,
+                target_offset: *cur,
+                len: *n as u64,
                 staging_ino: alloc.staging_ino,
                 staging_fd: alloc.staging_fd,
                 staging_offset: alloc.staging_offset,
                 device_offset: alloc.device_offset,
                 seq,
             });
-            pos += n;
         }
-        state.cached_size = state.cached_size.max(target_offset + data.len() as u64);
+        state.cached_size = state.cached_size.max(target_offset + total);
 
         // Nudge the maintenance daemon on threshold crossings.  The
         // condition checks are lock-free (an atomic watermark mirror and
@@ -736,6 +775,191 @@ impl FileSystem for SplitFs {
         }
         st.cached_size = st.cached_size.max(end);
         Ok(data.len())
+    }
+
+    fn read_view(&self, fd: Fd, offset: u64, len: usize) -> FsResult<ReadView<'_>> {
+        self.charge_usplit();
+        let (desc, state) = self.state_for_fd(fd)?;
+        if !desc.flags.read {
+            return Err(FsError::PermissionDenied);
+        }
+        let mut st = state.write();
+        if offset >= st.cached_size || len == 0 {
+            return Ok(ReadView::Owned(Vec::new()));
+        }
+        let n = ((st.cached_size - offset) as usize).min(len);
+        let end = offset + n as u64;
+        let pattern = {
+            let last = *desc.last_read_end.lock();
+            if offset == last {
+                AccessPattern::Sequential
+            } else {
+                AccessPattern::Random
+            }
+        };
+        *desc.last_read_end.lock() = end;
+
+        // Zero-copy when the range holds only committed bytes (no staged
+        // overlay) served by one contiguous region of the collection of
+        // mmaps: the view is then a borrow of the mapped blocks, the same
+        // loads a pointer into the DAX mapping would issue.
+        let staged_overlap = st
+            .staged
+            .iter()
+            .any(|e| e.target_offset < end && offset < e.target_offset + e.len);
+        if !staged_overlap && end <= st.kernel_size {
+            if let Some((dev_off, contig)) = self.ensure_mapped(&mut st, offset) {
+                if contig >= n as u64 {
+                    if let Some(view) =
+                        self.device
+                            .try_read_view(dev_off, n, pattern, TimeCategory::UserData)
+                    {
+                        return Ok(ReadView::Mapped(view));
+                    }
+                }
+            }
+        }
+        // Fallback: staged overlays, holes, or mapping-discontiguous
+        // ranges take the owned-copy path.
+        let mut buf = vec![0u8; n];
+        self.read_committed(&mut st, offset, &mut buf, pattern)?;
+        self.overlay_staged(&st, offset, &mut buf);
+        Ok(ReadView::Owned(buf))
+    }
+
+    fn writev_at(&self, fd: Fd, offset: u64, iov: &[IoVec<'_>]) -> FsResult<usize> {
+        self.charge_usplit();
+        let (desc, state) = self.state_for_fd(fd)?;
+        if !desc.flags.write {
+            return Err(FsError::PermissionDenied);
+        }
+        let total = iov_total_len(iov);
+        if total == 0 {
+            return Ok(0);
+        }
+        let mut st = state.write();
+
+        if self.config.mode.stages_overwrites() && self.config.use_staging {
+            // Strict mode: the whole gather is staged and applied
+            // atomically at the next fsync.
+            self.stage_writev(&mut st, offset, iov)?;
+            return Ok(total as usize);
+        }
+
+        let end = offset + total;
+        let overwrite_end = end.min(st.kernel_size);
+        // Split the gather at the end of the committed file: existing
+        // bytes are overwritten in place through the mmaps, the remainder
+        // is re-gathered and staged (or falls through to the kernel) as
+        // one batch.
+        let mut tail: Vec<IoVec<'_>> = Vec::new();
+        let mut cur = offset;
+        for v in iov {
+            let s = v.as_slice();
+            if s.is_empty() {
+                continue;
+            }
+            let v_end = cur + s.len() as u64;
+            if cur < overwrite_end {
+                let n = ((overwrite_end - cur) as usize).min(s.len());
+                self.write_in_place(&mut st, cur, &s[..n])?;
+                if n < s.len() {
+                    tail.push(IoVec::new(&s[n..]));
+                }
+            } else {
+                tail.push(*v);
+            }
+            cur = v_end;
+        }
+        if offset < overwrite_end && self.config.mode.fences_data_ops() {
+            self.device.fence(TimeCategory::UserData);
+        }
+        if end > st.kernel_size {
+            let append_from = offset.max(st.kernel_size);
+            if self.config.use_staging {
+                self.stage_writev(&mut st, append_from, &tail)?;
+            } else {
+                let mut cur = append_from;
+                for v in &tail {
+                    self.kernel.write_at(st.kernel_fd, cur, v.as_slice())?;
+                    cur += v.len() as u64;
+                }
+                st.kernel_size = end;
+            }
+        }
+        st.cached_size = st.cached_size.max(end);
+        Ok(total as usize)
+    }
+
+    fn appendv(&self, fd: Fd, iov: &[IoVec<'_>]) -> FsResult<usize> {
+        self.charge_usplit();
+        let (desc, state) = self.state_for_fd(fd)?;
+        if !desc.flags.write {
+            return Err(FsError::PermissionDenied);
+        }
+        let total = iov_total_len(iov);
+        if total == 0 {
+            return Ok(0);
+        }
+        let mut st = state.write();
+        // End of file resolved under the state write lock, so two
+        // concurrent appenders serialize instead of racing a stale fstat
+        // into overlapping offsets.
+        let offset = st.cached_size;
+        if self.config.use_staging {
+            self.stage_writev(&mut st, offset, iov)?;
+        } else {
+            // Figure 3 ablation: without staging, appends fall through to
+            // the kernel file system.
+            let mut cur = offset;
+            for v in iov {
+                if v.is_empty() {
+                    continue;
+                }
+                self.kernel.write_at(st.kernel_fd, cur, v.as_slice())?;
+                cur += v.len() as u64;
+            }
+            st.kernel_size = st.kernel_size.max(offset + total);
+        }
+        st.cached_size = st.cached_size.max(offset + total);
+        self.device.stats().add_appendv(iov.len() as u64);
+        Ok(total as usize)
+    }
+
+    fn fsync_many(&self, fds: &[Fd]) -> FsResult<()> {
+        self.charge_usplit();
+        if fds.is_empty() {
+            return Ok(());
+        }
+        // Resolve the distinct files behind the descriptors and lock them
+        // in inode order (the same order the quiesced checkpoint uses, so
+        // concurrent batches cannot deadlock against it or each other).
+        let mut entries: Vec<(u64, Arc<RwLock<FileState>>)> = Vec::with_capacity(fds.len());
+        for &fd in fds {
+            let (desc, state) = self.state_for_fd(fd)?;
+            entries.push((desc.ino, state));
+        }
+        entries.sort_by_key(|(ino, _)| *ino);
+        entries.dedup_by_key(|(ino, _)| *ino);
+        let mut guards: Vec<_> = entries.iter().map(|(_, state)| state.write()).collect();
+
+        if self.config.use_staging && guards.iter().any(|g| !g.staged.is_empty()) {
+            self.relink_many(&mut guards)?;
+        } else {
+            // Nothing staged: push any in-place overwrites done with
+            // unfenced non-temporal stores into the persistence domain.
+            self.device.fence(TimeCategory::UserData);
+        }
+        self.device.stats().add_fsync_many(fds.len() as u64);
+        Ok(())
+    }
+
+    fn fdatasync(&self, fd: Fd) -> FsResult<()> {
+        // SplitFS's fsync is already data-only — relink is the data
+        // durability mechanism and metadata is journaled by the kernel at
+        // operation time — so fdatasync shares its path.  The distinction
+        // matters for the kernel file system underneath, not here.
+        self.fsync(fd)
     }
 
     fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {

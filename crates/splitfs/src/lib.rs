@@ -15,6 +15,24 @@
 //!   through [`kernelfs::Ext4Dax::ioctl_relink_batch`], so one journal
 //!   transaction covers every staged extent an `fsync` retires.
 //!
+//! The batching machinery is the *public contract*, not internal plumbing:
+//! SplitFS implements the full zero-copy / vectored / batch-durable
+//! [`vfs::FileSystem`] surface —
+//!
+//! * [`vfs::FileSystem::read_view`] serves committed, mapped ranges as
+//!   **zero-copy borrows** of the collection of mmaps (no memcpy; staged
+//!   overlays and holes fall back to an owned buffer);
+//! * [`vfs::FileSystem::appendv`] / [`vfs::FileSystem::writev_at`] gather
+//!   N slices into cursor-contiguous staging space, make them durable with
+//!   **one fence**, and group-commit their operation-log entries under one
+//!   more ([`oplog::OpLog::append_batch`]) — two fences per gathered
+//!   record where N plain appends cost 2N.  The end of file is resolved
+//!   under the file-state lock, so concurrent appenders can never
+//!   interleave into overlapping offsets;
+//! * [`vfs::FileSystem::fsync_many`] retires the staged extents of M
+//!   files through a single `ioctl_relink_batch` — one kernel trap and
+//!   **one journal transaction** for the whole set.
+//!
 //! # Architecture
 //!
 //! The crate is organized as a foreground data path plus a background

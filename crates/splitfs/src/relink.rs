@@ -23,6 +23,7 @@
 //! the "staging without relink" configuration whose cost the paper
 //! measures.
 
+use parking_lot::RwLockWriteGuard;
 use pmem::{AccessPattern, TimeCategory};
 use vfs::{FileSystem, FsResult};
 
@@ -110,6 +111,90 @@ impl SplitFs {
             });
         }
         self.device.fence(TimeCategory::UserData);
+        Ok(())
+    }
+
+    /// Retires the staged extents of **many files** through a single
+    /// batched relink: every file's coalesced runs are planned together
+    /// and submitted as one `ioctl_relink_batch` call — one kernel trap
+    /// and one journal transaction for the whole set ([`vfs::FileSystem::
+    /// fsync_many`]'s contract).  The resulting `Invalidate` markers
+    /// group-commit under one fence.
+    ///
+    /// Files whose staged runs overlap each other (strict-mode overwrites
+    /// of the same range, which need ordered generations) are retired
+    /// individually; everything else — the append-dominated common case —
+    /// shares the combined batch.  Called with every state's write lock
+    /// held.
+    pub(crate) fn relink_many(
+        &self,
+        states: &mut [RwLockWriteGuard<'_, FileState>],
+    ) -> FsResult<()> {
+        let mut combined: Vec<kernelfs::RelinkOp> = Vec::new();
+        let mut planned: Vec<(usize, batch::RelinkPlan)> = Vec::new();
+        let mut deferred: Vec<LogEntry> = Vec::new();
+        for (i, st) in states.iter_mut().enumerate() {
+            if st.staged.is_empty() {
+                continue;
+            }
+            let runs = batch::coalesce(&st.staged);
+            let gens = batch::generations(&runs);
+            if gens.len() == 1 {
+                let plan = batch::plan(gens[0], st.kernel_fd, self.config.use_relink);
+                combined.extend(plan.ops.iter().copied());
+                planned.push((i, plan));
+            } else {
+                // Overlapping overwrites need generation ordering; retire
+                // this file on its own, deferring its marker into the
+                // shared group commit.
+                self.relink_file_deferring(st, &mut deferred)?;
+            }
+        }
+        // One submission for the combined set; the configured batch size
+        // still caps a single kernel call (as on the per-file path), so a
+        // pathological extent count degrades to a few transactions rather
+        // than one unbounded one.
+        let chunk_size = self.config.daemon.relink_batch_size.max(1);
+        for chunk in combined.chunks(chunk_size) {
+            self.kernel.ioctl_relink_batch(chunk)?;
+        }
+        for (i, plan) in &planned {
+            let st = &mut *states[*i];
+            for m in &plan.retained {
+                st.mmaps.insert(m.target_offset, m.device_offset, m.len);
+            }
+            for span in &plan.copies {
+                self.copy_span_to_target(st, span)?;
+            }
+            let max_seq = st.staged.iter().map(|e| e.seq).max().unwrap_or(0);
+            let target_ino = st.ino;
+            st.staged.clear();
+            st.kernel_size = self.kernel.fstat(st.kernel_fd)?.size;
+            st.cached_size = st.cached_size.max(st.kernel_size);
+            if self.config.mode.logs_data_ops() && max_seq > 0 {
+                deferred.push(LogEntry {
+                    op: LogOp::Invalidate,
+                    target_ino,
+                    target_offset: 0,
+                    len: 0,
+                    staging_ino: 0,
+                    staging_offset: 0,
+                    seq: max_seq,
+                });
+            }
+        }
+        self.device.fence(TimeCategory::UserData);
+        // Markers are an optimization (recovery also skips relinked
+        // entries because their staging ranges are holes); a full log
+        // simply drops them.
+        if !deferred.is_empty() {
+            if let Some(oplog) = self.oplog.as_ref() {
+                match oplog.append_batch(&deferred) {
+                    Ok(()) | Err(vfs::FsError::NoSpace) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
         Ok(())
     }
 

@@ -5,14 +5,35 @@
 //! itself — implements the [`FileSystem`] trait, so workloads, example
 //! applications and the benchmark harness are written once and run against
 //! any of them.  The trait mirrors the subset of POSIX the paper's U-Split
-//! library intercepts: `open`, `close`, `pread`/`pwrite`, `read`/`write`
+//! library intercepts — `open`, `close`, `pread`/`pwrite`, `read`/`write`
 //! with a file offset, `fsync`, `ftruncate`, `unlink`, `rename`, `mkdir`,
-//! `readdir`, `stat` and `lseek`.
+//! `readdir`, `stat` and `lseek` — and extends it with the operations a
+//! persistent-memory file system can serve better than POSIX can express:
+//!
+//! * **Zero-copy reads** — [`FileSystem::read_view`] returns a
+//!   [`ReadView`] borrow guard; SplitFS and the kernel file system serve
+//!   it directly from their DAX mappings with no memcpy, while the
+//!   baselines fall back to an owned buffer behind the same type.
+//! * **Vectored writes** — [`FileSystem::writev_at`] and
+//!   [`FileSystem::appendv`] take a gather list of [`IoVec`]s and apply it
+//!   as *one* operation: one syscall-equivalent, one allocation/journal
+//!   decision, and on SplitFS one staging gather whose operation-log
+//!   entries group-commit under a single fence.
+//! * **Batched durability** — [`FileSystem::fsync_many`] retires the
+//!   staged state of many descriptors in one transaction (SplitFS routes
+//!   it through the batched relink ioctl: one kernel journal commit for M
+//!   files), and [`FileSystem::fdatasync`] skips metadata work when only
+//!   data durability is needed.
+//!
+//! The POSIX conveniences (`append`, `read_file`, `write_file`) are
+//! provided in terms of the new primitives, so every implementor that
+//! overrides the primitives gets the optimized conveniences for free.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod error;
+pub mod io;
 pub mod path;
 pub mod types;
 pub mod util;
@@ -20,6 +41,7 @@ pub mod util;
 use std::sync::Arc;
 
 pub use error::{FsError, FsResult};
+pub use io::{iov_gather, iov_total_len, IoVec, ReadView};
 pub use types::{ConsistencyClass, Fd, FileStat, OpenFlags, SeekFrom};
 
 use pmem::PmemDevice;
@@ -101,32 +123,121 @@ pub trait FileSystem: Send + Sync {
         Ok(())
     }
 
-    /// Returns `true` when `path` refers to an existing file or directory.
-    fn exists(&self, path: &str) -> bool {
-        self.stat(path).is_ok()
-    }
+    // ------------------------------------------------------------------
+    // Zero-copy / vectored / batch-durable extensions
+    // ------------------------------------------------------------------
 
-    /// Convenience: appends `data` at the current end of file.
-    fn append(&self, fd: Fd, data: &[u8]) -> FsResult<usize> {
-        let size = self.fstat(fd)?.size;
-        self.write_at(fd, size, data)
-    }
-
-    /// Convenience: reads the whole file at `path` into a vector.
-    fn read_file(&self, path: &str) -> FsResult<Vec<u8>> {
-        let fd = self.open(path, OpenFlags::read_only())?;
-        let size = self.fstat(fd)?.size as usize;
-        let mut buf = vec![0u8; size];
+    /// Reads up to `len` bytes at absolute `offset` as a [`ReadView`].
+    ///
+    /// File systems that can serve the range from a DAX mapping return a
+    /// zero-copy borrow ([`ReadView::Mapped`]); the provided default reads
+    /// through [`FileSystem::read_at`] into an owned buffer.  Like
+    /// `read_at`, the view is clipped at end of file and empty at or past
+    /// it.
+    ///
+    /// A mapped view is a borrow guard over device memory: drop it (or
+    /// [`ReadView::into_vec`] it) before issuing writes that may touch the
+    /// same region from the same thread.
+    fn read_view(&self, fd: Fd, offset: u64, len: usize) -> FsResult<ReadView<'_>> {
+        let mut buf = vec![0u8; len];
         let mut done = 0usize;
-        while done < size {
-            let n = self.read_at(fd, done as u64, &mut buf[done..])?;
+        while done < len {
+            let n = self.read_at(fd, offset + done as u64, &mut buf[done..])?;
             if n == 0 {
                 break;
             }
             done += n;
         }
-        self.close(fd)?;
         buf.truncate(done);
+        Ok(ReadView::Owned(buf))
+    }
+
+    /// Writes a gather list at absolute `offset` as one logical operation,
+    /// extending the file if the range goes past the current end.  Returns
+    /// the total bytes written.
+    ///
+    /// The provided default issues one `write_at` per slice; real
+    /// implementations override it to pay the per-operation costs
+    /// (syscall, allocation, journal/log commit) once for the whole
+    /// gather.  Like `writev(2)`, a short write stops the gather: the
+    /// bytes written so far are returned and no later slice is written at
+    /// a shifted offset.
+    fn writev_at(&self, fd: Fd, offset: u64, iov: &[IoVec<'_>]) -> FsResult<usize> {
+        let mut cur = offset;
+        for v in iov {
+            if v.is_empty() {
+                continue;
+            }
+            let n = self.write_at(fd, cur, v.as_slice())?;
+            cur += n as u64;
+            if n < v.len() {
+                break;
+            }
+        }
+        Ok((cur - offset) as usize)
+    }
+
+    /// Appends a gather list at the end of file as one logical operation.
+    ///
+    /// Implementations resolve the end-of-file offset and perform the
+    /// write under a single file-state lock, so two concurrent appenders
+    /// can never interleave into overlapping offsets.  The provided
+    /// default (fstat-then-write) does **not** have that property; every
+    /// file system in the workspace overrides it.
+    fn appendv(&self, fd: Fd, iov: &[IoVec<'_>]) -> FsResult<usize> {
+        let size = self.fstat(fd)?.size;
+        self.writev_at(fd, size, iov)
+    }
+
+    /// Flushes the completed-but-volatile state of many descriptors to the
+    /// persistence domain as one batch.
+    ///
+    /// On SplitFS the staged extents of every named file are retired
+    /// through a single batched relink — one kernel trap and one journal
+    /// transaction for the whole set — and the kernel file system forces
+    /// one journal commit instead of one per descriptor.  The provided
+    /// default fsyncs each descriptor in turn.
+    fn fsync_many(&self, fds: &[Fd]) -> FsResult<()> {
+        for &fd in fds {
+            self.fsync(fd)?;
+        }
+        Ok(())
+    }
+
+    /// Like [`FileSystem::fsync`], but only guarantees *data* durability:
+    /// file systems that force a metadata journal commit on `fsync` may
+    /// skip it here (the `fdatasync(2)` contract).  The provided default
+    /// falls back to a full `fsync`.
+    fn fdatasync(&self, fd: Fd) -> FsResult<()> {
+        self.fsync(fd)
+    }
+
+    // ------------------------------------------------------------------
+    // Conveniences (implemented on the primitives above)
+    // ------------------------------------------------------------------
+
+    /// Returns `true` when `path` refers to an existing file or directory.
+    fn exists(&self, path: &str) -> bool {
+        self.stat(path).is_ok()
+    }
+
+    /// Convenience: appends `data` at the current end of file.  Delegates
+    /// to [`FileSystem::appendv`], so implementations that resolve the end
+    /// of file under their file-state lock make plain `append` race-free
+    /// too.
+    fn append(&self, fd: Fd, data: &[u8]) -> FsResult<usize> {
+        self.appendv(fd, &[IoVec::new(data)])
+    }
+
+    /// Convenience: reads the whole file at `path` into a vector, through
+    /// [`FileSystem::read_view`] (one copy at most, zero while viewing).
+    fn read_file(&self, path: &str) -> FsResult<Vec<u8>> {
+        let fd = self.open(path, OpenFlags::read_only())?;
+        let size = self.fstat(fd)?.size as usize;
+        // Materialize before close: a mapped view is a borrow guard over
+        // device memory and must not be held across further operations.
+        let buf = self.read_view(fd, 0, size)?.into_vec();
+        self.close(fd)?;
         Ok(buf)
     }
 

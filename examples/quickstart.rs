@@ -1,6 +1,7 @@
 //! Quickstart: create a SplitFS instance on an emulated PM device, write a
-//! file with appends, fsync (which relinks the staged data), and read it
-//! back — while printing what the split architecture did under the hood.
+//! file with one gathered `appendv`, fsync (which relinks the staged
+//! data), and read it back zero-copy through a `ReadView` — while printing
+//! what the split architecture did under the hood.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -9,7 +10,7 @@ use std::sync::Arc;
 use splitfs_repro::kernelfs::Ext4Dax;
 use splitfs_repro::pmem::{PmemBuilder, TimeCategory};
 use splitfs_repro::splitfs::{Mode, SplitConfig, SplitFs};
-use splitfs_repro::vfs::{FileSystem, OpenFlags};
+use splitfs_repro::vfs::{FileSystem, IoVec, OpenFlags};
 
 fn main() {
     // 1. An emulated persistent-memory device (512 MiB).
@@ -30,21 +31,27 @@ fn main() {
         device.size() / (1024 * 1024)
     );
 
-    // 4. Write a log file with a few appends.  The parent directory must
-    //    exist first: metadata operations are passed through to the kernel.
+    // 4. Write a log file with ONE gathered append: all 16 records go to
+    //    staging together, their operation-log entries group-commit under a
+    //    single fence.  The parent directory must exist first: metadata
+    //    operations are passed through to the kernel.
     fs.mkdir("/app").expect("mkdir");
     let fd = fs.open("/app/wal.log", OpenFlags::create()).expect("open");
 
+    let records: Vec<String> = (0..16u32)
+        .map(|i| format!("record-{i:04}: persistent memory is byte addressable\n"))
+        .collect();
+    let iov: Vec<IoVec<'_>> = records.iter().map(|r| IoVec::new(r.as_bytes())).collect();
+
     let before = device.stats().snapshot();
-    for i in 0..16u32 {
-        let record = format!("record-{i:04}: persistent memory is byte addressable\n");
-        fs.append(fd, record.as_bytes()).expect("append");
-    }
+    fs.appendv(fd, &iov).expect("appendv");
     let staged = device.stats().snapshot().delta_since(&before);
     println!(
-        "appended 16 records: {} bytes staged, {} kernel traps, {} op-log entries",
+        "gathered 16 records in one appendv: {} bytes staged, {} kernel traps, \
+         {} fences, {} op-log entries",
         staged.written(TimeCategory::UserData),
         staged.kernel_traps,
+        staged.fences,
         fs.oplog_entries(),
     );
 
@@ -59,13 +66,23 @@ fn main() {
         relinked.kernel_traps,
     );
 
-    // 6. Read it back through the collection of memory mappings.
-    let contents = fs.read_file("/app/wal.log").expect("read back");
-    let lines = contents
+    // 6. Read it back zero-copy: the view borrows the mapped blocks that
+    //    were just relinked into the file — no memcpy.
+    let size = fs.fstat(fd).expect("fstat").size as usize;
+    let before = device.stats().snapshot();
+    let view = fs.read_view(fd, 0, size).expect("read view");
+    let lines = view
         .split(|&b| b == b'\n')
         .filter(|l| !l.is_empty())
         .count();
-    println!("read back {} bytes ({lines} records)", contents.len());
+    let zero_copy = view.is_zero_copy();
+    drop(view);
+    let read_delta = device.stats().snapshot().delta_since(&before);
+    println!(
+        "read back {size} bytes ({lines} records) — zero-copy: {zero_copy}, \
+         {} bytes served without memcpy",
+        read_delta.zero_copy_read_bytes,
+    );
 
     fs.close(fd).expect("close");
 

@@ -6,13 +6,14 @@
 
 use std::sync::Arc;
 
+use proptest::prelude::*;
 use splitfs_repro::apps::aof::{AofStore, FsyncPolicy};
 use splitfs_repro::apps::lsm::{LsmConfig, LsmStore};
 use splitfs_repro::baselines::{Nova, NovaMode, Pmfs, Strata};
 use splitfs_repro::kernelfs::Ext4Dax;
 use splitfs_repro::pmem::PmemBuilder;
 use splitfs_repro::splitfs::{Mode, SplitConfig, SplitFs};
-use splitfs_repro::vfs::{FileSystem, OpenFlags};
+use splitfs_repro::vfs::{FileSystem, IoVec, OpenFlags};
 
 fn all_filesystems() -> Vec<Arc<dyn FileSystem>> {
     let mut out: Vec<Arc<dyn FileSystem>> = Vec::new();
@@ -104,6 +105,136 @@ fn lsm_store_produces_identical_results_on_every_filesystem() {
     for (name, probe, scan) in &answers {
         assert_eq!(probe, first_probe, "LSM point reads differ on {name}");
         assert_eq!(scan, first_scan, "LSM scans differ on {name}");
+    }
+}
+
+#[test]
+fn vectored_and_batched_io_agrees_across_all_filesystems() {
+    // Drive the whole new surface — appendv, writev_at, read_view,
+    // fsync_many, fdatasync — with awkward (unaligned, empty, straddling)
+    // shapes, and require byte-identical observable state everywhere.
+    let mut states = Vec::new();
+    for fs in all_filesystems() {
+        fs.mkdir("/vec").unwrap();
+        let a = fs.open("/vec/a.bin", OpenFlags::create()).unwrap();
+        let b = fs.open("/vec/b.bin", OpenFlags::create()).unwrap();
+
+        // Gathered appends from odd-sized parts, including an empty slice.
+        let p1 = vec![0x11u8; 700];
+        let p2 = vec![0x22u8; 4096];
+        let p3 = vec![0x33u8; 3];
+        let iov = [
+            IoVec::new(&p1),
+            IoVec::new(&[]),
+            IoVec::new(&p2),
+            IoVec::new(&p3),
+        ];
+        assert_eq!(fs.appendv(a, &iov).unwrap(), 700 + 4096 + 3);
+        fs.appendv(b, &iov).unwrap();
+        fs.appendv(b, &[IoVec::new(&p3)]).unwrap();
+
+        // A vectored overwrite straddling the end of file.
+        let q1 = vec![0x44u8; 1000];
+        let q2 = vec![0x55u8; 6000];
+        assert_eq!(
+            fs.writev_at(a, 4000, &[IoVec::new(&q1), IoVec::new(&q2)])
+                .unwrap(),
+            7000
+        );
+        fs.fdatasync(a).unwrap();
+
+        // Batched durability over both files (duplicates allowed).
+        fs.fsync_many(&[a, b, a]).unwrap();
+
+        // read_view windows must agree with the full contents.
+        let full_a = fs.read_file("/vec/a.bin").unwrap();
+        let window = fs.read_view(a, 3500, 2000).unwrap();
+        assert_eq!(
+            window.as_slice(),
+            &full_a[3500..5500],
+            "read_view window disagrees with read_file on {}",
+            fs.name()
+        );
+        let clipped = fs.read_view(a, full_a.len() as u64 - 10, 100).unwrap();
+        assert_eq!(clipped.len(), 10, "view must clip at EOF on {}", fs.name());
+        assert!(fs
+            .read_view(a, full_a.len() as u64 + 5, 10)
+            .unwrap()
+            .is_empty());
+        drop(window);
+        drop(clipped);
+
+        let full_b = fs.read_file("/vec/b.bin").unwrap();
+        fs.close(a).unwrap();
+        fs.close(b).unwrap();
+        states.push((fs.name(), full_a, full_b));
+    }
+    let (_, first_a, first_b) = &states[0];
+    for (name, a, b) in &states {
+        assert_eq!(a, first_a, "vectored file A differs on {name}");
+        assert_eq!(b, first_b, "vectored file B differs on {name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// An arbitrary IoVec split of a buffer, appended with one `appendv`,
+    /// produces exactly the same bytes as one contiguous `write_at` of the
+    /// unsplit buffer — on a kernel-backed SplitFS and on the kernel file
+    /// system itself.
+    #[test]
+    fn iovec_split_roundtrips_like_contiguous_write(
+        data in prop::collection::vec(any::<u8>(), 1..6000),
+        cut_points in prop::collection::vec(any::<u16>(), 0..5),
+    ) {
+        // Turn the arbitrary cut points into a partition of `data`.
+        let mut cuts: Vec<usize> = cut_points
+            .iter()
+            .map(|&c| c as usize % (data.len() + 1))
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut slices: Vec<&[u8]> = Vec::new();
+        let mut prev = 0usize;
+        for &c in &cuts {
+            slices.push(&data[prev..c]);
+            prev = c;
+        }
+        slices.push(&data[prev..]);
+        let iov: Vec<IoVec<'_>> = slices.iter().map(|s| IoVec::new(s)).collect();
+
+        let filesystems: Vec<Arc<dyn FileSystem>> = {
+            let device = PmemBuilder::new(96 * 1024 * 1024)
+                .track_persistence(false)
+                .build();
+            let kernel = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+            let split_device = PmemBuilder::new(96 * 1024 * 1024)
+                .track_persistence(false)
+                .build();
+            let split_kernel = Ext4Dax::mkfs(split_device).unwrap();
+            vec![
+                kernel,
+                SplitFs::new(split_kernel, SplitConfig::new(Mode::Strict)).unwrap(),
+            ]
+        };
+        for fs in filesystems {
+            let contiguous = fs.open("/contig.bin", OpenFlags::create()).unwrap();
+            fs.write_at(contiguous, 0, &data).unwrap();
+            fs.fsync(contiguous).unwrap();
+
+            let gathered = fs.open("/gather.bin", OpenFlags::create()).unwrap();
+            let n = fs.appendv(gathered, &iov).unwrap();
+            prop_assert_eq!(n, data.len());
+            fs.fsync(gathered).unwrap();
+
+            let a = fs.read_file("/contig.bin").unwrap();
+            let b = fs.read_file("/gather.bin").unwrap();
+            prop_assert_eq!(&a, &data, "contiguous write diverged on {}", fs.name());
+            prop_assert_eq!(&b, &data, "gathered appendv diverged on {}", fs.name());
+            fs.close(contiguous).unwrap();
+            fs.close(gathered).unwrap();
+        }
     }
 }
 
