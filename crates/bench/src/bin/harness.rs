@@ -15,6 +15,7 @@
 //!   fig6       application performance and utilities (Figure 6)
 //!   recovery   operation-log replay time vs entries (§5.3)
 //!   daemon     inline vs daemon-backed maintenance on concurrent appends
+//!   scaling    WAL-per-shard saturation throughput at 1/2/4/8 threads
 //!   vectored   N x append vs one appendv of N slices (fences, journal txns)
 //!   resources  U-Split DRAM footprint after a YCSB run (§5.10)
 //!   all        everything above
@@ -122,6 +123,22 @@ fn run(which: &str, scale: Scale) {
             ],
             &experiments::daemon_maintenance(scale),
         ),
+        "scaling" => print_table(
+            "Scaling — WAL-per-shard distinct-file appends (SplitFS-strict)",
+            &[
+                "Threads",
+                "Throughput",
+                "vs 1 thread",
+                "Wall-clock",
+                "Shard lock waits",
+                "Epoch swaps",
+                "Epoch truncates",
+                "Log grows",
+                "Checkpoint stalls",
+                "Staging recycles",
+            ],
+            &experiments::scaling(scale),
+        ),
         "vectored" => print_table(
             "Vectored I/O — N x append vs one appendv of N slices",
             &[
@@ -143,7 +160,7 @@ fn run(which: &str, scale: Scale) {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon vectored resources all"
+                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon scaling vectored resources all"
             );
             std::process::exit(2);
         }
@@ -172,6 +189,7 @@ fn main() {
         "fig6",
         "recovery",
         "daemon",
+        "scaling",
         "vectored",
         "resources",
     ];

@@ -12,8 +12,24 @@
 //! Costs: each record is a non-temporal device write in the
 //! [`TimeCategory::Journal`] class; the commit charges the per-transaction
 //! software cost from the [`CostModel`](pmem::CostModel) plus one fence.
+//!
+//! # Sharded admission
+//!
+//! The journal area is split into [`JOURNAL_REGIONS`] independent regions,
+//! each with its own head and admission lock, so transactions touching
+//! different inode shards commit in parallel.  Transaction ids come from
+//! one global counter and recovery merges the regions by id, which keeps
+//! replay order identical to a single serialized journal.  When the
+//! journal fills it resets **as a whole** (never one region alone, which
+//! could discard a newer transaction while an older conflicting one
+//! survived elsewhere), and only once every committed transaction has
+//! finished applying its in-place metadata updates — the [`TxnGuard`]
+//! returned by [`Journal::commit`] tracks exactly that window.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use pmem::{PersistMode, PmemDevice, TimeCategory};
 use vfs::util::{checksum32, ByteReader, ByteWriter};
@@ -343,57 +359,136 @@ impl JournalRecord {
     }
 }
 
-/// The journal manager.  Owns the journal region of the device.
+/// Number of independent journal admission regions.  Each region has its
+/// own head and its own admission lock, so transactions for different
+/// inode shards commit in parallel instead of serializing on one journal
+/// lock — the jbd2-style "one running transaction" bottleneck the sharded
+/// kernel state would otherwise hit immediately.
+pub const JOURNAL_REGIONS: usize = 4;
+
+/// How many times a committer re-scans the regions for space before
+/// giving up (each region drains as soon as its in-flight transactions
+/// finish applying their in-place updates, so this bound is never reached
+/// in practice).
+const COMMIT_RETRIES: usize = 10_000;
+
+#[derive(Debug)]
+struct JournalRegion {
+    /// Device byte offset of the region.
+    start: u64,
+    /// Region length in bytes.
+    len: u64,
+    /// Next free byte offset within the region (volatile; the on-device
+    /// contents are the source of truth for recovery).  The admission lock
+    /// is held across the record write and fence so that a region's
+    /// contents are torn only at its very end.
+    head: Mutex<u64>,
+    /// Transactions committed in this region whose in-place metadata
+    /// updates have not finished yet ([`TxnGuard`]s still alive).  The
+    /// journal only resets when this is zero for **every** region:
+    /// resetting earlier could discard the journal record of a
+    /// transaction whose in-place updates are still partial, which a
+    /// crash at that instant could not repair.
+    in_flight: AtomicU64,
+}
+
+/// Keeps a committed transaction's journal region from being wrapped until
+/// the transaction's in-place metadata updates have been applied.  Hold it
+/// for the rest of the mutating operation and drop it when the in-place
+/// state matches the journaled state.
+#[derive(Debug)]
+pub struct TxnGuard<'a> {
+    in_flight: &'a AtomicU64,
+}
+
+impl Drop for TxnGuard<'_> {
+    fn drop(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The journal manager.  Owns the journal area of the device, split into
+/// [`JOURNAL_REGIONS`] independently-admitted regions.
 #[derive(Debug)]
 pub struct Journal {
     device: Arc<PmemDevice>,
-    region_start: u64,
-    region_len: u64,
-    /// Next free byte offset within the journal region (volatile; the
-    /// on-device contents are the source of truth for recovery).
-    head: u64,
-    next_tid: u64,
+    regions: Vec<JournalRegion>,
+    next_tid: AtomicU64,
 }
 
 impl Journal {
-    /// Creates a journal manager over the journal region described by `sb`.
+    /// Creates a journal manager over the journal area described by `sb`.
     /// Does not touch the device; call [`Journal::format`] for a fresh file
     /// system or [`Journal::recover`] when mounting.
     pub fn new(device: Arc<PmemDevice>, sb: &Superblock) -> Self {
+        let area_start = sb.journal_start * BLOCK_SIZE as u64;
+        let area_len = sb.journal_blocks * BLOCK_SIZE as u64;
+        // Block-align the split so regions never share a device block.
+        let per_region =
+            (area_len / JOURNAL_REGIONS as u64) / BLOCK_SIZE as u64 * BLOCK_SIZE as u64;
+        let mut regions = Vec::with_capacity(JOURNAL_REGIONS);
+        for i in 0..JOURNAL_REGIONS as u64 {
+            let start = area_start + i * per_region;
+            // The last region absorbs the rounding remainder.
+            let len = if i == JOURNAL_REGIONS as u64 - 1 {
+                area_len - i * per_region
+            } else {
+                per_region
+            };
+            regions.push(JournalRegion {
+                start,
+                len,
+                head: Mutex::new(0),
+                in_flight: AtomicU64::new(0),
+            });
+        }
         Self {
             device,
-            region_start: sb.journal_start * BLOCK_SIZE as u64,
-            region_len: sb.journal_blocks * BLOCK_SIZE as u64,
-            head: 0,
-            next_tid: 1,
+            regions,
+            next_tid: AtomicU64::new(1),
         }
     }
 
-    /// Zeroes the journal region (fresh format, or checkpoint reset).
-    pub fn format(&mut self) {
-        self.device.zero(
-            self.region_start,
-            self.region_len as usize,
-            PersistMode::NonTemporal,
-            TimeCategory::Journal,
-        );
+    /// Zeroes every journal region (fresh format, or post-recovery reset).
+    pub fn format(&self) {
+        for region in &self.regions {
+            let mut head = region.head.lock();
+            self.device.zero(
+                region.start,
+                region.len as usize,
+                PersistMode::NonTemporal,
+                TimeCategory::Journal,
+            );
+            *head = 0;
+        }
         self.device.fence(TimeCategory::Journal);
-        self.head = 0;
     }
 
-    /// Returns the number of journal bytes currently used.
+    /// Sets the next transaction id (used after recovery so new
+    /// transactions sort after every recovered one).
+    pub fn set_next_tid(&self, tid: u64) {
+        self.next_tid.store(tid, Ordering::SeqCst);
+    }
+
+    /// Returns the number of journal bytes currently used across all
+    /// regions.
     pub fn used_bytes(&self) -> u64 {
-        self.head
+        self.regions.iter().map(|r| *r.head.lock()).sum()
     }
 
     /// Commits a transaction consisting of `records` (a commit marker is
-    /// appended automatically).  Returns the transaction id.
+    /// appended automatically).  `hint` steers the transaction to a region
+    /// (callers pass the inode number, so a shard's transactions tend to
+    /// share a region); other regions are used when the hinted one is
+    /// contended or full.  Returns the transaction id and a [`TxnGuard`]
+    /// the caller must keep alive until the matching in-place metadata
+    /// updates are done.
     ///
-    /// All record writes use non-temporal stores followed by a single fence,
-    /// after which the transaction is durable.
-    pub fn commit(&mut self, records: &[JournalRecord]) -> FsResult<u64> {
-        let tid = self.next_tid;
-        self.next_tid += 1;
+    /// All record writes use non-temporal stores followed by a single fence
+    /// under the region's admission lock, after which the transaction is
+    /// durable.  Recovery merges the regions by transaction id.
+    pub fn commit(&self, hint: u64, records: &[JournalRecord]) -> FsResult<(u64, TxnGuard<'_>)> {
+        let tid = self.next_tid.fetch_add(1, Ordering::SeqCst);
         self.device.stats().add_journal_txn();
 
         let mut bytes = Vec::new();
@@ -401,49 +496,111 @@ impl Journal {
             bytes.extend_from_slice(&rec.encode(tid));
         }
         bytes.extend_from_slice(&JournalRecord::Commit.encode(tid));
-
-        if self.head + bytes.len() as u64 > self.region_len {
-            // The journal is full.  Because in-place metadata updates are
-            // applied synchronously right after each commit, every previous
-            // transaction is already checkpointed and the region can simply
-            // be reset.
-            self.format();
-            if bytes.len() as u64 > self.region_len {
-                return Err(FsError::NoSpace);
-            }
+        let need = bytes.len() as u64;
+        if self.regions.iter().all(|r| need > r.len) {
+            return Err(FsError::NoSpace);
         }
 
         let cost = self.device.cost().clone();
-        // Software cost of assembling the transaction.
-        self.device.charge(
-            TimeCategory::Software,
-            cost.ext4_journal_txn_ns + records.len() as f64 * cost.ext4_journal_per_block_ns,
-        );
-        self.device.write(
-            self.region_start + self.head,
-            &bytes,
-            PersistMode::NonTemporal,
-            TimeCategory::Journal,
-        );
-        self.device.fence(TimeCategory::Journal);
-        self.head += bytes.len() as u64;
-        Ok(tid)
+        let n = self.regions.len();
+        for _attempt in 0..COMMIT_RETRIES {
+            for k in 0..n {
+                let region = &self.regions[(hint as usize + k) % n];
+                if need > region.len {
+                    continue;
+                }
+                let mut head = match region.head.try_lock() {
+                    Some(guard) => guard,
+                    None => {
+                        if k + 1 < n {
+                            continue; // try a less contended region first
+                        }
+                        self.device
+                            .lock_contended(|| region.head.try_lock(), || region.head.lock())
+                    }
+                };
+                if *head + need > region.len {
+                    // Full.  Regions are never reset one at a time: a
+                    // lone reset could erase a region's newer transaction
+                    // while an older conflicting one survived elsewhere,
+                    // and recovery's tid-ordered replay would then
+                    // resurrect the stale record.  The whole journal
+                    // resets together (below), exactly like the seed's
+                    // single-region wrap.
+                    continue;
+                }
+                // Software cost of assembling the transaction.
+                self.device.charge(
+                    TimeCategory::Software,
+                    cost.ext4_journal_txn_ns
+                        + records.len() as f64 * cost.ext4_journal_per_block_ns,
+                );
+                self.device.write(
+                    region.start + *head,
+                    &bytes,
+                    PersistMode::NonTemporal,
+                    TimeCategory::Journal,
+                );
+                self.device.fence(TimeCategory::Journal);
+                *head += need;
+                region.in_flight.fetch_add(1, Ordering::SeqCst);
+                return Ok((
+                    tid,
+                    TxnGuard {
+                        in_flight: &region.in_flight,
+                    },
+                ));
+            }
+            // No region has space: reset the whole journal at once.  This
+            // preserves the invariant that the surviving records always
+            // form a contiguous suffix of history (every discarded
+            // transaction is older than every surviving one — here,
+            // trivially, because nothing survives).  The reset waits for
+            // in-flight transactions to finish applying in place; their
+            // appliers never block on the journal, so yielding drains
+            // them.
+            if !self.try_format_all() {
+                std::thread::yield_now();
+            }
+        }
+        Err(FsError::Io("journal regions wedged".into()))
     }
 
-    /// Scans the journal region and returns the records of every committed
-    /// transaction, in commit order.  Records of transactions without a
-    /// commit marker (torn at the crash point) are discarded.
-    pub fn recover(device: &Arc<PmemDevice>, sb: &Superblock) -> (Vec<JournalRecord>, u64, u64) {
-        let region_start = sb.journal_start * BLOCK_SIZE as u64;
-        let region_len = sb.journal_blocks * BLOCK_SIZE as u64;
-        let mut raw = vec![0u8; region_len as usize];
-        device.read_uncharged(region_start, &mut raw);
+    /// Zeroes every region and resets every head, but only if no
+    /// transaction anywhere is still applying its in-place updates (a
+    /// reset must not discard a journal record whose in-place state is
+    /// still partial).  All head locks are taken in index order, so two
+    /// resetters cannot deadlock and an in-progress commit simply delays
+    /// the reset by the length of one record write.
+    fn try_format_all(&self) -> bool {
+        let mut heads: Vec<_> = self.regions.iter().map(|r| r.head.lock()).collect();
+        if self
+            .regions
+            .iter()
+            .any(|r| r.in_flight.load(Ordering::SeqCst) != 0)
+        {
+            return false;
+        }
+        for (region, head) in self.regions.iter().zip(heads.iter_mut()) {
+            self.device.zero(
+                region.start,
+                region.len as usize,
+                PersistMode::NonTemporal,
+                TimeCategory::Journal,
+            );
+            **head = 0;
+        }
+        self.device.fence(TimeCategory::Journal);
+        true
+    }
 
-        let mut committed: Vec<JournalRecord> = Vec::new();
+    /// Scans one region and returns its committed transactions as
+    /// `(tid, records)` pairs.  Records of transactions without a commit
+    /// marker (torn at the crash point) are discarded.
+    fn recover_region(raw: &[u8]) -> Vec<(u64, Vec<JournalRecord>)> {
+        let mut committed: Vec<(u64, Vec<JournalRecord>)> = Vec::new();
         let mut pending: Vec<JournalRecord> = Vec::new();
         let mut pos = 0usize;
-        let mut end_of_log = 0u64;
-        let mut max_tid = 0u64;
         loop {
             if pos + 13 > raw.len() {
                 break;
@@ -483,23 +640,31 @@ impl Journal {
             let payload = &raw[pos + header_len..pos + header_len + payload_len];
             match JournalRecord::decode(tag, payload) {
                 Some(JournalRecord::Commit) => {
-                    committed.append(&mut pending);
-                    max_tid = max_tid.max(tid);
-                    end_of_log = (pos + total) as u64;
+                    committed.push((tid, std::mem::take(&mut pending)));
                 }
                 Some(rec) => pending.push(rec),
                 None => break,
             }
             pos += total;
         }
-        (committed, end_of_log, max_tid)
+        committed
     }
 
-    /// Restores the volatile head/tid state after recovery so new
-    /// transactions append after the surviving log contents.
-    pub fn restore_position(&mut self, head: u64, max_tid: u64) {
-        self.head = head;
-        self.next_tid = max_tid + 1;
+    /// Scans every journal region and returns the records of all committed
+    /// transactions merged in transaction-id order, plus the highest
+    /// transaction id seen.
+    pub fn recover(device: &Arc<PmemDevice>, sb: &Superblock) -> (Vec<JournalRecord>, u64) {
+        let probe = Journal::new(Arc::clone(device), sb);
+        let mut txns: Vec<(u64, Vec<JournalRecord>)> = Vec::new();
+        for region in &probe.regions {
+            let mut raw = vec![0u8; region.len as usize];
+            device.read_uncharged(region.start, &mut raw);
+            txns.extend(Self::recover_region(&raw));
+        }
+        txns.sort_by_key(|(tid, _)| *tid);
+        let max_tid = txns.last().map(|(tid, _)| *tid).unwrap_or(0);
+        let records = txns.into_iter().flat_map(|(_, recs)| recs).collect();
+        (records, max_tid)
     }
 }
 
@@ -561,18 +726,20 @@ mod tests {
     }
 
     #[test]
-    fn committed_transactions_survive_crash_and_recover() {
+    fn committed_transactions_survive_crash_and_recover_in_tid_order() {
         let (device, sb) = setup();
-        let mut journal = Journal::new(Arc::clone(&device), &sb);
+        let journal = Journal::new(Arc::clone(&device), &sb);
         journal.format();
+        // Commit with different region hints; recovery must still merge
+        // the transactions back into tid order.
         journal
-            .commit(&[JournalRecord::SetSize { ino: 5, size: 4096 }])
+            .commit(5, &[JournalRecord::SetSize { ino: 5, size: 4096 }])
             .unwrap();
         journal
-            .commit(&[JournalRecord::AllocBlocks { start: 100, len: 4 }])
+            .commit(6, &[JournalRecord::AllocBlocks { start: 100, len: 4 }])
             .unwrap();
         device.crash();
-        let (records, _end, max_tid) = Journal::recover(&device, &sb);
+        let (records, max_tid) = Journal::recover(&device, &sb);
         assert_eq!(
             records,
             vec![
@@ -586,62 +753,146 @@ mod tests {
     #[test]
     fn torn_uncommitted_transaction_is_discarded() {
         let (device, sb) = setup();
-        let mut journal = Journal::new(Arc::clone(&device), &sb);
+        let journal = Journal::new(Arc::clone(&device), &sb);
         journal.format();
         journal
-            .commit(&[JournalRecord::SetSize { ino: 1, size: 10 }])
+            .commit(0, &[JournalRecord::SetSize { ino: 1, size: 10 }])
             .unwrap();
-        // Hand-write a record with no commit marker and no fence, as if the
-        // crash happened mid-transaction.
+        // Hand-write a record with no commit marker and no fence into the
+        // same region, as if the crash happened mid-transaction.
         let torn = JournalRecord::SetSize { ino: 2, size: 99 }.encode(9);
         device.write(
-            sb.journal_start * BLOCK_SIZE as u64 + journal.used_bytes(),
+            journal.regions[0].start + *journal.regions[0].head.lock(),
             &torn,
             PersistMode::Temporal,
             TimeCategory::Journal,
         );
         device.crash();
-        let (records, _, _) = Journal::recover(&device, &sb);
+        let (records, _) = Journal::recover(&device, &sb);
         assert_eq!(records, vec![JournalRecord::SetSize { ino: 1, size: 10 }]);
     }
 
     #[test]
     fn journal_resets_when_full() {
         let (device, sb) = setup();
-        let mut journal = Journal::new(Arc::clone(&device), &sb);
+        let journal = Journal::new(Arc::clone(&device), &sb);
         journal.format();
         // Each commit is small; force many commits to eventually wrap.
         let big_name = "x".repeat(200);
         for i in 0..50_000u64 {
             journal
-                .commit(&[JournalRecord::CreateInode {
-                    ino: i,
-                    parent: 2,
-                    name: big_name.clone(),
-                    is_dir: false,
-                }])
+                .commit(
+                    i,
+                    &[JournalRecord::CreateInode {
+                        ino: i,
+                        parent: 2,
+                        name: big_name.clone(),
+                        is_dir: false,
+                    }],
+                )
                 .unwrap();
         }
-        // If we got here without error the reset path worked; the head must
-        // be within the region.
-        assert!(journal.used_bytes() <= sb.journal_blocks * BLOCK_SIZE as u64);
+        // If we got here without error the reset path worked; every head
+        // must be within its region.
+        for region in &journal.regions {
+            assert!(*region.head.lock() <= region.len);
+        }
     }
 
     #[test]
-    fn recovery_position_restores_appending() {
+    fn reset_waits_for_in_flight_transactions() {
         let (device, sb) = setup();
-        let mut journal = Journal::new(Arc::clone(&device), &sb);
+        let journal = Journal::new(Arc::clone(&device), &sb);
+        journal.format();
+        // Hold a guard (an "in-place updates still running" transaction)
+        // and fill the whole journal: no region may reset over it, so
+        // once nothing fits anywhere the commit must fail rather than
+        // discard the guarded record.
+        let (_, guard) = journal
+            .commit(0, &[JournalRecord::SetSize { ino: 9, size: 9 }])
+            .unwrap();
+        let big_name = "y".repeat(200);
+        let mut filled = false;
+        for i in 0..200_000u64 {
+            if journal
+                .commit(
+                    i,
+                    &[JournalRecord::CreateInode {
+                        ino: i,
+                        parent: 2,
+                        name: big_name.clone(),
+                        is_dir: false,
+                    }],
+                )
+                .is_err()
+            {
+                filled = true;
+                break;
+            }
+        }
+        assert!(filled, "the journal filled while the guard was held");
+        // The guarded transaction's record survived: no reset ran.
+        let (records, _) = Journal::recover(&device, &sb);
+        assert!(records.contains(&JournalRecord::SetSize { ino: 9, size: 9 }));
+        // Once the guard drops, the whole-journal reset unblocks commits.
+        drop(guard);
+        journal
+            .commit(0, &[JournalRecord::SetSize { ino: 1, size: 1 }])
+            .unwrap();
+    }
+
+    #[test]
+    fn recovery_tid_restores_ordering_for_new_commits() {
+        let (device, sb) = setup();
+        let journal = Journal::new(Arc::clone(&device), &sb);
         journal.format();
         journal
-            .commit(&[JournalRecord::SetSize { ino: 1, size: 1 }])
+            .commit(1, &[JournalRecord::SetSize { ino: 1, size: 1 }])
             .unwrap();
-        let (_, end, max_tid) = Journal::recover(&device, &sb);
-        let mut recovered = Journal::new(Arc::clone(&device), &sb);
-        recovered.restore_position(end, max_tid);
+        let (_, max_tid) = Journal::recover(&device, &sb);
+        // Mount's contract: replayed contents are checkpointed in place,
+        // then the journal is formatted and the tid counter restored.
+        let recovered = Journal::new(Arc::clone(&device), &sb);
+        recovered.set_next_tid(max_tid + 1);
+        recovered.format();
         recovered
-            .commit(&[JournalRecord::SetSize { ino: 1, size: 2 }])
+            .commit(1, &[JournalRecord::SetSize { ino: 1, size: 2 }])
             .unwrap();
-        let (records, _, _) = Journal::recover(&device, &sb);
-        assert_eq!(records.len(), 2);
+        let (records, new_max) = Journal::recover(&device, &sb);
+        assert_eq!(records, vec![JournalRecord::SetSize { ino: 1, size: 2 }]);
+        assert_eq!(
+            new_max,
+            max_tid + 1,
+            "new commits sort after recovered ones"
+        );
+    }
+
+    #[test]
+    fn concurrent_commits_from_many_threads_all_recover() {
+        let (device, sb) = setup();
+        let journal = Arc::new(Journal::new(Arc::clone(&device), &sb));
+        journal.format();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let journal = Arc::clone(&journal);
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        journal
+                            .commit(
+                                t,
+                                &[JournalRecord::SetSize {
+                                    ino: t * 1000 + i,
+                                    size: i,
+                                }],
+                            )
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        device.crash();
+        let (records, max_tid) = Journal::recover(&device, &sb);
+        assert_eq!(records.len(), 400);
+        assert_eq!(max_tid, 400);
     }
 }

@@ -7,7 +7,14 @@
 //! machine running the emulation, while preserving the relative costs the
 //! paper measures on real persistent memory.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    /// Simulated picoseconds of work performed (or waited for) by the
+    /// current thread.  See [`SimClock::thread_time_ns`].
+    static THREAD_PICOS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// A monotonically increasing simulated clock, in nanoseconds.
 ///
@@ -37,6 +44,32 @@ impl SimClock {
         }
         let picos = (ns * 1000.0).round() as u64;
         self.picos.fetch_add(picos, Ordering::Relaxed);
+        THREAD_PICOS.with(|t| t.set(t.get() + picos));
+    }
+
+    /// Simulated nanoseconds of work performed **by the calling thread**
+    /// (its own charges on any clock, plus waits recorded with
+    /// [`SimClock::charge_thread_wait`]).  The global clock sums every
+    /// thread's charges and therefore cannot distinguish serialized from
+    /// parallel execution; per-thread time gives each thread's critical
+    /// path, so a multi-threaded workload's simulated makespan is the
+    /// maximum over its threads' deltas of this value.
+    pub fn thread_time_ns() -> f64 {
+        THREAD_PICOS.with(|t| t.get()) as f64 / 1000.0
+    }
+
+    /// Records `ns` simulated nanoseconds the calling thread spent blocked
+    /// on a contended lock.  This extends only the thread's critical path
+    /// ([`SimClock::thread_time_ns`]), not the global clock: the waited-for
+    /// work was already charged globally by the thread performing it.
+    /// Lock helpers measure the wait as the global-clock delta across the
+    /// blocking acquisition — exactly the simulated work others got done
+    /// while this thread could not proceed.
+    pub fn charge_thread_wait(ns: f64) {
+        if !ns.is_finite() || ns <= 0.0 {
+            return;
+        }
+        THREAD_PICOS.with(|t| t.set(t.get() + (ns * 1000.0).round() as u64));
     }
 
     /// Returns the current simulated time in nanoseconds.

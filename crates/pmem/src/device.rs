@@ -154,6 +154,33 @@ impl PmemDevice {
         &self.cost
     }
 
+    /// Acquires a shard-style lock with contention accounting: `try_lock`
+    /// is attempted first; on failure the contended acquisition is counted
+    /// in `shard_lock_waits` and the blocked time — measured as the global
+    /// simulated-clock delta across `lock`, i.e. the simulated work other
+    /// threads completed while this one could not proceed — is charged to
+    /// the calling thread's critical path
+    /// ([`SimClock::charge_thread_wait`](crate::SimClock::charge_thread_wait)).
+    /// Every sharded structure (kernel inode shards, journal admission
+    /// regions, U-Split registries) funnels through this one helper so the
+    /// wait-accounting rule cannot drift between call sites.
+    pub fn lock_contended<G>(
+        &self,
+        try_lock: impl FnOnce() -> Option<G>,
+        lock: impl FnOnce() -> G,
+    ) -> G {
+        match try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.stats().add_shard_lock_wait();
+                let t0 = self.clock().now_ns_f64();
+                let guard = lock();
+                crate::SimClock::charge_thread_wait(self.clock().now_ns_f64() - t0);
+                guard
+            }
+        }
+    }
+
     /// Charges `ns` of pure software time (kernel traps, allocation
     /// decisions, bookkeeping) to the clock and stats.
     pub fn charge_software(&self, ns: f64) {

@@ -76,6 +76,37 @@ pub struct Stats {
     kernel_traps: AtomicU64,
     maintenance: MaintenanceCounters,
     vectored: VectoredCounters,
+    scaling: ScalingCounters,
+}
+
+/// Counters for the multi-core scaling work: sharded-lock contention,
+/// operation-log epoch swaps, and checkpoint stalls.  The `scaling`
+/// experiment is scored on these: under distinct-file concurrency shard
+/// lock waits should stay low and checkpoint stalls should be **zero**
+/// (truncation happens by epoch swap, never by stopping the world).
+#[derive(Debug, Default)]
+pub struct ScalingCounters {
+    /// Times a sharded lock (kernel inode shard, splitfs registry shard,
+    /// ...) was contended: a `try_lock` failed and the thread had to block.
+    shard_lock_waits: AtomicU64,
+    /// Operation-log epoch swaps (the active log half was sealed and the
+    /// empty half took over).
+    oplog_epoch_swaps: AtomicU64,
+    /// Sealed-epoch truncations (the sealed half was re-zeroed after its
+    /// staged data was retired).
+    oplog_epoch_truncates: AtomicU64,
+    /// On-demand growths of the operation log.
+    oplog_grows: AtomicU64,
+    /// Times a foreground writer found the log full with no epoch to swap
+    /// to and no room to grow — the stop-the-world stall the epoch design
+    /// exists to eliminate.
+    checkpoint_stalls: AtomicU64,
+    /// Simulated nanoseconds foreground writers spent stalled on log
+    /// space (in picoseconds internally, like the clock).
+    checkpoint_stall_ps: AtomicU64,
+    /// Staging files recycled back into the pool after being fully
+    /// relinked (instead of leaking until shutdown).
+    staging_recycles: AtomicU64,
 }
 
 /// Counters for the U-Split background-maintenance subsystem: staging-file
@@ -247,6 +278,53 @@ impl Stats {
         self.vectored.journal_txns.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one contended sharded-lock acquisition (a `try_lock` failed
+    /// and the thread blocked).
+    pub fn add_shard_lock_wait(&self) {
+        self.scaling
+            .shard_lock_waits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one operation-log epoch swap (seal of the active half).
+    pub fn add_oplog_epoch_swap(&self) {
+        self.scaling
+            .oplog_epoch_swaps
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one sealed-epoch truncation.
+    pub fn add_oplog_epoch_truncate(&self) {
+        self.scaling
+            .oplog_epoch_truncates
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one on-demand operation-log growth.
+    pub fn add_oplog_grow(&self) {
+        self.scaling.oplog_grows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one foreground stall on operation-log space lasting `ns`
+    /// simulated nanoseconds.
+    pub fn add_checkpoint_stall(&self, ns: f64) {
+        self.scaling
+            .checkpoint_stalls
+            .fetch_add(1, Ordering::Relaxed);
+        if ns.is_finite() && ns > 0.0 {
+            self.scaling
+                .checkpoint_stall_ps
+                .fetch_add((ns * 1000.0).round() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one staging file recycled back into the pool.
+    pub fn add_staging_recycle(&self) {
+        self.scaling
+            .staging_recycles
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a copyable snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut time_ns = [0.0f64; 5];
@@ -285,6 +363,14 @@ impl Stats {
             fsync_many_calls: self.vectored.fsync_many_calls.load(Ordering::Relaxed),
             fsync_many_files: self.vectored.fsync_many_files.load(Ordering::Relaxed),
             journal_txns: self.vectored.journal_txns.load(Ordering::Relaxed),
+            shard_lock_waits: self.scaling.shard_lock_waits.load(Ordering::Relaxed),
+            oplog_epoch_swaps: self.scaling.oplog_epoch_swaps.load(Ordering::Relaxed),
+            oplog_epoch_truncates: self.scaling.oplog_epoch_truncates.load(Ordering::Relaxed),
+            oplog_grows: self.scaling.oplog_grows.load(Ordering::Relaxed),
+            checkpoint_stalls: self.scaling.checkpoint_stalls.load(Ordering::Relaxed),
+            checkpoint_stall_ns: self.scaling.checkpoint_stall_ps.load(Ordering::Relaxed) as f64
+                / 1000.0,
+            staging_recycles: self.scaling.staging_recycles.load(Ordering::Relaxed),
         }
     }
 
@@ -328,6 +414,15 @@ impl Stats {
         self.vectored.fsync_many_calls.store(0, Ordering::Relaxed);
         self.vectored.fsync_many_files.store(0, Ordering::Relaxed);
         self.vectored.journal_txns.store(0, Ordering::Relaxed);
+        self.scaling.shard_lock_waits.store(0, Ordering::Relaxed);
+        self.scaling.oplog_epoch_swaps.store(0, Ordering::Relaxed);
+        self.scaling
+            .oplog_epoch_truncates
+            .store(0, Ordering::Relaxed);
+        self.scaling.oplog_grows.store(0, Ordering::Relaxed);
+        self.scaling.checkpoint_stalls.store(0, Ordering::Relaxed);
+        self.scaling.checkpoint_stall_ps.store(0, Ordering::Relaxed);
+        self.scaling.staging_recycles.store(0, Ordering::Relaxed);
     }
 }
 
@@ -374,6 +469,21 @@ pub struct StatsSnapshot {
     pub fsync_many_files: u64,
     /// Kernel journal transactions committed.
     pub journal_txns: u64,
+    /// Contended sharded-lock acquisitions (a `try_lock` failed first).
+    pub shard_lock_waits: u64,
+    /// Operation-log epoch swaps (active half sealed, empty half armed).
+    pub oplog_epoch_swaps: u64,
+    /// Sealed-epoch truncations.
+    pub oplog_epoch_truncates: u64,
+    /// On-demand operation-log growths.
+    pub oplog_grows: u64,
+    /// Foreground stalls on operation-log space (must be zero under the
+    /// epoch design).
+    pub checkpoint_stalls: u64,
+    /// Simulated nanoseconds spent in those stalls.
+    pub checkpoint_stall_ns: f64,
+    /// Staging files recycled back into the pool after full relink.
+    pub staging_recycles: u64,
 }
 
 impl StatsSnapshot {
@@ -460,6 +570,23 @@ impl StatsSnapshot {
             .fsync_many_files
             .saturating_sub(earlier.fsync_many_files);
         out.journal_txns = out.journal_txns.saturating_sub(earlier.journal_txns);
+        out.shard_lock_waits = out
+            .shard_lock_waits
+            .saturating_sub(earlier.shard_lock_waits);
+        out.oplog_epoch_swaps = out
+            .oplog_epoch_swaps
+            .saturating_sub(earlier.oplog_epoch_swaps);
+        out.oplog_epoch_truncates = out
+            .oplog_epoch_truncates
+            .saturating_sub(earlier.oplog_epoch_truncates);
+        out.oplog_grows = out.oplog_grows.saturating_sub(earlier.oplog_grows);
+        out.checkpoint_stalls = out
+            .checkpoint_stalls
+            .saturating_sub(earlier.checkpoint_stalls);
+        out.checkpoint_stall_ns -= earlier.checkpoint_stall_ns;
+        out.staging_recycles = out
+            .staging_recycles
+            .saturating_sub(earlier.staging_recycles);
         out
     }
 }

@@ -4,7 +4,7 @@
 //! log/staging garbage collection off the critical path onto a background
 //! thread; this module is that subsystem.  One or more worker threads,
 //! owned by a [`MaintenanceDaemon`] attached to a [`SplitFs`] instance,
-//! perform three kinds of work:
+//! perform four kinds of work:
 //!
 //! 1. **Asynchronous staging provisioning** — when the
 //!    [`StagingPool`](crate::staging::StagingPool) drops below its low
@@ -16,50 +16,53 @@
 //!    extents are relinked in the background through
 //!    [`kernelfs::Ext4Dax::ioctl_relink_batch`], shrinking the work left
 //!    for the next foreground `fsync`.
-//! 3. **Operation-log group-commit and truncation** — once the log passes
-//!    its configured fill fraction, a worker checkpoints: it quiesces every
-//!    cached file (all state locks held), relinks their staged data,
-//!    group-commits the resulting `Invalidate` markers under a single
-//!    fence, and truncates the log by re-zeroing only its used prefix.
-//!    The foreground `NoSpace` fallback still exists but becomes
-//!    practically unreachable.
+//! 3. **Epoch checkpointing** — once the active epoch of the operation
+//!    log passes its configured fill fraction, a worker *seals* it
+//!    ([`crate::oplog::OpLog::try_seal`]: the empty half becomes active and
+//!    foreground writers continue immediately), relinks the sealed
+//!    entries' files **one at a time** — never holding two state locks,
+//!    never quiescing the instance — group-commits the resulting
+//!    `Invalidate` markers under a single fence, and re-zeroes only the
+//!    sealed half ([`crate::oplog::OpLog::truncate_sealed`]).  The seed's
+//!    stop-the-world quiesced checkpoint (every file lock held across the
+//!    truncate) is gone.
+//! 4. **Staging recycling** — staging files whose contents were fully
+//!    relinked are truncated, re-provisioned and returned to the pool
+//!    instead of leaking until shutdown.
 //!
 //! Work arrives two ways: foreground paths *nudge* the daemon when they
 //! observe a watermark or threshold crossing, and workers also wake on a
-//! periodic tick so maintenance happens even without nudges.  The daemon
-//! holds only a [`Weak`] reference to its file system; a worker upgrades
-//! it for the duration of one task, so an in-flight task briefly keeps
-//! the instance alive after the application drops its last handle — the
-//! instance's `Drop` (and the worker join) then runs when that task
-//! finishes.  No thread ever outlives the instance or touches a
-//! torn-down one; callers that need *all* background work finished at a
-//! known point (e.g. before simulating a crash) use
-//! [`SplitFs::maintenance_quiesce`].
+//! periodic tick so maintenance happens even without nudges.  Each worker
+//! owns a **private queue**: nudges are routed by task (relinks shard by
+//! inode), so submitting work for different files never contends on one
+//! daemon mutex.  The daemon holds only a [`Weak`] reference to its file
+//! system; a worker upgrades it for the duration of one task, so an
+//! in-flight task briefly keeps the instance alive after the application
+//! drops its last handle — the instance's `Drop` (and the worker join)
+//! then runs when that task finishes.  No thread ever outlives the
+//! instance or touches a torn-down one; callers that need *all*
+//! background work finished at a known point (e.g. before simulating a
+//! crash) use [`SplitFs::maintenance_quiesce`].
 //!
 //! Crash safety: every background relink goes through the same journaled,
 //! atomic kernel primitive as a foreground `fsync`, and recovery
-//! ([`crate::recovery`]) treats relinked staging ranges (holes) and
-//! `Invalidate` markers identically whether the relink was foreground or
-//! background — a crash before, during, or after a background batch
-//! produces identical recovered file contents.
+//! ([`crate::recovery`]) treats relinked staging ranges (holes),
+//! `Invalidate` markers and `StagingRecycle` markers identically whether
+//! the work was foreground or background — a crash before, during, or
+//! after a background pass produces identical recovered file contents.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Condvar, Mutex};
 
 use crate::config::DaemonConfig;
 use crate::fs::SplitFs;
-use crate::state::FileState;
 
 /// How often an idle worker wakes to poll watermarks without a nudge.
 const TICK: Duration = Duration::from_millis(1);
-
-/// How many times a checkpoint retries acquiring a contended file-state
-/// lock before giving up the round (it retries on a later tick).
-const CHECKPOINT_LOCK_RETRIES: u32 = 200;
 
 /// One unit of background maintenance work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +71,9 @@ pub enum Task {
     ProvisionStaging,
     /// Relink the staged extents of the file with this inode.
     RelinkFile(u64),
-    /// Relink every cached file and truncate the operation log.
+    /// Seal the active operation-log epoch (if not already sealed) and
+    /// retire the sealed half: relink its files one at a time, then
+    /// truncate it.
     Checkpoint,
 }
 
@@ -88,9 +93,11 @@ pub(crate) struct Shared {
     idle: Condvar,
 }
 
-/// Handle to the worker threads of one U-Split instance.
+/// Handle to the worker threads of one U-Split instance.  Each worker has
+/// its own queue; `submit` routes tasks so relinks for different inodes
+/// land on different workers.
 pub struct MaintenanceDaemon {
-    shared: Arc<Shared>,
+    shareds: Vec<Arc<Shared>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -108,11 +115,14 @@ impl MaintenanceDaemon {
     /// Workers hold only a weak reference: they cannot keep the instance
     /// alive, and they exit as soon as it is gone or shutdown is signalled.
     pub(crate) fn start(fs: &Arc<SplitFs>, config: &DaemonConfig) -> Self {
-        let shared = Arc::new(Shared::default());
-        let mut workers = Vec::new();
-        for i in 0..config.workers.max(1) {
+        let count = config.workers.max(1);
+        let mut shareds = Vec::with_capacity(count);
+        let mut workers = Vec::with_capacity(count);
+        for i in 0..count {
+            let shared = Arc::new(Shared::default());
             let weak = Arc::downgrade(fs);
             let shared_handle = Arc::clone(&shared);
+            shareds.push(shared);
             workers.push(
                 thread::Builder::new()
                     .name(format!("usplit-maint-{i}"))
@@ -120,41 +130,60 @@ impl MaintenanceDaemon {
                     .expect("spawn maintenance worker"),
             );
         }
-        Self { shared, workers }
+        Self { shareds, workers }
     }
 
-    /// Enqueues `task` unless an identical task is already queued.
+    /// Routes `task` to its worker's queue.  Relinks shard by inode so
+    /// different files' background work proceeds on different workers;
+    /// provisioning and checkpointing get stable homes at the two ends so
+    /// they do not queue behind each other when two or more workers run.
+    fn route(&self, task: Task) -> &Arc<Shared> {
+        let n = self.shareds.len();
+        let idx = match task {
+            Task::ProvisionStaging => 0,
+            Task::Checkpoint => n - 1,
+            Task::RelinkFile(ino) => ino as usize % n,
+        };
+        &self.shareds[idx]
+    }
+
+    /// Enqueues `task` unless an identical task is already queued on its
+    /// worker.
     pub(crate) fn submit(&self, task: Task) {
-        let mut q = self.shared.queue.lock();
+        let shared = self.route(task);
+        let mut q = shared.queue.lock();
         if q.shutdown || q.tasks.contains(&task) {
             return;
         }
         q.tasks.push_back(task);
         drop(q);
-        self.shared.work.notify_one();
+        shared.work.notify_one();
     }
 
-    /// A clonable handle used to wait for idleness without holding the
+    /// Clonable handles used to wait for idleness without holding the
     /// owner's daemon mutex.
-    pub(crate) fn shared_handle(&self) -> Arc<Shared> {
-        Arc::clone(&self.shared)
+    pub(crate) fn shared_handles(&self) -> Vec<Arc<Shared>> {
+        self.shareds.clone()
     }
 
-    /// Blocks until the queue is empty and no task is in flight.
-    pub(crate) fn wait_idle(shared: &Arc<Shared>) {
-        let mut q = shared.queue.lock();
-        while !q.shutdown && (!q.tasks.is_empty() || q.in_flight > 0) {
-            shared.idle.wait(&mut q);
+    /// Blocks until every queue is empty and no task is in flight.
+    pub(crate) fn wait_idle(shareds: &[Arc<Shared>]) {
+        for shared in shareds {
+            let mut q = shared.queue.lock();
+            while !q.shutdown && (!q.tasks.is_empty() || q.in_flight > 0) {
+                shared.idle.wait(&mut q);
+            }
         }
     }
 
     fn shutdown(&mut self) {
-        {
-            let mut q = self.shared.queue.lock();
+        for shared in &self.shareds {
+            let mut q = shared.queue.lock();
             q.shutdown = true;
+            drop(q);
+            shared.work.notify_all();
+            shared.idle.notify_all();
         }
-        self.shared.work.notify_all();
-        self.shared.idle.notify_all();
         let me = thread::current().id();
         for handle in self.workers.drain(..) {
             // A worker can be the thread dropping the last Arc<SplitFs>
@@ -222,9 +251,10 @@ fn worker_loop(fs: Weak<SplitFs>, shared: Arc<Shared>) {
 }
 
 impl SplitFs {
-    /// One maintenance pass: restore the staging watermarks, then
-    /// checkpoint if the operation log is past its threshold.  Runs on a
-    /// worker for every tick and every [`Task::ProvisionStaging`] nudge.
+    /// One maintenance pass: restore the staging watermarks, recycle
+    /// exhausted staging files, then checkpoint if the operation log is
+    /// past its threshold.  Runs on a worker for every tick and every
+    /// [`Task::ProvisionStaging`] nudge.
     pub(crate) fn maintenance_tick(&self) {
         use std::sync::atomic::Ordering;
         let cfg = &self.config.daemon;
@@ -237,11 +267,15 @@ impl SplitFs {
                 }
             }
         }
+        if self.config.use_staging {
+            // Return fully-relinked staging files to the pool.
+            self.recycle_staging();
+        }
         // Re-arm the foreground's provisioning nudge after the pool is
         // refilled (or found healthy).
         self.provision_nudged.store(false, Ordering::Relaxed);
         if let Some(oplog) = self.oplog.as_ref() {
-            if oplog.utilization() >= cfg.oplog_checkpoint_fraction {
+            if oplog.sealed_pending() || oplog.utilization() >= cfg.oplog_checkpoint_fraction {
                 self.background_checkpoint();
             }
         }
@@ -252,8 +286,7 @@ impl SplitFs {
     /// staged data stays staged and the next foreground `fsync` retries
     /// and reports them.
     pub(crate) fn background_relink(&self, ino: u64) {
-        let state = self.files.read().get(&ino).cloned();
-        if let Some(state) = state {
+        if let Some(state) = self.files.get(ino) {
             let mut st = state.write();
             if !st.staged.is_empty() {
                 let _ = self.relink_file(&mut st);
@@ -261,10 +294,19 @@ impl SplitFs {
         }
     }
 
-    /// Background checkpoint; counted in the device statistics when the
-    /// quiesced pass actually ran.
+    /// The background epoch checkpoint: seal the active epoch (writers
+    /// continue into the empty half immediately — no quiesce, no
+    /// stop-the-world), then retire the sealed half by relinking its
+    /// files one state lock at a time and truncating it.  Counted in the
+    /// device statistics when a full retirement pass ran.
     pub(crate) fn background_checkpoint(&self) {
-        let ran = self.checkpoint_quiesced();
+        let mut ran = false;
+        if let Some(oplog) = self.oplog.as_ref() {
+            let _ = oplog.try_seal();
+            if oplog.sealed_pending() {
+                ran = self.retire_sealed(None, true);
+            }
+        }
         // Re-arm the foreground's checkpoint nudge either way: on success
         // utilization is back to zero; on give-up a later append re-nudges
         // and a later tick retries.
@@ -273,96 +315,5 @@ impl SplitFs {
         if ran {
             self.device.stats().add_daemon_checkpoint();
         }
-    }
-
-    /// The safe checkpoint: quiesces every cached file by holding **all**
-    /// file-state write locks (plus the registry read lock, so no new file
-    /// can be opened mid-pass), relinks all staged data, group-commits the
-    /// `Invalidate` markers under one fence, and truncates the log.
-    ///
-    /// Holding every lock across the truncate closes the seed's race in
-    /// which a concurrent writer's fresh log entry could be zeroed before
-    /// its data was relinked.  Locks are acquired in inode order with
-    /// bounded retries; under contention the pass gives up and returns
-    /// `false` (a later tick retries), so it can never deadlock against
-    /// foreground writers.
-    pub(crate) fn checkpoint_quiesced(&self) -> bool {
-        self.checkpoint_quiesced_with(None, CHECKPOINT_LOCK_RETRIES)
-    }
-
-    /// Quiesced checkpoint, parameterized for the log-full path: `current`
-    /// is a file whose write lock the caller already holds (it is relinked
-    /// through the reference instead of re-locked), and `retries` bounds
-    /// the per-lock acquisition attempts.
-    ///
-    /// Every lock here is acquired with `try_*` when the caller holds a
-    /// state lock — including the registry read lock, because a blocked
-    /// `open` may hold the registry write lock while waiting on a state
-    /// lock the caller owns.  Never blocking while holding locks is what
-    /// makes this path deadlock-free by construction.
-    pub(crate) fn checkpoint_quiesced_with(
-        &self,
-        current: Option<&mut FileState>,
-        retries: u32,
-    ) -> bool {
-        let under_state_lock = current.is_some();
-        let files = if under_state_lock {
-            match self.files.try_read() {
-                Some(guard) => guard,
-                None => return false,
-            }
-        } else {
-            self.files.read()
-        };
-        let current_ino = current.as_ref().map(|c| c.ino);
-        let mut entries: Vec<(u64, Arc<RwLock<FileState>>)> = files
-            .iter()
-            .filter(|(ino, _)| Some(**ino) != current_ino)
-            .map(|(ino, st)| (*ino, Arc::clone(st)))
-            .collect();
-        entries.sort_by_key(|(ino, _)| *ino);
-
-        let mut guards = Vec::with_capacity(entries.len());
-        for (_, state) in &entries {
-            let mut attempts = 0;
-            loop {
-                if let Some(guard) = state.try_write() {
-                    guards.push(guard);
-                    break;
-                }
-                attempts += 1;
-                if attempts > retries {
-                    return false; // contended: the caller retries later
-                }
-                thread::sleep(Duration::from_micros(20));
-            }
-        }
-
-        let mut deferred = Vec::new();
-        for guard in guards.iter_mut() {
-            if !guard.staged.is_empty()
-                && self
-                    .relink_file_deferring(&mut *guard, &mut deferred)
-                    .is_err()
-            {
-                // A failed relink leaves that file's data staged and its
-                // log entries live; skip the truncate and let the
-                // foreground path surface the error.
-                return false;
-            }
-        }
-        if let Some(st) = current {
-            if !st.staged.is_empty() && self.relink_file_deferring(st, &mut deferred).is_err() {
-                return false;
-            }
-        }
-        if let Some(oplog) = self.oplog.as_ref() {
-            // The markers are an optimization (recovery also skips
-            // relinked entries because their staging ranges are holes), so
-            // a full log just drops them.
-            let _ = oplog.append_batch(&deferred);
-            oplog.reset();
-        }
-        true
     }
 }

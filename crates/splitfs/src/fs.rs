@@ -32,7 +32,7 @@ use crate::modes::Mode;
 use crate::oplog::{LogEntry, LogOp, OpLog};
 use crate::recovery;
 use crate::staging::StagingPool;
-use crate::state::{Descriptor, FdTable, FileRegistry, FileState, StagedExtent};
+use crate::state::{Descriptor, FileState, ShardedFdTable, ShardedRegistry, StagedExtent};
 
 /// Directory on the kernel file system holding SplitFS's own files
 /// (staging files and the operation log).
@@ -46,8 +46,8 @@ pub struct SplitFs {
     pub(crate) kernel: Arc<Ext4Dax>,
     pub(crate) device: Arc<PmemDevice>,
     pub(crate) config: SplitConfig,
-    pub(crate) files: RwLock<FileRegistry>,
-    pub(crate) fds: RwLock<FdTable>,
+    pub(crate) files: ShardedRegistry,
+    pub(crate) fds: ShardedFdTable,
     pub(crate) staging: StagingPool,
     pub(crate) oplog: Option<OpLog>,
     /// Background maintenance workers (None when disabled by config).
@@ -57,6 +57,11 @@ pub struct SplitFs {
     /// without it a stale grower could zero a region a concurrent grower
     /// already handed to appenders, or ftruncate the file back down.
     grow_lock: Mutex<()>,
+    /// Serializes sealed-epoch retirement (the sweep that relinks every
+    /// file with sealed staged data and then truncates the sealed epoch).
+    /// Foreground paths only `try_lock` it — holding a file-state lock
+    /// while blocking on it could deadlock against the retirer's sweep.
+    pub(crate) retire_lock: Mutex<()>,
     /// Set when a checkpoint nudge is outstanding, so the append hot path
     /// can skip the daemon mutexes while utilization stays above the
     /// threshold.  Cleared by the worker when the checkpoint runs.
@@ -69,7 +74,7 @@ impl std::fmt::Debug for SplitFs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SplitFs")
             .field("mode", &self.config.mode)
-            .field("open_files", &self.files.read().len())
+            .field("open_files", &self.files.len())
             .finish()
     }
 }
@@ -126,14 +131,15 @@ impl SplitFs {
 
         let fs = Arc::new(Self {
             kernel,
-            device,
+            device: Arc::clone(&device),
             config,
-            files: RwLock::new(FileRegistry::new()),
-            fds: RwLock::new(FdTable::new()),
+            files: ShardedRegistry::new(Some(device)),
+            fds: ShardedFdTable::new(),
             staging,
             oplog,
             daemon: Mutex::new(None),
             grow_lock: Mutex::new(()),
+            retire_lock: Mutex::new(()),
             checkpoint_nudged: std::sync::atomic::AtomicBool::new(false),
             provision_nudged: std::sync::atomic::AtomicBool::new(false),
         });
@@ -164,9 +170,9 @@ impl SplitFs {
     /// experiments that need a deterministic point at which all nudged
     /// background work (provisioning, relinks, checkpoints) has landed.
     pub fn maintenance_quiesce(&self) {
-        let shared = self.daemon.lock().as_ref().map(|d| d.shared_handle());
-        if let Some(shared) = shared {
-            MaintenanceDaemon::wait_idle(&shared);
+        let shareds = self.daemon.lock().as_ref().map(|d| d.shared_handles());
+        if let Some(shareds) = shareds {
+            MaintenanceDaemon::wait_idle(&shareds);
         }
     }
 
@@ -191,17 +197,17 @@ impl SplitFs {
     /// (§3.5, "Handling dup").
     pub fn dup(&self, fd: Fd) -> FsResult<Fd> {
         self.charge_usplit();
-        self.fds.write().dup(fd)
+        self.fds.dup(fd)
     }
 
     /// DRAM footprint of the instance's bookkeeping structures.
     pub fn memory_usage(&self) -> MemoryUsage {
-        let files = self.files.read();
+        let states = self.files.snapshot();
         let mut usage = MemoryUsage {
-            cached_files: files.len(),
+            cached_files: states.len(),
             ..MemoryUsage::default()
         };
-        for state in files.values() {
+        for state in &states {
             let st = state.read();
             usage.staged_extents += st.staged.len();
             usage.mmap_segments += st.mmaps.len();
@@ -209,13 +215,26 @@ impl SplitFs {
         usage.approx_bytes = usage.cached_files * std::mem::size_of::<FileState>()
             + usage.staged_extents * std::mem::size_of::<StagedExtent>()
             + usage.mmap_segments * 24
-            + self.fds.read().len() * std::mem::size_of::<Descriptor>();
+            + self.fds.len() * std::mem::size_of::<Descriptor>();
         usage
     }
 
     /// Number of operation-log entries currently in use (0 in POSIX mode).
     pub fn oplog_entries(&self) -> u64 {
         self.oplog.as_ref().map(|l| l.entries_used()).unwrap_or(0)
+    }
+
+    /// Forces an epoch swap on the operation log **without** retiring the
+    /// sealed half (retirement happens on the next checkpoint or daemon
+    /// pass).  Returns `false` when the mode has no log or the other half
+    /// is still pending retirement.  Exposed for crash tests and
+    /// experiments that need entries split across both epochs at a
+    /// deterministic point.
+    pub fn seal_oplog_epoch(&self) -> bool {
+        self.oplog
+            .as_ref()
+            .map(|l| l.try_seal().is_some())
+            .unwrap_or(false)
     }
 
     // ------------------------------------------------------------------
@@ -237,13 +256,8 @@ impl SplitFs {
     // ------------------------------------------------------------------
 
     fn state_for_fd(&self, fd: Fd) -> FsResult<(Descriptor, Arc<RwLock<FileState>>)> {
-        let desc = self.fds.read().get(fd)?;
-        let state = self
-            .files
-            .read()
-            .get(&desc.ino)
-            .cloned()
-            .ok_or(FsError::BadFd)?;
+        let desc = self.fds.get(fd)?;
+        let state = self.files.get(desc.ino).ok_or(FsError::BadFd)?;
         Ok((desc, state))
     }
 
@@ -259,44 +273,132 @@ impl SplitFs {
         }
     }
 
-    /// Relinks every file with staged data and resets the operation log
-    /// (§3.3: performed when the log fills up, by [`FileSystem::sync`],
-    /// and in the background by the maintenance daemon).
+    /// Relinks every file with staged data and truncates the operation log
+    /// by **epoch swap** (§3.3: performed when the log fills up, by
+    /// [`FileSystem::sync`], and in the background by the maintenance
+    /// daemon).
     ///
-    /// Prefers the quiesced pass: all file-state locks are held across the
-    /// relink-and-truncate, so a concurrent writer's fresh log entry can
-    /// never be zeroed before its data is relinked.  Under heavy lock
-    /// contention the quiesced pass gives up; files are then relinked one
-    /// at a time (never holding two state locks — deadlock-free) and the
-    /// log is left for a later quiesced pass to truncate.
+    /// No stop-the-world pass exists anymore: the active epoch is sealed
+    /// (writers continue into the empty half immediately), the sealed
+    /// epoch's files are relinked one at a time — never holding two state
+    /// locks — and only then is the sealed half re-zeroed.
     pub fn checkpoint(&self) -> FsResult<()> {
-        if self.checkpoint_quiesced() {
-            return Ok(());
+        if let Some(oplog) = self.oplog.as_ref() {
+            let _ = oplog.try_seal();
         }
-        let states: Vec<Arc<RwLock<FileState>>> =
-            self.files.read().values().map(Arc::clone).collect();
-        for state in states {
-            let mut st = state.write();
-            if !st.staged.is_empty() {
-                self.relink_file(&mut st)?;
-            }
-        }
+        self.retire_sealed(None, true);
         Ok(())
     }
 
-    /// Handles a full operation log from inside `stage_write`, where the
-    /// caller holds `state`'s write lock.  First tries the quiesced
-    /// checkpoint (acquiring every *other* file's lock without blocking —
-    /// succeeds whenever no other writer is mid-operation); if that fails,
-    /// **grows** the log instead so this writer makes progress without
-    /// waiting on anyone.  The seed's behaviour here — blocking on other
-    /// files' locks while holding one — deadlocked as soon as two writers
-    /// filled the log concurrently.
+    /// Handles a full active epoch from inside `stage_write`, where the
+    /// caller holds `state`'s write lock.  First tries to **seal**: the
+    /// empty half becomes active and this writer retries immediately,
+    /// while retirement of the sealed half happens in the background (or
+    /// inline, best-effort, when the daemon is disabled).  If the other
+    /// half is itself still being retired, the log **grows** instead —
+    /// this writer never waits on anyone, so `checkpoint_stalls` stays
+    /// zero.  The seed's behaviour here — blocking on every other file's
+    /// lock while holding one — deadlocked as soon as two writers filled
+    /// the log concurrently.
     fn handle_log_full(&self, state: &mut FileState) -> FsResult<()> {
-        if self.checkpoint_quiesced_with(Some(state), 3) {
+        let Some(oplog) = self.oplog.as_ref() else {
+            return Err(FsError::NoSpace);
+        };
+        if oplog.try_seal().is_some() {
+            if self.config.daemon.enabled {
+                self.nudge(Task::Checkpoint);
+            } else {
+                // Inline best-effort retirement: sweep with try-locks only
+                // (we hold a state lock), relinking the current file
+                // through the reference we already hold.  On contention
+                // the sealed half simply stays pending and a later pass
+                // (or growth) covers for it.
+                self.retire_sealed(Some(state), false);
+            }
             return Ok(());
         }
-        self.grow_oplog()
+        // The other half is still being retired: grow the active epoch.
+        // A growth failure (device full) is a real foreground stall.
+        self.grow_oplog().inspect_err(|_| {
+            self.device.stats().add_checkpoint_stall(0.0);
+        })
+    }
+
+    /// Retires the sealed epoch: relinks every file with staged data (one
+    /// state lock at a time — never two), group-commits the `Invalidate`
+    /// markers into the *active* epoch, and truncates the sealed half.
+    /// With no operation log (POSIX mode) it degrades to a plain
+    /// relink-everything sweep.
+    ///
+    /// `current` is a file whose write lock the caller already holds (it
+    /// is relinked through the reference instead of re-locked); with
+    /// `blocking` false every lock is `try_*` only, so the pass can run
+    /// while the caller holds a state lock without risking deadlock.
+    ///
+    /// Returns `true` when the sweep covered every file (and the sealed
+    /// epoch, if any, was truncated).
+    pub(crate) fn retire_sealed(&self, current: Option<&mut FileState>, blocking: bool) -> bool {
+        let retire_guard = if blocking {
+            Some(self.retire_lock.lock())
+        } else {
+            match self.retire_lock.try_lock() {
+                Some(guard) => Some(guard),
+                None => return false, // another retirer owns the sweep
+            }
+        };
+        let _retire_guard = retire_guard;
+
+        // Only a sweep that *started after* the seal may truncate: every
+        // sealed entry's staged extent was recorded (under its file lock)
+        // before the seal's writer drain, so such a sweep provably visits
+        // it.  A sweep that was already running when the seal landed may
+        // have passed a file before its sealed entry appeared.
+        let sealed_at_start = self
+            .oplog
+            .as_ref()
+            .map(|l| l.sealed_pending())
+            .unwrap_or(false);
+        let current_ino = current.as_ref().map(|c| c.ino);
+        let mut deferred: Vec<LogEntry> = Vec::new();
+        let mut complete = true;
+        if let Some(st) = current {
+            if !st.staged.is_empty() && self.relink_file_deferring(st, &mut deferred).is_err() {
+                complete = false;
+            }
+        }
+        for (ino, state) in self.files.snapshot_keyed() {
+            if Some(ino) == current_ino {
+                // The caller already holds (and relinked through) this
+                // state's write lock; touching its lock here — even a
+                // read — would self-deadlock.
+                continue;
+            }
+            let guard = if blocking {
+                Some(state.write())
+            } else {
+                state.try_write()
+            };
+            let Some(mut st) = guard else {
+                complete = false;
+                continue;
+            };
+            if !st.staged.is_empty() && self.relink_file_deferring(&mut st, &mut deferred).is_err()
+            {
+                // A failed relink leaves that file's data staged and its
+                // log entries live; the sealed epoch must stay pending.
+                complete = false;
+            }
+        }
+        if let Some(oplog) = self.oplog.as_ref() {
+            // The markers are an optimization (recovery also skips
+            // relinked entries because their staging ranges are holes), so
+            // a full active epoch just drops them.
+            let _ = oplog.append_batch(&deferred);
+            if complete && sealed_at_start {
+                oplog.truncate_sealed();
+            }
+        }
+        complete
     }
 
     /// Doubles the operation log: extends the file, maps the larger range
@@ -331,6 +433,42 @@ impl SplitFs {
         OpLog::zero_range(&self.device, &mapping, old_size, new_size);
         oplog.grow(mapping, new_size);
         Ok(())
+    }
+
+    /// Recycles staging files whose contents were fully retired: each one
+    /// gets a durable `StagingRecycle` marker in the operation log (so
+    /// recovery never replays a stale entry over the file's fresh blocks),
+    /// is truncated and re-provisioned, and rejoins the pool's unconsumed
+    /// tail — closing the seed's leak of one staging file per ~16 MiB of
+    /// appends.  Runs on the maintenance tick.
+    pub(crate) fn recycle_staging(&self) {
+        loop {
+            let Some(rec) = self.staging.begin_recycle() else {
+                return;
+            };
+            if let Some(oplog) = self.oplog.as_ref() {
+                let marker = LogEntry {
+                    op: LogOp::StagingRecycle,
+                    target_ino: 0,
+                    target_offset: 0,
+                    len: 0,
+                    staging_ino: rec.ino(),
+                    staging_offset: 0,
+                    seq: oplog.next_seq(),
+                };
+                if oplog.append(&marker).is_err() {
+                    // No log space: put the file back and retry on a later
+                    // tick, after a checkpoint has made room.
+                    self.staging.abort_recycle(rec);
+                    return;
+                }
+            }
+            if self.staging.rebuild(rec).is_err() {
+                // Rebuild failure (device full): the file is dropped from
+                // the pool; the marker is harmless.
+                return;
+            }
+        }
     }
 
     /// Ensures a mapping of the target file covering `offset` exists in the
@@ -541,10 +679,12 @@ impl SplitFs {
                 .collect();
             loop {
                 // One entry appends directly; a gather group-commits under
-                // a single fence.  On NoSpace: checkpoint if every other
-                // writer is quiescent, else grow the log, then retry
-                // (concurrent growers may briefly race a reservation past
-                // the new end, so loop).
+                // a single fence.  On NoSpace: seal (epoch swap) or grow,
+                // then retry (concurrent sealers/growers may briefly race
+                // a reservation past the new end, so loop).  Every round
+                // makes progress — a swap, a growth, or another thread's —
+                // so this never busy-waits; the only true stall is a
+                // growth failure, counted inside `handle_log_full`.
                 let res = match (self.oplog.as_ref(), entries.len()) {
                     (None, _) => Ok(()),
                     (Some(_), 1) => self.log_append(&entries[0]),
@@ -641,23 +781,15 @@ impl FileSystem for SplitFs {
         // caches its attributes in user-space").
         let stat = self.kernel.fstat(kernel_fd)?;
 
-        // Take the registry lock only to find or insert the entry; the
-        // state itself is locked after the registry guard is released, so
-        // no thread ever holds the registry lock while waiting on a state
-        // lock (the quiesced checkpoint relies on the inverse order).
-        let mut created = false;
-        let state = {
-            let mut files = self.files.write();
-            files
-                .entry(stat.ino)
-                .or_insert_with(|| {
-                    created = true;
-                    let mut fresh = FileState::new(stat.ino, &norm, kernel_fd, stat.size);
-                    fresh.kernel_fd_writable = flags.write;
-                    Arc::new(RwLock::new(fresh))
-                })
-                .clone()
-        };
+        // Take the registry shard lock only to find or insert the entry;
+        // the state itself is locked after the shard guard is released, so
+        // no thread ever holds a registry lock while waiting on a state
+        // lock.
+        let (state, created) = self.files.get_or_insert_with(stat.ino, || {
+            let mut fresh = FileState::new(stat.ino, &norm, kernel_fd, stat.size);
+            fresh.kernel_fd_writable = flags.write;
+            fresh
+        });
         {
             let mut st = state.write();
             if !created && st.kernel_fd != kernel_fd {
@@ -686,7 +818,7 @@ impl FileSystem for SplitFs {
             st.path = norm.clone();
             st.open_fds += 1;
         }
-        Ok(self.fds.write().insert(stat.ino, flags))
+        Ok(self.fds.insert(stat.ino, flags))
     }
 
     fn close(&self, fd: Fd) -> FsResult<()> {
@@ -700,7 +832,7 @@ impl FileSystem for SplitFs {
             }
             st.open_fds = st.open_fds.saturating_sub(1);
         }
-        self.fds.write().remove(fd)?;
+        self.fds.remove(fd)?;
         // Cached attributes and mappings are retained after close (§3.5).
         Ok(())
     }
@@ -963,7 +1095,7 @@ impl FileSystem for SplitFs {
     }
 
     fn read(&self, fd: Fd, buf: &mut [u8]) -> FsResult<usize> {
-        let desc = self.fds.read().get(fd)?;
+        let desc = self.fds.get(fd)?;
         let offset = *desc.offset.lock();
         let n = self.read_at(fd, offset, buf)?;
         *desc.offset.lock() = offset + n as u64;
@@ -971,7 +1103,7 @@ impl FileSystem for SplitFs {
     }
 
     fn write(&self, fd: Fd, data: &[u8]) -> FsResult<usize> {
-        let desc = self.fds.read().get(fd)?;
+        let desc = self.fds.get(fd)?;
         let offset = if desc.flags.append {
             let (_, state) = self.state_for_fd(fd)?;
             let size = state.read().cached_size;
@@ -1055,13 +1187,7 @@ impl FileSystem for SplitFs {
         let norm = vpath::normalize(path)?;
         // Prefer the cached user-space view so staged appends are visible
         // to the calling process immediately.
-        let cached = self
-            .files
-            .read()
-            .values()
-            .find(|s| s.read().path == norm)
-            .cloned();
-        if let Some(state) = cached {
+        if let Some(state) = self.files.find_by_path(&norm) {
             let st = state.read();
             return Ok(FileStat {
                 ino: st.ino,
@@ -1080,16 +1206,9 @@ impl FileSystem for SplitFs {
         let norm = vpath::normalize(path)?;
         // Drop cached state and unmap (the expensive part of unlink in
         // SplitFS, §5.4).
-        let ino = {
-            let files = self.files.read();
-            files
-                .values()
-                .find(|s| s.read().path == norm)
-                .map(|s| s.read().ino)
-        };
+        let ino = self.files.find_by_path(&norm).map(|s| s.read().ino);
         if let Some(ino) = ino {
-            let state = self.files.write().remove(&ino);
-            if let Some(state) = state {
+            if let Some(state) = self.files.remove(ino) {
                 let st = state.read();
                 // munmap cost per mapped segment.
                 self.device
@@ -1105,7 +1224,7 @@ impl FileSystem for SplitFs {
         let old_norm = vpath::normalize(old)?;
         let new_norm = vpath::normalize(new)?;
         self.kernel.rename(&old_norm, &new_norm)?;
-        for state in self.files.read().values() {
+        for state in self.files.snapshot() {
             let mut st = state.write();
             if st.path == old_norm {
                 st.path = new_norm.clone();

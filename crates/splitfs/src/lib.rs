@@ -40,26 +40,37 @@
 //!
 //! * [`fs`] — the POSIX-like entry points ([`SplitFs`]), per-mode routing
 //!   of reads/overwrites/appends, and the operation-log full handling
-//!   (quiesced checkpoint or on-demand log growth, never a deadlock);
+//!   (epoch seal, or on-demand log growth while the sealed half is still
+//!   being retired — never a stall, never a deadlock).  The per-file
+//!   registry and the descriptor table are **sharded**
+//!   ([`state::ShardedRegistry`], [`state::ShardedFdTable`]), so the
+//!   append hot path has no global U-Split lock;
 //! * [`staging`] — the pool of pre-allocated, pre-mapped staging files the
-//!   append path carves allocations out of, with watermark accounting and
+//!   append path carves allocations out of, with watermark accounting,
 //!   separate counters for pre-allocated, background-provisioned and
-//!   emergency inline file creations;
+//!   emergency inline file creations, and **recycling**: a fully-relinked
+//!   staging file is truncated, re-provisioned and returned to the pool
+//!   behind a durable `StagingRecycle` log marker instead of leaking;
 //! * [`batch`] — planning: staged extents are coalesced into runs and
 //!   split into block-aligned [`kernelfs::RelinkOp`]s plus unaligned
 //!   head/tail copy spans;
 //! * [`relink`] — the user-space half of relink: submits the planned ops
 //!   through the batched kernel entry point, retains the staging mappings
 //!   for the target's mmap collection, and emits `Invalidate` markers;
-//! * [`oplog`] — the single-fence redo log, with group commit
-//!   ([`oplog::OpLog::append_batch`]: many entries, one fence), cheap
-//!   truncation (only the used prefix is re-zeroed) and on-demand growth;
+//! * [`oplog`] — the single-fence redo log as a **two-epoch segment-swap
+//!   log**: group commit ([`oplog::OpLog::append_batch`]: many entries,
+//!   one fence), truncation by sealing the active half and re-zeroing it
+//!   only after its files are retired ([`oplog::OpLog::try_seal`] /
+//!   [`oplog::OpLog::truncate_sealed`] — no stop-the-world), and
+//!   on-demand growth that extends the active epoch's extent list while
+//!   preserving the sealed/active split;
 //! * [`daemon`] — the **background maintenance daemon**
-//!   ([`daemon::MaintenanceDaemon`]): worker threads that replenish the
-//!   staging pool before it runs dry, relink heavily-staged files in the
-//!   background, and checkpoint the operation log once it passes a
-//!   configured fill fraction, so the foreground never performs file
-//!   creation or stop-the-world log truncation on the critical path;
+//!   ([`daemon::MaintenanceDaemon`]): worker threads with **per-worker
+//!   queues** (relinks route by inode) that replenish the staging pool
+//!   before it runs dry, relink heavily-staged files in the background,
+//!   recycle exhausted staging files, and retire sealed log epochs one
+//!   file-state lock at a time, so the foreground never performs file
+//!   creation or log truncation on the critical path;
 //! * [`recovery`] — idempotent crash recovery by log replay; recovered
 //!   contents are identical whether a crash lands before, during, or
 //!   after a background batch relink;

@@ -1,4 +1,5 @@
-//! The SplitFS operation log (paper §3.3, "Optimized logging").
+//! The SplitFS operation log (paper §3.3, "Optimized logging"), as a
+//! **two-epoch (segment-swap) log**.
 //!
 //! In strict (and sync, for appends) mode, U-Split records each staged data
 //! operation in a per-instance operation log so that a crash before the
@@ -14,14 +15,35 @@
 //! * the tail lives only in DRAM and is advanced with an atomic
 //!   fetch-and-add so concurrent threads can reserve slots without locks,
 //! * the log is zeroed at initialization; recovery treats any non-zero,
-//!   checksum-valid 64 B slot as a potentially valid entry,
-//! * when the log fills up, the owner checkpoints (relinks every open file)
-//!   and re-zeroes the log.
+//!   checksum-valid 64 B slot as a potentially valid entry.
+//!
+//! # Epochs
+//!
+//! The seed's log was one region: when it filled, the owner had to
+//! *quiesce* — take every file-state lock, relink everything, and re-zero
+//! the log — a stop-the-world pause on the write hot path.  The log is now
+//! split into **two epochs** (halves).  Writers group-commit into the
+//! active epoch; when it fills (or the checkpoint threshold is crossed),
+//! [`OpLog::try_seal`] atomically swaps the empty other half in as the new
+//! active epoch.  The sealed half is then retired *in the background*: its
+//! files are relinked one at a time (never holding two state locks), and
+//! only then is the sealed half re-zeroed ([`OpLog::truncate_sealed`]).
+//! If the new active epoch also fills before retirement finishes, the log
+//! *grows* instead of stalling — `checkpoint_stalls` stays zero by design.
+//!
+//! Each epoch is a list of byte extents of the log file, not a fixed
+//! half: [`OpLog::grow`] appends the file extension to the **active**
+//! epoch only, preserving the sealed/active split (a sealed entry is never
+//! moved or rescanned into the wrong epoch by a grow).
+//!
+//! Recovery does not care about the split: it scans every slot of the file
+//! (both epochs, any geometry) and replays valid entries **in sequence
+//! order**, which is global across epochs.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use kernelfs::DaxMapping;
 use pmem::{PersistMode, PmemDevice, TimeCategory};
@@ -43,6 +65,11 @@ pub enum LogOp {
     /// Every staged write for `target_ino` with sequence number ≤ `seq` has
     /// been relinked into the target and must not be replayed.
     Invalidate,
+    /// The staging file `staging_ino` was recycled (truncated and
+    /// re-provisioned) after all of its staged data was retired: staged
+    /// writes referencing it with sequence number ≤ `seq` must not be
+    /// replayed, because the file's blocks now hold unrelated new data.
+    StagingRecycle,
 }
 
 impl LogOp {
@@ -50,6 +77,7 @@ impl LogOp {
         match self {
             LogOp::StagedWrite => 1,
             LogOp::Invalidate => 2,
+            LogOp::StagingRecycle => 3,
         }
     }
 
@@ -57,6 +85,7 @@ impl LogOp {
         match tag {
             1 => Some(LogOp::StagedWrite),
             2 => Some(LogOp::Invalidate),
+            3 => Some(LogOp::StagingRecycle),
             _ => None,
         }
     }
@@ -133,154 +162,306 @@ impl LogEntry {
     }
 }
 
-/// The operation log of one U-Split instance.
+/// One epoch (half) of the log: a list of byte extents of the log file,
+/// an epoch-relative tail, and a high-water mark for cheap truncation.
+#[derive(Debug)]
+struct Epoch {
+    /// `(file_offset, len)` extents composing this epoch, in order.
+    /// Grows only for the active epoch (see [`OpLog::grow`]).
+    extents: RwLock<Vec<(u64, u64)>>,
+    /// Total capacity in bytes.
+    cap: AtomicU64,
+    /// Epoch-relative byte offset of the next free slot (DRAM-only).
+    tail: AtomicU64,
+    /// One past the last byte ever written since the previous truncate.
+    high_water: AtomicU64,
+    /// Appends currently writing into this epoch; a seal waits for this to
+    /// drain before the sweep starts, and a truncate can only run on an
+    /// epoch no writer can reach anymore.
+    writers: AtomicU64,
+}
+
+impl Epoch {
+    fn new(extents: Vec<(u64, u64)>) -> Self {
+        let cap: u64 = extents.iter().map(|(_, len)| len).sum();
+        Self {
+            extents: RwLock::new(extents),
+            cap: AtomicU64::new(cap),
+            tail: AtomicU64::new(0),
+            // A fresh epoch wraps mapping content of unknown provenance;
+            // the first reset must zero everything.
+            high_water: AtomicU64::new(cap),
+            writers: AtomicU64::new(0),
+        }
+    }
+
+    /// Translates an epoch-relative offset to a log-file offset.
+    fn file_offset(&self, off: u64) -> Option<u64> {
+        let extents = self.extents.read();
+        let mut rem = off;
+        for &(start, len) in extents.iter() {
+            if rem < len {
+                return Some(start + rem);
+            }
+            rem -= len;
+        }
+        None
+    }
+}
+
+/// The two-epoch operation log of one U-Split instance.
 #[derive(Debug)]
 pub struct OpLog {
     device: Arc<PmemDevice>,
     /// Mapping of the log file.  Behind a lock because the log can *grow*:
-    /// when the log fills while a checkpoint cannot safely run (concurrent
-    /// writers hold their file locks), the owner extends the file and
-    /// swaps in a larger mapping instead of blocking — see
-    /// [`crate::fs::SplitFs`]'s log-full handling.
+    /// when the active epoch fills while the sealed epoch is still being
+    /// retired, the owner extends the file and swaps in a larger mapping
+    /// instead of stalling — see [`crate::fs::SplitFs`]'s log-full
+    /// handling.
     mapping: RwLock<DaxMapping>,
+    epochs: [Epoch; 2],
+    /// Index of the active epoch.
+    active: AtomicUsize,
+    /// Set while the non-active epoch holds sealed entries awaiting
+    /// retirement (relink of their files, then truncation).
+    sealed_pending: AtomicBool,
+    /// Serializes the two geometry mutations — the active-epoch swap
+    /// ([`OpLog::try_seal`]) and the extent-list extension
+    /// ([`OpLog::grow`]) — so a growth can never attach the file
+    /// extension to an epoch that a concurrent seal just retired.
+    geometry: Mutex<()>,
+    /// Total log-file size in bytes.
     size: AtomicU64,
-    /// DRAM-only tail: byte offset of the next free slot.
-    tail: AtomicU64,
-    /// DRAM-only high-water mark: one past the last byte ever written since
-    /// the previous reset.  Truncation only needs to re-zero this prefix,
-    /// which turns the stop-the-world whole-log zeroing into work
-    /// proportional to actual log usage.
-    high_water: AtomicU64,
-    /// Monotonic sequence counter.
+    /// Monotonic sequence counter, global across epochs.
     seq: AtomicU64,
 }
 
 impl OpLog {
-    /// Wraps an already-mapped, zeroed log file of `size` bytes.
+    /// Wraps an already-mapped log file of `size` bytes.  The file is
+    /// split into two epochs at an entry-aligned midpoint.
     pub fn new(device: Arc<PmemDevice>, mapping: DaxMapping, size: u64) -> Self {
+        let half = (size / 2) / ENTRY_SIZE * ENTRY_SIZE;
         Self {
             device,
             mapping: RwLock::new(mapping),
+            epochs: [
+                Epoch::new(vec![(0, half)]),
+                Epoch::new(vec![(half, size - half)]),
+            ],
+            active: AtomicUsize::new(0),
+            sealed_pending: AtomicBool::new(false),
+            geometry: Mutex::new(()),
             size: AtomicU64::new(size),
-            tail: AtomicU64::new(0),
-            // A fresh instance wraps a mapping of unknown content (it may
-            // hold a previous incarnation's entries), so the first reset
-            // must zero everything; only after that does the mark tighten
-            // to the actually-used prefix.
-            high_water: AtomicU64::new(size),
             seq: AtomicU64::new(1),
         }
     }
 
-    /// Number of entries currently in the log.
+    /// Number of entries currently in the log (both epochs).
     pub fn entries_used(&self) -> u64 {
-        self.tail.load(Ordering::Relaxed) / ENTRY_SIZE
+        self.epochs
+            .iter()
+            .map(|e| {
+                e.tail
+                    .load(Ordering::Relaxed)
+                    .min(e.cap.load(Ordering::Relaxed))
+            })
+            .sum::<u64>()
+            / ENTRY_SIZE
     }
 
-    /// Whether an append would not fit.
+    /// Whether an append to the active epoch would not fit.
     pub fn is_full(&self) -> bool {
-        self.tail.load(Ordering::Relaxed) + ENTRY_SIZE > self.size()
+        let epoch = &self.epochs[self.active.load(Ordering::Relaxed)];
+        epoch.tail.load(Ordering::Relaxed) + ENTRY_SIZE > epoch.cap.load(Ordering::Relaxed)
     }
 
-    /// Current capacity of the log in bytes (grows on demand).
+    /// Current capacity of the log file in bytes (grows on demand).
     pub fn size(&self) -> u64 {
         self.size.load(Ordering::Relaxed)
     }
 
-    /// Installs a larger mapping after the log file was extended.  The
-    /// new mapping must cover `[0, new_size)` of the same file, and the
-    /// caller must have **zeroed the extension** `[size, new_size)` first —
-    /// the kernel allocator recycles freed blocks without zeroing, and a
-    /// checksum-valid ghost entry in the extension would be replayed by
-    /// recovery.  Shrinking is not supported.  Safe under concurrent
-    /// appends: a reservation past the old size fails with `NoSpace` and
-    /// is retried by the caller after the growth lands.
-    pub fn grow(&self, mapping: DaxMapping, new_size: u64) {
-        let mut m = self.mapping.write();
-        if new_size <= self.size() {
-            return;
-        }
-        *m = mapping;
-        self.size.store(new_size, Ordering::Relaxed);
+    /// Whether the sealed epoch still holds entries awaiting retirement.
+    pub fn sealed_pending(&self) -> bool {
+        self.sealed_pending.load(Ordering::SeqCst)
     }
 
-    /// Fraction of the log currently in use, in `[0, 1]`.  The maintenance
-    /// daemon checkpoints in the background once this passes its configured
-    /// threshold so the foreground never observes [`FsError::NoSpace`].
+    /// Fraction of the active epoch currently in use, in `[0, 1]`.  The
+    /// maintenance daemon seals and retires in the background once this
+    /// passes its configured threshold so the foreground never observes
+    /// [`FsError::NoSpace`].
     pub fn utilization(&self) -> f64 {
-        let size = self.size();
-        self.tail.load(Ordering::Relaxed).min(size) as f64 / size.max(1) as f64
+        let epoch = &self.epochs[self.active.load(Ordering::Relaxed)];
+        let cap = epoch.cap.load(Ordering::Relaxed);
+        epoch.tail.load(Ordering::Relaxed).min(cap) as f64 / cap.max(1) as f64
     }
 
     /// Reserves the next sequence number.
     pub fn next_seq(&self) -> u64 {
-        self.seq.fetch_add(1, Ordering::Relaxed)
+        self.seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Seals the active epoch and swaps the empty half in as the new
+    /// active epoch.  Returns the sequence-number watermark at the swap
+    /// (every sealed entry's `seq` is below it), or `None` when the other
+    /// half is still being retired (the caller should grow instead — never
+    /// stall).
+    ///
+    /// After the swap, this waits for in-flight appends to the sealed
+    /// epoch to drain, so by the time the caller sweeps the file states,
+    /// every sealed entry's staged extent is recorded under its file lock.
+    pub fn try_seal(&self) -> Option<u64> {
+        if self
+            .sealed_pending
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return None;
+        }
+        let old = {
+            let _geometry = self.geometry.lock();
+            let old = self.active.load(Ordering::SeqCst);
+            let new = 1 - old;
+            debug_assert_eq!(self.epochs[new].tail.load(Ordering::SeqCst), 0);
+            self.active.store(new, Ordering::SeqCst);
+            old
+        };
+        // Drain writers that reserved in the old epoch before the swap.
+        while self.epochs[old].writers.load(Ordering::SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        self.device.stats().add_oplog_epoch_swap();
+        Some(self.seq.load(Ordering::SeqCst))
+    }
+
+    /// Re-zeroes the sealed epoch's used prefix and arms it as the next
+    /// swap target.  Call only after every staged write logged in it has
+    /// been relinked (or otherwise invalidated) — the epoch-checkpoint
+    /// sweep in [`crate::daemon`] is the only caller.
+    pub fn truncate_sealed(&self) {
+        let sealed = 1 - self.active.load(Ordering::SeqCst);
+        self.truncate_epoch(sealed);
+        self.sealed_pending.store(false, Ordering::SeqCst);
+        self.device.stats().add_oplog_epoch_truncate();
+    }
+
+    fn truncate_epoch(&self, idx: usize) {
+        let epoch = &self.epochs[idx];
+        let used = epoch
+            .high_water
+            .load(Ordering::Relaxed)
+            .min(epoch.cap.load(Ordering::Relaxed));
+        let mapping = self.mapping.read();
+        let extents = epoch.extents.read();
+        let mut rem = used;
+        for &(start, len) in extents.iter() {
+            if rem == 0 {
+                break;
+            }
+            let chunk = rem.min(len);
+            Self::zero_range(&self.device, &mapping, start, start + chunk);
+            rem -= chunk;
+        }
+        epoch.high_water.store(0, Ordering::Relaxed);
+        epoch.tail.store(0, Ordering::Relaxed);
+    }
+
+    /// Installs a larger mapping after the log file was extended.  The new
+    /// mapping must cover `[0, new_size)` of the same file, and the caller
+    /// must have **zeroed the extension** `[size, new_size)` first — the
+    /// kernel allocator recycles freed blocks without zeroing, and a
+    /// checksum-valid ghost entry in the extension would be replayed by
+    /// recovery.  The extension is appended to the **active** epoch's
+    /// extent list, preserving the sealed/active split: sealed entries
+    /// keep their file offsets and are still truncated (and only them)
+    /// when retirement finishes.  Shrinking is not supported.  Safe under
+    /// concurrent appends: a reservation past the old capacity fails with
+    /// `NoSpace` and is retried by the caller after the growth lands.
+    pub fn grow(&self, mapping: DaxMapping, new_size: u64) {
+        let mut m = self.mapping.write();
+        // The geometry lock pins `active` across the extension: without
+        // it a concurrent seal could swap epochs between the load and the
+        // push, attaching the extension to the just-sealed half.
+        let _geometry = self.geometry.lock();
+        let old_size = self.size();
+        if new_size <= old_size {
+            return;
+        }
+        *m = mapping;
+        let epoch = &self.epochs[self.active.load(Ordering::SeqCst)];
+        epoch.extents.write().push((old_size, new_size - old_size));
+        epoch.cap.fetch_add(new_size - old_size, Ordering::SeqCst);
+        self.size.store(new_size, Ordering::SeqCst);
+        self.device.stats().add_oplog_grow();
     }
 
     /// Appends an entry: one 64 B non-temporal write plus one fence.
     ///
-    /// Returns [`FsError::NoSpace`] when the log is full; the caller is
-    /// expected to checkpoint (relink all open files) and [`OpLog::reset`]
-    /// before retrying.
+    /// Returns [`FsError::NoSpace`] when the active epoch is full; the
+    /// caller is expected to seal (epoch swap) or grow and retry.
     pub fn append(&self, entry: &LogEntry) -> FsResult<()> {
-        let cost = self.device.cost().clone();
-        // Reserve a slot with a DRAM-only CAS/fetch-add (the optimization
-        // over persisting a tail pointer).
-        let offset = self.tail.fetch_add(ENTRY_SIZE, Ordering::Relaxed);
-        if offset + ENTRY_SIZE > self.size() {
-            // Roll the reservation back so a later checkpoint starts clean.
-            self.tail.fetch_sub(ENTRY_SIZE, Ordering::Relaxed);
-            return Err(FsError::NoSpace);
-        }
-        self.device.charge_software(cost.usplit_log_entry_cpu_ns);
-        let (dev_off, _) = self
-            .mapping
-            .read()
-            .translate(offset)
-            .ok_or_else(|| FsError::Io("operation log mapping hole".into()))?;
-        let bytes = entry.encode();
-        self.device.write(
-            dev_off,
-            &bytes,
-            PersistMode::NonTemporal,
-            TimeCategory::OpLog,
-        );
-        self.device.fence(TimeCategory::OpLog);
-        self.high_water
-            .fetch_max(offset + ENTRY_SIZE, Ordering::Relaxed);
-        Ok(())
+        self.append_batch(std::slice::from_ref(entry))
     }
 
     /// Appends several entries under **one** fence (group commit).
     ///
-    /// The slots are reserved with a single fetch-and-add, every entry is
-    /// written with non-temporal stores, and one fence makes the whole
-    /// group durable together.  Callers must only use this for entries
-    /// whose durability may land together — SplitFS uses it for the
-    /// `Invalidate` markers a batched relink produces, which are an
-    /// optimization and may trail the relink itself.
+    /// The slots are reserved with a single fetch-and-add on the active
+    /// epoch's DRAM tail, every entry is written with non-temporal stores,
+    /// and one fence makes the whole group durable together.  Callers must
+    /// only use this for entries whose durability may land together.
     ///
-    /// Returns [`FsError::NoSpace`] (reserving nothing) when the group does
-    /// not fit.
+    /// Returns [`FsError::NoSpace`] (reserving nothing) when the group
+    /// does not fit in the active epoch.
     pub fn append_batch(&self, entries: &[LogEntry]) -> FsResult<()> {
         if entries.is_empty() {
             return Ok(());
         }
         let cost = self.device.cost().clone();
         let need = ENTRY_SIZE * entries.len() as u64;
-        let offset = self.tail.fetch_add(need, Ordering::Relaxed);
-        if offset + need > self.size() {
-            self.tail.fetch_sub(need, Ordering::Relaxed);
-            return Err(FsError::NoSpace);
-        }
+        let (epoch, offset) = loop {
+            let idx = self.active.load(Ordering::SeqCst);
+            let epoch = &self.epochs[idx];
+            epoch.writers.fetch_add(1, Ordering::SeqCst);
+            if self.active.load(Ordering::SeqCst) != idx {
+                // Lost a race with a seal; the old epoch must not receive
+                // this append (its sweep may already be underway).
+                epoch.writers.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            let offset = epoch.tail.fetch_add(need, Ordering::Relaxed);
+            if offset + need > epoch.cap.load(Ordering::Relaxed) {
+                // Roll the reservation back so a later swap starts clean.
+                epoch.tail.fetch_sub(need, Ordering::Relaxed);
+                epoch.writers.fetch_sub(1, Ordering::SeqCst);
+                return Err(FsError::NoSpace);
+            }
+            break (epoch, offset);
+        };
+        let mapping = self.mapping.read();
         for (i, entry) in entries.iter().enumerate() {
             self.device.charge_software(cost.usplit_log_entry_cpu_ns);
             let slot = offset + ENTRY_SIZE * i as u64;
-            let (dev_off, _) = self
-                .mapping
-                .read()
-                .translate(slot)
-                .ok_or_else(|| FsError::Io("operation log mapping hole".into()))?;
+            let bail = |e: FsError| {
+                // Roll the reservation back when no later writer has
+                // reserved past it (an unconditional subtract could slide
+                // the tail under a live neighbour's slot); otherwise the
+                // unfenced slots simply read as torn/empty.
+                let _ = epoch.tail.compare_exchange(
+                    offset + need,
+                    offset,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                );
+                epoch.writers.fetch_sub(1, Ordering::SeqCst);
+                Err(e)
+            };
+            let file_off = match epoch.file_offset(slot) {
+                Some(off) => off,
+                None => return bail(FsError::Io("operation log epoch hole".into())),
+            };
+            let (dev_off, _) = match mapping.translate(file_off) {
+                Some(pair) => pair,
+                None => return bail(FsError::Io("operation log mapping hole".into())),
+            };
             self.device.write(
                 dev_off,
                 &entry.encode(),
@@ -289,27 +470,30 @@ impl OpLog {
             );
         }
         self.device.fence(TimeCategory::OpLog);
-        self.high_water.fetch_max(offset + need, Ordering::Relaxed);
-        self.device.stats().add_oplog_group_commit();
+        epoch.high_water.fetch_max(offset + need, Ordering::Relaxed);
+        epoch.writers.fetch_sub(1, Ordering::SeqCst);
+        if entries.len() > 1 {
+            self.device.stats().add_oplog_group_commit();
+        }
         Ok(())
     }
 
-    /// Zeroes the used prefix of the log and resets the DRAM tail
-    /// (checkpoint, §3.3).  Only the bytes up to the high-water mark are
-    /// re-zeroed: slots past it were never written since the last reset, so
-    /// recovery already treats them as empty.
+    /// Zeroes the used prefix of **both** epochs and resets all DRAM state
+    /// (initialization and post-recovery; §3.3: the log is zeroed at
+    /// initialization so recovery can tell written slots from never-used
+    /// ones).  Not a checkpoint — live truncation goes through
+    /// [`OpLog::try_seal`] / [`OpLog::truncate_sealed`].
     pub fn reset(&self) {
-        let used = self.high_water.load(Ordering::Relaxed).min(self.size());
-        let mapping = self.mapping.read();
-        Self::zero_range(&self.device, &mapping, 0, used);
-        self.high_water.store(0, Ordering::Relaxed);
-        self.tail.store(0, Ordering::Relaxed);
+        self.truncate_epoch(0);
+        self.truncate_epoch(1);
+        self.active.store(0, Ordering::SeqCst);
+        self.sealed_pending.store(false, Ordering::SeqCst);
     }
 
     /// Zeroes `[from, to)` of a log mapping with non-temporal stores and
-    /// one trailing fence.  Used by [`OpLog::reset`] (truncation) and by
-    /// the owner when zeroing a freshly grown extension before
-    /// [`OpLog::grow`] installs it.
+    /// one trailing fence.  Used by epoch truncation and by the owner when
+    /// zeroing a freshly grown extension before [`OpLog::grow`] installs
+    /// it.
     pub fn zero_range(device: &Arc<PmemDevice>, mapping: &DaxMapping, from: u64, to: u64) {
         let zeros = [0u8; 4096];
         let mut off = from;
@@ -332,8 +516,11 @@ impl OpLog {
     }
 
     /// Scans the whole log (recovery path) and returns every valid entry,
-    /// sorted by sequence number.  Torn or zero slots are skipped; the cost
-    /// of the scan is charged as software time.
+    /// sorted by sequence number.  Sequence numbers are global across
+    /// epochs, so the scan needs no knowledge of the sealed/active split
+    /// or of any grow history: both epochs are read and the merge happens
+    /// by `seq`.  Torn or zero slots are skipped; the cost of the scan is
+    /// charged as software time.
     pub fn scan(device: &Arc<PmemDevice>, mapping: &DaxMapping, size: u64) -> Vec<LogEntry> {
         let cost = device.cost().clone();
         let mut entries = Vec::new();
@@ -397,6 +584,9 @@ mod tests {
         let bytes = e.encode();
         assert_eq!(bytes.len(), 64);
         assert_eq!(LogEntry::decode(&bytes), Some(e));
+        let mut recycle = sample_entry(9);
+        recycle.op = LogOp::StagingRecycle;
+        assert_eq!(LogEntry::decode(&recycle.encode()), Some(recycle));
     }
 
     #[test]
@@ -431,13 +621,13 @@ mod tests {
     }
 
     #[test]
-    fn full_log_reports_no_space_and_reset_clears_it() {
-        let (device, oplog, mapping) = log(256); // 4 entries
-        for _ in 0..4 {
+    fn full_active_epoch_reports_no_space_and_reset_clears_it() {
+        let (device, oplog, mapping) = log(256); // 2 epochs x 2 entries
+        for _ in 0..2 {
             let seq = oplog.next_seq();
             oplog.append(&sample_entry(seq)).unwrap();
         }
-        assert!(oplog.is_full());
+        assert!(oplog.is_full(), "active epoch is full");
         assert_eq!(
             oplog.append(&sample_entry(oplog.next_seq())),
             Err(FsError::NoSpace)
@@ -448,6 +638,89 @@ mod tests {
         device.fence(TimeCategory::OpLog);
         let entries = OpLog::scan(&device, &mapping, 256);
         assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn seal_swaps_epochs_without_stopping_writers() {
+        let (device, oplog, mapping) = log(256); // 2 entries per epoch
+        oplog.reset();
+        oplog.append(&sample_entry(oplog.next_seq())).unwrap();
+        oplog.append(&sample_entry(oplog.next_seq())).unwrap();
+        assert!(oplog.is_full());
+        let before = device.stats().snapshot();
+        let watermark = oplog.try_seal().expect("other epoch is free");
+        assert!(watermark > 2);
+        assert!(oplog.sealed_pending());
+        // Writers continue immediately into the fresh epoch.
+        oplog.append(&sample_entry(oplog.next_seq())).unwrap();
+        // A second seal is refused until the sealed half is retired.
+        assert!(oplog.try_seal().is_none());
+        // All three entries visible across both epochs, in seq order.
+        device.fence(TimeCategory::OpLog);
+        let entries = OpLog::scan(&device, &mapping, 256);
+        assert_eq!(entries.len(), 3);
+        assert!(entries.windows(2).all(|w| w[0].seq < w[1].seq));
+        // Truncating the sealed half removes only its entries.
+        oplog.truncate_sealed();
+        assert!(!oplog.sealed_pending());
+        let entries = OpLog::scan(&device, &mapping, 256);
+        assert_eq!(entries.len(), 1, "only the new-epoch entry survives");
+        let delta = device.stats().snapshot().delta_since(&before);
+        assert_eq!(delta.oplog_epoch_swaps, 1);
+        assert_eq!(delta.oplog_epoch_truncates, 1);
+        // The other half is free again, so a new seal succeeds.
+        assert!(oplog.try_seal().is_some());
+    }
+
+    #[test]
+    fn grow_preserves_the_sealed_active_split() {
+        // Regression test for grow-during-checkpoint: the file extension
+        // must join the ACTIVE epoch only; sealed entries stay where they
+        // are and are removed (and only them) by the eventual truncate.
+        let size = 256u64;
+        let (device, oplog, _mapping) = log(size);
+        oplog.reset();
+        // Fill the active epoch and seal it (2 entries in the sealed half).
+        oplog.append(&sample_entry(oplog.next_seq())).unwrap();
+        oplog.append(&sample_entry(oplog.next_seq())).unwrap();
+        oplog.try_seal().unwrap();
+        // Fill the new active epoch too; now both halves are full and the
+        // sealed half is still pending — exactly the grow-during-checkpoint
+        // situation.
+        oplog.append(&sample_entry(oplog.next_seq())).unwrap();
+        oplog.append(&sample_entry(oplog.next_seq())).unwrap();
+        assert_eq!(
+            oplog.append(&sample_entry(oplog.next_seq())),
+            Err(FsError::NoSpace)
+        );
+        // Grow the file to twice the size (extension is zeroed first, as
+        // the SplitFs grow path does).
+        let new_size = size * 2;
+        let grown = DaxMapping {
+            ino: 99,
+            file_offset: 0,
+            len: new_size,
+            segments: vec![MapSegment {
+                file_offset: 0,
+                device_offset: 1024 * 1024,
+                len: new_size,
+            }],
+            huge: true,
+        };
+        OpLog::zero_range(&device, &grown, size, new_size);
+        oplog.grow(grown.clone(), new_size);
+        // Appends proceed into the grown active epoch.
+        oplog.append(&sample_entry(oplog.next_seq())).unwrap();
+        oplog.append(&sample_entry(oplog.next_seq())).unwrap();
+        device.fence(TimeCategory::OpLog);
+        let entries = OpLog::scan(&device, &grown, new_size);
+        assert_eq!(entries.len(), 6, "sealed + active + grown all visible");
+        assert!(entries.windows(2).all(|w| w[0].seq < w[1].seq));
+        // Retiring the sealed half drops exactly the two sealed entries.
+        oplog.truncate_sealed();
+        let entries = OpLog::scan(&device, &grown, new_size);
+        assert_eq!(entries.len(), 4);
+        assert!(entries.iter().all(|e| e.seq >= 3));
     }
 
     #[test]
@@ -467,8 +740,8 @@ mod tests {
 
     #[test]
     fn group_commit_rejects_oversized_batches_without_reserving() {
-        let (_device, oplog, _mapping) = log(256); // 4 entries
-        let batch: Vec<LogEntry> = (0..5).map(|_| sample_entry(oplog.next_seq())).collect();
+        let (_device, oplog, _mapping) = log(256); // 2 entries per epoch
+        let batch: Vec<LogEntry> = (0..3).map(|_| sample_entry(oplog.next_seq())).collect();
         assert_eq!(oplog.append_batch(&batch), Err(FsError::NoSpace));
         assert_eq!(oplog.entries_used(), 0, "failed batch reserves nothing");
         oplog.append(&sample_entry(oplog.next_seq())).unwrap();
@@ -493,12 +766,15 @@ mod tests {
     }
 
     #[test]
-    fn utilization_tracks_fill_fraction() {
-        let (_device, oplog, _mapping) = log(256); // 4 entries
+    fn utilization_tracks_active_epoch_fill_fraction() {
+        let (_device, oplog, _mapping) = log(512); // 4 entries per epoch
         assert_eq!(oplog.utilization(), 0.0);
         oplog.append(&sample_entry(oplog.next_seq())).unwrap();
         oplog.append(&sample_entry(oplog.next_seq())).unwrap();
         assert!((oplog.utilization() - 0.5).abs() < 1e-9);
+        // Sealing swaps in the empty epoch: utilization drops to zero.
+        oplog.try_seal().unwrap();
+        assert_eq!(oplog.utilization(), 0.0);
     }
 
     #[test]
@@ -528,5 +804,37 @@ mod tests {
         let mut seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
         seqs.dedup();
         assert_eq!(seqs.len(), 200);
+    }
+
+    #[test]
+    fn concurrent_appends_race_a_seal_without_losing_entries() {
+        use std::sync::Arc as StdArc;
+        let (device, oplog, mapping) = log(64 * 1024);
+        oplog.reset();
+        let oplog = StdArc::new(oplog);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let oplog = StdArc::clone(&oplog);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let mut e = sample_entry(0);
+                    e.seq = oplog.next_seq();
+                    e.target_offset = t * 1000 + i;
+                    oplog.append(&e).unwrap();
+                }
+            }));
+        }
+        // Seal mid-stream; writers must continue into the new epoch.
+        let sealer = {
+            let oplog = StdArc::clone(&oplog);
+            std::thread::spawn(move || oplog.try_seal())
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        sealer.join().unwrap();
+        device.fence(TimeCategory::OpLog);
+        let entries = OpLog::scan(&device, &mapping, 64 * 1024);
+        assert_eq!(entries.len(), 200, "no append lost across the swap");
     }
 }

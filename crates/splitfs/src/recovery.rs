@@ -6,9 +6,12 @@
 //! staging file but had not yet been relinked into their target file when
 //! the crash hit.  Recovery:
 //!
-//! 1. scans the zero-initialized log and keeps every checksum-valid entry,
+//! 1. scans the zero-initialized log — **both epochs**, whatever the
+//!    sealed/active geometry was at the crash — and keeps every
+//!    checksum-valid entry, ordered by the global sequence number,
 //! 2. drops entries covered by an `Invalidate` record (their relink
-//!    completed before the crash),
+//!    completed before the crash) or by a `StagingRecycle` record (their
+//!    staging file was re-provisioned, so its blocks hold unrelated data),
 //! 3. for each remaining staged write, checks whether the staging range is
 //!    still mapped — if the relink had already moved the blocks the range
 //!    is a hole and the entry is skipped (this is what makes replay
@@ -38,6 +41,9 @@ pub struct RecoveryReport {
     pub invalidated: usize,
     /// Entries skipped because the staging range was already relinked.
     pub already_applied: usize,
+    /// Entries skipped because their staging file was recycled after their
+    /// data was retired.
+    pub recycled: usize,
 }
 
 /// Replays the operation log at [`OPLOG_PATH`] on `kernel`.
@@ -63,12 +69,21 @@ pub fn recover(kernel: &Arc<Ext4Dax>, _config: &SplitConfig) -> FsResult<Recover
     let entries = OpLog::scan(&device, &mapping, log_size);
     report.entries_scanned = entries.len();
 
-    // Highest invalidated sequence number per target file.
+    // Highest invalidated sequence number per target file, and highest
+    // recycle sequence number per staging file.
     let mut invalidated_up_to: HashMap<u64, u64> = HashMap::new();
+    let mut recycled_up_to: HashMap<u64, u64> = HashMap::new();
     for entry in &entries {
-        if entry.op == LogOp::Invalidate {
-            let slot = invalidated_up_to.entry(entry.target_ino).or_insert(0);
-            *slot = (*slot).max(entry.seq);
+        match entry.op {
+            LogOp::Invalidate => {
+                let slot = invalidated_up_to.entry(entry.target_ino).or_insert(0);
+                *slot = (*slot).max(entry.seq);
+            }
+            LogOp::StagingRecycle => {
+                let slot = recycled_up_to.entry(entry.staging_ino).or_insert(0);
+                *slot = (*slot).max(entry.seq);
+            }
+            LogOp::StagedWrite => {}
         }
     }
 
@@ -85,6 +100,17 @@ pub fn recover(kernel: &Arc<Ext4Dax>, _config: &SplitConfig) -> FsResult<Recover
             .unwrap_or(false)
         {
             report.invalidated += 1;
+            continue;
+        }
+        if recycled_up_to
+            .get(&entry.staging_ino)
+            .map(|&s| entry.seq <= s)
+            .unwrap_or(false)
+        {
+            // The staging file was truncated and re-provisioned after this
+            // entry's data was retired: its blocks hold unrelated bytes
+            // now, so the entry must not replay.
+            report.recycled += 1;
             continue;
         }
         // Open the staging file and check whether its range still holds the

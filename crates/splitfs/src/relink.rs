@@ -94,7 +94,11 @@ impl SplitFs {
             }
         }
 
-        // Everything staged is now in the target file.
+        // Everything staged is now in the target file; feed the staging
+        // pool's recyclability accounting.
+        for ext in &state.staged {
+            self.staging.note_retired(ext.staging_ino, ext.len);
+        }
         state.staged.clear();
         state.kernel_size = self.kernel.fstat(state.kernel_fd)?.size;
         state.cached_size = state.cached_size.max(state.kernel_size);
@@ -168,6 +172,9 @@ impl SplitFs {
             }
             let max_seq = st.staged.iter().map(|e| e.seq).max().unwrap_or(0);
             let target_ino = st.ino;
+            for ext in &st.staged {
+                self.staging.note_retired(ext.staging_ino, ext.len);
+            }
             st.staged.clear();
             st.kernel_size = self.kernel.fstat(st.kernel_fd)?.size;
             st.cached_size = st.cached_size.max(st.kernel_size);

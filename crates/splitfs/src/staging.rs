@@ -53,6 +53,26 @@ struct StagingFile {
     mapping: DaxMapping,
     cursor: u64,
     size: u64,
+    /// Bytes actually handed out by `take` (excludes alignment padding).
+    consumed: u64,
+    /// Bytes whose staged data was retired (relinked or copied into its
+    /// target).  When an exhausted file's `retired` catches up with its
+    /// `consumed`, the file is recyclable.
+    retired: u64,
+}
+
+/// A staging file pulled out of the pool for recycling (see
+/// [`StagingPool::begin_recycle`]).
+#[derive(Debug)]
+pub struct RecycledFile {
+    file: StagingFile,
+}
+
+impl RecycledFile {
+    /// Inode of the file being recycled.
+    pub fn ino(&self) -> u64 {
+        self.file.ino
+    }
 }
 
 /// The pool of staging files owned by one U-Split instance.
@@ -149,6 +169,8 @@ impl StagingPool {
             mapping,
             cursor: 0,
             size: self.file_size,
+            consumed: 0,
+            retired: 0,
         })
     }
 
@@ -251,6 +273,7 @@ impl StagingPool {
                 .ok_or_else(|| vfs::FsError::Io("staging file mapping hole".into()))?;
             let take = take.min(contig);
             file.cursor = start + take;
+            file.consumed += take;
             return Ok(StagingAllocation {
                 staging_ino: file.ino,
                 staging_fd: file.fd,
@@ -259,6 +282,69 @@ impl StagingPool {
                 len: take,
             });
         }
+    }
+
+    /// Records that `len` bytes staged in `staging_ino` were retired
+    /// (relinked or copied into their target file).  Feeds the
+    /// recyclability accounting: an exhausted file whose retired bytes
+    /// catch up with its consumed bytes can be recycled.
+    pub fn note_retired(&self, staging_ino: u64, len: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(file) = inner.files.iter_mut().find(|f| f.ino == staging_ino) {
+            file.retired = (file.retired + len).min(file.consumed);
+        }
+    }
+
+    /// Takes one recyclable staging file out of the pool: a file the
+    /// cursor has moved past (no future `take` touches it) whose staged
+    /// bytes were all retired.  The caller appends the durable
+    /// `StagingRecycle` log marker, then calls [`StagingPool::rebuild`]
+    /// (or [`StagingPool::abort_recycle`] on failure).
+    pub fn begin_recycle(&self) -> Option<RecycledFile> {
+        let mut inner = self.inner.lock();
+        let idx = inner.files[..inner.active]
+            .iter()
+            .position(|f| f.consumed > 0 && f.retired >= f.consumed)?;
+        let file = inner.files.remove(idx);
+        inner.active -= 1;
+        self.refresh_unconsumed(&inner);
+        Some(RecycledFile { file })
+    }
+
+    /// Re-provisions a recycled file: frees its remaining blocks,
+    /// pre-allocates fresh ones, remaps it and returns it to the pool's
+    /// unconsumed tail.
+    pub fn rebuild(&self, rec: RecycledFile) -> FsResult<()> {
+        let RecycledFile { file } = rec;
+        // Free whatever blocks the relinks left behind (padding, copied
+        // spans), then pre-allocate the full size again.
+        self.kernel.ftruncate(file.fd, 0)?;
+        self.kernel.ftruncate(file.fd, file.size)?;
+        let mapping = self.kernel.dax_map(file.fd, 0, file.size, self.populate)?;
+        let mut inner = self.inner.lock();
+        inner.files.push(StagingFile {
+            fd: file.fd,
+            ino: file.ino,
+            mapping,
+            cursor: 0,
+            size: file.size,
+            consumed: 0,
+            retired: 0,
+        });
+        self.refresh_unconsumed(&inner);
+        drop(inner);
+        self.device.stats().add_staging_recycle();
+        Ok(())
+    }
+
+    /// Puts a file taken by [`StagingPool::begin_recycle`] back untouched
+    /// (the recycle marker could not be made durable).
+    pub fn abort_recycle(&self, rec: RecycledFile) {
+        let mut inner = self.inner.lock();
+        // Re-insert before the active index: the file is exhausted.
+        inner.files.insert(0, rec.file);
+        inner.active += 1;
+        self.refresh_unconsumed(&inner);
     }
 
     /// Translates a (staging_ino, staging_offset) pair back to a device

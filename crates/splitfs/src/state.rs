@@ -175,6 +175,210 @@ impl FdTable {
 /// The registry of per-file state, keyed by inode.
 pub type FileRegistry = HashMap<u64, Arc<RwLock<FileState>>>;
 
+/// Number of shards in the U-Split file registry and descriptor table.
+pub const STATE_SHARDS: usize = 16;
+
+/// The per-file state registry, sharded by inode so concurrent opens,
+/// lookups and appends on distinct files never serialize on one registry
+/// lock.  Contended shard acquisitions are counted in the device-wide
+/// `shard_lock_waits` statistic when a stats handle is attached.
+#[derive(Debug)]
+pub struct ShardedRegistry {
+    shards: Vec<RwLock<FileRegistry>>,
+    device: Option<Arc<pmem::PmemDevice>>,
+}
+
+impl ShardedRegistry {
+    /// Creates an empty registry; `device` (when given) receives
+    /// shard-contention counts and per-thread wait charges.
+    pub fn new(device: Option<Arc<pmem::PmemDevice>>) -> Self {
+        Self {
+            shards: (0..STATE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            device,
+        }
+    }
+
+    fn shard(&self, ino: u64) -> &RwLock<FileRegistry> {
+        &self.shards[ino as usize % self.shards.len()]
+    }
+
+    fn read_shard<'a>(
+        &self,
+        shard: &'a RwLock<FileRegistry>,
+    ) -> parking_lot::RwLockReadGuard<'a, FileRegistry> {
+        match &self.device {
+            Some(device) => device.lock_contended(|| shard.try_read(), || shard.read()),
+            None => shard.read(),
+        }
+    }
+
+    /// Looks up the state of `ino`.
+    pub fn get(&self, ino: u64) -> Option<Arc<RwLock<FileState>>> {
+        self.read_shard(self.shard(ino)).get(&ino).cloned()
+    }
+
+    /// Returns the state for `ino`, inserting a fresh one built by `make`
+    /// when absent.  The boolean is `true` when this call created it.
+    pub fn get_or_insert_with(
+        &self,
+        ino: u64,
+        make: impl FnOnce() -> FileState,
+    ) -> (Arc<RwLock<FileState>>, bool) {
+        let shard = self.shard(ino);
+        if let Some(state) = self.read_shard(shard).get(&ino) {
+            return (Arc::clone(state), false);
+        }
+        let mut guard = match &self.device {
+            Some(device) => device.lock_contended(|| shard.try_write(), || shard.write()),
+            None => shard.write(),
+        };
+        match guard.entry(ino) {
+            std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let state = Arc::new(RwLock::new(make()));
+                e.insert(Arc::clone(&state));
+                (state, true)
+            }
+        }
+    }
+
+    /// Removes and returns the state of `ino`.
+    pub fn remove(&self, ino: u64) -> Option<Arc<RwLock<FileState>>> {
+        self.shard(ino).write().remove(&ino)
+    }
+
+    /// Snapshot of every cached state (shard by shard; no global lock).
+    pub fn snapshot(&self) -> Vec<Arc<RwLock<FileState>>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(self.read_shard(shard).values().cloned());
+        }
+        out
+    }
+
+    /// Snapshot of every cached state with its inode key, so callers can
+    /// identify an entry **without** taking its state lock (a sweep that
+    /// already holds one state's write lock must not even read-lock it).
+    pub fn snapshot_keyed(&self) -> Vec<(u64, Arc<RwLock<FileState>>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(
+                self.read_shard(shard)
+                    .iter()
+                    .map(|(ino, state)| (*ino, Arc::clone(state))),
+            );
+        }
+        out
+    }
+
+    /// Finds a cached state by path.
+    pub fn find_by_path(&self, path: &str) -> Option<Arc<RwLock<FileState>>> {
+        for shard in &self.shards {
+            let guard = self.read_shard(shard);
+            if let Some(state) = guard.values().find(|s| s.read().path == path) {
+                return Some(Arc::clone(state));
+            }
+        }
+        None
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no file state is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The descriptor table, sharded by descriptor number with a lock-free
+/// descriptor allocator, so the per-operation descriptor lookup on the
+/// append hot path never serializes on one table lock.
+#[derive(Debug)]
+pub struct ShardedFdTable {
+    shards: Vec<RwLock<HashMap<Fd, Descriptor>>>,
+    next_fd: std::sync::atomic::AtomicU64,
+}
+
+impl Default for ShardedFdTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedFdTable {
+    /// Creates an empty table.  Descriptors start at 3, like a process
+    /// whose stdio is already occupied.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..STATE_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            next_fd: std::sync::atomic::AtomicU64::new(3),
+        }
+    }
+
+    fn shard(&self, fd: Fd) -> &RwLock<HashMap<Fd, Descriptor>> {
+        &self.shards[fd as usize % self.shards.len()]
+    }
+
+    /// Registers a new descriptor for `ino`.
+    pub fn insert(&self, ino: u64, flags: OpenFlags) -> Fd {
+        let fd = self
+            .next_fd
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.shard(fd).write().insert(
+            fd,
+            Descriptor {
+                ino,
+                flags,
+                offset: Arc::new(Mutex::new(0)),
+                last_read_end: Arc::new(Mutex::new(u64::MAX)),
+            },
+        );
+        fd
+    }
+
+    /// Duplicates a descriptor; the new descriptor shares the original's
+    /// offset (POSIX `dup` semantics, §3.5).
+    pub fn dup(&self, fd: Fd) -> FsResult<Fd> {
+        let desc = self.get(fd)?;
+        let new_fd = self
+            .next_fd
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.shard(new_fd).write().insert(new_fd, desc);
+        Ok(new_fd)
+    }
+
+    /// Looks up a descriptor.
+    pub fn get(&self, fd: Fd) -> FsResult<Descriptor> {
+        self.shard(fd)
+            .read()
+            .get(&fd)
+            .cloned()
+            .ok_or(FsError::BadFd)
+    }
+
+    /// Removes a descriptor, returning it.
+    pub fn remove(&self, fd: Fd) -> FsResult<Descriptor> {
+        self.shard(fd).write().remove(&fd).ok_or(FsError::BadFd)
+    }
+
+    /// Number of open descriptors.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,6 +14,9 @@
 //!   (§5.9).
 //! * [`appbench`] — drivers that run the applications from the `apps` crate
 //!   on any [`vfs::FileSystem`] and collect a [`RunResult`].
+//! * [`walshard`] — the WAL-per-shard saturation workload: N threads, one
+//!   write-ahead log each, measuring wall-clock scaling and lock
+//!   contention of the file system's hot path.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,6 +26,7 @@ pub mod io_patterns;
 pub mod tpcc;
 pub mod utilities;
 pub mod varmail;
+pub mod walshard;
 pub mod ycsb;
 
 use pmem::{StatsSnapshot, TimeCategory};
