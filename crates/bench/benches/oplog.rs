@@ -38,6 +38,7 @@ fn bench_oplog_append(c: &mut Criterion) {
                 staging_ino: 20,
                 staging_offset: 8192,
                 seq: oplog.next_seq(),
+                instance_id: 0,
             };
             if oplog.append(black_box(&entry)).is_err() {
                 oplog.reset();

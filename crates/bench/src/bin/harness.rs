@@ -17,6 +17,7 @@
 //!   daemon     inline vs daemon-backed maintenance on concurrent appends
 //!   scaling    WAL-per-shard saturation throughput at 1/2/4/8 threads
 //!   vectored   N x append vs one appendv of N slices (fences, journal txns)
+//!   multi      aggregate throughput at 1/2/4 U-Split instances on one kernel
 //!   resources  U-Split DRAM footprint after a YCSB run (§5.10)
 //!   all        everything above
 //!
@@ -152,6 +153,21 @@ fn run(which: &str, scale: Scale) {
             ],
             &experiments::vectored(scale),
         ),
+        "multi" => print_table(
+            "Multi-instance — N U-Split instances over one kernel file system",
+            &[
+                "Instances",
+                "Aggregate",
+                "vs 1 instance",
+                "Wall-clock",
+                "Lease acquires",
+                "Lease releases",
+                "Lease conflicts",
+                "Epoch swaps",
+                "Checkpoint stalls",
+            ],
+            &experiments::multi(scale),
+        ),
         "resources" => print_table(
             "§5.10 — resource consumption after YCSB-A on SplitFS-strict",
             &["Metric", "Value"],
@@ -160,7 +176,7 @@ fn run(which: &str, scale: Scale) {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon scaling vectored resources all"
+                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon scaling vectored multi resources all"
             );
             std::process::exit(2);
         }
@@ -191,6 +207,7 @@ fn main() {
         "daemon",
         "scaling",
         "vectored",
+        "multi",
         "resources",
     ];
     for experiment in which {

@@ -822,6 +822,94 @@ pub fn scaling(scale: Scale) -> Vec<Row> {
     rows
 }
 
+// ----------------------------------------------------------------------
+// Multi — N concurrent U-Split instances over one kernel file system
+// ----------------------------------------------------------------------
+
+/// Raw metrics of one [`multi`] configuration run.
+#[derive(Debug, Clone)]
+pub struct MultiRunResult {
+    /// Concurrent U-Split instances mounted over the shared kernel.
+    pub instances: usize,
+    /// Aggregate critical-path simulated throughput in kops/s (ops over
+    /// the slowest worker's simulated makespan — see
+    /// `workloads::multiproc`).
+    pub kops: f64,
+    /// Host wall-clock throughput in kops/s (informational).
+    pub kops_wall: f64,
+    /// Total records appended across every instance.
+    pub ops: u64,
+    /// Device statistics delta for the run, including the lease counters.
+    pub stats: pmem::StatsSnapshot,
+}
+
+/// Runs the multi-instance workload: `instances` U-Split instances in
+/// strict mode over one freshly formatted kernel file system, one writer
+/// thread each, every instance leasing its own staging slice and
+/// operation-log range.  Contents are verified through the kernel
+/// afterwards, so cross-instance contamination fails the run.
+pub fn multi_run(scale: Scale, instances: usize) -> MultiRunResult {
+    let device = pmem::PmemBuilder::new(scale.device_bytes())
+        .track_persistence(false)
+        .build();
+    let kernel = kernelfs::Ext4Dax::mkfs(std::sync::Arc::clone(&device)).expect("mkfs ext4-dax");
+    let split_config = SplitConfig::new(Mode::Strict)
+        .with_staging(4, 8 * 1024 * 1024)
+        .with_oplog_size(64 * 1024);
+    let config = workloads::multiproc::MultiProcConfig {
+        instances,
+        threads_per_instance: 1,
+        records_per_thread: match scale {
+            Scale::Quick => 1024,
+            Scale::Full => 8192,
+        },
+        record_size: 1008,
+        fsync_every: 64,
+    };
+    device.clock().reset();
+    device.stats().reset();
+    // `run` verifies every instance's files through the kernel before
+    // returning, so a contaminated run fails here.
+    let result = workloads::multiproc::run(&kernel, &split_config, &config).expect("multi run");
+    MultiRunResult {
+        instances,
+        kops: result.kops_per_sec(),
+        kops_wall: result.kops_per_sec_wall(),
+        ops: result.ops,
+        stats: result.stats,
+    }
+}
+
+/// The multi-instance experiment: aggregate distinct-instance append
+/// throughput at 1/2/4 concurrent U-Split instances over one shared
+/// kernel file system.  The acceptance bar: 2-instance aggregate
+/// throughput above the single-instance figure, with **zero** lease
+/// conflicts — each instance's staging slice and log range are leased
+/// once at mount and never contended afterwards.
+pub fn multi(scale: Scale) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let mut base_kops = 0.0;
+    for instances in [1usize, 2, 4] {
+        let r = multi_run(scale, instances);
+        if instances == 1 {
+            base_kops = r.kops;
+        }
+        let s = r.stats;
+        rows.push(vec![
+            instances.to_string(),
+            format!("{:.1} kops/s", r.kops),
+            format!("{:.2}x", r.kops / base_kops.max(1e-9)),
+            format!("{:.1} kops/s", r.kops_wall),
+            s.lease_acquires.to_string(),
+            s.lease_releases.to_string(),
+            s.lease_conflicts.to_string(),
+            s.oplog_epoch_swaps.to_string(),
+            s.checkpoint_stalls.to_string(),
+        ]);
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -851,6 +939,25 @@ mod tests {
             ext4 / split_posix > 2.0,
             "SplitFS should be several times faster"
         );
+    }
+
+    #[test]
+    fn multi_instance_aggregate_scales_without_lease_conflicts() {
+        // The acceptance bar for multi-instance U-Split: two instances
+        // over one kernel deliver more aggregate throughput than one, and
+        // the per-instance resource leases never conflict.
+        let one = multi_run(Scale::Quick, 1);
+        let two = multi_run(Scale::Quick, 2);
+        assert!(
+            two.kops > one.kops,
+            "2 instances ({:.1} kops/s) must beat 1 ({:.1} kops/s)",
+            two.kops,
+            one.kops
+        );
+        assert_eq!(two.stats.lease_conflicts, 0, "{:?}", two.stats);
+        assert_eq!(two.stats.lease_acquires, 2);
+        assert_eq!(two.stats.lease_releases, 2, "clean unmount returns both");
+        assert_eq!(two.stats.checkpoint_stalls, 0);
     }
 
     #[test]

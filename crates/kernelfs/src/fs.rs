@@ -68,6 +68,7 @@ use crate::dir;
 use crate::inode::{Extent, Inode, InodeKind};
 use crate::journal::{Journal, JournalRecord};
 use crate::layout::{Superblock, BLOCK_SIZE, DEFAULT_INODE_COUNT, INODE_RECORD_SIZE};
+use crate::lease::{LeaseManager, MAX_INSTANCES};
 
 /// Inode number of the root directory.
 pub const ROOT_INO: u64 = 1;
@@ -122,6 +123,7 @@ pub struct Ext4Dax {
     next_fd: AtomicU64,
     alloc: ShardedAllocator,
     journal: Journal,
+    leases: LeaseManager,
 }
 
 /// One block move inside an [`Ext4Dax::ioctl_relink_batch`] call.
@@ -258,6 +260,13 @@ impl Ext4Dax {
         let journal = Journal::new(Arc::clone(&device), &sb);
         journal.format();
 
+        // Fresh lease table: no instance owns anything yet.
+        device.write_uncharged(
+            sb.lease_start * BLOCK_SIZE as u64,
+            &vec![0u8; MAX_INSTANCES as usize],
+        );
+        let leases = LeaseManager::new(Arc::clone(&device), &sb, &[]);
+
         let alloc = ShardedAllocator::format(&sb);
         // Zero the inode table so unused slots parse as free.
         let itable_bytes = (sb.itable_blocks * BLOCK_SIZE as u64) as usize;
@@ -296,6 +305,7 @@ impl Ext4Dax {
             next_fd: AtomicU64::new(3),
             alloc,
             journal,
+            leases,
         };
         {
             let mut shard = fs.lock_inode_write(ROOT_INO);
@@ -316,7 +326,14 @@ impl Ext4Dax {
         // 1. Journal recovery (regions merged in transaction-id order).
         let (records, max_tid) = Journal::recover(&device, &sb);
 
-        // 2. Read the bitmap and inode table.
+        // 2. Read the lease table: leases active at the crash whose owners
+        //    died with it.  Journal replay below re-applies any
+        //    acquire/release whose in-place table update did not land.
+        let mut lease_ids: std::collections::HashSet<u32> = LeaseManager::load_active(&device, &sb)
+            .into_iter()
+            .collect();
+
+        // 3. Read the bitmap and inode table.
         let mut bitmap_image = vec![0u8; (sb.bitmap_blocks * BLOCK_SIZE as u64) as usize];
         device.read_uncharged(sb.bitmap_start * BLOCK_SIZE as u64, &mut bitmap_image);
         let alloc = ShardedAllocator::from_bitmap_image(&sb, &bitmap_image);
@@ -339,7 +356,7 @@ impl Ext4Dax {
             }
         }
 
-        // 3. Rebuild directories from their data blocks.
+        // 4. Rebuild directories from their data blocks.
         let mut dirs: HashMap<u64, BTreeMap<String, DirSlot>> = HashMap::new();
         for (&ino, inode) in &inodes {
             if !inode.is_dir() {
@@ -362,10 +379,10 @@ impl Ext4Dax {
             dirs.insert(ino, map);
         }
 
-        // 4. Replay committed journal records idempotently on the in-memory
+        // 5. Replay committed journal records idempotently on the in-memory
         //    state.
         for rec in &records {
-            Self::replay_record(rec, &mut inodes, &mut dirs, &alloc);
+            Self::replay_record(rec, &mut inodes, &mut dirs, &alloc, &mut lease_ids);
             if let Some(m) = inodes.keys().max() {
                 next_ino = next_ino.max(m + 1);
             }
@@ -379,6 +396,9 @@ impl Ext4Dax {
                 .get_mut()
                 .insert(ino, inode);
         }
+
+        let lease_seed: Vec<u32> = lease_ids.into_iter().collect();
+        let leases = LeaseManager::new(Arc::clone(&device), &sb, &lease_seed);
 
         let journal = Journal::new(Arc::clone(&device), &sb);
         let fs = Self {
@@ -397,10 +417,12 @@ impl Ext4Dax {
             next_fd: AtomicU64::new(3),
             alloc,
             journal,
+            leases,
         };
         {
             // Make the in-place state match the replayed state, then the
             // journal contents are no longer needed.
+            fs.leases.persist();
             for shard in &fs.inodes {
                 let mut guard = shard.write();
                 for (_, inode) in guard.iter_mut() {
@@ -421,6 +443,7 @@ impl Ext4Dax {
         inodes: &mut HashMap<u64, Inode>,
         dirs: &mut HashMap<u64, BTreeMap<String, DirSlot>>,
         alloc: &ShardedAllocator,
+        lease_ids: &mut std::collections::HashSet<u32>,
     ) {
         match rec {
             JournalRecord::CreateInode {
@@ -540,6 +563,16 @@ impl Ext4Dax {
                             len: n,
                         });
                     }
+                }
+            }
+            JournalRecord::Lease {
+                instance_id,
+                acquire,
+            } => {
+                if *acquire {
+                    lease_ids.insert(*instance_id);
+                } else {
+                    lease_ids.remove(instance_id);
                 }
             }
             JournalRecord::Commit => {}
@@ -1306,6 +1339,104 @@ impl Ext4Dax {
         let first = offset / BLOCK_SIZE as u64;
         let count = len.div_ceil(BLOCK_SIZE as u64);
         Ok(inode.extents.extract_range(first, count).is_ok())
+    }
+
+    // ------------------------------------------------------------------
+    // Instance leases (multi-instance U-Split; see `lease.rs`)
+    // ------------------------------------------------------------------
+
+    /// Acquires a lease on the lowest free instance id, journaling the
+    /// lease record and persisting the lease table.  The id maps onto the
+    /// instance's exclusive staging directory and operation-log path
+    /// ([`crate::lease::staging_dir`] / [`crate::lease::oplog_path`]).
+    pub fn lease_acquire(&self) -> FsResult<u32> {
+        self.charge_syscall();
+        let id = self.leases.reserve().ok_or(FsError::NoSpace)?;
+        if let Err(e) = self.commit_lease(id, true) {
+            // Nothing was journaled or persisted: undo the in-memory
+            // reservation so the id is not leaked (and in-memory state
+            // keeps matching the device).
+            self.leases.clear(id);
+            return Err(e);
+        }
+        self.device.stats().add_lease_acquire();
+        Ok(id)
+    }
+
+    /// Acquires a lease on a **specific** instance id.  Fails with
+    /// [`FsError::AlreadyExists`] — and counts a lease conflict — when the
+    /// id is held by a live instance or still active as an unrecovered
+    /// orphan.
+    pub fn lease_acquire_specific(&self, id: u32) -> FsResult<u32> {
+        self.charge_syscall();
+        if !self.leases.reserve_specific(id) {
+            self.device.stats().add_lease_conflict();
+            return Err(FsError::AlreadyExists);
+        }
+        if let Err(e) = self.commit_lease(id, true) {
+            self.leases.clear(id);
+            return Err(e);
+        }
+        self.device.stats().add_lease_acquire();
+        Ok(id)
+    }
+
+    /// Releases an instance lease (clean shutdown, or recovery retiring an
+    /// orphan), journaling the release and persisting the lease table.
+    pub fn lease_release(&self, id: u32) -> FsResult<()> {
+        self.charge_syscall();
+        self.leases.clear(id);
+        self.commit_lease(id, false)?;
+        self.device.stats().add_lease_release();
+        Ok(())
+    }
+
+    /// Abandons the in-process hold on a lease without releasing the
+    /// persisted record — emulates the owning process crashing.  The
+    /// lease becomes an orphan: [`Ext4Dax::lease_orphans`] reports it and
+    /// recovery replays its operation log before the id is reused.
+    pub fn lease_abandon(&self, id: u32) {
+        self.leases.abandon(id);
+    }
+
+    /// Instance ids with an active lease but no live holder — crashed
+    /// instances awaiting per-instance log recovery.
+    pub fn lease_orphans(&self) -> Vec<u32> {
+        self.leases.orphans()
+    }
+
+    /// Atomically claims an orphaned lease for recovery (see
+    /// [`LeaseManager::claim_orphan`]); the claimer replays the orphan's
+    /// operation log and then calls [`Ext4Dax::lease_release`].
+    pub fn lease_claim_orphan(&self, id: u32) -> bool {
+        self.leases.claim_orphan(id)
+    }
+
+    /// Whether `id`'s lease is active (held by a live instance or
+    /// orphaned).
+    pub fn lease_is_active(&self, id: u32) -> bool {
+        self.leases.is_active(id)
+    }
+
+    /// Number of active instance leases.
+    pub fn lease_active_count(&self) -> usize {
+        self.leases.active_count()
+    }
+
+    /// Commits the lease record and updates the in-place lease table
+    /// under the transaction guard (record → fence → in-place update,
+    /// like every other metadata mutation).
+    fn commit_lease(&self, instance_id: u32, acquire: bool) -> FsResult<()> {
+        let (_tid, txn) = self.journal.commit(
+            u64::from(instance_id),
+            &[JournalRecord::Lease {
+                instance_id,
+                acquire,
+            }],
+        )?;
+        self.leases.persist();
+        drop(txn);
+        Ok(())
     }
 }
 

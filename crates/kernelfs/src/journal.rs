@@ -149,6 +149,17 @@ pub enum JournalRecord {
         /// The new extents inside the range, as `(logical, phys, len)`.
         extents: Vec<(u64, u64, u64)>,
     },
+    /// A U-Split instance lease was acquired or released (see
+    /// [`crate::lease`]).  The in-place structure is the lease table
+    /// block; replaying the record re-applies the acquisition/release to
+    /// it, so recovery always knows which instance owned which slice of
+    /// the staging/operation-log resources.
+    Lease {
+        /// The instance the lease belongs to.
+        instance_id: u32,
+        /// `true` for an acquisition, `false` for a release.
+        acquire: bool,
+    },
     /// Transaction commit marker.
     Commit,
 }
@@ -167,6 +178,7 @@ impl JournalRecord {
             JournalRecord::SwapExtents { .. } => 9,
             JournalRecord::Commit => 10,
             JournalRecord::SetRangeMapping { .. } => 11,
+            JournalRecord::Lease { .. } => 12,
         }
     }
 
@@ -263,6 +275,13 @@ impl JournalRecord {
                     w.put_u64(*n);
                 }
             }
+            JournalRecord::Lease {
+                instance_id,
+                acquire,
+            } => {
+                w.put_u64(u64::from(*instance_id));
+                w.put_u8(u8::from(*acquire));
+            }
             JournalRecord::Commit => {}
         }
         w.into_vec()
@@ -337,6 +356,10 @@ impl JournalRecord {
                     extents,
                 }
             }
+            12 => JournalRecord::Lease {
+                instance_id: r.get_u64()? as u32,
+                acquire: r.get_u8()? != 0,
+            },
             _ => return None,
         };
         Some(rec)
@@ -710,6 +733,14 @@ mod tests {
                 new_name: "b".into(),
                 ino: 12,
                 replaced_ino: 0,
+            },
+            JournalRecord::Lease {
+                instance_id: 3,
+                acquire: true,
+            },
+            JournalRecord::Lease {
+                instance_id: 3,
+                acquire: false,
             },
         ];
         for rec in &records {

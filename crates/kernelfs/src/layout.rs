@@ -4,11 +4,16 @@
 //! block 0:
 //!
 //! ```text
-//! +------------+-----------------+-------------+--------------+------------------+
-//! | superblock | journal         | inode table | block bitmap | data blocks ...  |
-//! | 1 block    | JOURNAL_BLOCKS  | computed    | computed     | rest             |
-//! +------------+-----------------+-------------+--------------+------------------+
+//! +------------+-------------+-----------------+-------------+--------------+-----------------+
+//! | superblock | lease table | journal         | inode table | block bitmap | data blocks ... |
+//! | 1 block    | LEASE_BLOCKS| JOURNAL_BLOCKS  | computed    | computed     | rest            |
+//! +------------+-------------+-----------------+-------------+--------------+-----------------+
 //! ```
+//!
+//! The lease table records which U-Split instances currently own a slice
+//! of the staging/operation-log resources (see [`crate::lease`]); it is a
+//! journaled in-place structure like the inode table, so recovery knows
+//! which instance owned what.
 //!
 //! All metadata is stored little-endian.  Blocks are 4 KiB, matching the
 //! allocation unit of ext4 and the granularity at which SplitFS relinks
@@ -28,6 +33,9 @@ pub const SUPERBLOCK_MAGIC: u64 = 0x5350_4C49_5446_5331; // "SPLITFS1"
 /// Number of journal blocks (16 MiB with 4 KiB blocks).
 pub const JOURNAL_BLOCKS: u64 = 4096;
 
+/// Number of blocks in the instance-lease table.
+pub const LEASE_BLOCKS: u64 = 1;
+
 /// Default number of inodes a format creates.
 pub const DEFAULT_INODE_COUNT: u64 = 65_536;
 
@@ -40,6 +48,10 @@ pub struct Superblock {
     pub total_blocks: u64,
     /// Number of inodes in the inode table.
     pub inode_count: u64,
+    /// First block of the instance-lease table.
+    pub lease_start: u64,
+    /// Number of blocks in the instance-lease table.
+    pub lease_blocks: u64,
     /// First block of the journal region.
     pub journal_start: u64,
     /// Number of blocks in the journal region.
@@ -60,7 +72,9 @@ impl Superblock {
     /// Computes a layout for a device with `total_blocks` blocks and
     /// `inode_count` inodes.
     pub fn compute(total_blocks: u64, inode_count: u64) -> FsResult<Self> {
-        let journal_start = 1;
+        let lease_start = 1;
+        let lease_blocks = LEASE_BLOCKS;
+        let journal_start = lease_start + lease_blocks;
         let journal_blocks = JOURNAL_BLOCKS.min(total_blocks / 8).max(64);
         let itable_start = journal_start + journal_blocks;
         let inodes_per_block = (BLOCK_SIZE / INODE_RECORD_SIZE) as u64;
@@ -77,6 +91,8 @@ impl Superblock {
             magic: SUPERBLOCK_MAGIC,
             total_blocks,
             inode_count,
+            lease_start,
+            lease_blocks,
             journal_start,
             journal_blocks,
             itable_start,
@@ -94,6 +110,8 @@ impl Superblock {
             self.magic,
             self.total_blocks,
             self.inode_count,
+            self.lease_start,
+            self.lease_blocks,
             self.journal_start,
             self.journal_blocks,
             self.itable_start,
@@ -110,7 +128,7 @@ impl Superblock {
 
     /// Parses a superblock from a block image, validating the magic.
     pub fn from_block(buf: &[u8]) -> FsResult<Self> {
-        if buf.len() < 80 {
+        if buf.len() < 96 {
             return Err(FsError::Corrupted("superblock too short".into()));
         }
         let read_u64 = |i: usize| {
@@ -122,13 +140,15 @@ impl Superblock {
             magic: read_u64(0),
             total_blocks: read_u64(1),
             inode_count: read_u64(2),
-            journal_start: read_u64(3),
-            journal_blocks: read_u64(4),
-            itable_start: read_u64(5),
-            itable_blocks: read_u64(6),
-            bitmap_start: read_u64(7),
-            bitmap_blocks: read_u64(8),
-            data_start: read_u64(9),
+            lease_start: read_u64(3),
+            lease_blocks: read_u64(4),
+            journal_start: read_u64(5),
+            journal_blocks: read_u64(6),
+            itable_start: read_u64(7),
+            itable_blocks: read_u64(8),
+            bitmap_start: read_u64(9),
+            bitmap_blocks: read_u64(10),
+            data_start: read_u64(11),
         };
         if sb.magic != SUPERBLOCK_MAGIC {
             return Err(FsError::Corrupted("bad superblock magic".into()));
@@ -159,7 +179,8 @@ mod tests {
     #[test]
     fn layout_regions_do_not_overlap() {
         let sb = Superblock::compute(1 << 18, DEFAULT_INODE_COUNT).unwrap(); // 1 GiB
-        assert!(sb.journal_start >= 1);
+        assert!(sb.lease_start >= 1);
+        assert!(sb.journal_start >= sb.lease_start + sb.lease_blocks);
         assert!(sb.itable_start >= sb.journal_start + sb.journal_blocks);
         assert!(sb.bitmap_start >= sb.itable_start + sb.itable_blocks);
         assert!(sb.data_start >= sb.bitmap_start + sb.bitmap_blocks);

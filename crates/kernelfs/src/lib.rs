@@ -9,9 +9,17 @@
 //! 2. DAX memory mapping of file extents ([`Ext4Dax::dax_map`]), and
 //! 3. the relink ioctl — an atomic, journaled, metadata-only move of blocks
 //!    between files ([`Ext4Dax::ioctl_relink`]), the reproduction of the
-//!    500-line `EXT4_IOC_MOVE_EXT` patch described in §3.5 of the paper.
+//!    500-line `EXT4_IOC_MOVE_EXT` patch described in §3.5 of the paper,
+//!    and
+//! 4. **instance leases** ([`lease`]) — the resource arbitration that lets
+//!    many U-Split instances share one kernel file system: each instance
+//!    leases an exclusive staging-directory slice and operation-log path,
+//!    with lease records journaled so crash recovery knows which instance
+//!    owned what ([`Ext4Dax::lease_acquire`] / [`Ext4Dax::lease_orphans`]).
 //!
 //! Used on its own it is also the "ext4 DAX" baseline in every experiment.
+//! The lock-ordering rules that keep the sharded state deadlock-free are
+//! documented at the top of [`fs`] and in `ARCHITECTURE.md`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,7 +31,9 @@ pub mod fs;
 pub mod inode;
 pub mod journal;
 pub mod layout;
+pub mod lease;
 
 pub use dax::{DaxMapping, MapSegment};
 pub use fs::{Ext4Dax, RelinkOp, ROOT_INO};
 pub use layout::BLOCK_SIZE;
+pub use lease::{oplog_path, staging_dir, LeaseManager, MAX_INSTANCES};

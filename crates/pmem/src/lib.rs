@@ -23,7 +23,7 @@
 //! against this address space, so the *code paths* of the paper are
 //! exercised even though the medium is DRAM.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod clock;

@@ -77,6 +77,25 @@ pub struct Stats {
     maintenance: MaintenanceCounters,
     vectored: VectoredCounters,
     scaling: ScalingCounters,
+    lease: LeaseCounters,
+}
+
+/// Counters for the multi-instance lease manager: how many instance
+/// leases were handed out and returned, how many acquisitions collided
+/// with a live holder (the `multi` experiment is scored on this staying
+/// **zero**), and how many crashed instances' operation logs recovery
+/// replayed.
+#[derive(Debug, Default)]
+pub struct LeaseCounters {
+    /// Instance leases acquired.
+    lease_acquires: AtomicU64,
+    /// Instance leases released.
+    lease_releases: AtomicU64,
+    /// Lease acquisitions refused because the requested instance id was
+    /// already held by a live instance.
+    lease_conflicts: AtomicU64,
+    /// Orphaned (crashed) instances whose operation logs were replayed.
+    instances_recovered: AtomicU64,
 }
 
 /// Counters for the multi-core scaling work: sharded-lock contention,
@@ -325,6 +344,29 @@ impl Stats {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one instance-lease acquisition.
+    pub fn add_lease_acquire(&self) {
+        self.lease.lease_acquires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one instance-lease release.
+    pub fn add_lease_release(&self) {
+        self.lease.lease_releases.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one refused lease acquisition (instance id held by a live
+    /// instance).
+    pub fn add_lease_conflict(&self) {
+        self.lease.lease_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one orphaned instance whose operation log was replayed.
+    pub fn add_instance_recovered(&self) {
+        self.lease
+            .instances_recovered
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a copyable snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut time_ns = [0.0f64; 5];
@@ -371,6 +413,10 @@ impl Stats {
             checkpoint_stall_ns: self.scaling.checkpoint_stall_ps.load(Ordering::Relaxed) as f64
                 / 1000.0,
             staging_recycles: self.scaling.staging_recycles.load(Ordering::Relaxed),
+            lease_acquires: self.lease.lease_acquires.load(Ordering::Relaxed),
+            lease_releases: self.lease.lease_releases.load(Ordering::Relaxed),
+            lease_conflicts: self.lease.lease_conflicts.load(Ordering::Relaxed),
+            instances_recovered: self.lease.instances_recovered.load(Ordering::Relaxed),
         }
     }
 
@@ -423,6 +469,10 @@ impl Stats {
         self.scaling.checkpoint_stalls.store(0, Ordering::Relaxed);
         self.scaling.checkpoint_stall_ps.store(0, Ordering::Relaxed);
         self.scaling.staging_recycles.store(0, Ordering::Relaxed);
+        self.lease.lease_acquires.store(0, Ordering::Relaxed);
+        self.lease.lease_releases.store(0, Ordering::Relaxed);
+        self.lease.lease_conflicts.store(0, Ordering::Relaxed);
+        self.lease.instances_recovered.store(0, Ordering::Relaxed);
     }
 }
 
@@ -484,6 +534,15 @@ pub struct StatsSnapshot {
     pub checkpoint_stall_ns: f64,
     /// Staging files recycled back into the pool after full relink.
     pub staging_recycles: u64,
+    /// Instance leases acquired.
+    pub lease_acquires: u64,
+    /// Instance leases released.
+    pub lease_releases: u64,
+    /// Lease acquisitions refused because the id was held by a live
+    /// instance (must be zero in a healthy multi-instance run).
+    pub lease_conflicts: u64,
+    /// Orphaned (crashed) instances whose operation logs were replayed.
+    pub instances_recovered: u64,
 }
 
 impl StatsSnapshot {
@@ -587,6 +646,12 @@ impl StatsSnapshot {
         out.staging_recycles = out
             .staging_recycles
             .saturating_sub(earlier.staging_recycles);
+        out.lease_acquires = out.lease_acquires.saturating_sub(earlier.lease_acquires);
+        out.lease_releases = out.lease_releases.saturating_sub(earlier.lease_releases);
+        out.lease_conflicts = out.lease_conflicts.saturating_sub(earlier.lease_conflicts);
+        out.instances_recovered = out
+            .instances_recovered
+            .saturating_sub(earlier.instances_recovered);
         out
     }
 }

@@ -85,6 +85,11 @@ pub struct SplitConfig {
     pub use_relink: bool,
     /// Pre-fault mappings when they are created (`MAP_POPULATE`).
     pub populate_mmaps: bool,
+    /// Replay the operation logs of orphaned (crashed) instances before
+    /// this instance starts (see [`crate::recovery::recover_orphans`]).
+    /// On by default; crash tests that stage an orphan deliberately and
+    /// drive its recovery by hand turn it off.
+    pub recover_orphans_on_mount: bool,
     /// Background maintenance daemon parameters.
     pub daemon: DaemonConfig,
 }
@@ -102,6 +107,7 @@ impl SplitConfig {
             use_staging: true,
             use_relink: true,
             populate_mmaps: true,
+            recover_orphans_on_mount: true,
             daemon: DaemonConfig::default(),
         }
     }
@@ -118,6 +124,7 @@ impl SplitConfig {
             use_staging: true,
             use_relink: true,
             populate_mmaps: true,
+            recover_orphans_on_mount: true,
             daemon: DaemonConfig::default(),
         }
     }
@@ -167,6 +174,14 @@ impl SplitConfig {
     /// inline-maintenance behaviour).
     pub fn without_daemon(mut self) -> Self {
         self.daemon.enabled = false;
+        self
+    }
+
+    /// Disables automatic orphan recovery at mount.  Crash tests use this
+    /// to stage a crashed instance and drive its per-instance recovery at
+    /// a deterministic point (while other instances keep running).
+    pub fn without_orphan_recovery(mut self) -> Self {
+        self.recover_orphans_on_mount = false;
         self
     }
 

@@ -13,7 +13,11 @@
 //!   ([`kernelfs::Ext4Dax`]), which journals them;
 //! * in sync/strict mode, staged operations are recorded in the
 //!   [operation log](crate::oplog) so they survive a crash that happens
-//!   before the relink.
+//!   before the relink;
+//! * the staging pool and the operation log are **leased per instance**
+//!   from the kernel ([`kernelfs::lease`]), so many `SplitFs` instances —
+//!   one per application process in the paper's deployment — share one
+//!   kernel file system without stepping on each other's resources.
 
 use std::sync::Arc;
 
@@ -35,17 +39,40 @@ use crate::staging::StagingPool;
 use crate::state::{Descriptor, FileState, ShardedFdTable, ShardedRegistry, StagedExtent};
 
 /// Directory on the kernel file system holding SplitFS's own files
-/// (staging files and the operation log).
-pub const SPLITFS_DIR: &str = "/.splitfs";
+/// (staging files and the operation logs).  Instance 0 stages directly in
+/// it; every further concurrent instance leases a subdirectory (see
+/// [`kernelfs::lease::staging_dir`]).  Aliases the kernel-side layout
+/// constant so the two crates can never disagree about the paths.
+pub const SPLITFS_DIR: &str = kernelfs::lease::SPLITFS_ROOT;
 
-/// Path of the operation-log file.
-pub const OPLOG_PATH: &str = "/.splitfs/oplog";
+/// Path of instance 0's operation-log file.  Further instances lease
+/// their own log file (see [`kernelfs::lease::oplog_path`]).
+pub const OPLOG_PATH: &str = kernelfs::lease::OPLOG_PATH_0;
 
 /// A SplitFS (U-Split) instance layered over a kernel file system.
+///
+/// Many instances can be mounted concurrently over **one** shared
+/// [`Ext4Dax`] — the paper's multi-process story, one instance per
+/// process.  Each instance holds a kernel lease on an exclusive slice of
+/// the staging pool (its staging directory) and a dedicated operation-log
+/// file; the lease is released on clean [`Drop`] and left behind as a
+/// recoverable orphan when the owner crashes (see
+/// [`SplitFs::abandon_lease_on_drop`] and [`crate::recovery`]).
 pub struct SplitFs {
     pub(crate) kernel: Arc<Ext4Dax>,
     pub(crate) device: Arc<PmemDevice>,
     pub(crate) config: SplitConfig,
+    /// Instance id leased from the kernel file system; stamps every
+    /// operation-log entry and names the staging dir / oplog file.
+    pub(crate) instance_id: u32,
+    /// This instance's exclusive staging directory.
+    pub(crate) staging_dir: String,
+    /// This instance's operation-log path.
+    pub(crate) oplog_file: String,
+    /// When set, `Drop` abandons the lease instead of releasing it —
+    /// emulating a process crash so tests can drive per-instance
+    /// recovery while other instances keep running.
+    pub(crate) crash_on_drop: std::sync::atomic::AtomicBool,
     pub(crate) files: ShardedRegistry,
     pub(crate) fds: ShardedFdTable,
     pub(crate) staging: StagingPool,
@@ -74,6 +101,7 @@ impl std::fmt::Debug for SplitFs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SplitFs")
             .field("mode", &self.config.mode)
+            .field("instance", &self.instance_id)
             .field("open_files", &self.files.len())
             .finish()
     }
@@ -103,24 +131,93 @@ impl SplitFs {
     pub fn new(kernel: Arc<Ext4Dax>, config: SplitConfig) -> FsResult<Arc<Self>> {
         let device = Arc::clone(kernel.device());
 
-        // If a previous instance crashed with pending operation-log entries,
-        // replay them before anything else touches the files.
-        if config.mode.logs_data_ops() && kernel.exists(OPLOG_PATH) {
-            recovery::recover(&kernel, &config)?;
+        // Instances that crashed earlier left orphaned leases behind;
+        // replay their per-instance logs (and release their leases) before
+        // any resource is reused.  Each orphan's log replays independently,
+        // so instance B recovers even if instance A died mid-relink.
+        if config.recover_orphans_on_mount {
+            recovery::recover_orphans(&kernel, &config)?;
         }
 
-        let staging = StagingPool::new(
-            Arc::clone(&kernel),
-            Arc::clone(&device),
-            SPLITFS_DIR,
-            &config,
-        )?;
+        // Lease this instance's slice of the staging pool and its
+        // operation-log range.  The lease record is journaled by the
+        // kernel, so a crash from here on leaves a recoverable orphan.
+        let instance_id = kernel.lease_acquire()?;
+
+        // Everything between the acquire and the construction of the
+        // instance (which owns the release-on-Drop) must give the lease
+        // back on failure — otherwise every failed mount would leak an id
+        // that is neither held by anyone nor reported as an orphan.
+        match Self::build_leased_resources(&kernel, &device, &config, instance_id) {
+            Ok((staging_dir, oplog_file, staging, oplog)) => {
+                let fs = Arc::new(Self {
+                    kernel,
+                    device: Arc::clone(&device),
+                    config,
+                    instance_id,
+                    staging_dir,
+                    oplog_file,
+                    crash_on_drop: std::sync::atomic::AtomicBool::new(false),
+                    files: ShardedRegistry::new(Some(device)),
+                    fds: ShardedFdTable::new(),
+                    staging,
+                    oplog,
+                    daemon: Mutex::new(None),
+                    grow_lock: Mutex::new(()),
+                    retire_lock: Mutex::new(()),
+                    checkpoint_nudged: std::sync::atomic::AtomicBool::new(false),
+                    provision_nudged: std::sync::atomic::AtomicBool::new(false),
+                });
+                if fs.config.daemon.enabled && fs.config.use_staging {
+                    *fs.daemon.lock() = Some(MaintenanceDaemon::start(&fs, &fs.config.daemon));
+                }
+                Ok(fs)
+            }
+            Err(e) => {
+                let _ = kernel.lease_release(instance_id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Builds everything the freshly leased `instance_id` owns: replays
+    /// any leftover log at its path, ensures the bookkeeping root exists,
+    /// constructs the staging pool and (when the mode logs) the operation
+    /// log.  Split out of [`SplitFs::new`] so a failure anywhere in here
+    /// has exactly one cleanup path: release the lease.
+    #[allow(clippy::type_complexity)]
+    fn build_leased_resources(
+        kernel: &Arc<Ext4Dax>,
+        device: &Arc<PmemDevice>,
+        config: &SplitConfig,
+        instance_id: u32,
+    ) -> FsResult<(String, String, StagingPool, Option<OpLog>)> {
+        let staging_dir = kernelfs::lease::staging_dir(instance_id);
+        let oplog_file = kernelfs::lease::oplog_path(instance_id);
+
+        // A cleanly shut-down predecessor with the same id may have left a
+        // log file with covered entries behind; replay is idempotent and
+        // leaves the file zeroed for this instance.
+        if config.mode.logs_data_ops() && kernel.exists(&oplog_file) {
+            recovery::recover_instance(kernel, config, instance_id)?;
+        }
+
+        // Instance subdirectories nest under the shared bookkeeping root;
+        // make sure it exists (another instance may win the race).
+        if !kernel.exists(SPLITFS_DIR) {
+            match kernel.mkdir(SPLITFS_DIR) {
+                Ok(()) | Err(FsError::AlreadyExists) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let staging =
+            StagingPool::new(Arc::clone(kernel), Arc::clone(device), &staging_dir, config)?;
 
         let oplog = if config.mode.logs_data_ops() {
-            let fd = kernel.open(OPLOG_PATH, OpenFlags::create())?;
+            let fd = kernel.open(&oplog_file, OpenFlags::create())?;
             kernel.ftruncate(fd, config.oplog_size)?;
             let mapping = kernel.dax_map(fd, 0, config.oplog_size, config.populate_mmaps)?;
-            let log = OpLog::new(Arc::clone(&device), mapping, config.oplog_size);
+            let log = OpLog::new(Arc::clone(device), mapping, config.oplog_size);
             // §3.3: the log is zeroed at initialization so recovery can tell
             // written slots from never-used ones.
             log.reset();
@@ -128,30 +225,38 @@ impl SplitFs {
         } else {
             None
         };
-
-        let fs = Arc::new(Self {
-            kernel,
-            device: Arc::clone(&device),
-            config,
-            files: ShardedRegistry::new(Some(device)),
-            fds: ShardedFdTable::new(),
-            staging,
-            oplog,
-            daemon: Mutex::new(None),
-            grow_lock: Mutex::new(()),
-            retire_lock: Mutex::new(()),
-            checkpoint_nudged: std::sync::atomic::AtomicBool::new(false),
-            provision_nudged: std::sync::atomic::AtomicBool::new(false),
-        });
-        if fs.config.daemon.enabled && fs.config.use_staging {
-            *fs.daemon.lock() = Some(MaintenanceDaemon::start(&fs, &fs.config.daemon));
-        }
-        Ok(fs)
+        Ok((staging_dir, oplog_file, staging, oplog))
     }
 
     /// The mode this instance runs in.
     pub fn mode(&self) -> Mode {
         self.config.mode
+    }
+
+    /// The instance id leased from the kernel file system.
+    pub fn instance_id(&self) -> u32 {
+        self.instance_id
+    }
+
+    /// This instance's exclusive staging directory.
+    pub fn staging_dir(&self) -> &str {
+        &self.staging_dir
+    }
+
+    /// This instance's operation-log path.
+    pub fn oplog_file(&self) -> &str {
+        &self.oplog_file
+    }
+
+    /// Arms crash emulation: when the instance is dropped, its kernel
+    /// lease is **abandoned** instead of released — exactly what the
+    /// owning process dying would leave behind.  The lease then shows up
+    /// in [`Ext4Dax::lease_orphans`] and the instance's operation log is
+    /// replayed by [`crate::recovery::recover_orphans`] (or the next
+    /// `SplitFs::new`) while other instances keep running.
+    pub fn abandon_lease_on_drop(&self) {
+        self.crash_on_drop
+            .store(true, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Whether background maintenance workers are running.
@@ -419,7 +524,9 @@ impl SplitFs {
         }
         let old_size = oplog.size();
         let new_size = old_size.saturating_mul(2).max(4096);
-        let fd = self.kernel.open(OPLOG_PATH, OpenFlags::read_write())?;
+        let fd = self
+            .kernel
+            .open(&self.oplog_file, OpenFlags::read_write())?;
         self.kernel.ftruncate(fd, new_size)?;
         let mapping = self
             .kernel
@@ -455,6 +562,7 @@ impl SplitFs {
                     staging_ino: rec.ino(),
                     staging_offset: 0,
                     seq: oplog.next_seq(),
+                    instance_id: self.instance_id,
                 };
                 if oplog.append(&marker).is_err() {
                     // No log space: put the file back and retry on a later
@@ -675,6 +783,7 @@ impl SplitFs {
                         .as_ref()
                         .map(|l| l.next_seq())
                         .unwrap_or_default(),
+                    instance_id: self.instance_id,
                 })
                 .collect();
             loop {
@@ -755,6 +864,13 @@ impl Drop for SplitFs {
         // pools and logs disappear.
         if let Some(daemon) = self.daemon.get_mut().take() {
             drop(daemon);
+        }
+        // Clean shutdown releases the kernel lease; crash emulation
+        // abandons it so the lease survives as a recoverable orphan.
+        if self.crash_on_drop.load(std::sync::atomic::Ordering::SeqCst) {
+            self.kernel.lease_abandon(self.instance_id);
+        } else {
+            let _ = self.kernel.lease_release(self.instance_id);
         }
     }
 }

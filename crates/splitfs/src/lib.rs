@@ -15,6 +15,15 @@
 //!   through [`kernelfs::Ext4Dax::ioctl_relink_batch`], so one journal
 //!   transaction covers every staged extent an `fsync` retires.
 //!
+//! **Many instances, one kernel**: any number of [`SplitFs`] instances
+//! (the paper's one-per-process deployment) can be mounted concurrently
+//! over a single shared [`kernelfs::Ext4Dax`].  Each instance leases an
+//! exclusive staging-directory slice and a dedicated operation-log file
+//! from the kernel ([`kernelfs::lease`]); log entries are tagged with the
+//! instance id, and [`recovery`] replays each instance's log
+//! independently — instance B recovers intact even when instance A
+//! crashed mid-relink.
+//!
 //! The batching machinery is the *public contract*, not internal plumbing:
 //! SplitFS implements the full zero-copy / vectored / batch-durable
 //! [`vfs::FileSystem`] surface —
@@ -71,9 +80,11 @@
 //!   recycle exhausted staging files, and retire sealed log epochs one
 //!   file-state lock at a time, so the foreground never performs file
 //!   creation or log truncation on the critical path;
-//! * [`recovery`] — idempotent crash recovery by log replay; recovered
-//!   contents are identical whether a crash lands before, during, or
-//!   after a background batch relink;
+//! * [`recovery`] — idempotent, **per-instance** crash recovery by log
+//!   replay: orphaned leases name the crashed instances, each orphan's
+//!   log replays independently (foreign-tagged entries are refused), and
+//!   recovered contents are identical whether a crash lands before,
+//!   during, or after a background batch relink;
 //! * [`config`] / [`modes`] / [`state`] / [`mmap_collection`] — tunables
 //!   (including [`DaemonConfig`]), the three consistency modes, and the
 //!   DRAM bookkeeping structures.
@@ -112,4 +123,4 @@ pub mod state;
 pub use config::{DaemonConfig, SplitConfig};
 pub use fs::{MemoryUsage, SplitFs, OPLOG_PATH, SPLITFS_DIR};
 pub use modes::{Guarantees, Mode};
-pub use recovery::{recover, RecoveryReport};
+pub use recovery::{recover, recover_instance, recover_orphans, RecoveryReport};

@@ -108,6 +108,11 @@ pub struct LogEntry {
     pub staging_offset: u64,
     /// Monotonic sequence number assigned by the log.
     pub seq: u64,
+    /// Id of the U-Split instance that wrote the entry (see
+    /// [`kernelfs::lease`]).  Each instance has its own log file, so the
+    /// tag is a cross-contamination check: recovery of instance N's log
+    /// refuses to replay an entry tagged with another instance's id.
+    pub instance_id: u32,
 }
 
 impl LogEntry {
@@ -123,6 +128,7 @@ impl LogEntry {
         buf[28..36].copy_from_slice(&self.staging_ino.to_le_bytes());
         buf[36..44].copy_from_slice(&self.staging_offset.to_le_bytes());
         buf[44..52].copy_from_slice(&self.seq.to_le_bytes());
+        buf[52..56].copy_from_slice(&self.instance_id.to_le_bytes());
         let crc = checksum32(&buf[..60]);
         buf[60..64].copy_from_slice(&crc.to_le_bytes());
         buf
@@ -158,6 +164,7 @@ impl LogEntry {
             staging_ino: read_u64(28),
             staging_offset: read_u64(36),
             seq: read_u64(44),
+            instance_id: u32::from_le_bytes([buf[52], buf[53], buf[54], buf[55]]),
         })
     }
 }
@@ -575,6 +582,7 @@ mod tests {
             staging_ino: 77,
             staging_offset: 65536,
             seq,
+            instance_id: 7,
         }
     }
 

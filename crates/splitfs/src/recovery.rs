@@ -1,24 +1,39 @@
-//! Crash recovery (paper §5.3).
+//! Crash recovery (paper §5.3), per U-Split instance.
 //!
 //! In POSIX and sync modes SplitFS needs nothing beyond the kernel file
 //! system's own journal recovery.  In strict (and sync-for-appends) mode,
-//! the operation log may contain staged writes that were durable in a
-//! staging file but had not yet been relinked into their target file when
-//! the crash hit.  Recovery:
+//! an instance's operation log may contain staged writes that were durable
+//! in a staging file but had not yet been relinked into their target file
+//! when the crash hit.  With multiple instances over one kernel file
+//! system, each instance has its **own** log (leased through
+//! [`kernelfs::lease`]) and recovery replays each log independently —
+//! instance B's log recovers unchanged even when instance A crashed
+//! mid-relink.  For one log, recovery:
 //!
 //! 1. scans the zero-initialized log — **both epochs**, whatever the
 //!    sealed/active geometry was at the crash — and keeps every
 //!    checksum-valid entry, ordered by the global sequence number,
-//! 2. drops entries covered by an `Invalidate` record (their relink
+//! 2. drops entries **tagged with another instance's id** (cross-instance
+//!    contamination must never replay; such entries are counted in
+//!    [`RecoveryReport::foreign`]),
+//! 3. drops entries covered by an `Invalidate` record (their relink
 //!    completed before the crash) or by a `StagingRecycle` record (their
 //!    staging file was re-provisioned, so its blocks hold unrelated data),
-//! 3. for each remaining staged write, checks whether the staging range is
+//! 4. for each remaining staged write, checks whether the staging range is
 //!    still mapped — if the relink had already moved the blocks the range
 //!    is a hole and the entry is skipped (this is what makes replay
 //!    idempotent),
-//! 4. copies the surviving staged data into the target file through the
+//! 5. copies the surviving staged data into the target file through the
 //!    kernel, and
-//! 5. re-zeroes the log.
+//! 6. re-zeroes the log.
+//!
+//! Which instances need recovery is the lease manager's knowledge: an
+//! **orphaned** lease (active on the device, no live holder) marks a
+//! crashed instance.  [`recover_orphans`] claims each orphan, replays its
+//! log, and releases the lease so the id becomes reusable.
+//! [`SplitFs::new`](crate::SplitFs::new) runs it on every mount (unless
+//! [`SplitConfig::without_orphan_recovery`](crate::SplitConfig) disables
+//! it for tests that stage crashes deliberately).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -27,10 +42,9 @@ use kernelfs::Ext4Dax;
 use vfs::{FileSystem, FsResult, OpenFlags};
 
 use crate::config::SplitConfig;
-use crate::fs::OPLOG_PATH;
 use crate::oplog::{LogEntry, LogOp, OpLog};
 
-/// Summary of a recovery pass.
+/// Summary of a recovery pass over one instance's log.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Valid entries found in the log.
@@ -44,19 +58,39 @@ pub struct RecoveryReport {
     /// Entries skipped because their staging file was recycled after their
     /// data was retired.
     pub recycled: usize,
+    /// Entries skipped because they carried another instance's id — the
+    /// cross-contamination guard.  Always zero in a healthy system.
+    pub foreign: usize,
 }
 
-/// Replays the operation log at [`OPLOG_PATH`] on `kernel`.
+/// Replays the **default instance's** (instance 0's) operation log.
 ///
-/// Safe to call when no log exists (returns an empty report) and safe to
-/// call repeatedly: replay is idempotent.
-pub fn recover(kernel: &Arc<Ext4Dax>, _config: &SplitConfig) -> FsResult<RecoveryReport> {
+/// Kept for the single-instance workflows and tests; multi-instance
+/// callers use [`recover_instance`] or [`recover_orphans`].  Safe to call
+/// when no log exists (returns an empty report) and safe to call
+/// repeatedly: replay is idempotent.
+pub fn recover(kernel: &Arc<Ext4Dax>, config: &SplitConfig) -> FsResult<RecoveryReport> {
+    recover_instance(kernel, config, 0)
+}
+
+/// Replays the operation log of one instance, identified by its lease id.
+///
+/// Only entries tagged with `instance_id` replay; entries carrying any
+/// other id are counted as [`RecoveryReport::foreign`] and skipped, so a
+/// contaminated log can never bleed one instance's staged writes into
+/// another's files.
+pub fn recover_instance(
+    kernel: &Arc<Ext4Dax>,
+    _config: &SplitConfig,
+    instance_id: u32,
+) -> FsResult<RecoveryReport> {
+    let path = kernelfs::lease::oplog_path(instance_id);
     let mut report = RecoveryReport::default();
-    if !kernel.exists(OPLOG_PATH) {
+    if !kernel.exists(&path) {
         return Ok(report);
     }
     let device = Arc::clone(kernel.device());
-    let log_fd = kernel.open(OPLOG_PATH, OpenFlags::read_write())?;
+    let log_fd = kernel.open(&path, OpenFlags::read_write())?;
     // The actual file size, not the configured one: the log grows on
     // demand when it fills while a checkpoint cannot run, and every
     // grown slot must be scanned.
@@ -68,6 +102,14 @@ pub fn recover(kernel: &Arc<Ext4Dax>, _config: &SplitConfig) -> FsResult<Recover
     let mapping = kernel.dax_map(log_fd, 0, log_size, false)?;
     let entries = OpLog::scan(&device, &mapping, log_size);
     report.entries_scanned = entries.len();
+
+    // Cross-contamination guard: this log belongs to `instance_id`, so an
+    // entry tagged otherwise is corruption (or another instance's write
+    // landing in the wrong file) and must not replay.
+    let (entries, foreign): (Vec<LogEntry>, Vec<LogEntry>) = entries
+        .into_iter()
+        .partition(|e| e.instance_id == instance_id);
+    report.foreign = foreign.len();
 
     // Highest invalidated sequence number per target file, and highest
     // recycle sequence number per staging file.
@@ -157,4 +199,38 @@ pub fn recover(kernel: &Arc<Ext4Dax>, _config: &SplitConfig) -> FsResult<Recover
     log.reset();
     kernel.close(log_fd)?;
     Ok(report)
+}
+
+/// Recovers every **orphaned** instance: leases that are active on the
+/// device with no live holder — instances that crashed.  Each orphan is
+/// claimed (so concurrent mounts never replay the same log twice),
+/// its log replayed independently of every other instance, and its lease
+/// released so the id becomes reusable.  Live instances are untouched.
+///
+/// Returns one `(instance_id, report)` pair per recovered orphan.
+pub fn recover_orphans(
+    kernel: &Arc<Ext4Dax>,
+    config: &SplitConfig,
+) -> FsResult<Vec<(u32, RecoveryReport)>> {
+    let mut out = Vec::new();
+    for id in kernel.lease_orphans() {
+        // Claim the orphan: a concurrent mount racing this one skips it.
+        if !kernel.lease_claim_orphan(id) {
+            continue;
+        }
+        // A failed replay must put the claim back: the lease has to stay
+        // a visible orphan so a later mount retries it, instead of being
+        // silently stuck as held-but-dead forever.
+        let report = match recover_instance(kernel, config, id) {
+            Ok(report) => report,
+            Err(e) => {
+                kernel.lease_abandon(id);
+                return Err(e);
+            }
+        };
+        kernel.lease_release(id)?;
+        kernel.device().stats().add_instance_recovered();
+        out.push((id, report));
+    }
+    Ok(out)
 }

@@ -112,6 +112,7 @@ impl SplitFs {
                 staging_ino: 0,
                 staging_offset: 0,
                 seq: max_seq,
+                instance_id: self.instance_id,
             });
         }
         self.device.fence(TimeCategory::UserData);
@@ -187,6 +188,7 @@ impl SplitFs {
                     staging_ino: 0,
                     staging_offset: 0,
                     seq: max_seq,
+                    instance_id: self.instance_id,
                 });
             }
         }

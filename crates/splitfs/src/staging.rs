@@ -7,6 +7,12 @@
 //! (`SplitConfig::staging_files` × `staging_file_size`) so that taking
 //! staging space in the write path is a cheap cursor bump.
 //!
+//! Each U-Split instance owns one pool, rooted in the staging directory
+//! its kernel lease names ([`kernelfs::lease::staging_dir`]) — the
+//! instance's exclusive slice of the machine-wide staging resources.  Two
+//! concurrent instances therefore never hand out overlapping staging
+//! space, and recovery can attribute every staging file to its owner.
+//!
 //! When the pool runs low, replacements come from two sources:
 //!
 //! * the [background maintenance daemon](crate::daemon) provisions fresh
@@ -158,6 +164,14 @@ impl StagingPool {
     fn build_staging_file(&self, name: u64) -> FsResult<StagingFile> {
         let path = format!("{}/stage-{}", self.dir, name);
         let fd = self.kernel.open(&path, OpenFlags::create())?;
+        // A stale file left by a previous incarnation of this instance may
+        // have holes where relink moved blocks out; empty it first so the
+        // extension below re-allocates every block.  Safe: the instance's
+        // operation log is always recovered (and zeroed) before the pool
+        // is built, so nothing references the old staging bytes.
+        if self.kernel.fstat(fd)?.size > 0 {
+            self.kernel.ftruncate(fd, 0)?;
+        }
         // Pre-allocate the whole file so appends never allocate in the
         // critical path, then map it once.
         self.kernel.ftruncate(fd, self.file_size)?;

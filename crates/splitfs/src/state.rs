@@ -5,6 +5,14 @@
 //! relink, and owns the collection of memory mappings for each file.
 //! Descriptors are thin: they share a single per-open-file offset so that
 //! `dup`-ed descriptors observe each other's seeks, as the paper requires.
+//!
+//! All of this state is **instance-private DRAM**: every [`SplitFs`]
+//! instance has its own sharded registry and descriptor table, so
+//! concurrent instances over one kernel file system share nothing here —
+//! the only cross-instance coordination is the kernel lease on staging
+//! and log resources ([`kernelfs::lease`]).
+//!
+//! [`SplitFs`]: crate::SplitFs
 
 use std::collections::HashMap;
 use std::sync::Arc;

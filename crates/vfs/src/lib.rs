@@ -29,7 +29,7 @@
 //! provided in terms of the new primitives, so every implementor that
 //! overrides the primitives gets the optimized conveniences for free.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod error;

@@ -17,12 +17,17 @@
 //! * [`walshard`] — the WAL-per-shard saturation workload: N threads, one
 //!   write-ahead log each, measuring wall-clock scaling and lock
 //!   contention of the file system's hot path.
+//! * [`multiproc`] — the multi-instance ("multi-process") workload: N
+//!   concurrent U-Split instances over one shared kernel file system,
+//!   each with leased staging/log resources, measuring aggregate
+//!   throughput and lease conflicts.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod appbench;
 pub mod io_patterns;
+pub mod multiproc;
 pub mod tpcc;
 pub mod utilities;
 pub mod varmail;
