@@ -15,7 +15,7 @@
 //!   fig6       application performance and utilities (Figure 6)
 //!   recovery   operation-log replay time vs entries (§5.3)
 //!   daemon     inline vs daemon-backed maintenance on concurrent appends
-//!   scaling    WAL-per-shard saturation throughput at 1/2/4/8 threads
+//!   scaling    WAL-per-shard saturation throughput at 1/2/4/8/16 threads
 //!   vectored   N x append vs one appendv of N slices (fences, journal txns)
 //!   multi      aggregate throughput at 1/2/4 U-Split instances on one kernel
 //!   resources  U-Split DRAM footprint after a YCSB run (§5.10)
@@ -124,22 +124,32 @@ fn run(which: &str, scale: Scale) {
             ],
             &experiments::daemon_maintenance(scale),
         ),
-        "scaling" => print_table(
-            "Scaling — WAL-per-shard distinct-file appends (SplitFS-strict)",
-            &[
-                "Threads",
-                "Throughput",
-                "vs 1 thread",
-                "Wall-clock",
-                "Shard lock waits",
-                "Epoch swaps",
-                "Epoch truncates",
-                "Log grows",
-                "Checkpoint stalls",
-                "Staging recycles",
-            ],
-            &experiments::scaling(scale),
-        ),
+        "scaling" => {
+            let report = experiments::scaling_report(scale);
+            print_table(
+                "Scaling — WAL-per-shard distinct-file appends (SplitFS-strict, lane per writer)",
+                &[
+                    "Threads",
+                    "Throughput",
+                    "vs 1 thread",
+                    "Wall-clock",
+                    "Staging lock waits",
+                    "Lane steals",
+                    "Adaptive resizes",
+                    "Shard lock waits",
+                    "Epoch swaps",
+                    "Epoch truncates",
+                    "Log grows",
+                    "Checkpoint stalls",
+                    "Staging recycles",
+                ],
+                &report.rows,
+            );
+            // Machine-readable mirror of the table for the CI smoke gate.
+            for line in &report.json {
+                println!("SCALING_JSON {line}");
+            }
+        }
         "vectored" => print_table(
             "Vectored I/O — N x append vs one appendv of N slices",
             &[

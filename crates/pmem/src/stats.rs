@@ -126,6 +126,20 @@ pub struct ScalingCounters {
     /// Staging files recycled back into the pool after being fully
     /// relinked (instead of leaking until shutdown).
     staging_recycles: AtomicU64,
+    /// Times a staging-lane lock was contended: a `try_lock` on the lane
+    /// failed and the taker had to block.  Disjoint writers routed to
+    /// disjoint lanes keep this ~zero — the lane-sharded pool's whole
+    /// point.
+    staging_lock_waits: AtomicU64,
+    /// Staging files stolen from another lane's free list because the
+    /// taker's home lane ran dry.
+    staging_lane_steals: AtomicU64,
+    /// Per-lane watermark adjustments made by the adaptive provisioning
+    /// controller (grow or shrink).
+    staging_adaptive_resizes: AtomicU64,
+    /// Files whose long-unsynced staged extents were relinked by the
+    /// cold-file policy to reclaim staging space under pressure.
+    staging_cold_relinks: AtomicU64,
 }
 
 /// Counters for the U-Split background-maintenance subsystem: staging-file
@@ -344,6 +358,36 @@ impl Stats {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one contended staging-lane lock acquisition (a `try_lock`
+    /// on the lane failed and the taker blocked).
+    pub fn add_staging_lock_wait(&self) {
+        self.scaling
+            .staging_lock_waits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one staging file stolen from another lane's free list.
+    pub fn add_staging_lane_steal(&self) {
+        self.scaling
+            .staging_lane_steals
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one adaptive watermark adjustment on a staging lane.
+    pub fn add_staging_adaptive_resize(&self) {
+        self.scaling
+            .staging_adaptive_resizes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cold file whose staged extents were relinked to
+    /// reclaim staging space.
+    pub fn add_staging_cold_relink(&self) {
+        self.scaling
+            .staging_cold_relinks
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one instance-lease acquisition.
     pub fn add_lease_acquire(&self) {
         self.lease.lease_acquires.fetch_add(1, Ordering::Relaxed);
@@ -413,6 +457,13 @@ impl Stats {
             checkpoint_stall_ns: self.scaling.checkpoint_stall_ps.load(Ordering::Relaxed) as f64
                 / 1000.0,
             staging_recycles: self.scaling.staging_recycles.load(Ordering::Relaxed),
+            staging_lock_waits: self.scaling.staging_lock_waits.load(Ordering::Relaxed),
+            staging_lane_steals: self.scaling.staging_lane_steals.load(Ordering::Relaxed),
+            staging_adaptive_resizes: self
+                .scaling
+                .staging_adaptive_resizes
+                .load(Ordering::Relaxed),
+            staging_cold_relinks: self.scaling.staging_cold_relinks.load(Ordering::Relaxed),
             lease_acquires: self.lease.lease_acquires.load(Ordering::Relaxed),
             lease_releases: self.lease.lease_releases.load(Ordering::Relaxed),
             lease_conflicts: self.lease.lease_conflicts.load(Ordering::Relaxed),
@@ -469,6 +520,14 @@ impl Stats {
         self.scaling.checkpoint_stalls.store(0, Ordering::Relaxed);
         self.scaling.checkpoint_stall_ps.store(0, Ordering::Relaxed);
         self.scaling.staging_recycles.store(0, Ordering::Relaxed);
+        self.scaling.staging_lock_waits.store(0, Ordering::Relaxed);
+        self.scaling.staging_lane_steals.store(0, Ordering::Relaxed);
+        self.scaling
+            .staging_adaptive_resizes
+            .store(0, Ordering::Relaxed);
+        self.scaling
+            .staging_cold_relinks
+            .store(0, Ordering::Relaxed);
         self.lease.lease_acquires.store(0, Ordering::Relaxed);
         self.lease.lease_releases.store(0, Ordering::Relaxed);
         self.lease.lease_conflicts.store(0, Ordering::Relaxed);
@@ -534,6 +593,15 @@ pub struct StatsSnapshot {
     pub checkpoint_stall_ns: f64,
     /// Staging files recycled back into the pool after full relink.
     pub staging_recycles: u64,
+    /// Contended staging-lane lock acquisitions (a `try_lock` failed
+    /// first).  ~Zero for disjoint writers on a lane-per-writer pool.
+    pub staging_lock_waits: u64,
+    /// Staging files stolen across lanes after a home lane ran dry.
+    pub staging_lane_steals: u64,
+    /// Adaptive watermark adjustments on staging lanes.
+    pub staging_adaptive_resizes: u64,
+    /// Cold files relinked to reclaim staging space under pressure.
+    pub staging_cold_relinks: u64,
     /// Instance leases acquired.
     pub lease_acquires: u64,
     /// Instance leases released.
@@ -646,6 +714,18 @@ impl StatsSnapshot {
         out.staging_recycles = out
             .staging_recycles
             .saturating_sub(earlier.staging_recycles);
+        out.staging_lock_waits = out
+            .staging_lock_waits
+            .saturating_sub(earlier.staging_lock_waits);
+        out.staging_lane_steals = out
+            .staging_lane_steals
+            .saturating_sub(earlier.staging_lane_steals);
+        out.staging_adaptive_resizes = out
+            .staging_adaptive_resizes
+            .saturating_sub(earlier.staging_adaptive_resizes);
+        out.staging_cold_relinks = out
+            .staging_cold_relinks
+            .saturating_sub(earlier.staging_cold_relinks);
         out.lease_acquires = out.lease_acquires.saturating_sub(earlier.lease_acquires);
         out.lease_releases = out.lease_releases.saturating_sub(earlier.lease_releases);
         out.lease_conflicts = out.lease_conflicts.saturating_sub(earlier.lease_conflicts);

@@ -1,0 +1,294 @@
+//! Adaptive staging provisioning: watermarks sized from measured demand.
+//!
+//! The fixed low/high watermarks the daemon shipped with work for a
+//! steady workload but not for a skewed one: a hot lane (one writer
+//! saturating its home lane) drains its free list faster than a
+//! once-per-tick top-up to a static high watermark can refill it, while
+//! idle lanes sit on capacity nobody uses.  The
+//! [`WatermarkController`] closes the loop:
+//!
+//! 1. every maintenance tick samples each lane's **cumulative consumed
+//!    bytes** ([`crate::staging::StagingPool::lane_consumed_bytes`])
+//!    together with the simulated clock;
+//! 2. a sliding [`RateWindow`] per lane turns the samples into a demand
+//!    rate in bytes per **simulated** millisecond (simulated time is the
+//!    metered quantity in this reproduction — host wall time would make
+//!    the controller machine-dependent);
+//! 3. [`size_watermarks`] converts the rate into per-lane watermarks: the
+//!    high watermark covers `rate × horizon` bytes of future demand (in
+//!    staging files), the low watermark trails it, and both respect a
+//!    floor derived from `SplitConfig::staging_files` — watermarks never
+//!    drop below the configured static pool shape, so an idle system
+//!    behaves exactly like the pre-adaptive one — and a per-lane cap so a
+//!    rate spike cannot provision the device full of staging files.
+//!
+//! The controller is pure bookkeeping (no locks, no I/O): the daemon owns
+//! one behind its tick and applies the output with
+//! [`crate::staging::StagingPool::set_lane_watermarks`], which counts
+//! every effective change in the `staging_adaptive_resizes` statistic.
+
+use std::collections::VecDeque;
+
+/// Per-lane provisioning watermarks, in staging files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watermarks {
+    /// Provision when fewer than this many unconsumed files remain.
+    pub low: usize,
+    /// Provision up to this many unconsumed files.
+    pub high: usize,
+}
+
+/// A sliding window over `(simulated time, cumulative bytes)` samples
+/// yielding a consumption rate in bytes per simulated millisecond.
+#[derive(Debug, Clone)]
+pub struct RateWindow {
+    window_ms: f64,
+    samples: VecDeque<(f64, u64)>,
+}
+
+impl RateWindow {
+    /// Creates a window spanning `window_ms` simulated milliseconds.
+    pub fn new(window_ms: f64) -> Self {
+        Self {
+            window_ms: window_ms.max(f64::EPSILON),
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Records a sample of the cumulative consumed-bytes counter taken at
+    /// simulated time `now_ms`.  Samples older than the window are
+    /// dropped, but one sample at or beyond the window edge is always
+    /// retained so the rate is computed over at least the full window
+    /// once enough history exists.
+    pub fn record(&mut self, now_ms: f64, cumulative_bytes: u64) {
+        if let Some(&(last_t, last_b)) = self.samples.back() {
+            if now_ms < last_t || cumulative_bytes < last_b {
+                // Time or the counter went backwards (a clock/stats reset
+                // between experiment phases): restart the window.
+                self.samples.clear();
+            }
+        }
+        self.samples.push_back((now_ms, cumulative_bytes));
+        while self.samples.len() > 2 && now_ms - self.samples[1].0 >= self.window_ms {
+            self.samples.pop_front();
+        }
+    }
+
+    /// The consumption rate over the window, in bytes per simulated
+    /// millisecond.  Zero until two samples with distinct timestamps
+    /// exist.
+    pub fn rate_bytes_per_ms(&self) -> f64 {
+        let (Some(&(t0, b0)), Some(&(t1, b1))) = (self.samples.front(), self.samples.back()) else {
+            return 0.0;
+        };
+        let dt = t1 - t0;
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        (b1 - b0) as f64 / dt
+    }
+
+    /// Number of samples currently retained (exposed for tests).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no samples yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Sizes one lane's watermarks from its measured demand rate.
+///
+/// The high watermark covers `rate_bytes_per_ms × horizon_ms` bytes of
+/// future demand, expressed in staging files of `file_size` bytes; the
+/// low watermark trails at half that demand.  Both are clamped to
+/// `floor` from below (idle lanes shrink back to the configured static
+/// shape, never further) and to `cap` from above, and the result always
+/// satisfies `high > low` so provisioning makes progress.
+pub fn size_watermarks(
+    rate_bytes_per_ms: f64,
+    horizon_ms: f64,
+    file_size: u64,
+    floor: Watermarks,
+    cap: usize,
+) -> Watermarks {
+    let file_size = file_size.max(1) as f64;
+    let demand_bytes = (rate_bytes_per_ms.max(0.0)) * horizon_ms.max(0.0);
+    let demand_files = (demand_bytes / file_size).ceil() as usize;
+    let cap = cap.max(floor.high.max(floor.low + 1)).max(2);
+    let low = floor.low.max(1).max(demand_files.div_ceil(2)).min(cap - 1);
+    let high = floor
+        .high
+        .max(low + demand_files.max(1))
+        .min(cap)
+        .max(low + 1);
+    Watermarks { low, high }
+}
+
+/// Per-lane rate windows plus the sizing parameters; one per pool,
+/// sampled by the maintenance daemon.
+#[derive(Debug)]
+pub struct WatermarkController {
+    windows: Vec<RateWindow>,
+    horizon_ms: f64,
+    file_size: u64,
+    floor: Watermarks,
+    cap: usize,
+}
+
+impl WatermarkController {
+    /// Creates a controller for `lanes` lanes.  `floor` is the per-lane
+    /// static shape watermarks may never shrink below; `cap` bounds any
+    /// single lane's high watermark.
+    pub fn new(
+        lanes: usize,
+        window_ms: f64,
+        horizon_ms: f64,
+        file_size: u64,
+        floor: Watermarks,
+        cap: usize,
+    ) -> Self {
+        Self {
+            windows: (0..lanes.max(1))
+                .map(|_| RateWindow::new(window_ms))
+                .collect(),
+            horizon_ms,
+            file_size,
+            floor,
+            cap,
+        }
+    }
+
+    /// Feeds one sample per lane (cumulative consumed bytes at simulated
+    /// time `now_ms`) and returns the watermarks each lane should run
+    /// with.  Lanes beyond the controller's width are ignored; missing
+    /// samples leave a lane's previous rate in effect.
+    pub fn observe(&mut self, now_ms: f64, per_lane_cumulative_bytes: &[u64]) -> Vec<Watermarks> {
+        for (window, &bytes) in self.windows.iter_mut().zip(per_lane_cumulative_bytes) {
+            window.record(now_ms, bytes);
+        }
+        self.windows
+            .iter()
+            .map(|w| {
+                size_watermarks(
+                    w.rate_bytes_per_ms(),
+                    self.horizon_ms,
+                    self.file_size,
+                    self.floor,
+                    self.cap,
+                )
+            })
+            .collect()
+    }
+
+    /// The per-lane floor in effect (exposed for tests).
+    pub fn floor(&self) -> Watermarks {
+        self.floor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1024 * 1024;
+
+    #[test]
+    fn rate_window_math_is_a_sliding_slope() {
+        let mut w = RateWindow::new(4.0);
+        assert_eq!(w.rate_bytes_per_ms(), 0.0, "no samples, no rate");
+        w.record(0.0, 0);
+        assert_eq!(w.rate_bytes_per_ms(), 0.0, "one sample, no rate");
+        w.record(1.0, 1000);
+        w.record(2.0, 3000);
+        // Slope across the whole window: (3000 - 0) / (2 - 0).
+        assert!((w.rate_bytes_per_ms() - 1500.0).abs() < 1e-9);
+        // Slide far enough that the early samples age out: only samples
+        // within the 4 ms window (plus one edge sample) survive.
+        w.record(10.0, 3000);
+        w.record(11.0, 3000);
+        assert!(w.rate_bytes_per_ms() < 400.0, "old burst ages out");
+        w.record(20.0, 3000);
+        w.record(24.0, 3000);
+        assert_eq!(w.rate_bytes_per_ms(), 0.0, "fully idle window");
+    }
+
+    #[test]
+    fn rate_window_restarts_after_a_counter_reset() {
+        let mut w = RateWindow::new(4.0);
+        w.record(5.0, 10_000);
+        w.record(6.0, 20_000);
+        assert!(w.rate_bytes_per_ms() > 0.0);
+        // Stats/clock reset between experiment phases: both go backwards.
+        w.record(0.5, 100);
+        assert_eq!(w.len(), 1, "window restarted");
+        assert_eq!(w.rate_bytes_per_ms(), 0.0);
+        w.record(1.5, 200);
+        assert!((w.rate_bytes_per_ms() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_lane_grows_and_idle_lane_shrinks_back() {
+        let floor = Watermarks { low: 1, high: 2 };
+        // Hot: 24 MiB/ms over a 2 ms horizon with 16 MiB files → 3 files
+        // of demand; high must cover it above the floor.
+        let hot = size_watermarks(24.0 * MIB as f64, 2.0, 16 * MIB, floor, 64);
+        assert!(
+            hot.high >= 3,
+            "hot lane provisions ahead of demand: {hot:?}"
+        );
+        assert!(hot.low >= 2, "hot lane's low trails demand: {hot:?}");
+        assert!(hot.high > hot.low);
+        // Idle: zero rate shrinks exactly to the floor.
+        let idle = size_watermarks(0.0, 2.0, 16 * MIB, floor, 64);
+        assert_eq!(idle, floor, "idle lane returns to the static shape");
+    }
+
+    #[test]
+    fn watermarks_never_drop_below_the_configured_floor() {
+        // The floor models `config.staging_files` split across lanes:
+        // whatever the rate says — zero, tiny, or negative-ish — the
+        // watermarks keep the configured static pool shape.
+        let floor = Watermarks { low: 2, high: 4 };
+        for rate in [0.0, 0.001, 1.0] {
+            let w = size_watermarks(rate, 2.0, 16 * MIB, floor, 64);
+            assert!(w.low >= floor.low, "rate {rate}: {w:?}");
+            assert!(w.high >= floor.high, "rate {rate}: {w:?}");
+        }
+    }
+
+    #[test]
+    fn watermarks_are_capped_and_always_make_progress() {
+        let floor = Watermarks { low: 1, high: 2 };
+        // An absurd rate estimate must not provision unboundedly.
+        let w = size_watermarks(1e12, 10.0, 2 * MIB, floor, 8);
+        assert!(w.high <= 8, "{w:?}");
+        assert!(w.low < w.high, "{w:?}");
+        // Degenerate cap still yields a workable pair.
+        let w = size_watermarks(1e12, 10.0, 2 * MIB, floor, 0);
+        assert!(w.low < w.high, "{w:?}");
+    }
+
+    #[test]
+    fn controller_sizes_each_lane_independently() {
+        let floor = Watermarks { low: 1, high: 2 };
+        let mut c = WatermarkController::new(2, 4.0, 2.0, 16 * MIB, floor, 64);
+        // Lane 0 consumes 32 MiB/ms, lane 1 is idle.
+        let mut marks = Vec::new();
+        for step in 0..4u64 {
+            let t = step as f64;
+            marks = c.observe(t, &[step * 32 * MIB, 0]);
+        }
+        assert_eq!(marks.len(), 2);
+        assert!(marks[0].high > floor.high, "hot lane grew: {marks:?}");
+        assert_eq!(marks[1], floor, "idle lane stays at the floor");
+        // The hot lane going idle shrinks it back to the floor once the
+        // window slides past the burst.
+        for step in 4..20u64 {
+            marks = c.observe(step as f64, &[3 * 32 * MIB, 0]);
+        }
+        assert_eq!(marks[0], floor, "former hot lane shrank back: {marks:?}");
+    }
+}

@@ -26,6 +26,26 @@ pub struct DaemonConfig {
     /// group-commit truncate of the log) so the foreground never hits a
     /// full log.
     pub oplog_checkpoint_fraction: f64,
+    /// Whether workers adaptively resize each staging lane's watermarks
+    /// from its measured consumption rate (bytes per simulated
+    /// millisecond).  With this off, every lane keeps the static
+    /// `staging_low_watermark`/`staging_high_watermark` split.
+    pub adaptive_watermarks: bool,
+    /// Sliding-window length, in **simulated** milliseconds, over which a
+    /// lane's consumption rate is measured.
+    pub adapt_window_ms: f64,
+    /// How far ahead, in simulated milliseconds, provisioning runs: a
+    /// lane's high watermark is sized to cover `rate × horizon` bytes of
+    /// demand.
+    pub adapt_horizon_ms: f64,
+    /// Upper bound on any single lane's adaptively-sized high watermark
+    /// (a runaway rate estimate must not provision the device full of
+    /// staging files).
+    pub adapt_lane_cap: usize,
+    /// A file whose staged extents have not grown for this many simulated
+    /// milliseconds is *cold*: under staging-space pressure the daemon
+    /// relinks it so its staging files become recyclable.
+    pub cold_relink_after_ms: f64,
 }
 
 impl DaemonConfig {
@@ -38,6 +58,11 @@ impl DaemonConfig {
             staging_high_watermark: 3,
             relink_batch_size: 64,
             oplog_checkpoint_fraction: 0.5,
+            adaptive_watermarks: true,
+            adapt_window_ms: 4.0,
+            adapt_horizon_ms: 2.0,
+            adapt_lane_cap: 64,
+            cold_relink_after_ms: 8.0,
         }
     }
 
@@ -74,6 +99,11 @@ pub struct SplitConfig {
     pub staging_files: usize,
     /// Size of each staging file in bytes.
     pub staging_file_size: u64,
+    /// Number of lanes the staging pool is partitioned into (each lane
+    /// owns its own active file, cursor and free list behind its own
+    /// lock; `take` routes by thread).  `0` means automatic: one lane per
+    /// maintenance worker.
+    pub staging_lanes: usize,
     /// Size of the operation log in bytes (64 B per entry).
     pub oplog_size: u64,
     /// Ablation switch (Figure 3): route appends through staging files.
@@ -103,6 +133,7 @@ impl SplitConfig {
             mmap_size: 2 * 1024 * 1024,
             staging_files: 4,
             staging_file_size: 16 * 1024 * 1024,
+            staging_lanes: 0,
             oplog_size: 8 * 1024 * 1024,
             use_staging: true,
             use_relink: true,
@@ -120,6 +151,7 @@ impl SplitConfig {
             mmap_size: 2 * 1024 * 1024,
             staging_files: 10,
             staging_file_size: 160 * 1024 * 1024,
+            staging_lanes: 0,
             oplog_size: 128 * 1024 * 1024,
             use_staging: true,
             use_relink: true,
@@ -141,6 +173,25 @@ impl SplitConfig {
         self.staging_files = files.max(1);
         self.staging_file_size = file_size.max(2 * 1024 * 1024);
         self
+    }
+
+    /// Sets the number of staging lanes (`0` = automatic, one lane per
+    /// maintenance worker).  Concurrent writers stop contending on
+    /// staging allocation once the pool has at least one lane per writer
+    /// thread.
+    pub fn with_staging_lanes(mut self, lanes: usize) -> Self {
+        self.staging_lanes = lanes;
+        self
+    }
+
+    /// The staging-lane count actually in effect: the configured count,
+    /// or one lane per maintenance worker when left automatic.
+    pub fn effective_staging_lanes(&self) -> usize {
+        if self.staging_lanes == 0 {
+            self.daemon.workers.max(1)
+        } else {
+            self.staging_lanes
+        }
     }
 
     /// Sets the operation-log size (minimum one 4 KiB block, i.e. 64
@@ -192,6 +243,20 @@ impl SplitConfig {
         self
     }
 
+    /// Disables adaptive lane watermarks: every lane keeps the static
+    /// low/high split (ablation, and tests that assert exact
+    /// provisioning counts).
+    pub fn without_adaptive_watermarks(mut self) -> Self {
+        self.daemon.adaptive_watermarks = false;
+        self
+    }
+
+    /// Sets the cold-file relink threshold in simulated milliseconds.
+    pub fn with_cold_relink_after_ms(mut self, ms: f64) -> Self {
+        self.daemon.cold_relink_after_ms = ms.max(0.0);
+        self
+    }
+
     /// Maximum number of 64-byte entries the operation log can hold.
     pub fn oplog_capacity(&self) -> u64 {
         self.oplog_size / 64
@@ -238,6 +303,18 @@ mod tests {
             c.daemon.staging_high_watermark > c.daemon.staging_low_watermark,
             "high watermark stays above low"
         );
+    }
+
+    #[test]
+    fn staging_lanes_default_to_the_worker_count() {
+        let c = SplitConfig::new(Mode::Strict);
+        assert_eq!(c.staging_lanes, 0, "automatic by default");
+        assert_eq!(c.effective_staging_lanes(), c.daemon.workers.max(1));
+        let c = SplitConfig::new(Mode::Strict).with_staging_lanes(16);
+        assert_eq!(c.effective_staging_lanes(), 16);
+        assert!(c.daemon.adaptive_watermarks, "adaptive on by default");
+        let c = c.without_adaptive_watermarks();
+        assert!(!c.daemon.adaptive_watermarks);
     }
 
     #[test]

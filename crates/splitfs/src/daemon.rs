@@ -6,12 +6,17 @@
 //! owned by a [`MaintenanceDaemon`] attached to a [`SplitFs`] instance,
 //! perform four kinds of work:
 //!
-//! 1. **Asynchronous staging provisioning** — when the
+//! 1. **Asynchronous staging provisioning** — when any lane of the
 //!    [`StagingPool`](crate::staging::StagingPool) drops below its low
-//!    watermark, workers create and map fresh staging files until the high
-//!    watermark is restored, so
+//!    watermark, workers create and map fresh staging files until that
+//!    lane's high watermark is restored, so
 //!    [`StagingPool::take`](crate::staging::StagingPool::take) never has
-//!    to fall back to inline file creation under load.
+//!    to fall back to inline file creation under load.  Watermarks are
+//!    sized **adaptively** from each lane's measured consumption rate
+//!    (see [`crate::adaptive`]), and when provisioning fails for lack of
+//!    space, the **cold-file relink policy**
+//!    ([`crate::SplitFs::reclaim_cold_staging`]) retires long-unsynced
+//!    staged extents so their staging files become recyclable.
 //! 2. **Batched background relink** — files that accumulate many staged
 //!    extents are relinked in the background through
 //!    [`kernelfs::Ext4Dax::ioctl_relink_batch`], shrinking the work left
@@ -251,25 +256,66 @@ fn worker_loop(fs: Weak<SplitFs>, shared: Arc<Shared>) {
 }
 
 impl SplitFs {
-    /// One maintenance pass: restore the staging watermarks, recycle
-    /// exhausted staging files, then checkpoint if the operation log is
+    /// One maintenance pass: resize the lane watermarks from measured
+    /// demand, restore every lane to its high watermark, recycle
+    /// exhausted staging files (relinking cold files first when staging
+    /// space is under pressure), then checkpoint if the operation log is
     /// past its threshold.  Runs on a worker for every tick and every
     /// [`Task::ProvisionStaging`] nudge.
     pub(crate) fn maintenance_tick(&self) {
         use std::sync::atomic::Ordering;
         let cfg = &self.config.daemon;
-        if self.config.use_staging && self.staging.needs_provisioning(cfg.staging_low_watermark) {
-            while self.staging.unconsumed_files() < cfg.staging_high_watermark {
-                if self.staging.provision_one().is_err() {
-                    // Device full or similar: the foreground inline path
-                    // will surface the error to the application.
-                    break;
+        if self.config.use_staging {
+            // Adaptive provisioning: sample each lane's cumulative
+            // consumption and size its watermarks from the observed rate.
+            // Hot lanes get staging files ahead of demand; idle lanes
+            // shrink back to the configured floor.
+            if cfg.adaptive_watermarks {
+                let lanes = self.staging.lane_count();
+                let now_ms = self.device.clock().now_ns_f64() / 1e6;
+                let consumed: Vec<u64> = (0..lanes)
+                    .map(|i| self.staging.lane_consumed_bytes(i))
+                    .collect();
+                let marks = self.adaptive.lock().observe(now_ms, &consumed);
+                for (i, w) in marks.iter().enumerate() {
+                    self.staging.set_lane_watermarks(i, w.low, w.high);
                 }
             }
-        }
-        if self.config.use_staging {
+            // Per-lane refill: a lane below its low watermark is
+            // provisioned back up to its high watermark.
+            let mut pressure = false;
+            for lane in 0..self.staging.lane_count() {
+                let (low, high) = self.staging.lane_watermarks(lane);
+                if self.staging.lane_unconsumed(lane) >= low {
+                    continue;
+                }
+                while self.staging.lane_unconsumed(lane) < high {
+                    if self.staging.provision_lane(lane).is_err() {
+                        // Device full or similar: reclaim below, and let
+                        // the foreground inline path surface persistent
+                        // errors to the application.
+                        pressure = true;
+                        break;
+                    }
+                }
+            }
             // Return fully-relinked staging files to the pool.
             self.recycle_staging();
+            // Shrink: a lane holding more pristine files than its
+            // (possibly just lowered) high watermark releases the surplus
+            // so burst-peak staging space goes back to the allocator —
+            // lowering watermarks alone only stops new provisioning.
+            for lane in 0..self.staging.lane_count() {
+                self.staging.release_surplus(lane);
+            }
+            if pressure {
+                // Staging space could not be provisioned: retire cold
+                // files' staged extents so their staging files become
+                // recyclable, then recycle again.
+                if self.reclaim_cold_staging() > 0 {
+                    self.recycle_staging();
+                }
+            }
         }
         // Re-arm the foreground's provisioning nudge after the pool is
         // refilled (or found healthy).

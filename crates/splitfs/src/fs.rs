@@ -30,6 +30,7 @@ use vfs::{
     IoVec, OpenFlags, ReadView, SeekFrom,
 };
 
+use crate::adaptive::{WatermarkController, Watermarks};
 use crate::config::SplitConfig;
 use crate::daemon::{MaintenanceDaemon, Task};
 use crate::modes::Mode;
@@ -95,6 +96,10 @@ pub struct SplitFs {
     pub(crate) checkpoint_nudged: std::sync::atomic::AtomicBool,
     /// Same, for staging-provisioning nudges.
     pub(crate) provision_nudged: std::sync::atomic::AtomicBool,
+    /// The adaptive provisioning controller: per-lane consumption-rate
+    /// windows sized into watermarks on each maintenance tick.  Only the
+    /// daemon touches it, so the mutex is uncontended.
+    pub(crate) adaptive: Mutex<WatermarkController>,
 }
 
 impl std::fmt::Debug for SplitFs {
@@ -150,6 +155,10 @@ impl SplitFs {
         // that is neither held by anyone nor reported as an orphan.
         match Self::build_leased_resources(&kernel, &device, &config, instance_id) {
             Ok((staging_dir, oplog_file, staging, oplog)) => {
+                let adaptive = Mutex::new(Self::make_watermark_controller(
+                    &config,
+                    staging.lane_count(),
+                ));
                 let fs = Arc::new(Self {
                     kernel,
                     device: Arc::clone(&device),
@@ -167,6 +176,7 @@ impl SplitFs {
                     retire_lock: Mutex::new(()),
                     checkpoint_nudged: std::sync::atomic::AtomicBool::new(false),
                     provision_nudged: std::sync::atomic::AtomicBool::new(false),
+                    adaptive,
                 });
                 if fs.config.daemon.enabled && fs.config.use_staging {
                     *fs.daemon.lock() = Some(MaintenanceDaemon::start(&fs, &fs.config.daemon));
@@ -226,6 +236,31 @@ impl SplitFs {
             None
         };
         Ok((staging_dir, oplog_file, staging, oplog))
+    }
+
+    /// Builds the adaptive watermark controller for a pool of
+    /// `lane_count` lanes.  The per-lane floor splits the configured
+    /// static shape across the lanes — `staging_files` (and the static
+    /// watermarks) bound the watermarks from below, so adaptive shrink
+    /// can never drop provisioning under the configured pool shape.
+    fn make_watermark_controller(config: &SplitConfig, lane_count: usize) -> WatermarkController {
+        let lanes = lane_count.max(1);
+        // Same formula as the pool's construction-time watermarks, so an
+        // idle system's first tick computes exactly the values the lanes
+        // already run with (no spurious "resize", no shrink below the
+        // configured pool shape).
+        let (floor_low, floor_high) = crate::staging::lane_watermark_floor(config, lanes);
+        WatermarkController::new(
+            lanes,
+            config.daemon.adapt_window_ms,
+            config.daemon.adapt_horizon_ms,
+            config.staging_file_size,
+            Watermarks {
+                low: floor_low,
+                high: floor_high,
+            },
+            config.daemon.adapt_lane_cap,
+        )
     }
 
     /// The mode this instance runs in.
@@ -579,6 +614,36 @@ impl SplitFs {
         }
     }
 
+    /// Relinks every **cold** file: one whose staged extents have not
+    /// grown for at least `DaemonConfig::cold_relink_after_ms` simulated
+    /// milliseconds.  Retiring their staged bytes makes the staging files
+    /// holding them recyclable, which is how the pool reclaims space from
+    /// writers that stage and then never `fsync`.  Locks are `try_*` only
+    /// (a busy file is by definition not cold) and errors are swallowed —
+    /// the staged data stays staged and the next `fsync` retries.
+    ///
+    /// Returns the number of files relinked.  Runs from the maintenance
+    /// tick under staging-space pressure; exposed publicly for tests and
+    /// experiments that drive the policy deterministically.
+    pub fn reclaim_cold_staging(&self) -> usize {
+        let now = self.device.clock().now_ns_f64();
+        let threshold_ns = self.config.daemon.cold_relink_after_ms * 1e6;
+        let mut relinked = 0;
+        for (_ino, state) in self.files.snapshot_keyed() {
+            let Some(mut st) = state.try_write() else {
+                continue;
+            };
+            if !st.staged.is_empty()
+                && now - st.last_staged_ns >= threshold_ns
+                && self.relink_file(&mut st).is_ok()
+            {
+                relinked += 1;
+                self.device.stats().add_staging_cold_relink();
+            }
+        }
+        relinked
+    }
+
     /// Ensures a mapping of the target file covering `offset` exists in the
     /// collection, creating a `mmap_size` region on demand.  Returns the
     /// device offset and contiguous length, or `None` when the region
@@ -821,15 +886,17 @@ impl SplitFs {
             });
         }
         state.cached_size = state.cached_size.max(target_offset + total);
+        state.last_staged_ns = self.device.clock().now_ns_f64();
 
         // Nudge the maintenance daemon on threshold crossings.  The
-        // condition checks are lock-free (an atomic watermark mirror and
-        // per-task pending flags), so a threshold that stays crossed while
-        // the daemon works does not put mutex traffic on every append.
+        // condition checks are lock-free (atomic per-lane watermark
+        // mirrors and per-task pending flags), so a threshold that stays
+        // crossed while the daemon works does not put mutex traffic on
+        // every append.
         if self.config.daemon.enabled {
             use std::sync::atomic::Ordering;
             let cfg = &self.config.daemon;
-            if self.staging.needs_provisioning(cfg.staging_low_watermark)
+            if self.staging.needs_provisioning()
                 && self
                     .provision_nudged
                     .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)

@@ -54,12 +54,21 @@
 //!   registry and the descriptor table are **sharded**
 //!   ([`state::ShardedRegistry`], [`state::ShardedFdTable`]), so the
 //!   append hot path has no global U-Split lock;
-//! * [`staging`] — the pool of pre-allocated, pre-mapped staging files the
-//!   append path carves allocations out of, with watermark accounting,
-//!   separate counters for pre-allocated, background-provisioned and
-//!   emergency inline file creations, and **recycling**: a fully-relinked
-//!   staging file is truncated, re-provisioned and returned to the pool
-//!   behind a durable `StagingRecycle` log marker instead of leaking;
+//! * [`staging`] — the **lane-sharded** pool of pre-allocated, pre-mapped
+//!   staging files the append path carves allocations out of: each lane
+//!   owns its own active file, cursor and free list behind its own lock,
+//!   `take` routes by thread (disjoint writers never contend), a dry lane
+//!   steals from the globally longest free list before falling back to
+//!   inline creation, with separate counters for pre-allocated,
+//!   background-provisioned and emergency inline file creations, and
+//!   **recycling**: a fully-relinked staging file is truncated,
+//!   re-provisioned and returned to its lane behind a durable
+//!   `StagingRecycle` log marker instead of leaking;
+//! * [`adaptive`] — the adaptive provisioning controller: per-lane
+//!   consumption rates (bytes per simulated millisecond over a sliding
+//!   window) size each lane's low/high watermarks, so hot lanes get
+//!   staging files ahead of demand while idle lanes shrink back to the
+//!   configured floor;
 //! * [`batch`] — planning: staged extents are coalesced into runs and
 //!   split into block-aligned [`kernelfs::RelinkOp`]s plus unaligned
 //!   head/tail copy spans;
@@ -108,6 +117,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adaptive;
 pub mod batch;
 pub mod config;
 pub mod daemon;

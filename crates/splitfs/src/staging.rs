@@ -1,4 +1,4 @@
-//! Staging files (paper §3.3, "Staging").
+//! Staging files (paper §3.3, "Staging"), lane-sharded.
 //!
 //! Appends — and, in strict mode, overwrites — are first written to
 //! pre-allocated, pre-mapped *staging files* and only attached to their
@@ -7,34 +7,79 @@
 //! (`SplitConfig::staging_files` × `staging_file_size`) so that taking
 //! staging space in the write path is a cheap cursor bump.
 //!
+//! The pool is partitioned into **lanes** (default one per maintenance
+//! worker, overridable with [`SplitConfig::with_staging_lanes`]), each
+//! owning its own active staging file, cursor and free list behind its
+//! own lock.  [`StagingPool::take`] routes by the calling thread — every
+//! thread is assigned a home lane on first use — so disjoint writers
+//! bump disjoint cursors and never contend on one pool mutex (the
+//! `staging_lock_waits` statistic counts the contended acquisitions that
+//! do happen).  A lane that runs dry first **steals** a fresh file from
+//! the globally longest free list (`staging_lane_steals`), and only when
+//! every lane is dry does it fall back to inline creation.
+//!
 //! Each U-Split instance owns one pool, rooted in the staging directory
 //! its kernel lease names ([`kernelfs::lease::staging_dir`]) — the
 //! instance's exclusive slice of the machine-wide staging resources.  Two
 //! concurrent instances therefore never hand out overlapping staging
 //! space, and recovery can attribute every staging file to its owner.
+//! On mount the pool **adopts** the staging files a previous incarnation
+//! left in the directory (rebuilding them lane by lane; cursors restart
+//! at zero because the instance's operation log is always recovered and
+//! zeroed before the pool is built) and truncates any leftovers beyond
+//! the configured pool size so their blocks return to the allocator.
 //!
-//! When the pool runs low, replacements come from two sources:
+//! When a lane runs low, replacements come from two sources:
 //!
 //! * the [background maintenance daemon](crate::daemon) provisions fresh
-//!   files asynchronously whenever the number of unconsumed files falls
-//!   below `DaemonConfig::staging_low_watermark` (this is the paper's
-//!   design: staging allocation happens "on a background thread"), and
+//!   files asynchronously whenever a lane falls below its low watermark
+//!   (this is the paper's design: staging allocation happens "on a
+//!   background thread").  Watermarks are **per lane** and, when adaptive
+//!   provisioning is enabled, resized from each lane's measured
+//!   consumption rate (see [`crate::adaptive`]); and
 //! * as a last resort, [`StagingPool::take`] creates a file **inline** on
 //!   the foreground write path.  Inline creations are counted separately
 //!   ([`StagingPool::files_created_inline`] and the device-wide
 //!   `staging_inline_creates` statistic) so experiments can verify the
 //!   daemon eliminates them.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use kernelfs::{DaxMapping, Ext4Dax, BLOCK_SIZE};
-use pmem::PmemDevice;
+use pmem::{PmemDevice, SimClock};
 use vfs::{Fd, FileSystem, FsResult, OpenFlags};
 
 use crate::config::SplitConfig;
+
+/// Distinguishes pools for the per-thread lane cache below (two pools —
+/// two instances, or a remount — must not share routing state).
+static POOL_IDS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread cache of `pool id → lane seed`.  A thread's seed in a
+    /// pool is assigned by that pool's own counter on the thread's first
+    /// `take`, so the N writer threads of one workload get the N
+    /// consecutive seeds 0..N — and therefore N **distinct** home lanes
+    /// whenever the pool has at least N lanes — regardless of what other
+    /// pools or unrelated threads in the process are doing.  The map
+    /// grows by one entry per (thread, pool) pair and entries for dead
+    /// pools are not purged (a pool cannot reach other threads' locals);
+    /// the growth is bounded by pools-ever-created × live threads and a
+    /// few machine words per entry.
+    static POOL_LANE_SEEDS: std::cell::RefCell<HashMap<u64, usize>> =
+        std::cell::RefCell::new(HashMap::new());
+
+    /// Single-entry fast path over [`POOL_LANE_SEEDS`]: the last
+    /// `(pool id, seed)` this thread resolved.  A thread almost always
+    /// takes from one pool, so the common case is an integer compare
+    /// instead of a hash probe.  `u64::MAX` is never a real pool id.
+    static LAST_POOL_SEED: std::cell::Cell<(u64, usize)> =
+        const { std::cell::Cell::new((u64::MAX, 0)) };
+}
 
 /// A slice of staging space handed to the write path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,10 +113,12 @@ struct StagingFile {
 }
 
 /// A staging file pulled out of the pool for recycling (see
-/// [`StagingPool::begin_recycle`]).
+/// [`StagingPool::begin_recycle`]).  Remembers its lane so that
+/// [`StagingPool::rebuild`] returns it to the free list it came from.
 #[derive(Debug)]
 pub struct RecycledFile {
     file: StagingFile,
+    lane: usize,
 }
 
 impl RecycledFile {
@@ -79,9 +126,93 @@ impl RecycledFile {
     pub fn ino(&self) -> u64 {
         self.file.ino
     }
+
+    /// The lane the file was (and will again be) provisioned for.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
 }
 
-/// The pool of staging files owned by one U-Split instance.
+/// One lane of the pool: its own files, cursor and free list behind its
+/// own lock, plus lock-free mirrors the hot paths and the daemon read.
+#[derive(Debug)]
+struct Lane {
+    inner: Mutex<LaneInner>,
+    /// Mirror of `files.len() - active`, readable without the lane lock.
+    unconsumed: AtomicUsize,
+    /// Cumulative bytes handed out by `take` from this lane — the
+    /// adaptive controller samples this to compute per-lane demand.
+    consumed_bytes: AtomicU64,
+    /// Provisioning watermarks for this lane (adaptively resized).
+    low_wm: AtomicUsize,
+    high_wm: AtomicUsize,
+    /// Whether this lane was below its low watermark at the last
+    /// [`StagingPool::refresh_pressure`]; transitions maintain the
+    /// pool-level `lanes_below_low` counter.
+    below_low: std::sync::atomic::AtomicBool,
+}
+
+#[derive(Debug, Default)]
+struct LaneInner {
+    files: Vec<StagingFile>,
+    /// Index of the staging file allocations are currently served from.
+    active: usize,
+}
+
+impl Lane {
+    fn new(low: usize, high: usize) -> Self {
+        Self {
+            inner: Mutex::new(LaneInner::default()),
+            unconsumed: AtomicUsize::new(0),
+            consumed_bytes: AtomicU64::new(0),
+            low_wm: AtomicUsize::new(low),
+            high_wm: AtomicUsize::new(high),
+            // A fresh lane has no files, hence starts below its (≥1) low
+            // watermark; the pool-level counter is initialized to match.
+            below_low: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
+
+    /// Refreshes the lock-free unconsumed-files mirror; call with the lane
+    /// lock held after any mutation of `files`/`active`, followed by
+    /// [`StagingPool::refresh_pressure`].
+    fn refresh_unconsumed(&self, inner: &LaneInner) {
+        self.unconsumed.store(
+            inner.files.len().saturating_sub(inner.active),
+            Ordering::Relaxed,
+        );
+    }
+}
+
+/// Splits a pool-level file count across `lanes` lanes (at least one per
+/// lane, so every lane can make progress).
+pub(crate) fn per_lane(count: usize, lanes: usize) -> usize {
+    count.div_ceil(lanes.max(1)).max(1)
+}
+
+/// The per-lane watermark floor for `config`: the configured static
+/// low/high split — with `staging_files` bounding the high side, so the
+/// preallocated pool shape is always provisioned back — divided across
+/// the lanes.  The **single** formula behind both the pool's
+/// construction-time watermarks and the adaptive controller's shrink
+/// floor: if the two diverged, `release_surplus` (which trims to the
+/// lane's current high watermark on every tick) could shrink a static
+/// configuration below its configured pool size, and the controller
+/// would report spurious "resizes" on an idle system.
+pub(crate) fn lane_watermark_floor(config: &SplitConfig, lanes: usize) -> (usize, usize) {
+    let low = per_lane(config.daemon.staging_low_watermark, lanes);
+    let high = per_lane(
+        config
+            .daemon
+            .staging_high_watermark
+            .max(config.staging_files),
+        lanes,
+    )
+    .max(low + 1);
+    (low, high)
+}
+
+/// The lane-sharded pool of staging files owned by one U-Split instance.
 #[derive(Debug)]
 pub struct StagingPool {
     kernel: Arc<Ext4Dax>,
@@ -89,28 +220,39 @@ pub struct StagingPool {
     dir: String,
     file_size: u64,
     populate: bool,
-    inner: Mutex<PoolInner>,
-    /// Mirror of `files.len() - active`, readable without the pool lock so
-    /// the append fast path can check the provisioning watermark without
-    /// serializing on the mutex.
-    unconsumed: AtomicUsize,
-}
-
-#[derive(Debug, Default)]
-struct PoolInner {
-    files: Vec<StagingFile>,
-    /// Index of the staging file allocations are currently served from.
-    active: usize,
-    /// Name counter for `stage-N` paths (monotonic across all sources).
-    next_name: u64,
-    created_preallocated: u64,
-    created_inline: u64,
-    created_background: u64,
+    lanes: Vec<Lane>,
+    /// This pool's key in the per-thread lane-seed cache.
+    pool_id: u64,
+    /// Hands out lane seeds to threads on their first `take`.
+    thread_seq: AtomicUsize,
+    /// Name counter for `stage-N` paths — lock-free, so reserving a name
+    /// (the daemon's background-build path and inline creation) never
+    /// touches a lane lock.
+    next_name: AtomicU64,
+    /// Staging-file inode → lane index, so `note_retired`/`translate`
+    /// touch exactly one lane's lock.  Entries for files in recycle limbo
+    /// or mid-steal may be transiently stale; readers fall back to a
+    /// full-lane scan on a miss.
+    index: RwLock<HashMap<u64, usize>>,
+    /// Number of lanes currently below their low watermark — the O(1)
+    /// read behind [`StagingPool::needs_provisioning`], maintained by
+    /// [`StagingPool::refresh_pressure`] so the append hot path never
+    /// scans the lane array.
+    lanes_below_low: AtomicUsize,
+    created_preallocated: AtomicU64,
+    created_inline: AtomicU64,
+    created_background: AtomicU64,
 }
 
 impl StagingPool {
     /// Creates the pool, pre-allocating `config.staging_files` staging files
-    /// under `dir` (created if missing) on the kernel file system.
+    /// (at least one **per lane**, so no lane starts dry and steals on its
+    /// first take) under `dir` (created if missing) on the kernel file
+    /// system, distributed round-robin across
+    /// `config.effective_staging_lanes()` lanes.  Staging files left behind
+    /// by a previous incarnation of this instance are adopted (rebuilt) in
+    /// name order; leftovers beyond the configured pool size are truncated
+    /// so their blocks are reclaimed.
     pub fn new(
         kernel: Arc<Ext4Dax>,
         device: Arc<PmemDevice>,
@@ -120,45 +262,153 @@ impl StagingPool {
         if !kernel.exists(dir) {
             kernel.mkdir(dir)?;
         }
+        let lane_count = config.effective_staging_lanes();
+        let (low, high) = lane_watermark_floor(config, lane_count);
         let pool = Self {
             kernel,
             device,
             dir: dir.to_string(),
             file_size: config.staging_file_size,
             populate: config.populate_mmaps,
-            inner: Mutex::new(PoolInner::default()),
-            unconsumed: AtomicUsize::new(0),
+            lanes: (0..lane_count).map(|_| Lane::new(low, high)).collect(),
+            pool_id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
+            thread_seq: AtomicUsize::new(0),
+            next_name: AtomicU64::new(0),
+            index: RwLock::new(HashMap::new()),
+            // Every fresh lane starts empty, i.e. below its low watermark.
+            lanes_below_low: AtomicUsize::new(lane_count),
+            created_preallocated: AtomicU64::new(0),
+            created_inline: AtomicU64::new(0),
+            created_background: AtomicU64::new(0),
         };
-        for _ in 0..config.staging_files.max(1) {
-            let name = pool.reserve_name();
+
+        // Names a previous incarnation left behind, in numeric order: the
+        // initial pool adopts them first so their (truncated) blocks are
+        // reused instead of leaking alongside fresh allocations.
+        let mut existing: Vec<u64> = pool
+            .kernel
+            .readdir(dir)
+            .unwrap_or_default()
+            .iter()
+            .filter_map(|name| name.strip_prefix("stage-").and_then(|n| n.parse().ok()))
+            .collect();
+        existing.sort_unstable();
+
+        let initial = config.staging_files.max(lane_count);
+        for i in 0..initial {
+            let name = match existing.get(i) {
+                Some(&name) => name,
+                None => pool.reserve_name(),
+            };
+            pool.next_name.fetch_max(name + 1, Ordering::Relaxed);
             let file = pool.build_staging_file(name)?;
-            let mut inner = pool.inner.lock();
+            let lane_idx = i % lane_count;
+            pool.index.write().insert(file.ino, lane_idx);
+            let lane = &pool.lanes[lane_idx];
+            let mut inner = lane.inner.lock();
             inner.files.push(file);
-            inner.created_preallocated += 1;
-            pool.refresh_unconsumed(&inner);
+            lane.refresh_unconsumed(&inner);
+            drop(inner);
+            pool.refresh_pressure(lane_idx);
+            pool.created_preallocated.fetch_add(1, Ordering::Relaxed);
+        }
+        // Stale files beyond the initial pool size: give their blocks back
+        // to the allocator.  They will be re-extended if the pool ever
+        // grows back over their names.
+        for &name in existing.iter().skip(initial) {
+            pool.next_name.fetch_max(name + 1, Ordering::Relaxed);
+            let path = format!("{dir}/stage-{name}");
+            if let Ok(fd) = pool.kernel.open(&path, OpenFlags::read_write()) {
+                let _ = pool.kernel.ftruncate(fd, 0);
+                let _ = pool.kernel.close(fd);
+            }
         }
         Ok(pool)
     }
 
-    /// Refreshes the lock-free unconsumed-files mirror; call with the pool
-    /// lock held after any mutation of `files`/`active`.
-    fn refresh_unconsumed(&self, inner: &PoolInner) {
-        self.unconsumed.store(
-            inner.files.len().saturating_sub(inner.active),
-            Ordering::Relaxed,
-        );
+    /// Reserves the next `stage-N` name.  Lock-free: a bare atomic
+    /// increment, so the daemon's background-build path and inline
+    /// creation never serialize on pool state just to pick a name.
+    fn reserve_name(&self) -> u64 {
+        self.next_name.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Reserves the next `stage-N` name.
-    fn reserve_name(&self) -> u64 {
-        let mut inner = self.inner.lock();
-        let name = inner.next_name;
-        inner.next_name += 1;
-        name
+    /// The calling thread's home lane: its per-pool seed (assigned from
+    /// this pool's counter on first use) modulo the lane count.  The
+    /// common single-pool case is served by a one-entry thread-local
+    /// cache (an integer compare); pool switches fall back to the map.
+    fn home_lane(&self) -> usize {
+        let (cached_pool, cached_seed) = LAST_POOL_SEED.with(|c| c.get());
+        let seed = if cached_pool == self.pool_id {
+            cached_seed
+        } else {
+            let seed = POOL_LANE_SEEDS.with(|seeds| {
+                *seeds
+                    .borrow_mut()
+                    .entry(self.pool_id)
+                    .or_insert_with(|| self.thread_seq.fetch_add(1, Ordering::Relaxed))
+            });
+            LAST_POOL_SEED.with(|c| c.set((self.pool_id, seed)));
+            seed
+        };
+        seed % self.lanes.len()
+    }
+
+    /// Re-evaluates whether `lane_idx` sits below its low watermark and
+    /// maintains the pool-level `lanes_below_low` counter on transitions.
+    /// Call after any change to the lane's unconsumed mirror or
+    /// watermarks.  Racing refreshers can transiently skew the counter by
+    /// a transition, which at worst delays or duplicates one daemon nudge
+    /// — the next append or tick re-converges it.
+    fn refresh_pressure(&self, lane_idx: usize) {
+        let lane = &self.lanes[lane_idx];
+        let below = lane.unconsumed.load(Ordering::Relaxed) < lane.low_wm.load(Ordering::Relaxed);
+        if lane.below_low.swap(below, Ordering::Relaxed) != below {
+            if below {
+                self.lanes_below_low.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.lanes_below_low.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of lanes the pool is partitioned into.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane `take` would route the calling thread to (exposed for
+    /// tests asserting the routing rule).
+    pub fn lane_for_current_thread(&self) -> usize {
+        self.home_lane()
+    }
+
+    /// The lane currently holding the staging file with inode `ino`, if
+    /// any (exposed for recycle-correctness tests).
+    pub fn lane_of(&self, ino: u64) -> Option<usize> {
+        self.with_file_lane(ino, |_| ()).map(|(lane, ())| lane)
+    }
+
+    /// Acquires a lane's lock with contention accounting: `try_lock`
+    /// first; on failure the contended acquisition is counted in the
+    /// device-wide `staging_lock_waits` statistic and the blocked time is
+    /// charged to the waiting thread's simulated critical path.
+    fn lock_lane(&self, lane_idx: usize) -> MutexGuard<'_, LaneInner> {
+        let lane = &self.lanes[lane_idx];
+        match lane.inner.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.device.stats().add_staging_lock_wait();
+                let t0 = self.device.clock().now_ns_f64();
+                let guard = lane.inner.lock();
+                SimClock::charge_thread_wait(self.device.clock().now_ns_f64() - t0);
+                guard
+            }
+        }
     }
 
     /// Creates, pre-allocates and maps one staging file.  Deliberately does
-    /// **not** hold the pool lock: file creation goes through the kernel
+    /// **not** hold any lane lock: file creation goes through the kernel
     /// file system and is the expensive part, so builders (the daemon, or
     /// an unlucky foreground thread) must not block concurrent `take`s.
     fn build_staging_file(&self, name: u64) -> FsResult<StagingFile> {
@@ -188,80 +438,261 @@ impl StagingPool {
         })
     }
 
-    /// Asynchronously provisions one staging file (called by a maintenance
-    /// worker).  The new file is appended to the pool's unconsumed tail.
-    pub fn provision_one(&self) -> FsResult<()> {
+    /// Asynchronously provisions one staging file into `lane_idx` (called
+    /// by a maintenance worker).  The new file is appended to the lane's
+    /// unconsumed tail.
+    pub fn provision_lane(&self, lane_idx: usize) -> FsResult<()> {
         let name = self.reserve_name();
         let file = self.build_staging_file(name)?;
-        let mut inner = self.inner.lock();
+        self.index.write().insert(file.ino, lane_idx);
+        let lane = &self.lanes[lane_idx];
+        let mut inner = lane.inner.lock();
         inner.files.push(file);
-        inner.created_background += 1;
-        self.refresh_unconsumed(&inner);
+        lane.refresh_unconsumed(&inner);
         drop(inner);
+        self.refresh_pressure(lane_idx);
+        self.created_background.fetch_add(1, Ordering::Relaxed);
         self.device.stats().add_staging_bg_create();
         Ok(())
     }
 
-    /// Number of staging files that still have unconsumed capacity (the
-    /// active file plus every file after it).  Lock-free: reads a mirror
-    /// maintained by the mutating paths.
-    pub fn unconsumed_files(&self) -> usize {
-        self.unconsumed.load(Ordering::Relaxed)
+    /// Asynchronously provisions one staging file into the neediest lane
+    /// (largest deficit below its low watermark, or the emptiest lane when
+    /// none is below).
+    pub fn provision_one(&self) -> FsResult<()> {
+        let lane_idx = (0..self.lanes.len())
+            .max_by_key(|&i| {
+                let lane = &self.lanes[i];
+                let unconsumed = lane.unconsumed.load(Ordering::Relaxed);
+                let low = lane.low_wm.load(Ordering::Relaxed);
+                // Deficit first, then fewest files; bias toward lower
+                // indices on ties via the reversed index key.
+                (
+                    low.saturating_sub(unconsumed),
+                    usize::MAX - unconsumed,
+                    usize::MAX - i,
+                )
+            })
+            .unwrap_or(0);
+        self.provision_lane(lane_idx)
     }
 
-    /// Whether the pool has fallen below `low_watermark` unconsumed files
-    /// and background provisioning should run.
-    pub fn needs_provisioning(&self, low_watermark: usize) -> bool {
-        self.unconsumed_files() < low_watermark
+    /// Number of staging files with unconsumed capacity in `lane_idx`
+    /// (the lane's active file plus every file after it).  Lock-free.
+    pub fn lane_unconsumed(&self, lane_idx: usize) -> usize {
+        self.lanes[lane_idx].unconsumed.load(Ordering::Relaxed)
+    }
+
+    /// The `(low, high)` provisioning watermarks of `lane_idx`.
+    pub fn lane_watermarks(&self, lane_idx: usize) -> (usize, usize) {
+        let lane = &self.lanes[lane_idx];
+        (
+            lane.low_wm.load(Ordering::Relaxed),
+            lane.high_wm.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Sets `lane_idx`'s provisioning watermarks (the adaptive
+    /// controller's knob).  Returns `true` — and counts an adaptive
+    /// resize in the device statistics — when they actually changed.
+    pub fn set_lane_watermarks(&self, lane_idx: usize, low: usize, high: usize) -> bool {
+        let lane = &self.lanes[lane_idx];
+        let low = low.max(1);
+        let high = high.max(low + 1);
+        let old_low = lane.low_wm.swap(low, Ordering::Relaxed);
+        let old_high = lane.high_wm.swap(high, Ordering::Relaxed);
+        let changed = old_low != low || old_high != high;
+        if changed {
+            // A watermark move can change which side of `low` the lane's
+            // free list sits on.
+            self.refresh_pressure(lane_idx);
+            self.device.stats().add_staging_adaptive_resize();
+        }
+        changed
+    }
+
+    /// Cumulative bytes `take` has handed out from `lane_idx` — the
+    /// adaptive controller's demand signal.
+    pub fn lane_consumed_bytes(&self, lane_idx: usize) -> u64 {
+        self.lanes[lane_idx].consumed_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of staging files that still have unconsumed capacity across
+    /// all lanes.  Lock-free: sums the per-lane mirrors.
+    pub fn unconsumed_files(&self) -> usize {
+        self.lanes
+            .iter()
+            .map(|l| l.unconsumed.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Whether any lane has fallen below its low watermark and background
+    /// provisioning should run.
+    pub fn needs_provisioning(&self) -> bool {
+        self.lanes_below_low.load(Ordering::Relaxed) > 0
     }
 
     /// Number of staging files created so far, from every source
     /// (pre-allocated at startup, background-provisioned, and emergency
     /// inline creations).
     pub fn files_created(&self) -> u64 {
-        let inner = self.inner.lock();
-        inner.created_preallocated + inner.created_inline + inner.created_background
+        self.created_preallocated.load(Ordering::Relaxed)
+            + self.created_inline.load(Ordering::Relaxed)
+            + self.created_background.load(Ordering::Relaxed)
     }
 
     /// Staging files pre-allocated at startup.
     pub fn files_created_preallocated(&self) -> u64 {
-        self.inner.lock().created_preallocated
+        self.created_preallocated.load(Ordering::Relaxed)
     }
 
     /// Staging files created inline on the foreground write path because
     /// the pool ran dry — the number the daemon exists to keep at zero.
     pub fn files_created_inline(&self) -> u64 {
-        self.inner.lock().created_inline
+        self.created_inline.load(Ordering::Relaxed)
     }
 
     /// Staging files provisioned asynchronously by maintenance workers.
     pub fn files_created_background(&self) -> u64 {
-        self.inner.lock().created_background
+        self.created_background.load(Ordering::Relaxed)
+    }
+
+    /// Pops a fully-unconsumed file off `inner`'s tail, if one exists.
+    /// Only a file the lane's cursor has not touched may move: either a
+    /// file strictly beyond the active one, or the active slot itself if
+    /// it is still pristine.
+    fn pop_pristine(inner: &mut LaneInner) -> Option<StagingFile> {
+        let can_pop = match inner.files.len().checked_sub(1) {
+            Some(last) if last > inner.active => true,
+            Some(last) if last == inner.active => inner.files[last].consumed == 0,
+            _ => false,
+        };
+        if can_pop {
+            inner.files.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Steals one fully-unconsumed staging file for `dest` from the lane
+    /// with the globally longest free list.  Returns `None` only when no
+    /// other lane has a file to spare — inline creation is strictly the
+    /// everything-is-dry fallback.
+    fn steal_for(&self, dest: usize) -> Option<StagingFile> {
+        // Candidate victims in descending free-list length.  Pass 1
+        // `try_lock`s each: blocking on — or squatting near — another
+        // lane's hot lock would put this stealer on that lane's owner's
+        // critical path, which is exactly what lanes exist to avoid, so
+        // a busy victim is skipped for the next-longest one.  Pass 2,
+        // reached only when every spare-holding lane was momentarily
+        // busy, blocks on them in turn: a short wait on a victim's lock
+        // is still far cheaper (and quieter) than creating a file inline
+        // while spares exist.
+        let mut victims: Vec<usize> = (0..self.lanes.len())
+            .filter(|&i| i != dest && self.lanes[i].unconsumed.load(Ordering::Relaxed) > 0)
+            .collect();
+        victims
+            .sort_by_key(|&i| std::cmp::Reverse(self.lanes[i].unconsumed.load(Ordering::Relaxed)));
+        for pass in 0..2 {
+            for &victim in &victims {
+                let lane = &self.lanes[victim];
+                if pass > 0 && lane.unconsumed.load(Ordering::Relaxed) == 0 {
+                    continue;
+                }
+                let inner = if pass == 0 {
+                    lane.inner.try_lock()
+                } else {
+                    Some(lane.inner.lock())
+                };
+                let Some(mut inner) = inner else { continue };
+                let Some(file) = Self::pop_pristine(&mut inner) else {
+                    continue;
+                };
+                lane.refresh_unconsumed(&inner);
+                drop(inner);
+                self.refresh_pressure(victim);
+                // Index update happens outside any lane lock (lock-ordering
+                // rule: the index is never acquired while a lane is held).
+                self.index.write().insert(file.ino, dest);
+                self.device.stats().add_staging_lane_steal();
+                return Some(file);
+            }
+        }
+        None
+    }
+
+    /// Releases pristine files a lane holds **beyond** its high watermark:
+    /// each is truncated to zero — its blocks return to the allocator —
+    /// and dropped from the pool (the `stage-N` name stays on disk, empty,
+    /// and is re-adopted or re-extended if the pool grows back).  This is
+    /// the shrink half of adaptive provisioning: lowering a lane's
+    /// watermarks alone only stops *new* provisioning; releasing the
+    /// surplus is what gives burst-peak staging space back.  Returns the
+    /// number of files released.  Skips a busy lane (`try_lock`) — the
+    /// next maintenance tick retries.
+    pub fn release_surplus(&self, lane_idx: usize) -> usize {
+        let lane = &self.lanes[lane_idx];
+        let mut released = Vec::new();
+        {
+            let Some(mut inner) = lane.inner.try_lock() else {
+                return 0;
+            };
+            let high = lane.high_wm.load(Ordering::Relaxed);
+            while inner.files.len().saturating_sub(inner.active) > high {
+                match Self::pop_pristine(&mut inner) {
+                    Some(file) => released.push(file),
+                    None => break,
+                }
+            }
+            lane.refresh_unconsumed(&inner);
+        }
+        self.refresh_pressure(lane_idx);
+        let count = released.len();
+        for file in released {
+            self.index.write().remove(&file.ino);
+            let _ = self.kernel.ftruncate(file.fd, 0);
+            let _ = self.kernel.close(file.fd);
+        }
+        count
     }
 
     /// Takes up to `len` bytes of staging space whose in-file offset is
     /// congruent to `phase` modulo the block size, so that a later relink of
     /// the target range can stay block-aligned.  Returns an allocation that
     /// may be shorter than `len`; callers loop until satisfied.
+    ///
+    /// Routed to the calling thread's home lane: concurrent takers on
+    /// different lanes proceed without synchronizing at all.
     pub fn take(&self, len: u64, phase: u64) -> FsResult<StagingAllocation> {
         let cost = self.device.cost().clone();
         self.device.charge_software(cost.usplit_staging_take_ns);
-        let mut inner = self.inner.lock();
+        let lane_idx = self.home_lane();
+        let lane = &self.lanes[lane_idx];
+        let mut inner = self.lock_lane(lane_idx);
         loop {
             if inner.active >= inner.files.len() {
-                // Every pre-allocated file is used up and the daemon has not
-                // kept pace (or is disabled): replenish inline.  The lock is
-                // dropped while the file is built so concurrent takers and
-                // the daemon can still make progress.
-                let name = inner.next_name;
-                inner.next_name += 1;
+                // The home lane is dry.  The lock is dropped while a
+                // replacement is found so concurrent takers sharing the
+                // lane and the daemon can still make progress.
                 drop(inner);
-                let file = self.build_staging_file(name)?;
-                inner = self.inner.lock();
+                let file = match self.steal_for(lane_idx) {
+                    Some(file) => file,
+                    None => {
+                        // Every lane is dry and the daemon has not kept
+                        // pace (or is disabled): replenish inline.
+                        let name = self.reserve_name();
+                        let file = self.build_staging_file(name)?;
+                        self.index.write().insert(file.ino, lane_idx);
+                        self.created_inline.fetch_add(1, Ordering::Relaxed);
+                        self.device.stats().add_staging_inline_create();
+                        file
+                    }
+                };
+                inner = self.lock_lane(lane_idx);
                 inner.files.push(file);
-                inner.created_inline += 1;
-                self.refresh_unconsumed(&inner);
-                self.device.stats().add_staging_inline_create();
+                lane.refresh_unconsumed(&inner);
+                self.refresh_pressure(lane_idx);
+                continue;
             }
             let active = inner.active;
             let file = &mut inner.files[active];
@@ -271,14 +702,16 @@ impl StagingPool {
             let start = file.cursor + misalign;
             if start >= file.size {
                 inner.active += 1;
-                self.refresh_unconsumed(&inner);
+                lane.refresh_unconsumed(&inner);
+                self.refresh_pressure(lane_idx);
                 continue;
             }
             let avail = file.size - start;
             let take = avail.min(len);
             if take == 0 {
                 inner.active += 1;
-                self.refresh_unconsumed(&inner);
+                lane.refresh_unconsumed(&inner);
+                self.refresh_pressure(lane_idx);
                 continue;
             }
             let (device_offset, contig) = file
@@ -288,54 +721,121 @@ impl StagingPool {
             let take = take.min(contig);
             file.cursor = start + take;
             file.consumed += take;
-            return Ok(StagingAllocation {
+            let out = StagingAllocation {
                 staging_ino: file.ino,
                 staging_fd: file.fd,
                 staging_offset: start,
                 device_offset,
                 len: take,
-            });
+            };
+            lane.consumed_bytes.fetch_add(take, Ordering::Relaxed);
+            return Ok(out);
         }
+    }
+
+    /// Finds the lane currently holding the staging file `ino` and runs
+    /// `f` on its locked inner state (membership is verified under the
+    /// lane's lock), returning the lane index alongside `f`'s result.
+    /// The indexed lane is probed first, with a full scan as fallback —
+    /// the index can be transiently stale while a file is mid-steal or
+    /// in recycle limbo.  The single resolution path shared by every
+    /// by-inode lookup (`note_retired`/`translate`/`fd_for`/`lane_of`),
+    /// so the staleness rule cannot diverge between them.
+    fn with_file_lane<R>(
+        &self,
+        ino: u64,
+        mut f: impl FnMut(&mut LaneInner) -> R,
+    ) -> Option<(usize, R)> {
+        // Copy the indexed lane out so the pool-wide index read guard is
+        // released *before* the lane mutex is acquired — blocking on a
+        // busy lane while pinning the index would stall every writer of
+        // the index (provisioning, steals, releases) pool-wide.
+        let indexed = self.index.read().get(&ino).copied();
+        if let Some(lane_idx) = indexed {
+            let mut inner = self.lanes[lane_idx].inner.lock();
+            if inner.files.iter().any(|file| file.ino == ino) {
+                return Some((lane_idx, f(&mut inner)));
+            }
+        }
+        for (lane_idx, lane) in self.lanes.iter().enumerate() {
+            let mut inner = lane.inner.lock();
+            if inner.files.iter().any(|file| file.ino == ino) {
+                return Some((lane_idx, f(&mut inner)));
+            }
+        }
+        None
     }
 
     /// Records that `len` bytes staged in `staging_ino` were retired
-    /// (relinked or copied into their target file).  Feeds the
-    /// recyclability accounting: an exhausted file whose retired bytes
-    /// catch up with its consumed bytes can be recycled.
+    /// (relinked or copied into its target).  Feeds the recyclability
+    /// accounting: an exhausted file whose retired bytes catch up with
+    /// its consumed bytes can be recycled.
     pub fn note_retired(&self, staging_ino: u64, len: u64) {
-        let mut inner = self.inner.lock();
-        if let Some(file) = inner.files.iter_mut().find(|f| f.ino == staging_ino) {
-            file.retired = (file.retired + len).min(file.consumed);
-        }
+        self.with_file_lane(staging_ino, |inner| {
+            if let Some(file) = inner.files.iter_mut().find(|f| f.ino == staging_ino) {
+                file.retired = (file.retired + len).min(file.consumed);
+            }
+        });
     }
 
-    /// Takes one recyclable staging file out of the pool: a file the
-    /// cursor has moved past (no future `take` touches it) whose staged
-    /// bytes were all retired.  The caller appends the durable
+    /// Takes one recyclable staging file out of the pool: a file some
+    /// lane's cursor has moved past (no future `take` touches it) whose
+    /// staged bytes were all retired.  The caller appends the durable
     /// `StagingRecycle` log marker, then calls [`StagingPool::rebuild`]
     /// (or [`StagingPool::abort_recycle`] on failure).
     pub fn begin_recycle(&self) -> Option<RecycledFile> {
-        let mut inner = self.inner.lock();
-        let idx = inner.files[..inner.active]
-            .iter()
-            .position(|f| f.consumed > 0 && f.retired >= f.consumed)?;
-        let file = inner.files.remove(idx);
-        inner.active -= 1;
-        self.refresh_unconsumed(&inner);
-        Some(RecycledFile { file })
+        for (lane_idx, lane) in self.lanes.iter().enumerate() {
+            // `try_lock`: a lane busy serving takes is skipped this pass —
+            // holding its lock here would put the recycler's sweep on the
+            // foreground append path's critical section.
+            let Some(mut inner) = lane.inner.try_lock() else {
+                continue;
+            };
+            let Some(idx) = inner.files[..inner.active]
+                .iter()
+                .position(|f| f.consumed > 0 && f.retired >= f.consumed)
+            else {
+                continue;
+            };
+            let file = inner.files.remove(idx);
+            inner.active -= 1;
+            lane.refresh_unconsumed(&inner);
+            self.refresh_pressure(lane_idx);
+            return Some(RecycledFile {
+                file,
+                lane: lane_idx,
+            });
+        }
+        None
     }
 
     /// Re-provisions a recycled file: frees its remaining blocks,
-    /// pre-allocates fresh ones, remaps it and returns it to the pool's
-    /// unconsumed tail.
+    /// pre-allocates fresh ones, remaps it and returns it to **its own
+    /// lane's** unconsumed tail (so recycling never migrates capacity
+    /// between lanes behind the adaptive controller's back).
     pub fn rebuild(&self, rec: RecycledFile) -> FsResult<()> {
-        let RecycledFile { file } = rec;
+        let RecycledFile {
+            file,
+            lane: lane_idx,
+        } = rec;
         // Free whatever blocks the relinks left behind (padding, copied
         // spans), then pre-allocate the full size again.
-        self.kernel.ftruncate(file.fd, 0)?;
-        self.kernel.ftruncate(file.fd, file.size)?;
-        let mapping = self.kernel.dax_map(file.fd, 0, file.size, self.populate)?;
-        let mut inner = self.inner.lock();
+        let rebuild = (|| -> FsResult<DaxMapping> {
+            self.kernel.ftruncate(file.fd, 0)?;
+            self.kernel.ftruncate(file.fd, file.size)?;
+            self.kernel.dax_map(file.fd, 0, file.size, self.populate)
+        })();
+        let mapping = match rebuild {
+            Ok(mapping) => mapping,
+            Err(e) => {
+                // The file is dropped from the pool; forget its lane.
+                self.index.write().remove(&file.ino);
+                return Err(e);
+            }
+        };
+        self.index.write().insert(file.ino, lane_idx);
+        let lane = &self.lanes[lane_idx];
+        let mut inner = lane.inner.lock();
         inner.files.push(StagingFile {
             fd: file.fd,
             ino: file.ino,
@@ -345,42 +845,51 @@ impl StagingPool {
             consumed: 0,
             retired: 0,
         });
-        self.refresh_unconsumed(&inner);
+        lane.refresh_unconsumed(&inner);
         drop(inner);
+        self.refresh_pressure(lane_idx);
         self.device.stats().add_staging_recycle();
         Ok(())
     }
 
     /// Puts a file taken by [`StagingPool::begin_recycle`] back untouched
-    /// (the recycle marker could not be made durable).
+    /// in its lane (the recycle marker could not be made durable).
     pub fn abort_recycle(&self, rec: RecycledFile) {
-        let mut inner = self.inner.lock();
+        let lane_idx = rec.lane;
+        let lane = &self.lanes[lane_idx];
+        let mut inner = lane.inner.lock();
         // Re-insert before the active index: the file is exhausted.
         inner.files.insert(0, rec.file);
         inner.active += 1;
-        self.refresh_unconsumed(&inner);
+        lane.refresh_unconsumed(&inner);
+        drop(inner);
+        self.refresh_pressure(lane_idx);
     }
 
     /// Translates a (staging_ino, staging_offset) pair back to a device
     /// offset; used by the read path for staged-but-not-yet-relinked data
     /// and by crash recovery.
     pub fn translate(&self, staging_ino: u64, staging_offset: u64) -> Option<(u64, u64)> {
-        let inner = self.inner.lock();
-        inner
-            .files
-            .iter()
-            .find(|f| f.ino == staging_ino)
-            .and_then(|f| f.mapping.translate(staging_offset))
+        self.with_file_lane(staging_ino, |inner| {
+            inner
+                .files
+                .iter()
+                .find(|f| f.ino == staging_ino)
+                .and_then(|f| f.mapping.translate(staging_offset))
+        })
+        .and_then(|(_, hit)| hit)
     }
 
     /// Returns the kernel descriptor for a staging file by inode.
     pub fn fd_for(&self, staging_ino: u64) -> Option<Fd> {
-        let inner = self.inner.lock();
-        inner
-            .files
-            .iter()
-            .find(|f| f.ino == staging_ino)
-            .map(|f| f.fd)
+        self.with_file_lane(staging_ino, |inner| {
+            inner
+                .files
+                .iter()
+                .find(|f| f.ino == staging_ino)
+                .map(|f| f.fd)
+        })
+        .and_then(|(_, fd)| fd)
     }
 }
 
@@ -390,12 +899,11 @@ mod tests {
     use crate::modes::Mode;
     use pmem::PmemBuilder;
 
-    fn setup() -> (Arc<PmemDevice>, Arc<Ext4Dax>, StagingPool) {
+    fn setup_with(config: SplitConfig) -> (Arc<PmemDevice>, Arc<Ext4Dax>, StagingPool) {
         let device = PmemBuilder::new(256 * 1024 * 1024)
             .track_persistence(false)
             .build();
         let kernel = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
-        let config = SplitConfig::new(Mode::Posix).with_staging(2, 4 * 1024 * 1024);
         let pool = StagingPool::new(
             Arc::clone(&kernel),
             Arc::clone(&device),
@@ -404,6 +912,10 @@ mod tests {
         )
         .unwrap();
         (device, kernel, pool)
+    }
+
+    fn setup() -> (Arc<PmemDevice>, Arc<Ext4Dax>, StagingPool) {
+        setup_with(SplitConfig::new(Mode::Posix).with_staging(2, 4 * 1024 * 1024))
     }
 
     #[test]
@@ -462,17 +974,20 @@ mod tests {
 
     #[test]
     fn background_provisioning_prevents_inline_creation() {
-        let (device, _k, pool) = setup();
+        let config = SplitConfig::new(Mode::Posix)
+            .with_staging(2, 4 * 1024 * 1024)
+            .with_staging_watermarks(2, 4);
+        let (device, _k, pool) = setup_with(config);
         // Drain most of the pre-allocated capacity, then provision like the
         // daemon would before the pool runs dry.
         let mut taken = 0u64;
         while taken < 7 * 1024 * 1024 {
             taken += pool.take(1024 * 1024, 0).unwrap().len;
         }
-        assert!(pool.needs_provisioning(2));
+        assert!(pool.needs_provisioning());
         pool.provision_one().unwrap();
         pool.provision_one().unwrap();
-        assert!(!pool.needs_provisioning(2));
+        assert!(!pool.needs_provisioning());
         while taken < 14 * 1024 * 1024 {
             taken += pool.take(1024 * 1024, 0).unwrap().len;
         }
@@ -490,5 +1005,162 @@ mod tests {
         assert_eq!(dev, a.device_offset);
         assert!(contig >= a.len);
         assert!(pool.translate(9999, 0).is_none());
+    }
+
+    #[test]
+    fn reserve_name_is_lock_free_and_monotonic_under_concurrency() {
+        let (_d, _k, pool) = setup();
+        // Names 0 and 1 were consumed by the pre-allocated pool.
+        let names = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = &pool;
+                let names = &names;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for _ in 0..256 {
+                        mine.push(pool.reserve_name());
+                    }
+                    names.lock().unwrap().extend(mine);
+                });
+            }
+        });
+        let mut names = names.into_inner().unwrap();
+        assert_eq!(names.len(), 1024);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 1024, "duplicate staging-file names");
+        assert_eq!(*names.first().unwrap(), 2);
+        assert_eq!(*names.last().unwrap(), 2 + 1024 - 1);
+    }
+
+    #[test]
+    fn lanes_follow_the_configured_count_and_distribute_files() {
+        let config = SplitConfig::new(Mode::Posix)
+            .with_staging(8, 4 * 1024 * 1024)
+            .with_staging_lanes(4);
+        let (_d, _k, pool) = setup_with(config);
+        assert_eq!(pool.lane_count(), 4);
+        for i in 0..4 {
+            assert_eq!(pool.lane_unconsumed(i), 2, "round-robin distribution");
+        }
+    }
+
+    #[test]
+    fn lane_exhaustion_steals_from_the_longest_free_list_before_inline() {
+        let config = SplitConfig::new(Mode::Posix)
+            .with_staging(4, 4 * 1024 * 1024)
+            .with_staging_lanes(2);
+        let (device, _k, pool) = setup_with(config);
+        let my_lane = pool.lane_for_current_thread();
+        let other = 1 - my_lane;
+        assert_eq!(pool.lane_unconsumed(my_lane), 2);
+        // Drain the home lane's two files plus more: the third and fourth
+        // files must come from the other lane (steals), and only then may
+        // an inline creation happen.
+        let mut taken = 0u64;
+        while taken < 15 * 1024 * 1024 {
+            taken += pool.take(4 * 1024 * 1024, 0).unwrap().len;
+        }
+        let s = device.stats().snapshot();
+        assert_eq!(s.staging_lane_steals, 2, "both spare files were stolen");
+        assert_eq!(
+            pool.files_created_inline(),
+            0,
+            "no inline creation while another lane had spares"
+        );
+        assert_eq!(pool.lane_unconsumed(other), 0);
+        // One more full file's worth now requires an inline creation.
+        while taken < 17 * 1024 * 1024 {
+            taken += pool.take(4 * 1024 * 1024, 0).unwrap().len;
+        }
+        assert!(pool.files_created_inline() > 0);
+    }
+
+    #[test]
+    fn takes_from_distinct_threads_route_to_distinct_lanes() {
+        let config = SplitConfig::new(Mode::Posix)
+            .with_staging(8, 4 * 1024 * 1024)
+            .with_staging_lanes(4);
+        let (device, _k, pool) = setup_with(config);
+        let lanes = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = &pool;
+                let lanes = &lanes;
+                scope.spawn(move || {
+                    for _ in 0..64 {
+                        pool.take(4096, 0).unwrap();
+                    }
+                    lanes.lock().unwrap().push(pool.lane_for_current_thread());
+                });
+            }
+        });
+        let mut lanes = lanes.into_inner().unwrap();
+        lanes.sort_unstable();
+        assert_eq!(lanes, vec![0, 1, 2, 3], "four writers, four distinct lanes");
+        assert_eq!(
+            device.stats().snapshot().staging_lock_waits,
+            0,
+            "disjoint lanes never contend"
+        );
+    }
+
+    #[test]
+    fn adaptive_watermark_setter_counts_only_real_changes() {
+        let config = SplitConfig::new(Mode::Posix)
+            .with_staging(2, 4 * 1024 * 1024)
+            .with_staging_lanes(2);
+        let (device, _k, pool) = setup_with(config);
+        let (low, high) = pool.lane_watermarks(0);
+        assert!(!pool.set_lane_watermarks(0, low, high), "no-op not counted");
+        assert_eq!(device.stats().snapshot().staging_adaptive_resizes, 0);
+        assert!(pool.set_lane_watermarks(0, low + 2, high + 4));
+        assert_eq!(pool.lane_watermarks(0), (low + 2, high + 4));
+        assert_eq!(device.stats().snapshot().staging_adaptive_resizes, 1);
+        // The setter enforces high > low.
+        pool.set_lane_watermarks(1, 3, 3);
+        assert_eq!(pool.lane_watermarks(1), (3, 4));
+    }
+
+    #[test]
+    fn surplus_release_returns_burst_capacity_to_the_allocator() {
+        let config = SplitConfig::new(Mode::Posix)
+            .with_staging(2, 4 * 1024 * 1024)
+            .with_staging_watermarks(1, 3);
+        let (_d, kernel, pool) = setup_with(config);
+        // Burst: provision well past the high watermark (as a hot phase
+        // would), then shrink back.
+        for _ in 0..4 {
+            pool.provision_one().unwrap();
+        }
+        assert_eq!(pool.unconsumed_files(), 6);
+        let released = pool.release_surplus(0);
+        assert_eq!(released, 3, "trimmed back down to the high watermark");
+        assert_eq!(pool.unconsumed_files(), 3);
+        // Released names stay on disk, empty — their blocks are free.
+        let empties = kernel
+            .readdir("/.splitfs")
+            .unwrap()
+            .iter()
+            .filter(|n| {
+                kernel
+                    .stat(&format!("/.splitfs/{n}"))
+                    .map(|s| s.size == 0)
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(empties, 3);
+        // At or below the watermark: nothing further to release.
+        assert_eq!(pool.release_surplus(0), 0);
+    }
+
+    #[test]
+    fn consumed_bytes_feed_the_lane_demand_signal() {
+        let (_d, _k, pool) = setup();
+        let lane = pool.lane_for_current_thread();
+        assert_eq!(pool.lane_consumed_bytes(lane), 0);
+        let a = pool.take(10_000, 0).unwrap();
+        assert_eq!(pool.lane_consumed_bytes(lane), a.len);
     }
 }

@@ -1,0 +1,243 @@
+//! Lane-sharded staging pool: recycle-path correctness and crash
+//! recovery under lanes.
+//!
+//! The contracts under test:
+//!
+//! * a fully-retired staging file recycled through the `StagingRecycle`
+//!   machinery re-enters the **same lane's** free list it was consumed
+//!   from, so recycling never migrates capacity between lanes behind the
+//!   adaptive controller's back;
+//! * a crash anywhere around a recycle — file out of the pool, marker
+//!   durable, rebuild not yet done — recovers to the right file contents
+//!   and a freshly mounted instance rebuilds a consistent lane geometry
+//!   (every lane stocked, cursors reset, leftovers reclaimed);
+//! * disjoint writers with a lane each never contend on staging locks,
+//!   and the cold-file relink policy retires long-unsynced staged
+//!   extents so their staging files become recyclable.
+
+use std::sync::Arc;
+
+use pmem::{PmemBuilder, PmemDevice};
+use splitfs::{recover, Mode, SplitConfig, SplitFs};
+use vfs::{FileSystem, OpenFlags};
+
+fn device() -> Arc<PmemDevice> {
+    PmemBuilder::new(256 * 1024 * 1024).build()
+}
+
+const FILE_SIZE: u64 = 2 * 1024 * 1024;
+
+fn laned_config(lanes: usize) -> SplitConfig {
+    SplitConfig::new(Mode::Strict)
+        .with_staging(lanes * 2, FILE_SIZE)
+        .with_staging_lanes(lanes)
+        .with_oplog_size(256 * 1024)
+        .without_daemon()
+}
+
+/// Appends one staging file's worth (plus a little) so the home lane's
+/// cursor moves past its first file, then fsyncs so every staged byte is
+/// retired.  Returns the file's expected contents.
+fn exhaust_one_staging_file(fs: &Arc<SplitFs>, path: &str, fill: u8) -> Vec<u8> {
+    let fd = fs.open(path, OpenFlags::create()).unwrap();
+    let mut content = Vec::new();
+    let block = vec![fill; 64 * 1024];
+    let blocks = (FILE_SIZE / block.len() as u64) + 2;
+    for _ in 0..blocks {
+        fs.append(fd, &block).unwrap();
+        content.extend_from_slice(&block);
+    }
+    fs.fsync(fd).unwrap();
+    fs.close(fd).unwrap();
+    content
+}
+
+#[test]
+fn recycled_staging_file_reenters_the_lane_it_came_from() {
+    let device = device();
+    let kernel = kernelfs::Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+    let fs = SplitFs::new(Arc::clone(&kernel), laned_config(2)).unwrap();
+    let pool = fs.staging_pool();
+    let home = pool.lane_for_current_thread();
+
+    exhaust_one_staging_file(&fs, "/wal.log", 0x5A);
+
+    // The home lane's first file is now exhausted and fully retired.
+    let rec = pool.begin_recycle().expect("an exhausted, retired file");
+    assert_eq!(
+        rec.lane(),
+        home,
+        "the recyclable file came from the writer's home lane"
+    );
+    let ino = rec.ino();
+    let before = pool.lane_unconsumed(home);
+    pool.rebuild(rec).unwrap();
+    assert_eq!(
+        pool.lane_of(ino),
+        Some(home),
+        "rebuild returned the file to its own lane's free list"
+    );
+    assert_eq!(
+        pool.lane_unconsumed(home),
+        before + 1,
+        "the home lane regained one unconsumed file"
+    );
+    assert_eq!(device.stats().snapshot().staging_recycles, 1);
+
+    // An aborted recycle also lands back in the same lane.
+    exhaust_one_staging_file(&fs, "/wal2.log", 0x3C);
+    let rec = pool.begin_recycle().expect("second recyclable file");
+    let lane = rec.lane();
+    let ino = rec.ino();
+    pool.abort_recycle(rec);
+    assert_eq!(pool.lane_of(ino), Some(lane), "abort restores the lane");
+}
+
+#[test]
+fn crash_mid_recycle_recovers_contents_and_lane_geometry() {
+    let device = device();
+    let kernel = kernelfs::Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+    let config = laned_config(2);
+    let fs = SplitFs::new(Arc::clone(&kernel), config.clone()).unwrap();
+    let pool = fs.staging_pool();
+
+    let content = exhaust_one_staging_file(&fs, "/db.log", 0x77);
+    // Stage (but do not fsync) a second file: its bytes live only in
+    // staging plus the log, so recovery must replay them.
+    let fd = fs.open("/tail.log", OpenFlags::create()).unwrap();
+    let tail = vec![0xE1u8; 100_000];
+    fs.append(fd, &tail).unwrap();
+
+    // Crash **mid-recycle**: the retired staging file is out of the pool
+    // (DRAM state only) but neither truncated nor rebuilt — exactly the
+    // window between `begin_recycle` and the durable marker/rebuild.
+    let rec = pool.begin_recycle().expect("a recyclable file");
+    let recycled_ino = rec.ino();
+    drop(rec); // the crash destroys the in-flight recycle bookkeeping
+    drop(fs);
+    device.crash();
+
+    let kernel2 = kernelfs::Ext4Dax::mount(Arc::clone(&device)).unwrap();
+    let report = recover(&kernel2, &config).unwrap();
+    assert!(report.replayed > 0, "the unsynced tail replays: {report:?}");
+    assert_eq!(
+        kernel2.read_file("/db.log").unwrap(),
+        content,
+        "relinked bytes survive a crash mid-recycle"
+    );
+    assert_eq!(kernel2.read_file("/tail.log").unwrap(), tail);
+
+    // A fresh instance adopts the staging directory and rebuilds a
+    // consistent lane geometry: every lane fully stocked, cursors reset.
+    let fs2 = SplitFs::new(Arc::clone(&kernel2), config.clone()).unwrap();
+    let pool2 = fs2.staging_pool();
+    assert_eq!(pool2.lane_count(), 2);
+    let total: usize = (0..pool2.lane_count())
+        .map(|i| pool2.lane_unconsumed(i))
+        .sum();
+    assert_eq!(
+        total, config.staging_files,
+        "every adopted staging file is unconsumed again (cursors rebuilt)"
+    );
+    for lane in 0..pool2.lane_count() {
+        assert_eq!(
+            pool2.lane_unconsumed(lane),
+            config.staging_files / 2,
+            "round-robin distribution across lanes"
+        );
+    }
+    // The file caught mid-recycle is back in rotation (adopted under
+    // some lane) and the instance is fully writable.
+    assert!(
+        pool2.lane_of(recycled_ino).is_some() || pool2.translate(recycled_ino, 0).is_none(),
+        "the mid-recycle file either rejoined the pool or was reclaimed"
+    );
+    let fd = fs2.open("/after.log", OpenFlags::create()).unwrap();
+    fs2.append(fd, b"post-recovery append").unwrap();
+    fs2.fsync(fd).unwrap();
+    assert_eq!(
+        fs2.read_file("/after.log").unwrap(),
+        b"post-recovery append"
+    );
+}
+
+#[test]
+fn remount_truncates_staging_leftovers_beyond_the_pool_size() {
+    let device = device();
+    let kernel = kernelfs::Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+    // First incarnation provisions extra files beyond the configured
+    // pool: emulate by taking enough to force inline creations.
+    let config = SplitConfig::new(Mode::Strict)
+        .with_staging(2, FILE_SIZE)
+        .with_staging_lanes(1)
+        .with_oplog_size(256 * 1024)
+        .without_daemon();
+    let fs = SplitFs::new(Arc::clone(&kernel), config.clone()).unwrap();
+    let fd = fs.open("/big.log", OpenFlags::create()).unwrap();
+    let block = vec![0x42u8; 128 * 1024];
+    // > 2 files' capacity: the pool must create extras inline.
+    for _ in 0..40 {
+        fs.append(fd, &block).unwrap();
+    }
+    fs.fsync(fd).unwrap();
+    assert!(fs.staging_pool().files_created_inline() > 0);
+    fs.close(fd).unwrap();
+    drop(fs);
+
+    // Remount: the new pool adopts `staging_files` files and truncates
+    // the leftovers so their blocks return to the allocator.
+    let fs2 = SplitFs::new(Arc::clone(&kernel), config.clone()).unwrap();
+    let entries = kernel.readdir(fs2.staging_dir()).unwrap();
+    let mut rebuilt = 0;
+    let mut reclaimed = 0;
+    for name in entries.iter().filter(|n| n.starts_with("stage-")) {
+        let stat = kernel
+            .stat(&format!("{}/{}", fs2.staging_dir(), name))
+            .unwrap();
+        if stat.size == FILE_SIZE {
+            rebuilt += 1;
+        } else {
+            assert_eq!(stat.size, 0, "{name}: leftovers are truncated");
+            reclaimed += 1;
+        }
+    }
+    assert_eq!(rebuilt, config.staging_files, "adopted set matches config");
+    assert!(reclaimed > 0, "the inline extras were reclaimed");
+}
+
+#[test]
+fn cold_file_relink_reclaims_staging_space() {
+    let device = device();
+    let kernel = kernelfs::Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+    let config = laned_config(1).with_cold_relink_after_ms(1.0);
+    let fs = SplitFs::new(Arc::clone(&kernel), config).unwrap();
+
+    // Stage a file's worth of appends and never fsync: the staging file
+    // is exhausted but unretired, so it cannot recycle.
+    let fd = fs.open("/cold.log", OpenFlags::create()).unwrap();
+    let block = vec![0x99u8; 64 * 1024];
+    let blocks = (FILE_SIZE / block.len() as u64) + 2;
+    let mut content = Vec::new();
+    for _ in 0..blocks {
+        fs.append(fd, &block).unwrap();
+        content.extend_from_slice(&block);
+    }
+    assert!(fs.staging_pool().begin_recycle().is_none(), "unretired");
+
+    // Too fresh to be cold: the policy must not touch it yet.
+    assert_eq!(fs.reclaim_cold_staging(), 0);
+
+    // One simulated millisecond of idleness later, the file is cold: the
+    // policy relinks it, which retires its staged bytes and makes the
+    // exhausted staging file recyclable.
+    device.clock().advance(1_000_000.0);
+    assert_eq!(fs.reclaim_cold_staging(), 1);
+    assert_eq!(device.stats().snapshot().staging_cold_relinks, 1);
+    let rec = fs
+        .staging_pool()
+        .begin_recycle()
+        .expect("cold relink made the staging file recyclable");
+    fs.staging_pool().rebuild(rec).unwrap();
+    assert_eq!(fs.read_file("/cold.log").unwrap(), content);
+    fs.close(fd).unwrap();
+}

@@ -20,8 +20,12 @@
 //! waiter's critical path (throughput flat in the thread count); sharded
 //! state keeps each worker's path at its own work (throughput ~linear).
 //! Host wall-clock time is reported alongside, and the result carries the
-//! contention counters (`shard_lock_waits`, `oplog_epoch_swaps`,
-//! `checkpoint_stalls`, ...) the `scaling` experiment prints.
+//! contention counters (`staging_lock_waits`, `shard_lock_waits`,
+//! `oplog_epoch_swaps`, `checkpoint_stalls`, ...) the `scaling`
+//! experiment prints.  Runs at up to 16 threads in the harness; on a
+//! SplitFS instance configured with one staging lane per writer
+//! (`SplitConfig::with_staging_lanes`), `staging_lock_waits` stays ~zero
+//! because disjoint writers bump disjoint staging cursors.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -237,6 +241,39 @@ mod tests {
         verify(&fs, &config).unwrap();
         // Saturation at four writers must not stall the foreground on log
         // truncation: epoch swaps or growth only.
+        assert_eq!(result.stats.checkpoint_stalls, 0);
+    }
+
+    #[test]
+    fn walshard_with_lane_per_writer_never_contends_on_staging() {
+        // One staging lane per writer thread and no background pushes
+        // (daemon off): eight disjoint-file appenders must take staging
+        // space without a single contended lane acquisition.
+        let device = pmem::PmemBuilder::new(512 * 1024 * 1024)
+            .track_persistence(false)
+            .build();
+        let kernel = kernelfs::Ext4Dax::mkfs(device).unwrap();
+        let config = splitfs::SplitConfig::new(splitfs::Mode::Strict)
+            .with_staging(8, 8 * 1024 * 1024)
+            .with_staging_lanes(8)
+            .with_oplog_size(512 * 1024)
+            .without_daemon();
+        let fs: Arc<dyn FileSystem> = splitfs::SplitFs::new(kernel, config).unwrap();
+        let config = WalShardConfig {
+            threads: 8,
+            records_per_shard: 192,
+            record_size: 496,
+            fsync_every: 32,
+            ..WalShardConfig::default()
+        };
+        let result = run(&fs, &config).unwrap();
+        verify(&fs, &config).unwrap();
+        assert_eq!(
+            result.stats.staging_lock_waits, 0,
+            "disjoint writers on disjoint lanes must never contend: {:?}",
+            result.stats
+        );
+        assert_eq!(result.stats.staging_lane_steals, 0, "no lane ran dry");
         assert_eq!(result.stats.checkpoint_stalls, 0);
     }
 
