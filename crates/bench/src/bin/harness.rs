@@ -18,6 +18,7 @@
 //!   scaling    WAL-per-shard saturation throughput at 1/2/4/8/16 threads
 //!   vectored   N x append vs one appendv of N slices (fences, journal txns)
 //!   multi      aggregate throughput at 1/2/4 U-Split instances on one kernel
+//!   latency    per-op latency percentiles + software overhead (five FSes)
 //!   resources  U-Split DRAM footprint after a YCSB run (§5.10)
 //!   all        everything above
 //!
@@ -178,6 +179,28 @@ fn run(which: &str, scale: Scale) {
             ],
             &experiments::multi(scale),
         ),
+        "latency" => {
+            let report = experiments::latency_report(scale);
+            print_table(
+                "Latency — per-op percentiles on the closed-loop mixed workload (4 threads)",
+                &[
+                    "File system",
+                    "Op",
+                    "Count",
+                    "p50",
+                    "p90",
+                    "p99",
+                    "p999",
+                    "max",
+                    "SW overhead/op",
+                ],
+                &report.rows,
+            );
+            // Machine-readable mirror of the table for the CI smoke gate.
+            for line in &report.json {
+                println!("METRICS_JSON {line}");
+            }
+        }
         "resources" => print_table(
             "§5.10 — resource consumption after YCSB-A on SplitFS-strict",
             &["Metric", "Value"],
@@ -186,7 +209,7 @@ fn run(which: &str, scale: Scale) {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon scaling vectored multi resources all"
+                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon scaling vectored multi latency resources all"
             );
             std::process::exit(2);
         }
@@ -194,6 +217,9 @@ fn run(which: &str, scale: Scale) {
 }
 
 fn main() {
+    // A panicking experiment dumps every thread's recent span events
+    // (the flight recorder) before the backtrace.
+    obs::install_panic_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let scale = if full { Scale::Full } else { Scale::Quick };
@@ -218,6 +244,7 @@ fn main() {
         "scaling",
         "vectored",
         "multi",
+        "latency",
         "resources",
     ];
     for experiment in which {

@@ -630,7 +630,7 @@ pub fn daemon_run(scale: Scale, daemon_enabled: bool) -> DaemonRunResult {
     });
     fs.maintenance_quiesce();
     let elapsed_ns = device.clock().now_ns_f64() - start;
-    let stats = device.stats().snapshot().delta_since(&before);
+    let stats = device.stats().snapshot().delta(&before);
     DaemonRunResult {
         elapsed_ns,
         ops: (THREADS * APPENDS_PER_FSYNC * rounds) as u64,
@@ -842,24 +842,23 @@ pub fn scaling_report(scale: Scale) -> ScalingReport {
             s.checkpoint_stalls.to_string(),
             s.staging_recycles.to_string(),
         ]);
-        json.push(format!(
-            concat!(
-                "{{\"experiment\":\"scaling\",\"threads\":{},\"kops\":{:.1},",
-                "\"speedup\":{:.2},\"staging_lock_waits\":{},",
-                "\"staging_lane_steals\":{},\"staging_adaptive_resizes\":{},",
-                "\"staging_inline_creates\":{},\"shard_lock_waits\":{},",
-                "\"checkpoint_stalls\":{}}}"
-            ),
-            threads,
-            r.kops,
-            r.kops / base_kops.max(1e-9),
-            s.staging_lock_waits,
-            s.staging_lane_steals,
-            s.staging_adaptive_resizes,
-            s.staging_inline_creates,
-            s.shard_lock_waits,
-            s.checkpoint_stalls,
-        ));
+        json.push(
+            obs::JsonObject::new()
+                .str("experiment", "scaling")
+                .u64("threads", threads as u64)
+                .f64("kops", (r.kops * 10.0).round() / 10.0)
+                .f64(
+                    "speedup",
+                    (r.kops / base_kops.max(1e-9) * 100.0).round() / 100.0,
+                )
+                .u64("staging_lock_waits", s.staging_lock_waits)
+                .u64("staging_lane_steals", s.staging_lane_steals)
+                .u64("staging_adaptive_resizes", s.staging_adaptive_resizes)
+                .u64("staging_inline_creates", s.staging_inline_creates)
+                .u64("shard_lock_waits", s.shard_lock_waits)
+                .u64("checkpoint_stalls", s.checkpoint_stalls)
+                .finish(),
+        );
     }
     ScalingReport { rows, json }
 }
@@ -867,6 +866,144 @@ pub fn scaling_report(scale: Scale) -> ScalingReport {
 /// Table-only view of [`scaling_report`].
 pub fn scaling(scale: Scale) -> Vec<Row> {
     scaling_report(scale).rows
+}
+
+// ----------------------------------------------------------------------
+// Latency — per-op latency distributions and software-overhead breakdown
+// ----------------------------------------------------------------------
+
+/// Raw output of the latency experiment on one file system: the full
+/// [`obs::MetricsSnapshot`] (per-op percentiles, time breakdown, daemon
+/// health) plus the workload totals.
+#[derive(Debug, Clone)]
+pub struct LatencyRunResult {
+    /// The configuration that ran.
+    pub kind: FsKind,
+    /// Total operations the workload issued.
+    pub ops: u64,
+    /// Critical-path simulated nanoseconds (slowest worker).
+    pub critical_ns: f64,
+    /// Per-op latency summaries folded with the stats delta.
+    pub snapshot: obs::MetricsSnapshot,
+}
+
+/// Runs the closed-loop latency workload on `kind` with an attached span
+/// recorder and returns per-operation latency distributions.
+///
+/// The whole measured window — opens, appends, read-backs, overwrites,
+/// fsyncs, the final `fsync_many` and the closes, plus (on SplitFS) every
+/// daemon dispatch — runs under spans, so the snapshot's per-op time
+/// breakdown reconciles against the device's aggregate category times
+/// for the same window ([`obs::MetricsSnapshot::attribution_error`]).
+pub fn latency_run(scale: Scale, kind: FsKind, threads: usize) -> LatencyRunResult {
+    let (fs, device, split): (Arc<dyn FileSystem>, _, Option<Arc<SplitFs>>) = match kind {
+        FsKind::SplitPosix | FsKind::SplitSync | FsKind::SplitStrict => {
+            // Built by hand rather than through `make_fs` so the concrete
+            // `Arc<SplitFs>` stays available for recorder attachment,
+            // quiescing and the health probe.
+            let device = pmem::PmemBuilder::new(scale.device_bytes())
+                .track_persistence(false)
+                .build();
+            let kernel = kernelfs::Ext4Dax::mkfs(Arc::clone(&device)).expect("mkfs ext4-dax");
+            let mode = match kind {
+                FsKind::SplitPosix => Mode::Posix,
+                FsKind::SplitSync => Mode::Sync,
+                _ => Mode::Strict,
+            };
+            let config = SplitConfig::new(mode).with_staging(4, 16 * 1024 * 1024);
+            let split = SplitFs::new(kernel, config).expect("splitfs init");
+            (
+                Arc::clone(&split) as Arc<dyn FileSystem>,
+                device,
+                Some(split),
+            )
+        }
+        _ => {
+            let fixture = make_fs(kind, scale.device_bytes());
+            (fixture.fs, fixture.device, None)
+        }
+    };
+    device.clock().reset();
+    device.stats().reset();
+    let recorder = Arc::new(obs::Recorder::new());
+    if let Some(split) = &split {
+        split.attach_recorder(Arc::clone(&recorder));
+    }
+    let traced: Arc<dyn FileSystem> = Arc::new(vfs::TracedFs::new(fs, Arc::clone(&recorder)));
+    let before = device.stats().snapshot();
+    let config = workloads::latency::LatencyConfig {
+        threads,
+        ops_per_thread: match scale {
+            Scale::Quick => 1024,
+            Scale::Full => 8192,
+        },
+        ..Default::default()
+    };
+    let result = workloads::latency::run(&traced, &config).expect("latency run");
+    if let Some(split) = &split {
+        split.maintenance_quiesce();
+    }
+    let stats = device.stats().snapshot().delta(&before);
+    let mut snapshot = obs::MetricsSnapshot::new(kind.label(), threads, &recorder, stats);
+    if let Some(split) = &split {
+        snapshot = snapshot.with_health(split.health());
+    }
+    LatencyRunResult {
+        kind,
+        ops: result.ops,
+        critical_ns: result.critical_ns,
+        snapshot,
+    }
+}
+
+/// The latency experiment's printable table plus one machine-readable
+/// `METRICS_JSON` line per file system (the CI smoke gate parses the
+/// JSON instead of scraping table columns).
+#[derive(Debug, Clone)]
+pub struct LatencyReport {
+    /// The rows of the human-readable percentile table.
+    pub rows: Vec<Row>,
+    /// One [`obs::MetricsSnapshot`] JSON object per file system.
+    pub json: Vec<String>,
+}
+
+/// The latency experiment: the closed-loop mixed workload at 4 threads
+/// on the five file systems of Table 1, reporting per-op
+/// p50/p90/p99/p999 latency and per-op software overhead from the span
+/// recorder's histograms.
+pub fn latency_report(scale: Scale) -> LatencyReport {
+    let kinds = [
+        FsKind::Ext4Dax,
+        FsKind::Pmfs,
+        FsKind::NovaStrict,
+        FsKind::SplitStrict,
+        FsKind::SplitPosix,
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for kind in kinds {
+        let r = latency_run(scale, kind, 4);
+        for op in &r.snapshot.ops {
+            rows.push(vec![
+                kind.label().to_string(),
+                op.kind.label().to_string(),
+                op.count.to_string(),
+                crate::fmt_ns(op.p50_ns as f64),
+                crate::fmt_ns(op.p90_ns as f64),
+                crate::fmt_ns(op.p99_ns as f64),
+                crate::fmt_ns(op.p999_ns as f64),
+                crate::fmt_ns(op.max_ns as f64),
+                crate::fmt_ns(op.software_overhead_ns() / op.count.max(1) as f64),
+            ]);
+        }
+        json.push(r.snapshot.to_json());
+    }
+    LatencyReport { rows, json }
+}
+
+/// Table-only view of [`latency_report`].
+pub fn latency(scale: Scale) -> Vec<Row> {
+    latency_report(scale).rows
 }
 
 // ----------------------------------------------------------------------

@@ -1293,6 +1293,7 @@ impl Ext4Dax {
         self.release_runs(&freed_all);
         drop(txn);
         self.device.stats().add_batched_relink(ops.len() as u64);
+        obs::event(obs::SpanEvent::RelinkBatch);
         Ok(ops.len())
     }
 

@@ -538,6 +538,7 @@ impl Journal {
                         if k + 1 < n {
                             continue; // try a less contended region first
                         }
+                        obs::event(obs::SpanEvent::JournalRegionWait);
                         self.device
                             .lock_contended(|| region.head.try_lock(), || region.head.lock())
                     }

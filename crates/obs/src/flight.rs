@@ -1,0 +1,223 @@
+//! The flight recorder: a fixed-size per-thread ring of recent span
+//! events.
+//!
+//! Every [`crate::event`] call appends one entry — (sequence, op kind,
+//! event, thread time) — to the calling thread's ring with two relaxed
+//! atomic stores; the ring never allocates after creation and is
+//! readable from any thread.  On panic (after
+//! [`install_panic_hook`]) the rings are dumped as structured text, and
+//! crash tests read them after a simulated crash to assert recovery saw
+//! the expected event tail.
+//!
+//! Rings are registered in a global registry and live for the process
+//! lifetime (a crashed thread's ring must outlive the thread), so
+//! entries from earlier tests in the same process may be present:
+//! consumers assert on the *presence* of expected recent entries, not
+//! on exact ring contents.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmem::SimClock;
+
+use crate::span::{OpKind, SpanEvent};
+
+/// Entries per thread ring.  Old entries are overwritten; 256 recent
+/// events per thread is plenty to reconstruct the moments before a
+/// crash.
+pub const RING_SLOTS: usize = 256;
+
+/// One decoded flight-recorder entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Thread-local sequence number (monotone per ring).
+    pub seq: u64,
+    /// The op kind whose span was active when the event fired
+    /// ([`OpKind::Other`] when none was).
+    pub kind: OpKind,
+    /// The annotated event.
+    pub event: SpanEvent,
+    /// The thread's simulated time ([`SimClock::thread_time_ns`]) at
+    /// the event, whole nanoseconds.
+    pub time_ns: u64,
+}
+
+/// One slot: `a` packs `seq << 16 | kind << 8 | event` and `b` holds
+/// the thread time.  Both relaxed; a torn read across the pair can at
+/// worst mismatch a time with a neighboring event, which the debugging
+/// use case tolerates.
+struct Slot {
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+struct Ring {
+    slots: Box<[Slot]>,
+    next: AtomicU64,
+}
+
+impl Ring {
+    fn new() -> Arc<Ring> {
+        Arc::new(Ring {
+            slots: (0..RING_SLOTS)
+                .map(|_| Slot {
+                    a: AtomicU64::new(0),
+                    b: AtomicU64::new(0),
+                })
+                .collect(),
+            next: AtomicU64::new(0),
+        })
+    }
+
+    fn note(&self, kind: OpKind, event: SpanEvent) {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = &self.slots[(seq as usize - 1) % RING_SLOTS];
+        let a = (seq << 16) | ((kind as u64) << 8) | event as u64;
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b
+            .store(SimClock::thread_time_ns().round() as u64, Ordering::Relaxed);
+    }
+
+    fn entries(&self) -> Vec<FlightEntry> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            let a = slot.a.load(Ordering::Relaxed);
+            if a == 0 {
+                continue;
+            }
+            let Some(event) = SpanEvent::from_index((a & 0xFF) as u8) else {
+                continue;
+            };
+            out.push(FlightEntry {
+                seq: a >> 16,
+                kind: OpKind::from_index(((a >> 8) & 0xFF) as u8),
+                event,
+                time_ns: slot.b.load(Ordering::Relaxed),
+            });
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+}
+
+/// Global registry of every thread's ring.  Rings are appended once per
+/// thread and never removed, so a panicking or exited thread's recent
+/// events stay readable.
+static REGISTRY: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static THREAD_RING: RefCell<Option<Arc<Ring>>> = const { RefCell::new(None) };
+}
+
+/// Appends one event to the calling thread's ring (creating and
+/// registering the ring on first use).
+pub(crate) fn note(kind: OpKind, event: SpanEvent) {
+    THREAD_RING.with(|r| {
+        let mut r = r.borrow_mut();
+        let ring = r.get_or_insert_with(|| {
+            let ring = Ring::new();
+            REGISTRY.lock().push(Arc::clone(&ring));
+            ring
+        });
+        ring.note(kind, event);
+    });
+}
+
+/// Returns every ring's entries, per ring, each sorted by sequence
+/// number (oldest surviving entry first).  Readable from any thread at
+/// any time — crash tests call it after a simulated crash to check the
+/// event tail the run left behind.
+pub fn recent_events() -> Vec<Vec<FlightEntry>> {
+    let rings = REGISTRY.lock();
+    rings
+        .iter()
+        .map(|r| r.entries())
+        .filter(|e| !e.is_empty())
+        .collect()
+}
+
+/// Renders every ring as structured text (the panic-dump format):
+/// one `thread <i>:` header per ring, one
+/// `  #<seq> <op>/<event> @<time>ns` line per entry.
+pub fn dump() -> String {
+    let mut out = String::new();
+    for (i, entries) in recent_events().into_iter().enumerate() {
+        out.push_str(&format!("flight thread {i}: {} events\n", entries.len()));
+        for e in entries {
+            out.push_str(&format!(
+                "  #{} {}/{} @{}ns\n",
+                e.seq,
+                e.kind.label(),
+                e.event.label(),
+                e.time_ns
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("flight recorder: no events\n");
+    }
+    out
+}
+
+static HOOK_INSTALLED: AtomicU64 = AtomicU64::new(0);
+
+/// Installs a panic hook that prints the flight-recorder dump to
+/// stderr before the previous hook runs.  Idempotent; the harness
+/// calls it at startup so an assertion failure mid-experiment shows
+/// the event tail that led up to it.
+pub fn install_panic_hook() {
+    if HOOK_INSTALLED.swap(1, Ordering::SeqCst) != 0 {
+        return;
+    }
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        eprintln!("=== flight recorder (most recent events per thread) ===");
+        eprint!("{}", dump());
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::event;
+
+    #[test]
+    fn events_are_readable_from_another_thread() {
+        std::thread::spawn(|| {
+            event(SpanEvent::EpochSwap);
+            event(SpanEvent::GroupCommit);
+        })
+        .join()
+        .unwrap();
+        let all: Vec<FlightEntry> = recent_events().into_iter().flatten().collect();
+        assert!(all.iter().any(|e| e.event == SpanEvent::EpochSwap));
+        assert!(all.iter().any(|e| e.event == SpanEvent::GroupCommit));
+        assert!(dump().contains("epoch_swap"));
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_the_most_recent_entries() {
+        std::thread::spawn(|| {
+            for _ in 0..RING_SLOTS + 50 {
+                event(SpanEvent::LaneSteal);
+            }
+            let mine: Vec<Vec<FlightEntry>> = recent_events();
+            // This thread's ring holds exactly RING_SLOTS entries with
+            // consecutive trailing sequence numbers.
+            let ring = mine
+                .iter()
+                .find(|r| {
+                    r.len() == RING_SLOTS && r.iter().all(|e| e.event == SpanEvent::LaneSteal)
+                })
+                .expect("own ring present");
+            let last = ring.last().unwrap().seq;
+            assert!(last >= (RING_SLOTS + 50) as u64);
+            assert_eq!(ring.first().unwrap().seq, last - RING_SLOTS as u64 + 1);
+        })
+        .join()
+        .unwrap();
+    }
+}

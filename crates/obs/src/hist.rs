@@ -1,0 +1,305 @@
+//! Log-linear (HDR-style) latency histograms.
+//!
+//! Values are non-negative integers (the recorder feeds simulated
+//! nanoseconds).  The value axis is split into octaves (powers of two),
+//! each octave into [`SUB_BUCKETS`] linear sub-buckets, so the relative
+//! quantization error is bounded by `1/SUB_BUCKETS` (≈6%) at every
+//! magnitude while the whole `u64` range fits in [`BUCKET_COUNT`]
+//! buckets.  This is the classic HDR-histogram layout with
+//! `significant figures ≈ 1.2`; it makes recording a pair of shifts and
+//! one increment, and merging a bucket-wise add — both properties the
+//! per-thread shard design in [`crate::span`] relies on.
+//!
+//! A [`Histogram`] is the *merged*, single-owner form: plain `u64`
+//! buckets, built by draining the per-thread atomic shards.  Percentile
+//! extraction walks the cumulative counts to the requested rank and
+//! returns the bucket's representative value (its midpoint), so
+//! `p99 >= p50` holds by construction for any recorded population.
+
+/// Linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: usize = 16;
+
+/// Total buckets needed to cover the full `u64` value range.
+///
+/// Octave 0 covers values `0..16` with one bucket per value; each later
+/// octave `o` covers `[16 << (o-1), 16 << o)` with [`SUB_BUCKETS`]
+/// buckets of width `1 << (o-1)`.  61 octaves reach `u64::MAX`.
+pub const BUCKET_COUNT: usize = 61 * SUB_BUCKETS;
+
+/// Returns the bucket index for a value.  Monotone: `a <= b` implies
+/// `bucket_index(a) <= bucket_index(b)`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        value as usize
+    } else {
+        let top = 63 - value.leading_zeros() as usize;
+        (top - 3) * SUB_BUCKETS + ((value >> (top - 4)) & 0xF) as usize
+    }
+}
+
+/// Returns the smallest value mapped to bucket `index`.
+#[inline]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    let octave = index / SUB_BUCKETS;
+    let sub = (index % SUB_BUCKETS) as u64;
+    if octave == 0 {
+        sub
+    } else {
+        (SUB_BUCKETS as u64 + sub) << (octave - 1)
+    }
+}
+
+/// Returns the number of distinct values mapped to bucket `index`.
+#[inline]
+pub fn bucket_width(index: usize) -> u64 {
+    let octave = index / SUB_BUCKETS;
+    if octave <= 1 {
+        1
+    } else {
+        1u64 << (octave - 1)
+    }
+}
+
+/// The representative value reported for bucket `index` (its midpoint).
+#[inline]
+pub fn bucket_value(index: usize) -> u64 {
+    bucket_lower_bound(index) + bucket_width(index) / 2
+}
+
+/// A merged log-linear histogram (see the module docs for the layout).
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Box<[u64; BUCKET_COUNT]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: Box::new([0; BUCKET_COUNT]),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds `count` pre-bucketed samples directly to bucket `index`
+    /// (shard draining; `sum`/`max` are folded separately).
+    pub fn add_bucket(&mut self, index: usize, count: u64) {
+        self.buckets[index] += count;
+        self.count += count;
+    }
+
+    /// Folds exact `sum` and `max` from a drained shard into the
+    /// histogram's summary fields (pairs with [`Histogram::add_bucket`]).
+    pub fn fold_summary(&mut self, sum: u64, max: u64) {
+        self.sum = self.sum.saturating_add(sum);
+        self.max = self.max.max(max);
+    }
+
+    /// Merges another histogram into this one (bucket-wise add).
+    /// Associative and commutative, so per-thread shards can be merged
+    /// in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of recorded samples (not quantized).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum recorded sample (not quantized).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (exact, from the tracked sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the representative value
+    /// of the bucket holding the sample of rank `ceil(q * count)`
+    /// (rank 1 = smallest).  Returns 0 for an empty histogram.  The
+    /// exact maximum is reported for the top-most populated bucket, so
+    /// `percentile(1.0) == max()`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        let mut last_nonempty = 0usize;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            last_nonempty = i;
+            if seen >= rank {
+                if seen == self.count {
+                    // Highest populated bucket: the exact max is known.
+                    return self.max;
+                }
+                return bucket_value(i);
+            }
+        }
+        bucket_value(last_nonempty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_below_sixteen() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+            assert_eq!(bucket_width(v as usize), 1);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_tile_the_axis() {
+        // Every bucket starts exactly where the previous one ends.
+        for i in 1..BUCKET_COUNT {
+            let prev_end = bucket_lower_bound(i - 1).saturating_add(bucket_width(i - 1));
+            assert_eq!(prev_end, bucket_lower_bound(i), "gap/overlap at bucket {i}");
+        }
+        // And the lower bound maps back to its own bucket.
+        for i in 0..BUCKET_COUNT {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+            let top = bucket_lower_bound(i) + (bucket_width(i) - 1);
+            assert_eq!(bucket_index(top), i);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_across_octave_edges() {
+        for v in [15u64, 16, 17, 31, 32, 33, 63, 64, 1 << 20, u64::MAX - 1] {
+            assert!(bucket_index(v) <= bucket_index(v + 1));
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for shift in 4..63 {
+            let v = (1u64 << shift) + (1u64 << (shift - 1)) + 7;
+            let rep = bucket_value(bucket_index(v));
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(err < 1.0 / SUB_BUCKETS as f64, "err {err} at {v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_match_oracle_on_small_exact_values() {
+        // Values < 16 are exact, so percentiles must match a sorted vec.
+        let mut h = Histogram::new();
+        let samples = [3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        for (q, rank) in [(0.5, 5), (0.9, 9), (1.0, 10)] {
+            assert_eq!(h.percentile(q), sorted[rank - 1], "q={q}");
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.max(), 9);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q() {
+        let mut h = Histogram::new();
+        for i in 0..10_000u64 {
+            h.record(i * 37 % 5_000);
+        }
+        let mut last = 0;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let p = h.percentile(q);
+            assert!(p >= last, "percentile not monotone at q={q}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for i in 0..100u64 {
+            a.record(i * 3);
+            b.record(i * 31 + 7);
+            c.record(i * 311 + 13);
+        }
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c), built in the other order
+        let mut bc = c.clone();
+        bc.merge(&b);
+        let mut right = bc;
+        right.merge(&a);
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.sum(), right.sum());
+        assert_eq!(left.max(), right.max());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(left.percentile(q), right.percentile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Observability layer for the SplitFS reproduction.
+//!
+//! The paper's headline metric is *software overhead per operation*
+//! (§5.7), but `pmem::stats` only reports it as a run-level aggregate.
+//! This crate turns it into a per-operation distribution:
+//!
+//! * [`span`] — RAII **op spans**.  A [`Recorder`] hands out a
+//!   [`SpanGuard`] per file-system operation; while the guard lives,
+//!   every simulated-time charge the thread makes (via
+//!   [`pmem::Stats::add_time`]) is attributed to the span's
+//!   per-[`pmem::TimeCategory`] breakdown, and instrumentation points
+//!   annotate the span with [`SpanEvent`]s (lane steal, inline create,
+//!   epoch swap, ...).  Recording is thread-local and lock-free on the
+//!   hot path: each thread owns a histogram shard it updates with plain
+//!   relaxed atomics, and the only mutex is taken once per
+//!   (thread, op-kind) at first use, never per operation.
+//! * [`hist`] — **log-linear latency histograms** (HDR-style: 16
+//!   sub-buckets per power of two, ≲6% relative error) with mergeable
+//!   shards and p50/p90/p99/p999 extraction.
+//! * [`flight`] — a **flight recorder**: a fixed-size per-thread ring of
+//!   recent span events, dumped as structured text on panic and readable
+//!   by crash tests after a simulated crash.
+//! * [`metrics`] — [`MetricsSnapshot`] folds the device's
+//!   [`pmem::StatsSnapshot`] counters together with the recorder's
+//!   per-op percentiles into one structure with a single JSON
+//!   serializer (the harness's `METRICS_JSON` lines).
+//! * [`json`] — the tiny ordered JSON writer shared by `METRICS_JSON`
+//!   and the pre-existing `SCALING_JSON` emission.
+//! * [`health`] — the maintenance daemon's **health probe**: lane
+//!   free-list depths, watermark targets and queue lag published by the
+//!   maintenance tick, exported with the snapshot.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod flight;
+pub mod health;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use flight::{install_panic_hook, recent_events, FlightEntry};
+pub use health::{HealthProbe, HealthSnapshot, LaneHealth};
+pub use hist::Histogram;
+pub use json::JsonObject;
+pub use metrics::{MetricsSnapshot, OpMetrics};
+pub use span::{event, OpKind, Recorder, SpanEvent, SpanGuard};

@@ -1,0 +1,575 @@
+//! RAII per-operation tracing spans.
+//!
+//! A [`Recorder`] hands out one [`SpanGuard`] per file-system operation
+//! (the `vfs` tracing wrapper opens one around every trait method).
+//! While the guard lives, the thread's simulated-time charges — tracked
+//! per [`TimeCategory`] by a thread-local tee inside
+//! [`pmem::Stats::add_time`] — accrue to the span, and instrumentation
+//! points inside the file systems annotate it with [`SpanEvent`]s via
+//! [`event`].  When the guard drops, the span's total latency
+//! ([`pmem::SimClock::thread_time_ns`] delta: own charges plus
+//! simulated lock waits) is recorded into a log-linear histogram shard
+//! owned by the recording thread, together with the per-category
+//! breakdown, so software overhead becomes a per-operation
+//! distribution.
+//!
+//! **Nesting.**  Span state is thread-local and only the *outermost*
+//! guard on a thread records; inner guards are passive.  An `appendv`
+//! that falls into an inline staging create therefore charges the
+//! create's time (and its [`SpanEvent::InlineCreate`] annotation) to
+//! the `appendv` span — the operation the application actually paid
+//! for.
+//!
+//! **Lock freedom.**  The hot path takes no lock: each thread owns one
+//! `OpShard` per (recorder, op kind), found through a thread-local
+//! cache and updated with relaxed atomic adds (the atomics exist only
+//! so a reader can aggregate concurrently).  The recorder's registry
+//! mutex is touched once per (thread, op kind) at shard creation,
+//! never per operation — there is no new mutex on the append path.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmem::{SimClock, Stats, TimeCategory};
+
+use crate::flight;
+use crate::hist::{Histogram, BUCKET_COUNT};
+
+/// The kind of file-system operation a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum OpKind {
+    /// `open` of an existing file.
+    Open,
+    /// `open` with the create flag (file birth).
+    Create,
+    /// `close`.
+    Close,
+    /// `read` / `read_at` (copying reads).
+    Read,
+    /// `read_view` (zero-copy reads).
+    ReadView,
+    /// `write` / `write_at`.
+    Write,
+    /// `writev_at` (vectored writes).
+    WritevAt,
+    /// Plain `append`.
+    Append,
+    /// `appendv` (vectored appends).
+    Appendv,
+    /// `fsync`.
+    Fsync,
+    /// `fsync_many` (batched durability).
+    FsyncMany,
+    /// `fdatasync`.
+    Fdatasync,
+    /// Background maintenance-daemon work (ticks, relinks, checkpoints).
+    Maintenance,
+    /// Everything else (metadata ops: stat, rename, mkdir, readdir, ...).
+    Other,
+}
+
+impl OpKind {
+    /// Number of operation kinds.
+    pub const COUNT: usize = 14;
+
+    /// Every kind, in display order.
+    pub const ALL: [OpKind; OpKind::COUNT] = [
+        OpKind::Open,
+        OpKind::Create,
+        OpKind::Close,
+        OpKind::Read,
+        OpKind::ReadView,
+        OpKind::Write,
+        OpKind::WritevAt,
+        OpKind::Append,
+        OpKind::Appendv,
+        OpKind::Fsync,
+        OpKind::FsyncMany,
+        OpKind::Fdatasync,
+        OpKind::Maintenance,
+        OpKind::Other,
+    ];
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lower-case label used in tables and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Open => "open",
+            OpKind::Create => "create",
+            OpKind::Close => "close",
+            OpKind::Read => "read",
+            OpKind::ReadView => "read_view",
+            OpKind::Write => "write",
+            OpKind::WritevAt => "writev_at",
+            OpKind::Append => "append",
+            OpKind::Appendv => "appendv",
+            OpKind::Fsync => "fsync",
+            OpKind::FsyncMany => "fsync_many",
+            OpKind::Fdatasync => "fdatasync",
+            OpKind::Maintenance => "maintenance",
+            OpKind::Other => "other",
+        }
+    }
+
+    pub(crate) fn from_index(i: u8) -> OpKind {
+        OpKind::ALL
+            .get(i as usize)
+            .copied()
+            .unwrap_or(OpKind::Other)
+    }
+}
+
+/// A notable event inside an operation, annotated by the file systems'
+/// instrumentation points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SpanEvent {
+    /// An appender's staging lane ran dry and it stole from another lane.
+    LaneSteal,
+    /// Staging exhausted; the foreground created a staging file inline.
+    InlineCreate,
+    /// The operation log swapped active epochs.
+    EpochSwap,
+    /// Several operation-log entries committed under one fence.
+    GroupCommit,
+    /// Multiple staged files relinked in one batched kernel transaction.
+    RelinkBatch,
+    /// A kernel journal region was contended and the thread waited.
+    JournalRegionWait,
+    /// A cold staged extent was relinked to reclaim staging space.
+    ColdRelink,
+    /// The foreground stalled waiting for a log checkpoint.
+    CheckpointStall,
+}
+
+impl SpanEvent {
+    /// Number of event kinds.
+    pub const COUNT: usize = 8;
+
+    /// Every event, in display order.
+    pub const ALL: [SpanEvent; SpanEvent::COUNT] = [
+        SpanEvent::LaneSteal,
+        SpanEvent::InlineCreate,
+        SpanEvent::EpochSwap,
+        SpanEvent::GroupCommit,
+        SpanEvent::RelinkBatch,
+        SpanEvent::JournalRegionWait,
+        SpanEvent::ColdRelink,
+        SpanEvent::CheckpointStall,
+    ];
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake-case label used in dumps and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanEvent::LaneSteal => "lane_steal",
+            SpanEvent::InlineCreate => "inline_create",
+            SpanEvent::EpochSwap => "epoch_swap",
+            SpanEvent::GroupCommit => "group_commit",
+            SpanEvent::RelinkBatch => "relink_batch",
+            SpanEvent::JournalRegionWait => "journal_region_wait",
+            SpanEvent::ColdRelink => "cold_relink",
+            SpanEvent::CheckpointStall => "checkpoint_stall",
+        }
+    }
+
+    pub(crate) fn from_index(i: u8) -> Option<SpanEvent> {
+        SpanEvent::ALL.get(i as usize).copied()
+    }
+}
+
+const CATS: usize = TimeCategory::ALL.len();
+
+/// One thread's private accumulation state for one (recorder, op kind).
+///
+/// The owner thread updates it with relaxed atomic adds (no RMW
+/// contention: no other thread ever writes); the recorder reads it when
+/// aggregating.
+struct OpShard {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Exact total span time, picoseconds.
+    sum_ps: AtomicU64,
+    /// Exact maximum span time, nanoseconds.
+    max_ns: AtomicU64,
+    /// Per-category simulated time inside spans, picoseconds.
+    cat_ps: [AtomicU64; CATS],
+    /// Span time not covered by any category (simulated lock waits),
+    /// picoseconds.
+    wait_ps: AtomicU64,
+    events: [AtomicU64; SpanEvent::COUNT],
+}
+
+impl OpShard {
+    fn new() -> Arc<OpShard> {
+        Arc::new(OpShard {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ps: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            cat_ps: std::array::from_fn(|_| AtomicU64::new(0)),
+            wait_ps: AtomicU64::new(0),
+            events: std::array::from_fn(|_| AtomicU64::new(0)),
+        })
+    }
+}
+
+/// Aggregated view of one op kind across every thread's shard.
+#[derive(Debug, Clone)]
+pub struct OpAggregate {
+    /// The operation kind.
+    pub kind: OpKind,
+    /// Merged latency histogram (values in simulated nanoseconds).
+    pub hist: Histogram,
+    /// Simulated nanoseconds spent per [`TimeCategory`] inside these
+    /// spans, in [`TimeCategory::ALL`] order.
+    pub cat_ns: [f64; CATS],
+    /// Simulated nanoseconds of lock waits inside these spans (span
+    /// time not attributed to any category).
+    pub wait_ns: f64,
+    /// Event annotation counts, in [`SpanEvent::ALL`] order.
+    pub events: [u64; SpanEvent::COUNT],
+}
+
+struct ThreadSpan {
+    depth: u32,
+    kind: OpKind,
+    start_thread_ns: f64,
+    start_cat_ns: [f64; CATS],
+    events: [u64; SpanEvent::COUNT],
+}
+
+struct ThreadState {
+    span: ThreadSpan,
+    /// Cache of this thread's shards, keyed by (recorder id, kind).
+    /// Linear scan: a thread touches at most a handful of recorders.
+    cache: Vec<(u64, u8, Arc<OpShard>)>,
+}
+
+thread_local! {
+    static STATE: RefCell<ThreadState> = const {
+        RefCell::new(ThreadState {
+            span: ThreadSpan {
+                depth: 0,
+                kind: OpKind::Other,
+                start_thread_ns: 0.0,
+                start_cat_ns: [0.0; CATS],
+                events: [0; SpanEvent::COUNT],
+            },
+            cache: Vec::new(),
+        })
+    };
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A per-run span recorder: the sink for every span opened against it
+/// and the point percentiles are extracted from.
+///
+/// Cheap to share (`Arc`); create one per measured run so aggregates
+/// cover exactly the measurement window.
+pub struct Recorder {
+    id: u64,
+    /// Registry of every thread's shard, per op kind.  Locked only at
+    /// shard creation (once per thread and kind) and at aggregation.
+    shards: [Mutex<Vec<Arc<OpShard>>>; OpKind::COUNT],
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder").field("id", &self.id).finish()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Opens a span of `kind`.  If the thread already has an open span
+    /// (any recorder), the returned guard is passive: its time and
+    /// events accrue to the outermost span.  Hold the guard for exactly
+    /// the duration of the operation.
+    pub fn span(self: &Arc<Self>, kind: OpKind) -> SpanGuard {
+        let outermost = STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            let span = &mut s.span;
+            span.depth += 1;
+            if span.depth == 1 {
+                span.kind = kind;
+                span.start_thread_ns = SimClock::thread_time_ns();
+                span.start_cat_ns = Stats::thread_category_time_ns();
+                span.events = [0; SpanEvent::COUNT];
+                true
+            } else {
+                false
+            }
+        });
+        SpanGuard {
+            recorder: if outermost {
+                Some(Arc::clone(self))
+            } else {
+                None
+            },
+            kind,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Returns this thread's shard for `kind`, creating and registering
+    /// it on first use.
+    fn shard(&self, kind: OpKind, state: &mut ThreadState) -> Arc<OpShard> {
+        let key = (self.id, kind.index() as u8);
+        if let Some((_, _, shard)) = state.cache.iter().find(|(id, k, _)| (*id, *k) == key) {
+            return Arc::clone(shard);
+        }
+        let shard = OpShard::new();
+        self.shards[kind.index()].lock().push(Arc::clone(&shard));
+        state.cache.push((key.0, key.1, Arc::clone(&shard)));
+        shard
+    }
+
+    /// Merges every thread's shards into one [`OpAggregate`] per op
+    /// kind that recorded at least one span.  Call after the workload
+    /// quiesces; concurrent recording is safe but the aggregate is then
+    /// only approximate.
+    pub fn aggregate(&self) -> Vec<OpAggregate> {
+        let mut out = Vec::new();
+        for kind in OpKind::ALL {
+            let shards = self.shards[kind.index()].lock();
+            if shards.is_empty() {
+                continue;
+            }
+            let mut hist = Histogram::new();
+            let mut cat_ps = [0u64; CATS];
+            let mut wait_ps = 0u64;
+            let mut events = [0u64; SpanEvent::COUNT];
+            for shard in shards.iter() {
+                let mut sum_ps = 0u64;
+                for (i, b) in shard.buckets.iter().enumerate() {
+                    let c = b.load(Ordering::Relaxed);
+                    if c > 0 {
+                        hist.add_bucket(i, c);
+                    }
+                }
+                sum_ps += shard.sum_ps.load(Ordering::Relaxed);
+                hist.fold_summary(
+                    (sum_ps as f64 / 1000.0).round() as u64,
+                    shard.max_ns.load(Ordering::Relaxed),
+                );
+                for (dst, src) in cat_ps.iter_mut().zip(shard.cat_ps.iter()) {
+                    *dst += src.load(Ordering::Relaxed);
+                }
+                wait_ps += shard.wait_ps.load(Ordering::Relaxed);
+                for (dst, src) in events.iter_mut().zip(shard.events.iter()) {
+                    *dst += src.load(Ordering::Relaxed);
+                }
+            }
+            if hist.count() == 0 {
+                continue;
+            }
+            out.push(OpAggregate {
+                kind,
+                hist,
+                cat_ns: std::array::from_fn(|i| cat_ps[i] as f64 / 1000.0),
+                wait_ns: wait_ps as f64 / 1000.0,
+                events,
+            });
+        }
+        out
+    }
+
+    /// Total spans recorded across every op kind.
+    pub fn total_spans(&self) -> u64 {
+        self.aggregate().iter().map(|a| a.hist.count()).sum()
+    }
+}
+
+/// RAII guard for one operation span; created by [`Recorder::span`].
+///
+/// Dropping the outermost guard on a thread records the span; nested
+/// guards only maintain the depth count.  The guard is intentionally
+/// `!Send`: a span measures one thread's critical path.
+#[must_use = "a span measures the time until the guard drops"]
+pub struct SpanGuard {
+    /// `Some` for the outermost guard (records on drop), `None` for
+    /// passive nested guards.
+    recorder: Option<Arc<Recorder>>,
+    kind: OpKind,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("kind", &self.kind)
+            .field("outermost", &self.recorder.is_some())
+            .finish()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(recorder) = self.recorder.take() else {
+            STATE.with(|s| {
+                let span = &mut s.borrow_mut().span;
+                span.depth = span.depth.saturating_sub(1);
+            });
+            return;
+        };
+        let end_thread_ns = SimClock::thread_time_ns();
+        let end_cat_ns = Stats::thread_category_time_ns();
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            s.span.depth = 0;
+            let total_ns = (end_thread_ns - s.span.start_thread_ns).max(0.0);
+            let mut cat_ps = [0u64; CATS];
+            let mut cat_total_ns = 0.0f64;
+            for i in 0..CATS {
+                let d = (end_cat_ns[i] - s.span.start_cat_ns[i]).max(0.0);
+                cat_total_ns += d;
+                cat_ps[i] = (d * 1000.0).round() as u64;
+            }
+            // Span time no category claims is simulated lock-wait time
+            // (clamped: rounding must not push it negative).
+            let wait_ns = (total_ns - cat_total_ns).max(0.0);
+            let events = s.span.events;
+            let kind = self.kind;
+            let shard = recorder.shard(kind, &mut s);
+            let ns = total_ns.round() as u64;
+            shard.buckets[crate::hist::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+            shard.count.fetch_add(1, Ordering::Relaxed);
+            shard
+                .sum_ps
+                .fetch_add((total_ns * 1000.0).round() as u64, Ordering::Relaxed);
+            shard.max_ns.fetch_max(ns, Ordering::Relaxed);
+            for (dst, &src) in shard.cat_ps.iter().zip(cat_ps.iter()) {
+                if src > 0 {
+                    dst.fetch_add(src, Ordering::Relaxed);
+                }
+            }
+            if wait_ns > 0.0 {
+                shard
+                    .wait_ps
+                    .fetch_add((wait_ns * 1000.0).round() as u64, Ordering::Relaxed);
+            }
+            for (dst, &src) in shard.events.iter().zip(events.iter()) {
+                if src > 0 {
+                    dst.fetch_add(src, Ordering::Relaxed);
+                }
+            }
+        });
+    }
+}
+
+/// Annotates the current span (if any) with `event` and appends it to
+/// the thread's flight-recorder ring unconditionally.
+///
+/// Called from instrumentation points inside the file systems; costs a
+/// thread-local increment and two relaxed stores — safe on the hottest
+/// paths.
+pub fn event(event: SpanEvent) {
+    let kind = STATE.with(|s| {
+        let span = &mut s.borrow_mut().span;
+        if span.depth > 0 {
+            span.events[event.index()] += 1;
+            span.kind
+        } else {
+            OpKind::Other
+        }
+    });
+    flight::note(kind, event);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmemBuilder;
+
+    #[test]
+    fn outermost_span_records_and_nested_is_passive() {
+        let rec = Arc::new(Recorder::new());
+        {
+            let _outer = rec.span(OpKind::Appendv);
+            {
+                let _inner = rec.span(OpKind::Create);
+                event(SpanEvent::InlineCreate);
+            }
+            event(SpanEvent::LaneSteal);
+        }
+        let aggs = rec.aggregate();
+        assert_eq!(aggs.len(), 1, "only the outermost span records");
+        let a = &aggs[0];
+        assert_eq!(a.kind, OpKind::Appendv);
+        assert_eq!(a.hist.count(), 1);
+        assert_eq!(a.events[SpanEvent::InlineCreate.index()], 1);
+        assert_eq!(a.events[SpanEvent::LaneSteal.index()], 1);
+    }
+
+    #[test]
+    fn span_captures_category_time_and_wait() {
+        let device = PmemBuilder::new(1024 * 1024).build();
+        let rec = Arc::new(Recorder::new());
+        {
+            let _g = rec.span(OpKind::Write);
+            device.charge(TimeCategory::UserData, 500.0);
+            device.charge(TimeCategory::Software, 250.0);
+            SimClock::charge_thread_wait(125.0);
+        }
+        let aggs = rec.aggregate();
+        let a = aggs.iter().find(|a| a.kind == OpKind::Write).unwrap();
+        let user = TimeCategory::UserData.index_in_all();
+        let sw = TimeCategory::Software.index_in_all();
+        assert!((a.cat_ns[user] - 500.0).abs() < 1e-6, "{:?}", a.cat_ns);
+        assert!((a.cat_ns[sw] - 250.0).abs() < 1e-6);
+        assert!((a.wait_ns - 125.0).abs() < 1e-6);
+        assert_eq!(a.hist.count(), 1);
+        assert_eq!(a.hist.max(), 875);
+    }
+
+    #[test]
+    fn shards_merge_across_threads() {
+        let rec = Arc::new(Recorder::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = Arc::clone(&rec);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let _g = rec.span(OpKind::Fsync);
+                        SimClock::charge_thread_wait(10.0);
+                    }
+                });
+            }
+        });
+        let aggs = rec.aggregate();
+        let a = aggs.iter().find(|a| a.kind == OpKind::Fsync).unwrap();
+        assert_eq!(a.hist.count(), 400);
+        assert_eq!(rec.total_spans(), 400);
+    }
+
+    #[test]
+    fn events_outside_spans_do_not_panic() {
+        event(SpanEvent::EpochSwap);
+    }
+}

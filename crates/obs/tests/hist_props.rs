@@ -1,0 +1,100 @@
+//! Property tests: the log-linear histogram against a sorted-vector
+//! oracle, and shard-merge associativity on arbitrary populations.
+
+use obs::hist::{bucket_index, bucket_lower_bound, bucket_width, Histogram};
+use proptest::prelude::*;
+
+/// The oracle: exact rank-`ceil(q*n)` selection from the sorted samples.
+fn oracle_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every value maps into a bucket whose [lower, lower+width) range
+    /// contains it, and the bucket index is monotone in the value.
+    #[test]
+    fn bucket_ranges_contain_their_values(v in any::<u64>()) {
+        let i = bucket_index(v);
+        let lo = bucket_lower_bound(i);
+        let w = bucket_width(i);
+        prop_assert!(lo <= v);
+        prop_assert!(v - lo < w);
+        if v < u64::MAX {
+            prop_assert!(bucket_index(v + 1) >= i);
+        }
+    }
+
+    /// The histogram's percentile lands in the same bucket as the exact
+    /// sorted-vector oracle — quantization never moves a percentile
+    /// across a bucket boundary.
+    #[test]
+    fn percentiles_match_sorted_vector_oracle(
+        samples in prop::collection::vec(0u64..2_000_000, 1..400),
+        q in prop_oneof![
+            Just(0.5),
+            Just(0.9),
+            Just(0.99),
+            Just(0.999),
+            (0u64..=1000).prop_map(|v| v as f64 / 1000.0),
+        ],
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut samples = samples;
+        samples.sort_unstable();
+        let expected = oracle_percentile(&samples, q);
+        let got = h.percentile(q);
+        prop_assert_eq!(
+            bucket_index(got),
+            bucket_index(expected),
+            "q={} got={} expected={}", q, got, expected
+        );
+    }
+
+    /// Merging per-thread shards is associative and order-independent:
+    /// any bracketing of the same populations yields identical counts
+    /// and percentiles.
+    #[test]
+    fn shard_merge_is_associative(
+        a in prop::collection::vec(any::<u64>(), 0..200),
+        b in prop::collection::vec(any::<u64>(), 0..200),
+        c in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let build = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        // ((a + b) + c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // (c + (b + a))
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        let mut right = hc.clone();
+        right.merge(&ba);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.sum(), right.sum());
+        prop_assert_eq!(left.max(), right.max());
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(left.percentile(q), right.percentile(q));
+        }
+        // And merging matches recording everything into one histogram.
+        let mut all: Vec<u64> = Vec::new();
+        all.extend(&a); all.extend(&b); all.extend(&c);
+        let direct = build(&all);
+        prop_assert_eq!(direct.count(), left.count());
+        for q in [0.5, 0.99] {
+            prop_assert_eq!(direct.percentile(q), left.percentile(q));
+        }
+    }
+}

@@ -8,7 +8,18 @@
 //! per-category bytes written (the latter gives write amplification and PM
 //! wear, which the paper uses when comparing against Strata).
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    /// Per-category simulated picoseconds charged **by the current
+    /// thread**, across every [`Stats`] instance (mirrors the clock's
+    /// thread-time tee).  The observability layer reads deltas of this
+    /// around an operation span to attribute the thread's charges to
+    /// that operation; absolute values are meaningless across threads.
+    static THREAD_CAT_PICOS: [Cell<u64>; 5] =
+        const { [Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0), Cell::new(0)] };
+}
 
 /// What a charge of simulated time (or a burst of written bytes) was for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,6 +60,13 @@ impl TimeCategory {
             TimeCategory::OpLog => 3,
             TimeCategory::Software => 4,
         }
+    }
+
+    /// Position of this category in [`TimeCategory::ALL`] — the index
+    /// into the per-category arrays of [`StatsSnapshot`] and of
+    /// [`Stats::thread_category_time_ns`].
+    pub fn index_in_all(self) -> usize {
+        self.index()
     }
 
     /// Human-readable label for reports.
@@ -199,7 +217,24 @@ impl Stats {
         if !ns.is_finite() || ns <= 0.0 {
             return;
         }
-        self.time_ps[cat.index()].fetch_add((ns * 1000.0).round() as u64, Ordering::Relaxed);
+        let picos = (ns * 1000.0).round() as u64;
+        self.time_ps[cat.index()].fetch_add(picos, Ordering::Relaxed);
+        THREAD_CAT_PICOS.with(|t| {
+            let cell = &t[cat.index()];
+            cell.set(cell.get() + picos);
+        });
+    }
+
+    /// Simulated nanoseconds charged **by the calling thread** per
+    /// category (in [`TimeCategory::ALL`] order), across every `Stats`
+    /// instance, since the thread started.  The per-thread counterpart
+    /// of [`StatsSnapshot::time_ns`] and the category-resolved
+    /// counterpart of [`crate::SimClock::thread_time_ns`]: the
+    /// observability layer takes deltas of this around an operation to
+    /// build the per-op software-overhead breakdown.  Never reset;
+    /// consumers subtract a starting sample.
+    pub fn thread_category_time_ns() -> [f64; 5] {
+        THREAD_CAT_PICOS.with(|t| std::array::from_fn(|i| t[i].get() as f64 / 1000.0))
     }
 
     /// Records `n` bytes written to the device attributed to `cat`.
@@ -654,8 +689,9 @@ impl StatsSnapshot {
         }
     }
 
-    /// Element-wise difference `self - earlier`; used to measure a phase.
-    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+    /// Element-wise difference `self - earlier`; used to measure a phase
+    /// without subtracting counter fields by hand.
+    pub fn delta(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         let mut out = *self;
         for i in 0..5 {
             out.time_ns[i] -= earlier.time_ns[i];
@@ -734,6 +770,50 @@ impl StatsSnapshot {
             .saturating_sub(earlier.instances_recovered);
         out
     }
+
+    /// Alias for [`StatsSnapshot::delta`], kept for older call sites.
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        self.delta(earlier)
+    }
+
+    /// Every scalar event counter as `(name, value)` pairs, in a stable
+    /// order — the single source the JSON exporters iterate instead of
+    /// naming each field again.
+    pub fn counters(&self) -> [(&'static str, u64); 31] {
+        [
+            ("flushes", self.flushes),
+            ("fences", self.fences),
+            ("page_faults", self.page_faults),
+            ("huge_page_faults", self.huge_page_faults),
+            ("kernel_traps", self.kernel_traps),
+            ("staging_inline_creates", self.staging_inline_creates),
+            ("staging_bg_creates", self.staging_bg_creates),
+            ("batched_relinks", self.batched_relinks),
+            ("relink_batch_ops", self.relink_batch_ops),
+            ("oplog_group_commits", self.oplog_group_commits),
+            ("daemon_checkpoints", self.daemon_checkpoints),
+            ("zero_copy_read_bytes", self.zero_copy_read_bytes),
+            ("appendv_calls", self.appendv_calls),
+            ("appendv_slices", self.appendv_slices),
+            ("fsync_many_calls", self.fsync_many_calls),
+            ("fsync_many_files", self.fsync_many_files),
+            ("journal_txns", self.journal_txns),
+            ("shard_lock_waits", self.shard_lock_waits),
+            ("oplog_epoch_swaps", self.oplog_epoch_swaps),
+            ("oplog_epoch_truncates", self.oplog_epoch_truncates),
+            ("oplog_grows", self.oplog_grows),
+            ("checkpoint_stalls", self.checkpoint_stalls),
+            ("staging_recycles", self.staging_recycles),
+            ("staging_lock_waits", self.staging_lock_waits),
+            ("staging_lane_steals", self.staging_lane_steals),
+            ("staging_adaptive_resizes", self.staging_adaptive_resizes),
+            ("staging_cold_relinks", self.staging_cold_relinks),
+            ("lease_acquires", self.lease_acquires),
+            ("lease_releases", self.lease_releases),
+            ("lease_conflicts", self.lease_conflicts),
+            ("instances_recovered", self.instances_recovered),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -789,6 +869,50 @@ mod tests {
         assert_eq!(snap.total_time_ns(), 0.0);
         assert_eq!(snap.total_bytes_written(), 0);
         assert_eq!(snap.kernel_traps, 0);
+    }
+
+    #[test]
+    fn thread_category_tee_tracks_own_charges_only() {
+        std::thread::spawn(|| {
+            let s = Stats::new();
+            let t0 = Stats::thread_category_time_ns();
+            s.add_time(TimeCategory::OpLog, 40.0);
+            s.add_time(TimeCategory::OpLog, 2.5);
+            // A second instance tees into the same thread-local.
+            let s2 = Stats::new();
+            s2.add_time(TimeCategory::Software, 7.5);
+            let t1 = Stats::thread_category_time_ns();
+            let oplog = TimeCategory::OpLog.index_in_all();
+            let sw = TimeCategory::Software.index_in_all();
+            assert!((t1[oplog] - t0[oplog] - 42.5).abs() < 1e-6);
+            assert!((t1[sw] - t0[sw] - 7.5).abs() < 1e-6);
+            // Resetting an instance leaves the thread tee monotone.
+            s.reset();
+            let t2 = Stats::thread_category_time_ns();
+            assert!(t2[oplog] >= t1[oplog]);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn delta_alias_and_counters_agree() {
+        let s = Stats::new();
+        s.add_fence();
+        s.add_kernel_trap();
+        let snap = s.snapshot();
+        assert_eq!(snap.delta(&StatsSnapshot::default()), snap);
+        assert_eq!(snap.delta_since(&StatsSnapshot::default()), snap);
+        let counters = snap.counters();
+        assert_eq!(counters.iter().find(|(n, _)| *n == "fences").unwrap().1, 1);
+        assert_eq!(
+            counters
+                .iter()
+                .find(|(n, _)| *n == "kernel_traps")
+                .unwrap()
+                .1,
+            1
+        );
     }
 
     #[test]

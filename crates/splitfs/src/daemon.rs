@@ -171,6 +171,17 @@ impl MaintenanceDaemon {
         self.shareds.clone()
     }
 
+    /// Queued-but-unexecuted tasks across every worker (queue lag, for
+    /// the health probe).  Busy queues are skipped (`try_lock`): the
+    /// probe is a gauge, not an audit, and the tick calling it must
+    /// never block on a queue a worker holds.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.shareds
+            .iter()
+            .filter_map(|s| s.queue.try_lock().map(|q| q.tasks.len()))
+            .sum()
+    }
+
     /// Blocks until every queue is empty and no task is in flight.
     pub(crate) fn wait_idle(shareds: &[Arc<Shared>]) {
         for shared in shareds {
@@ -232,6 +243,9 @@ fn worker_loop(fs: Weak<SplitFs>, shared: Arc<Shared>) {
 
         let alive = match fs.upgrade() {
             Some(fs) => {
+                // Background work gets its own Maintenance span so the
+                // per-op time breakdown accounts for daemon charges too.
+                let _span = fs.maintenance_span();
                 match task {
                     Some(Task::ProvisionStaging) | None => fs.maintenance_tick(),
                     Some(Task::RelinkFile(ino)) => fs.background_relink(ino),
@@ -325,6 +339,30 @@ impl SplitFs {
                 self.background_checkpoint();
             }
         }
+        self.publish_health();
+    }
+
+    /// Publishes the daemon's current view — lane free-list depths,
+    /// watermark targets, queue lag, log utilization — into the health
+    /// probe.  Gauges only; every read below is lock-free or `try_lock`.
+    pub(crate) fn publish_health(&self) {
+        let lanes = (0..self.staging.lane_count())
+            .map(|i| obs::LaneHealth {
+                free_files: self.staging.lane_unconsumed(i),
+                watermark: self.staging.lane_watermarks(i).0,
+            })
+            .collect();
+        let queue_depth = self
+            .daemon
+            .try_lock()
+            .and_then(|d| d.as_ref().map(|d| d.queue_depth()))
+            .unwrap_or(0);
+        self.health.publish(obs::HealthSnapshot {
+            ticks: 0, // stamped by HealthProbe::publish
+            lanes,
+            queue_depth,
+            oplog_utilization: self.oplog.as_ref().map(|o| o.utilization()).unwrap_or(0.0),
+        });
     }
 
     /// Background relink of one file's staged extents (batched through

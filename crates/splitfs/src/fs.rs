@@ -100,6 +100,16 @@ pub struct SplitFs {
     /// windows sized into watermarks on each maintenance tick.  Only the
     /// daemon touches it, so the mutex is uncontended.
     pub(crate) adaptive: Mutex<WatermarkController>,
+    /// Daemon health gauges, overwritten by each maintenance tick and
+    /// read through [`SplitFs::health`] / the metrics export.
+    pub(crate) health: obs::HealthProbe,
+    /// Span recorder for background maintenance work, when one is
+    /// attached (see [`SplitFs::attach_recorder`]).  Foreground spans
+    /// come from the `vfs::TracedFs` wrapper; the daemon cannot go
+    /// through the wrapper, so it opens its own `Maintenance` spans
+    /// against this recorder.  RwLock: written once per measured run,
+    /// read once per daemon dispatch.
+    pub(crate) recorder: parking_lot::RwLock<Option<Arc<obs::Recorder>>>,
 }
 
 impl std::fmt::Debug for SplitFs {
@@ -177,6 +187,8 @@ impl SplitFs {
                     checkpoint_nudged: std::sync::atomic::AtomicBool::new(false),
                     provision_nudged: std::sync::atomic::AtomicBool::new(false),
                     adaptive,
+                    health: obs::HealthProbe::new(),
+                    recorder: parking_lot::RwLock::new(None),
                 });
                 if fs.config.daemon.enabled && fs.config.use_staging {
                     *fs.daemon.lock() = Some(MaintenanceDaemon::start(&fs, &fs.config.daemon));
@@ -314,6 +326,31 @@ impl SplitFs {
         if let Some(shareds) = shareds {
             MaintenanceDaemon::wait_idle(&shareds);
         }
+    }
+
+    /// Attaches a span recorder for background maintenance work: every
+    /// daemon dispatch from now on runs under an
+    /// [`obs::OpKind::Maintenance`] span against `recorder`, so the
+    /// per-op time breakdown covers daemon charges too.  Foreground
+    /// operations are spanned by wrapping the instance in
+    /// [`vfs::TracedFs`] with the same recorder.
+    pub fn attach_recorder(&self, recorder: Arc<obs::Recorder>) {
+        *self.recorder.write() = Some(recorder);
+    }
+
+    /// The daemon's health gauges as of its last maintenance tick (all
+    /// zero until the first tick, or forever when the daemon is off).
+    pub fn health(&self) -> obs::HealthSnapshot {
+        self.health.read()
+    }
+
+    /// Opens a `Maintenance` span when a recorder is attached (daemon
+    /// workers call this around each dispatched task).
+    pub(crate) fn maintenance_span(&self) -> Option<obs::SpanGuard> {
+        self.recorder
+            .read()
+            .as_ref()
+            .map(|r| r.span(obs::OpKind::Maintenance))
     }
 
     /// Nudges the daemon with `task`; a no-op when the daemon is disabled.
@@ -461,6 +498,7 @@ impl SplitFs {
         // A growth failure (device full) is a real foreground stall.
         self.grow_oplog().inspect_err(|_| {
             self.device.stats().add_checkpoint_stall(0.0);
+            obs::event(obs::SpanEvent::CheckpointStall);
         })
     }
 
@@ -639,6 +677,7 @@ impl SplitFs {
             {
                 relinked += 1;
                 self.device.stats().add_staging_cold_relink();
+                obs::event(obs::SpanEvent::ColdRelink);
             }
         }
         relinked

@@ -337,6 +337,7 @@ impl OpLog {
             std::hint::spin_loop();
         }
         self.device.stats().add_oplog_epoch_swap();
+        obs::event(obs::SpanEvent::EpochSwap);
         Some(self.seq.load(Ordering::SeqCst))
     }
 
@@ -481,6 +482,7 @@ impl OpLog {
         epoch.writers.fetch_sub(1, Ordering::SeqCst);
         if entries.len() > 1 {
             self.device.stats().add_oplog_group_commit();
+            obs::event(obs::SpanEvent::GroupCommit);
         }
         Ok(())
     }

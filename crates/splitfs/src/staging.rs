@@ -615,6 +615,7 @@ impl StagingPool {
                 // rule: the index is never acquired while a lane is held).
                 self.index.write().insert(file.ino, dest);
                 self.device.stats().add_staging_lane_steal();
+                obs::event(obs::SpanEvent::LaneSteal);
                 return Some(file);
             }
         }
@@ -685,6 +686,7 @@ impl StagingPool {
                         self.index.write().insert(file.ino, lane_idx);
                         self.created_inline.fetch_add(1, Ordering::Relaxed);
                         self.device.stats().add_staging_inline_create();
+                        obs::event(obs::SpanEvent::InlineCreate);
                         file
                     }
                 };

@@ -14,7 +14,7 @@ use kernelfs::{Ext4Dax, RelinkOp, BLOCK_SIZE};
 use pmem::{PmemBuilder, PmemDevice};
 use splitfs::oplog::{LogOp, OpLog};
 use splitfs::{recover, DaemonConfig, Mode, SplitConfig, SplitFs, OPLOG_PATH};
-use vfs::{FileSystem, OpenFlags};
+use vfs::{FileSystem, IoVec, OpenFlags};
 
 fn device() -> Arc<PmemDevice> {
     PmemBuilder::new(256 * 1024 * 1024).build()
@@ -306,6 +306,48 @@ fn dropping_the_instance_joins_the_workers() {
     let kernel2 = Ext4Dax::mount(Arc::clone(&device)).unwrap();
     let fs2 = SplitFs::new(kernel2, strict_config()).unwrap();
     assert_eq!(fs2.read_file("/x").unwrap(), vec![1u8; 4096]);
+}
+
+#[test]
+fn flight_recorder_keeps_the_event_tail_across_a_simulated_crash() {
+    let device = device();
+    let kernel = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+    let config = strict_config();
+    let fs = SplitFs::new(Arc::clone(&kernel), config.clone()).unwrap();
+
+    // A two-slice appendv logs two entries in one transaction, firing a
+    // GroupCommit flight event on this thread.  The surrounding span
+    // stamps the event with the Appendv op kind, which uniquely
+    // identifies this workload's events inside this test binary.
+    let recorder = Arc::new(obs::Recorder::new());
+    let fd = fs.open("/flight.db", OpenFlags::create()).unwrap();
+    let a = vec![0x33u8; BLOCK_SIZE];
+    let b = vec![0x44u8; BLOCK_SIZE];
+    {
+        let _span = recorder.span(obs::OpKind::Appendv);
+        fs.appendv(fd, &[IoVec::new(&a), IoVec::new(&b)]).unwrap();
+    }
+    fs.maintenance_quiesce();
+    drop(fs);
+    device.crash();
+
+    // The crash killed the instance, not the process: the per-thread
+    // flight rings survive and hold the event tail leading up to it, so
+    // a post-mortem (or the panic hook) can see what the dying instance
+    // was doing.
+    let rings = obs::recent_events();
+    assert!(
+        rings
+            .iter()
+            .flatten()
+            .any(|e| e.kind == obs::OpKind::Appendv && e.event == obs::SpanEvent::GroupCommit),
+        "the pre-crash group commit must still be visible in the flight rings"
+    );
+
+    // And recovery over the crashed device still replays the append.
+    let (report, contents) = recover_and_read(&device, &config, &["/flight.db".to_string()]);
+    assert!(report.replayed >= 1, "{report:?}");
+    assert_eq!(contents[0], [a, b].concat());
 }
 
 #[test]

@@ -35,6 +35,7 @@
 pub mod error;
 pub mod io;
 pub mod path;
+pub mod trace;
 pub mod types;
 pub mod util;
 
@@ -42,6 +43,7 @@ use std::sync::Arc;
 
 pub use error::{FsError, FsResult};
 pub use io::{iov_gather, iov_total_len, IoVec, ReadView};
+pub use trace::TracedFs;
 pub use types::{ConsistencyClass, Fd, FileStat, OpenFlags, SeekFrom};
 
 use pmem::PmemDevice;

@@ -21,12 +21,16 @@
 //!   concurrent U-Split instances over one shared kernel file system,
 //!   each with leased staging/log resources, measuring aggregate
 //!   throughput and lease conflicts.
+//! * [`latency`] — the closed-loop per-operation latency workload: a
+//!   mixed append/read/overwrite/fsync stream whose per-op latency
+//!   distributions are captured by an attached [`obs::Recorder`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod appbench;
 pub mod io_patterns;
+pub mod latency;
 pub mod multiproc;
 pub mod tpcc;
 pub mod utilities;

@@ -13,10 +13,13 @@
 //!   file system with staging files, relink and the operation log.
 //! * [`apps`] — LSM key-value store, WAL database and AOF store substrates.
 //! * [`workloads`] — YCSB, TPC-C-like, Varmail-like and utility workloads.
+//! * [`obs`] — op spans, latency histograms, the crash flight recorder and
+//!   the metrics JSON export.
 
 pub use apps;
 pub use baselines;
 pub use kernelfs;
+pub use obs;
 pub use pmem;
 pub use splitfs;
 pub use vfs;
