@@ -9,6 +9,14 @@
 //! pages, transactions buffer dirty pages and commit them to the WAL, and a
 //! checkpoint copies the newest version of each page into the database file
 //! and truncates the WAL.
+//!
+//! Commits normally go through the synchronous vectored path (one
+//! `writev_at`, one `fdatasync`).  [`WalDb::attach_ring`] switches the
+//! commit to an [`aio`] submission ring instead: the WAL frames are
+//! submitted as one `WritevAt` sqe and durability comes from awaiting the
+//! completion's **durability epoch** rather than issuing the fsync — so
+//! concurrent databases over one ring hub share log fences.  The
+//! synchronous path is untouched and remains the default.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -50,10 +58,19 @@ impl Default for WalDbConfig {
 /// A row location: which page holds it.
 type RowKey = (u8, u64);
 
+/// Ring-commit state: the hub whose backend executes the batches, one
+/// submission ring, and the next submission tag.
+struct RingCommit {
+    hub: Arc<aio::RingFs>,
+    ring: aio::Ring,
+    next_user_data: u64,
+}
+
 /// The WAL-mode page store.
 pub struct WalDb {
     fs: Arc<dyn FileSystem>,
     config: WalDbConfig,
+    ring: Option<RingCommit>,
     db_fd: Fd,
     wal_fd: Fd,
     /// Number of pages in the database file.
@@ -108,6 +125,7 @@ impl WalDb {
         let mut db = Self {
             fs,
             config,
+            ring: None,
             db_fd,
             wal_fd,
             page_count,
@@ -364,17 +382,27 @@ impl WalDb {
             offsets.push((*page_no, frame_off + FRAME_HEADER as u64));
             frame_off += (FRAME_HEADER + PAGE_SIZE) as u64;
         }
-        let mut iov = Vec::with_capacity(dirty.len() * 2);
-        for (header, (_, page)) in headers.iter().zip(&dirty) {
-            iov.push(IoVec::new(&header[..]));
-            iov.push(IoVec::new(page));
-        }
-        let written = self.fs.writev_at(self.wal_fd, self.wal_len, &iov)?;
-        if self.config.sync_commits {
-            // The WAL is data-durability only: the page images must be
-            // persistent, the file metadata can trail (fdatasync).
-            self.fs.fdatasync(self.wal_fd)?;
-        }
+        let written = if self.ring.is_some() {
+            let mut bufs = Vec::with_capacity(dirty.len() * 2);
+            for (header, (_, page)) in headers.iter().zip(&dirty) {
+                bufs.push(header.to_vec());
+                bufs.push(page.clone());
+            }
+            self.ring_commit(bufs)? as usize
+        } else {
+            let mut iov = Vec::with_capacity(dirty.len() * 2);
+            for (header, (_, page)) in headers.iter().zip(&dirty) {
+                iov.push(IoVec::new(&header[..]));
+                iov.push(IoVec::new(page));
+            }
+            let written = self.fs.writev_at(self.wal_fd, self.wal_len, &iov)?;
+            if self.config.sync_commits {
+                // The WAL is data-durability only: the page images must be
+                // persistent, the file metadata can trail (fdatasync).
+                self.fs.fdatasync(self.wal_fd)?;
+            }
+            written
+        };
         self.wal_len += written as u64;
         self.wal_frames += dirty.len();
         for (page_no, off) in offsets {
@@ -388,6 +416,55 @@ impl WalDb {
             self.checkpoint()?;
         }
         Ok(())
+    }
+
+    /// Routes subsequent commits through `hub`'s submission rings: the
+    /// transaction's WAL frames become one `WritevAt` submission and
+    /// durability comes from awaiting the completion's durability epoch
+    /// instead of an `fdatasync`.  `hub` must be built over the same
+    /// file system this database runs on.  The synchronous path is
+    /// restored by never calling this (it stays the default).
+    pub fn attach_ring(&mut self, hub: Arc<aio::RingFs>) {
+        let ring = hub.ring(8);
+        self.ring = Some(RingCommit {
+            hub,
+            ring,
+            next_user_data: 1,
+        });
+    }
+
+    /// Commits one transaction's gathered frames through the attached
+    /// ring, then awaits the completion's epoch when commits are
+    /// synchronous.
+    fn ring_commit(&mut self, bufs: Vec<Vec<u8>>) -> FsResult<u64> {
+        let rc = self.ring.as_mut().expect("ring attached");
+        let user_data = rc.next_user_data;
+        rc.next_user_data += 1;
+        let mut sqe = aio::Sqe::writev_at(user_data, self.wal_fd, self.wal_len, bufs);
+        loop {
+            match rc.ring.try_submit(sqe) {
+                Ok(()) => break,
+                Err(back) => {
+                    // Ring full: help drain, then retry.
+                    sqe = back;
+                    rc.hub.drain(aio::DEFAULT_DRAIN_BATCH);
+                }
+            }
+        }
+        let mut cqes = Vec::new();
+        let cqe = loop {
+            rc.hub.drain(aio::DEFAULT_DRAIN_BATCH);
+            rc.ring.harvest(&mut cqes);
+            if let Some(pos) = cqes.iter().position(|c| c.user_data == user_data) {
+                break cqes.swap_remove(pos);
+            }
+            std::thread::yield_now();
+        };
+        let written = cqe.result?;
+        if self.config.sync_commits {
+            rc.hub.await_epoch(cqe.epoch)?;
+        }
+        Ok(written)
     }
 
     /// Discards the current transaction's dirty pages.
@@ -527,6 +604,43 @@ mod tests {
         db.upsert(1, 1, b"uncommitted").unwrap();
         db.rollback();
         assert_eq!(db.get(1, 1).unwrap(), Some(b"committed".to_vec()));
+    }
+
+    #[test]
+    fn ring_commits_preserve_data_and_survive_reopen() {
+        let device = PmemBuilder::new(256 * 1024 * 1024)
+            .track_persistence(false)
+            .build();
+        let kernel = Ext4Dax::mkfs(device).unwrap();
+        let split = splitfs::SplitFs::new(
+            kernel,
+            splitfs::SplitConfig::new(splitfs::Mode::Strict)
+                .with_staging(4, 8 * 1024 * 1024)
+                .with_oplog_size(512 * 1024),
+        )
+        .unwrap();
+        let hub = splitfs::ring_hub(&split);
+        let fs: Arc<dyn FileSystem> = split;
+        {
+            let mut db = WalDb::open(Arc::clone(&fs), config()).unwrap();
+            db.attach_ring(Arc::clone(&hub));
+            for key in 0..120u64 {
+                db.upsert(1, key, format!("ring-{key}").as_bytes()).unwrap();
+                if key % 8 == 7 {
+                    db.commit().unwrap();
+                }
+            }
+            db.commit().unwrap();
+            // No clean shutdown: the awaited epochs are the durability.
+        }
+        let mut db = WalDb::open(fs, config()).unwrap();
+        for key in [0u64, 63, 119] {
+            assert_eq!(
+                db.get(1, key).unwrap(),
+                Some(format!("ring-{key}").into_bytes()),
+                "key {key}"
+            );
+        }
     }
 
     #[test]

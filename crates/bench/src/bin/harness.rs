@@ -19,6 +19,7 @@
 //!   vectored   N x append vs one appendv of N slices (fences, journal txns)
 //!   multi      aggregate throughput at 1/2/4 U-Split instances on one kernel
 //!   latency    per-op latency percentiles + software overhead (five FSes)
+//!   openloop   async-ring offered-load sweep vs the synchronous baseline
 //!   resources  U-Split DRAM footprint after a YCSB run (§5.10)
 //!   all        everything above
 //!
@@ -201,6 +202,27 @@ fn run(which: &str, scale: Scale) {
                 println!("METRICS_JSON {line}");
             }
         }
+        "openloop" => {
+            let report = experiments::openloop_report(scale);
+            print_table(
+                "Open-loop rings — offered-load sweep on SplitFS-strict (4 threads)",
+                &[
+                    "In flight/thread",
+                    "Completions",
+                    "p50",
+                    "p99",
+                    "p999",
+                    "Fences/op",
+                    "Sync fences/op",
+                    "Epoch violations",
+                ],
+                &report.rows,
+            );
+            // Machine-readable mirror of the table for the CI smoke gate.
+            for line in &report.json {
+                println!("OPENLOOP_JSON {line}");
+            }
+        }
         "resources" => print_table(
             "§5.10 — resource consumption after YCSB-A on SplitFS-strict",
             &["Metric", "Value"],
@@ -209,7 +231,7 @@ fn run(which: &str, scale: Scale) {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon scaling vectored multi latency resources all"
+                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon scaling vectored multi latency openloop resources all"
             );
             std::process::exit(2);
         }
@@ -245,6 +267,7 @@ fn main() {
         "vectored",
         "multi",
         "latency",
+        "openloop",
         "resources",
     ];
     for experiment in which {

@@ -99,6 +99,21 @@ impl Scale {
 /// One row of printable output.
 pub type Row = Vec<String>;
 
+/// Builds a fresh emulated device with a formatted kernel file system on
+/// it — the setup every hand-rolled experiment shares.  Persistence
+/// tracking (the crash-simulation shadow copy) stays off except for the
+/// experiments that actually crash the device.
+fn setup_device(
+    device_bytes: usize,
+    track_persistence: bool,
+) -> (Arc<pmem::PmemDevice>, Arc<kernelfs::Ext4Dax>) {
+    let device = pmem::PmemBuilder::new(device_bytes)
+        .track_persistence(track_persistence)
+        .build();
+    let kernel = kernelfs::Ext4Dax::mkfs(Arc::clone(&device)).expect("mkfs ext4-dax");
+    (device, kernel)
+}
+
 // ----------------------------------------------------------------------
 // Table 1 — software overhead of a 4 KiB append
 // ----------------------------------------------------------------------
@@ -486,8 +501,8 @@ pub fn recovery(scale: Scale) -> Vec<Row> {
     };
     let mut rows = Vec::new();
     for &entries in entry_counts {
-        let device = pmem::PmemBuilder::new(scale.device_bytes()).build();
-        let kernel = kernelfs::Ext4Dax::mkfs(Arc::clone(&device)).expect("mkfs");
+        // Persistence tracking stays on: this experiment crashes the device.
+        let (device, kernel) = setup_device(scale.device_bytes(), true);
         // The daemon is disabled here on purpose: this experiment measures
         // how recovery cost scales with the number of *surviving* log
         // entries, and a background checkpoint would relink the staged
@@ -527,10 +542,7 @@ pub fn recovery(scale: Scale) -> Vec<Row> {
 /// Reproduces §5.10: DRAM used by U-Split bookkeeping and the number of
 /// staging files / operation-log entries after a write-heavy run.
 pub fn resources(scale: Scale) -> Vec<Row> {
-    let device = pmem::PmemBuilder::new(scale.device_bytes())
-        .track_persistence(false)
-        .build();
-    let kernel = kernelfs::Ext4Dax::mkfs(Arc::clone(&device)).expect("mkfs");
+    let (_device, kernel) = setup_device(scale.device_bytes(), false);
     let config = SplitConfig::new(Mode::Strict).with_staging(4, 16 * 1024 * 1024);
     let fs = SplitFs::new(Arc::clone(&kernel), config).expect("splitfs");
     let fs_dyn: Arc<dyn FileSystem> = Arc::clone(&fs) as Arc<dyn FileSystem>;
@@ -578,10 +590,7 @@ pub struct DaemonRunResult {
 /// the log; without it every replenishment happens inline on the append
 /// path (the seed's behaviour).
 pub fn daemon_run(scale: Scale, daemon_enabled: bool) -> DaemonRunResult {
-    let device = pmem::PmemBuilder::new(scale.device_bytes())
-        .track_persistence(false)
-        .build();
-    let kernel = kernelfs::Ext4Dax::mkfs(Arc::clone(&device)).expect("mkfs");
+    let (device, kernel) = setup_device(scale.device_bytes(), false);
     // The log holds 4096 entries, so the append stream crosses the
     // daemon's 50% checkpoint threshold (and, without the daemon, fills
     // the log and forces the stop-the-world foreground checkpoint).
@@ -901,10 +910,7 @@ pub fn latency_run(scale: Scale, kind: FsKind, threads: usize) -> LatencyRunResu
             // Built by hand rather than through `make_fs` so the concrete
             // `Arc<SplitFs>` stays available for recorder attachment,
             // quiescing and the health probe.
-            let device = pmem::PmemBuilder::new(scale.device_bytes())
-                .track_persistence(false)
-                .build();
-            let kernel = kernelfs::Ext4Dax::mkfs(Arc::clone(&device)).expect("mkfs ext4-dax");
+            let (device, kernel) = setup_device(scale.device_bytes(), false);
             let mode = match kind {
                 FsKind::SplitPosix => Mode::Posix,
                 FsKind::SplitSync => Mode::Sync,
@@ -1033,10 +1039,7 @@ pub struct MultiRunResult {
 /// operation-log range.  Contents are verified through the kernel
 /// afterwards, so cross-instance contamination fails the run.
 pub fn multi_run(scale: Scale, instances: usize) -> MultiRunResult {
-    let device = pmem::PmemBuilder::new(scale.device_bytes())
-        .track_persistence(false)
-        .build();
-    let kernel = kernelfs::Ext4Dax::mkfs(std::sync::Arc::clone(&device)).expect("mkfs ext4-dax");
+    let (device, kernel) = setup_device(scale.device_bytes(), false);
     let split_config = SplitConfig::new(Mode::Strict)
         .with_staging(4, 8 * 1024 * 1024)
         .with_oplog_size(64 * 1024);
@@ -1092,6 +1095,130 @@ pub fn multi(scale: Scale) -> Vec<Row> {
         ]);
     }
     rows
+}
+
+// ----------------------------------------------------------------------
+// Open-loop rings — offered-load sweep on the async submission rings
+// ----------------------------------------------------------------------
+
+/// Raw metrics of one [`openloop_report`] run: the ring sweep plus the
+/// synchronous-`appendv` baseline it is scored against.
+#[derive(Debug, Clone)]
+pub struct OpenLoopRunResult {
+    /// The per-level results of the offered-load sweep.
+    pub report: workloads::openloop::OpenLoopReport,
+    /// Fences per operation on the synchronous baseline: the same number
+    /// of same-sized appends through the plain `appendv` path, which
+    /// pays its two fences per call no matter the load.
+    pub sync_fences_per_op: f64,
+}
+
+/// Runs the open-loop ring sweep on SplitFS-strict (1/4/16 appends in
+/// flight per thread) and the synchronous baseline it is compared
+/// against.  The claim under test: at ≥ 4 in-flight operations per
+/// thread, the drained batches coalesce log fences across unrelated
+/// files and fences per op drop strictly below the synchronous figure.
+pub fn openloop_run(scale: Scale) -> OpenLoopRunResult {
+    let threads = 4usize;
+    let ops_per_level = match scale {
+        Scale::Quick => 512,
+        Scale::Full => 4096,
+    };
+    let config = workloads::openloop::OpenLoopConfig {
+        threads,
+        inflight_levels: vec![1, 4, 16],
+        ops_per_level,
+        record_size: 1008,
+        ring_depth: 64,
+        dir: "/openloop".to_string(),
+    };
+    let split_config = SplitConfig::new(Mode::Strict).with_staging(4, 16 * 1024 * 1024);
+
+    let (_device, kernel) = setup_device(scale.device_bytes(), false);
+    let fs = SplitFs::new(kernel, split_config.clone()).expect("splitfs init");
+    let hub = splitfs::ring_hub(&fs);
+    let dynfs: Arc<dyn FileSystem> = Arc::clone(&fs) as Arc<dyn FileSystem>;
+    let report = workloads::openloop::run(&dynfs, &hub, &config).expect("openloop run");
+
+    // The synchronous baseline on a fresh instance: same record size,
+    // one level's worth of ops, no rings.
+    let (device, kernel) = setup_device(scale.device_bytes(), false);
+    let fs = SplitFs::new(kernel, split_config).expect("splitfs init");
+    let fd = fs
+        .open("/sync-baseline.log", vfs::OpenFlags::create())
+        .expect("open baseline");
+    let ops = threads as u64 * ops_per_level;
+    let body = vec![1u8; 1008];
+    let before = device.stats().snapshot();
+    for _ in 0..ops {
+        let iov = [vfs::IoVec::new(&body)];
+        fs.appendv(fd, &iov).expect("sync append");
+    }
+    let delta = device.stats().snapshot().delta(&before);
+    OpenLoopRunResult {
+        report,
+        sync_fences_per_op: delta.fences as f64 / ops as f64,
+    }
+}
+
+/// The open-loop experiment's printable table plus one machine-readable
+/// JSON line per offered-load level (the CI smoke gate parses the JSON
+/// instead of scraping table columns).
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// The rows of the human-readable table.
+    pub rows: Vec<Row>,
+    /// One JSON object per offered-load level, stable key order.
+    pub json: Vec<String>,
+}
+
+/// The open-loop experiment: submit-to-harvest latency percentiles and
+/// fences per op across the offered-load sweep, next to the synchronous
+/// baseline's fences per op.  The acceptance bar: zero durability-epoch
+/// violations at every level, and fences/op strictly below the
+/// synchronous figure at ≥ 4 in-flight ops per thread.
+pub fn openloop_report(scale: Scale) -> OpenLoopReport {
+    let r = openloop_run(scale);
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for level in &r.report.levels {
+        let fences_per_op = level.fences_per_op();
+        rows.push(vec![
+            level.inflight.to_string(),
+            level.completions.to_string(),
+            crate::fmt_ns(level.p50_ns as f64),
+            crate::fmt_ns(level.p99_ns as f64),
+            crate::fmt_ns(level.p999_ns as f64),
+            format!("{fences_per_op:.3}"),
+            format!("{:.3}", r.sync_fences_per_op),
+            level.epoch_violations.to_string(),
+        ]);
+        json.push(
+            obs::JsonObject::new()
+                .str("experiment", "openloop")
+                .str("fs", "SplitFS-strict")
+                .u64("inflight", level.inflight as u64)
+                .u64("completions", level.completions)
+                .u64("p50_ns", level.p50_ns)
+                .u64("p99_ns", level.p99_ns)
+                .u64("p999_ns", level.p999_ns)
+                .u64("epoch_violations", level.epoch_violations)
+                .u64("errors", level.errors)
+                .f64("fences_per_op", (fences_per_op * 1000.0).round() / 1000.0)
+                .f64(
+                    "sync_fences_per_op",
+                    (r.sync_fences_per_op * 1000.0).round() / 1000.0,
+                )
+                .u64("amortized", u64::from(fences_per_op < r.sync_fences_per_op))
+                .finish(),
+        );
+    }
+    OpenLoopReport { rows, json }
+}
+
+/// Table-only view of [`openloop_report`].
+pub fn openloop(scale: Scale) -> Vec<Row> {
+    openloop_report(scale).rows
 }
 
 #[cfg(test)]
@@ -1229,6 +1356,35 @@ mod tests {
             "lane-sharded staging must not serialize disjoint writers: {:?}",
             r.stats
         );
+    }
+
+    #[test]
+    fn openloop_amortizes_fences_vs_sync_baseline() {
+        // The acceptance bar for the async rings: at ≥ 4 in-flight ops
+        // per thread the drained batches pay strictly fewer fences per
+        // op than the synchronous appendv path, and no completion ever
+        // claims an epoch ahead of publication.
+        let r = openloop_run(Scale::Quick);
+        assert_eq!(r.report.levels.len(), 3);
+        assert!(r.sync_fences_per_op > 0.0);
+        for level in &r.report.levels {
+            assert!(level.completions > 0, "{level:?}");
+            assert_eq!(level.epoch_violations, 0, "{level:?}");
+            assert_eq!(level.errors, 0, "{level:?}");
+            assert!(
+                level.p99_ns >= level.p50_ns && level.p50_ns > 0,
+                "{level:?}"
+            );
+        }
+        for level in r.report.levels.iter().filter(|l| l.inflight >= 4) {
+            assert!(
+                level.fences_per_op() < r.sync_fences_per_op,
+                "inflight={} fences/op {:.3} must beat sync {:.3}",
+                level.inflight,
+                level.fences_per_op(),
+                r.sync_fences_per_op
+            );
+        }
     }
 
     #[test]

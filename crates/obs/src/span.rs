@@ -67,13 +67,15 @@ pub enum OpKind {
     Fdatasync,
     /// Background maintenance-daemon work (ticks, relinks, checkpoints).
     Maintenance,
+    /// Draining async submission rings into a coalesced backend batch.
+    RingDrain,
     /// Everything else (metadata ops: stat, rename, mkdir, readdir, ...).
     Other,
 }
 
 impl OpKind {
     /// Number of operation kinds.
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
 
     /// Every kind, in display order.
     pub const ALL: [OpKind; OpKind::COUNT] = [
@@ -90,6 +92,7 @@ impl OpKind {
         OpKind::FsyncMany,
         OpKind::Fdatasync,
         OpKind::Maintenance,
+        OpKind::RingDrain,
         OpKind::Other,
     ];
 
@@ -114,6 +117,7 @@ impl OpKind {
             OpKind::FsyncMany => "fsync_many",
             OpKind::Fdatasync => "fdatasync",
             OpKind::Maintenance => "maintenance",
+            OpKind::RingDrain => "ring_drain",
             OpKind::Other => "other",
         }
     }

@@ -96,6 +96,27 @@ pub struct Stats {
     vectored: VectoredCounters,
     scaling: ScalingCounters,
     lease: LeaseCounters,
+    ring: RingCounters,
+}
+
+/// Counters for the asynchronous submission/completion rings: how many
+/// queued submissions drains observed (their sum over drains is the
+/// offered ring depth), how many drains completed two or more
+/// operations as one backend batch, and how many ordering fences those
+/// batches saved relative to the synchronous one-fence-pair-per-write
+/// path.  The `openloop` experiment is scored on `fences_amortized`
+/// staying non-zero once callers keep ≥ 2 writes in flight.
+#[derive(Debug, Default)]
+pub struct RingCounters {
+    /// Total submissions popped across all ring drains (Σ batch size).
+    ring_depth: AtomicU64,
+    /// Drains that posted two or more completions as one batch.
+    /// Single-completion drains are not counted: the counter's purpose
+    /// is to evidence *batching*, mirroring the `appendv` rule.
+    completion_batch: AtomicU64,
+    /// Ordering fences avoided by coalescing a batch's writes under a
+    /// shared fence pair instead of fencing each write separately.
+    fences_amortized: AtomicU64,
 }
 
 /// Counters for the multi-instance lease manager: how many instance
@@ -446,6 +467,22 @@ impl Stats {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one ring drain that popped `depth` queued submissions.
+    pub fn add_ring_drain(&self, depth: u64) {
+        self.ring.ring_depth.fetch_add(depth, Ordering::Relaxed);
+    }
+
+    /// Records one drain that posted two or more completions as a
+    /// single backend batch.
+    pub fn add_completion_batch(&self) {
+        self.ring.completion_batch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` ordering fences avoided by batch coalescing.
+    pub fn add_fences_amortized(&self, n: u64) {
+        self.ring.fences_amortized.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Takes a copyable snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut time_ns = [0.0f64; 5];
@@ -503,6 +540,9 @@ impl Stats {
             lease_releases: self.lease.lease_releases.load(Ordering::Relaxed),
             lease_conflicts: self.lease.lease_conflicts.load(Ordering::Relaxed),
             instances_recovered: self.lease.instances_recovered.load(Ordering::Relaxed),
+            ring_depth: self.ring.ring_depth.load(Ordering::Relaxed),
+            completion_batch: self.ring.completion_batch.load(Ordering::Relaxed),
+            fences_amortized: self.ring.fences_amortized.load(Ordering::Relaxed),
         }
     }
 
@@ -567,6 +607,9 @@ impl Stats {
         self.lease.lease_releases.store(0, Ordering::Relaxed);
         self.lease.lease_conflicts.store(0, Ordering::Relaxed);
         self.lease.instances_recovered.store(0, Ordering::Relaxed);
+        self.ring.ring_depth.store(0, Ordering::Relaxed);
+        self.ring.completion_batch.store(0, Ordering::Relaxed);
+        self.ring.fences_amortized.store(0, Ordering::Relaxed);
     }
 }
 
@@ -646,6 +689,13 @@ pub struct StatsSnapshot {
     pub lease_conflicts: u64,
     /// Orphaned (crashed) instances whose operation logs were replayed.
     pub instances_recovered: u64,
+    /// Total submissions popped across all ring drains (Σ batch size).
+    pub ring_depth: u64,
+    /// Ring drains that posted two or more completions as one batch.
+    pub completion_batch: u64,
+    /// Ordering fences avoided by coalescing batched writes under a
+    /// shared fence pair.
+    pub fences_amortized: u64,
 }
 
 impl StatsSnapshot {
@@ -768,6 +818,13 @@ impl StatsSnapshot {
         out.instances_recovered = out
             .instances_recovered
             .saturating_sub(earlier.instances_recovered);
+        out.ring_depth = out.ring_depth.saturating_sub(earlier.ring_depth);
+        out.completion_batch = out
+            .completion_batch
+            .saturating_sub(earlier.completion_batch);
+        out.fences_amortized = out
+            .fences_amortized
+            .saturating_sub(earlier.fences_amortized);
         out
     }
 
@@ -779,7 +836,7 @@ impl StatsSnapshot {
     /// Every scalar event counter as `(name, value)` pairs, in a stable
     /// order — the single source the JSON exporters iterate instead of
     /// naming each field again.
-    pub fn counters(&self) -> [(&'static str, u64); 31] {
+    pub fn counters(&self) -> [(&'static str, u64); 34] {
         [
             ("flushes", self.flushes),
             ("fences", self.fences),
@@ -812,6 +869,9 @@ impl StatsSnapshot {
             ("lease_releases", self.lease_releases),
             ("lease_conflicts", self.lease_conflicts),
             ("instances_recovered", self.instances_recovered),
+            ("ring_depth", self.ring_depth),
+            ("completion_batch", self.completion_batch),
+            ("fences_amortized", self.fences_amortized),
         ]
     }
 }

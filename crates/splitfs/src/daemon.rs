@@ -243,6 +243,10 @@ fn worker_loop(fs: Weak<SplitFs>, shared: Arc<Shared>) {
 
         let alive = match fs.upgrade() {
             Some(fs) => {
+                // Ring drains run first and outside the Maintenance
+                // span (spans are outermost-only, and the drain opens
+                // its own RingDrain span).
+                fs.drain_rings();
                 // Background work gets its own Maintenance span so the
                 // per-op time breakdown accounts for daemon charges too.
                 let _span = fs.maintenance_span();

@@ -110,6 +110,16 @@ pub struct SplitFs {
     /// against this recorder.  RwLock: written once per measured run,
     /// read once per daemon dispatch.
     pub(crate) recorder: parking_lot::RwLock<Option<Arc<obs::Recorder>>>,
+    /// Highest durability epoch published by this instance: every
+    /// operation-log sequence number ≤ this value is covered by a
+    /// group-commit fence (see [`crate::rings`]).  Published with
+    /// `fetch_max` *after* the fence, so readers can never observe an
+    /// epoch whose entries are still volatile.
+    pub(crate) published_epoch: std::sync::atomic::AtomicU64,
+    /// The async ring hub attached to this instance, if any (weak: the
+    /// hub's backend holds the `Arc<SplitFs>`, so a strong reference
+    /// here would leak the cycle).  Drained by the maintenance workers.
+    pub(crate) ring_hub: parking_lot::RwLock<Option<std::sync::Weak<aio::RingFs>>>,
 }
 
 impl std::fmt::Debug for SplitFs {
@@ -189,6 +199,8 @@ impl SplitFs {
                     adaptive,
                     health: obs::HealthProbe::new(),
                     recorder: parking_lot::RwLock::new(None),
+                    published_epoch: std::sync::atomic::AtomicU64::new(0),
+                    ring_hub: parking_lot::RwLock::new(None),
                 });
                 if fs.config.daemon.enabled && fs.config.use_staging {
                     *fs.daemon.lock() = Some(MaintenanceDaemon::start(&fs, &fs.config.daemon));
@@ -432,7 +444,7 @@ impl SplitFs {
     // File-state management
     // ------------------------------------------------------------------
 
-    fn state_for_fd(&self, fd: Fd) -> FsResult<(Descriptor, Arc<RwLock<FileState>>)> {
+    pub(crate) fn state_for_fd(&self, fd: Fd) -> FsResult<(Descriptor, Arc<RwLock<FileState>>)> {
         let desc = self.fds.get(fd)?;
         let state = self.files.get(desc.ino).ok_or(FsError::BadFd)?;
         Ok((desc, state))
@@ -477,7 +489,7 @@ impl SplitFs {
     /// zero.  The seed's behaviour here — blocking on every other file's
     /// lock while holding one — deadlocked as soon as two writers filled
     /// the log concurrently.
-    fn handle_log_full(&self, state: &mut FileState) -> FsResult<()> {
+    pub(crate) fn handle_log_full(&self, state: &mut FileState) -> FsResult<()> {
         let Some(oplog) = self.oplog.as_ref() else {
             return Err(FsError::NoSpace);
         };
@@ -909,6 +921,10 @@ impl SplitFs {
                     Err(e) => return Err(e),
                 }
             }
+            // The gather's entries just group-committed: every sequence
+            // number in it is durable, so publish the durability epoch
+            // (ring completions await it; see `crate::rings`).
+            self.publish_epoch(entries.iter().map(|e| e.seq).max().unwrap_or(0));
             entries.iter().map(|e| e.seq).collect()
         } else {
             vec![0; pending.len()]

@@ -89,6 +89,13 @@
 //!   recycle exhausted staging files, and retire sealed log epochs one
 //!   file-state lock at a time, so the foreground never performs file
 //!   creation or log truncation on the critical path;
+//! * [`rings`] — the **async ring backend**: drained submission batches
+//!   from [`aio`] rings stage writes to *unrelated files* together,
+//!   share one data fence and one log group commit across the whole
+//!   batch (two fences for K writes where the synchronous path pays
+//!   2K), and complete with the **durability epoch** — the highest
+//!   fenced operation-log sequence number — so callers await
+//!   `published_epoch() >= cqe.epoch` instead of issuing `fsync`;
 //! * [`recovery`] — idempotent, **per-instance** crash recovery by log
 //!   replay: orphaned leases name the crashed instances, each orphan's
 //!   log replays independently (foreign-tagged entries are refused), and
@@ -127,6 +134,7 @@ pub mod modes;
 pub mod oplog;
 pub mod recovery;
 pub mod relink;
+pub mod rings;
 pub mod staging;
 pub mod state;
 
@@ -134,3 +142,4 @@ pub use config::{DaemonConfig, SplitConfig};
 pub use fs::{MemoryUsage, SplitFs, OPLOG_PATH, SPLITFS_DIR};
 pub use modes::{Guarantees, Mode};
 pub use recovery::{recover, recover_instance, recover_orphans, RecoveryReport};
+pub use rings::{ring_hub, SplitRingBackend};

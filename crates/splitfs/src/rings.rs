@@ -1,0 +1,684 @@
+//! Async submission/completion rings over SplitFS: cross-file fence
+//! coalescing and durability-epoch publication.
+//!
+//! The synchronous write path pays two fences per staged gather — one
+//! for the staged bytes, one for the operation-log group commit — and
+//! it structurally cannot do better, because by the time `appendv`
+//! returns there is no second operation to share a fence with.  A
+//! drained ring batch *does* have the second operation in hand: this
+//! module stages every write in the batch (across **unrelated
+//! files**), fences once, and group-commits every file's log entries
+//! under one more fence — two fences for the whole batch where the
+//! synchronous path pays two per write.
+//!
+//! **Durability epochs.**  The operation log's sequence numbers double
+//! as the epoch currency: once a group commit's fence retires, every
+//! sequence number in it is durable, and the instance publishes the
+//! batch's maximum with a `fetch_max` (rule: publish only *after* the
+//! fence).  A completion's [`aio::Cqe::epoch`] is the largest sequence
+//! number covering that operation, so `published_epoch() >= cqe.epoch`
+//! means "this write survives any crash from now on" — the caller
+//! awaits that instead of issuing `fsync`.  Modes that do not log data
+//! operations (POSIX) fall back to a private epoch counter bumped
+//! after the batch's staging fence; the epoch then promises exactly
+//! what the mode itself promises (staged bytes durable, no atomicity).
+//!
+//! **Lock ordering.**  [`SplitFs::ring_batch`] locks the batch's file
+//! states in **inode order** (the `fsync_many` rule) and is always
+//! entered from a drain — never while the caller holds a file-state
+//! lock.  The hub's drain lock is therefore ordered *before* every
+//! file-state lock: do not submit, drain, or await an epoch while
+//! holding one.
+
+use std::sync::{Arc, Weak};
+
+use aio::{Cqe, RingBackend, RingFs, Sqe, SqeOp};
+use kernelfs::BLOCK_SIZE;
+use pmem::{PersistMode, PmemDevice, TimeCategory};
+use vfs::{FileSystem, FsError, FsResult};
+
+use crate::daemon::Task;
+use crate::fs::SplitFs;
+use crate::oplog::{LogEntry, LogOp};
+use crate::staging::StagingAllocation;
+use crate::state::StagedExtent;
+
+/// How many drain rounds one daemon pass performs before yielding back
+/// to provisioning/checkpoint work, so a firehose of submissions
+/// cannot starve the rest of maintenance.
+const DAEMON_DRAIN_ROUNDS: usize = 4;
+
+/// An unexecuted write pulled out of a drained batch: the sqe's index,
+/// its fd (later re-resolved to an inode), the explicit offset for
+/// `writev_at` (`None` for appends), and the payload slices.
+type PendingWrite<'a> = (usize, u64, Option<u64>, &'a [Vec<u8>]);
+
+/// One write submission resolved against its file state, carried
+/// between the staging, logging and recording phases of a batch.
+struct WriteOp {
+    /// Index of the originating sqe (and its completion slot).
+    sqe_index: usize,
+    /// Index into the batch's sorted unique-state guard vector.
+    guard_index: usize,
+    /// Resolved absolute target offset (end of file for appends).
+    target_offset: u64,
+    /// Total payload bytes.
+    total: u64,
+    /// Gather slices (owned buffers from the sqe).
+    buf_range: usize,
+    /// Staged chunks: allocation, target offset, length.
+    pending: Vec<(StagingAllocation, u64, usize)>,
+}
+
+impl SplitFs {
+    /// The highest durability epoch this instance has published: every
+    /// operation-log sequence number ≤ the returned value is covered
+    /// by a group-commit fence and survives a crash.
+    pub fn published_epoch(&self) -> u64 {
+        self.published_epoch
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Publishes `epoch` (monotone `fetch_max`).  Callers must only
+    /// pass sequence numbers whose log entries are already fenced.
+    pub(crate) fn publish_epoch(&self, epoch: u64) {
+        self.published_epoch
+            .fetch_max(epoch, std::sync::atomic::Ordering::AcqRel);
+    }
+
+    /// Attaches `hub` so the maintenance daemon's workers drain its
+    /// rings on every tick.  Held weakly — the hub's backend owns the
+    /// strong reference to this instance.
+    pub fn attach_ring_hub(&self, hub: &Arc<RingFs>) {
+        *self.ring_hub.write() = Some(Arc::downgrade(hub));
+    }
+
+    /// Drains the attached ring hub (a bounded number of rounds),
+    /// under a [`obs::OpKind::RingDrain`] span when a recorder is
+    /// attached.  Called by daemon workers; a no-op without a hub.
+    pub(crate) fn drain_rings(&self) {
+        let hub = match self.ring_hub.read().as_ref().and_then(Weak::upgrade) {
+            Some(hub) => hub,
+            None => return,
+        };
+        let _span = self
+            .recorder
+            .read()
+            .as_ref()
+            .map(|r| r.span(obs::OpKind::RingDrain));
+        for _ in 0..DAEMON_DRAIN_ROUNDS {
+            if hub.drain(aio::DEFAULT_DRAIN_BATCH) == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Executes one drained cross-ring batch: reads and fsyncs run
+    /// through the synchronous paths; the batch's writes stage
+    /// together, share **one** data fence and **one** log group
+    /// commit across every file they touch, and complete with the
+    /// durability epoch that covers them.  Returns one [`Cqe`] per
+    /// sqe, in order.  Operations within a batch are unordered with
+    /// respect to each other (io_uring semantics without links).
+    pub fn ring_batch(&self, sqes: Vec<Sqe>) -> Vec<Cqe> {
+        let mut cqes: Vec<Option<Cqe>> = (0..sqes.len()).map(|_| None).collect();
+
+        // Reads and fsyncs first, through the synchronous entry points
+        // (they take file-state locks internally, so they must run
+        // before the batch's write guards are held).
+        for (i, sqe) in sqes.iter().enumerate() {
+            match &sqe.op {
+                SqeOp::Read { fd, offset, len } => {
+                    let mut buf = vec![0u8; *len];
+                    let (result, data) = match self.read_at(*fd, *offset, &mut buf) {
+                        Ok(n) => {
+                            buf.truncate(n);
+                            (Ok(n as u64), Some(buf))
+                        }
+                        Err(e) => (Err(e), None),
+                    };
+                    cqes[i] = Some(Cqe {
+                        user_data: sqe.user_data,
+                        result,
+                        epoch: self.published_epoch(),
+                        data,
+                    });
+                }
+                SqeOp::Fsync { fd } => {
+                    let result = FileSystem::fsync(self, *fd).map(|_| 0u64);
+                    if result.is_ok() && !self.config.mode.logs_data_ops() {
+                        // Without a log the relink/fence that fsync just
+                        // performed *is* the durability point.
+                        self.published_epoch
+                            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+                    }
+                    cqes[i] = Some(Cqe {
+                        user_data: sqe.user_data,
+                        result,
+                        epoch: self.published_epoch(),
+                        data: None,
+                    });
+                }
+                SqeOp::Appendv { .. } | SqeOp::WritevAt { .. } => {}
+            }
+        }
+
+        self.ring_write_batch(&sqes, &mut cqes);
+
+        sqes.into_iter()
+            .zip(cqes)
+            .map(|(sqe, cqe)| {
+                cqe.unwrap_or(Cqe {
+                    user_data: sqe.user_data,
+                    result: Err(FsError::InvalidArgument),
+                    epoch: self.published_epoch(),
+                    data: None,
+                })
+            })
+            .collect()
+    }
+
+    /// The coalesced write half of [`SplitFs::ring_batch`].
+    fn ring_write_batch(&self, sqes: &[Sqe], cqes: &mut [Option<Cqe>]) {
+        let fail = |cqes: &mut [Option<Cqe>], i: usize, e: FsError, epoch: u64| {
+            cqes[i] = Some(Cqe {
+                user_data: sqes[i].user_data,
+                result: Err(e),
+                epoch,
+                data: None,
+            });
+        };
+
+        // Resolve every write's descriptor and file state.
+        let mut writes: Vec<PendingWrite<'_>> = Vec::new();
+        for (i, sqe) in sqes.iter().enumerate() {
+            let (fd, offset, bufs) = match &sqe.op {
+                SqeOp::Appendv { fd, bufs } => (*fd, None, bufs.as_slice()),
+                SqeOp::WritevAt { fd, offset, bufs } => (*fd, Some(*offset), bufs.as_slice()),
+                _ => continue,
+            };
+            writes.push((i, fd, offset, bufs));
+        }
+        if writes.is_empty() {
+            return;
+        }
+        self.charge_usplit();
+
+        if !self.config.use_staging {
+            // Staging ablation: no fence to coalesce — run each write
+            // through the synchronous path and fence the batch once.
+            let mut any_ok = false;
+            for (i, fd, offset, bufs) in writes {
+                let iov: Vec<vfs::IoVec<'_>> = bufs.iter().map(|b| vfs::IoVec::new(b)).collect();
+                let result = match offset {
+                    None => self.appendv(fd, &iov),
+                    Some(off) => self.writev_at(fd, off, &iov),
+                };
+                any_ok |= result.is_ok();
+                let epoch = self.published_epoch();
+                match result {
+                    Ok(n) => {
+                        cqes[i] = Some(Cqe {
+                            user_data: sqes[i].user_data,
+                            result: Ok(n as u64),
+                            epoch,
+                            data: None,
+                        });
+                    }
+                    Err(e) => fail(cqes, i, e, epoch),
+                }
+            }
+            if any_ok {
+                self.device.fence(TimeCategory::UserData);
+                self.published_epoch
+                    .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+                let epoch = self.published_epoch();
+                for cqe in cqes.iter_mut().flatten() {
+                    if cqe.result.is_ok() {
+                        cqe.epoch = epoch;
+                    }
+                }
+            }
+            return;
+        }
+
+        // Lock the batch's distinct files in inode order (the
+        // `fsync_many` rule, so concurrent batches, fsync batches and
+        // the checkpoint sweep can never deadlock against each other).
+        let mut unique: Vec<(u64, Arc<parking_lot::RwLock<crate::state::FileState>>)> = Vec::new();
+        let mut resolved: Vec<PendingWrite<'_>> = Vec::new();
+        for (i, fd, offset, bufs) in writes {
+            match self.state_for_fd(fd) {
+                Ok((desc, state)) if desc.flags.write => {
+                    unique.push((desc.ino, state));
+                    resolved.push((i, desc.ino, offset, bufs));
+                }
+                Ok(_) => fail(cqes, i, FsError::PermissionDenied, self.published_epoch()),
+                Err(e) => fail(cqes, i, e, self.published_epoch()),
+            }
+        }
+        if resolved.is_empty() {
+            return;
+        }
+        unique.sort_by_key(|(ino, _)| *ino);
+        unique.dedup_by_key(|(ino, _)| *ino);
+        let mut guards: Vec<_> = unique.iter().map(|(_, state)| state.write()).collect();
+        let guard_index =
+            |ino: u64| -> usize { unique.binary_search_by_key(&ino, |(i, _)| *i).unwrap() };
+        // Remember each file's pre-batch size so a failed group commit
+        // can roll the size cache back (the staged bytes are then
+        // unreachable, exactly as after a failed synchronous stage).
+        let pre_sizes: Vec<u64> = guards.iter().map(|g| g.cached_size).collect();
+
+        // Phase 1: stage every write's slices.  Cursor-bump
+        // allocations, non-temporal writes, **no fence yet**.
+        let mut staged: Vec<WriteOp> = Vec::new();
+        for (i, ino, offset, bufs) in resolved {
+            let gi = guard_index(ino);
+            let target_offset = offset.unwrap_or(guards[gi].cached_size);
+            let total: u64 = bufs.iter().map(|b| b.len() as u64).sum();
+            if total == 0 {
+                cqes[i] = Some(Cqe {
+                    user_data: sqes[i].user_data,
+                    result: Ok(0),
+                    epoch: self.published_epoch(),
+                    data: None,
+                });
+                continue;
+            }
+            let mut pending: Vec<(StagingAllocation, u64, usize)> = Vec::new();
+            let mut t_off = target_offset;
+            let mut error = None;
+            'slices: for buf in bufs {
+                let mut pos = 0usize;
+                while pos < buf.len() {
+                    let cur = t_off + pos as u64;
+                    let remaining = (buf.len() - pos) as u64;
+                    let alloc = match self.staging.take(remaining, cur % BLOCK_SIZE as u64) {
+                        Ok(alloc) => alloc,
+                        Err(e) => {
+                            error = Some(e);
+                            break 'slices;
+                        }
+                    };
+                    let n = alloc.len.min(remaining) as usize;
+                    self.device.write(
+                        alloc.device_offset,
+                        &buf[pos..pos + n],
+                        PersistMode::NonTemporal,
+                        TimeCategory::UserData,
+                    );
+                    pending.push((alloc, cur, n));
+                    pos += n;
+                }
+                t_off += buf.len() as u64;
+            }
+            if let Some(e) = error {
+                fail(cqes, i, e, self.published_epoch());
+                continue;
+            }
+            // Advance the cached size immediately so a second append to
+            // the same file in this batch stages after this one.
+            guards[gi].cached_size = guards[gi].cached_size.max(target_offset + total);
+            staged.push(WriteOp {
+                sqe_index: i,
+                guard_index: gi,
+                target_offset,
+                total,
+                buf_range: bufs.len(),
+                pending,
+            });
+        }
+        if staged.is_empty() {
+            return;
+        }
+
+        // Phase 2: one fence for every op's staged bytes, then (in
+        // logging modes) one group commit for every file's entries —
+        // the cross-file amortization the synchronous path cannot do.
+        let logging = self.config.mode.logs_data_ops();
+        self.device.fence(TimeCategory::UserData);
+        let mut op_seqs: Vec<Vec<u64>> = Vec::with_capacity(staged.len());
+        let epoch = if logging {
+            let mut entries: Vec<LogEntry> = Vec::new();
+            let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(staged.len());
+            for op in &staged {
+                let start = entries.len();
+                for (alloc, cur, n) in &op.pending {
+                    entries.push(LogEntry {
+                        op: LogOp::StagedWrite,
+                        target_ino: unique[op.guard_index].0,
+                        target_offset: *cur,
+                        len: *n as u64,
+                        staging_ino: alloc.staging_ino,
+                        staging_offset: alloc.staging_offset,
+                        seq: self
+                            .oplog
+                            .as_ref()
+                            .map(|l| l.next_seq())
+                            .unwrap_or_default(),
+                        instance_id: self.instance_id,
+                    });
+                }
+                ranges.push((start, entries.len()));
+            }
+            if let Err(e) = self.ring_log_commit(&entries, &mut guards) {
+                // The whole group commit failed: no entry is durable.
+                // Roll the size caches back and fail every staged op.
+                for (guard, pre) in guards.iter_mut().zip(&pre_sizes) {
+                    guard.cached_size = *pre;
+                }
+                let epoch = self.published_epoch();
+                for op in &staged {
+                    fail(cqes, op.sqe_index, e.clone(), epoch);
+                }
+                return;
+            }
+            let max_seq = entries.iter().map(|e| e.seq).max().unwrap_or(0);
+            self.publish_epoch(max_seq);
+            for (start, end) in ranges {
+                op_seqs.push(entries[start..end].iter().map(|e| e.seq).collect());
+            }
+            if staged.len() >= 2 {
+                // The synchronous path would have paid a data fence and
+                // a log fence per write; the batch paid one pair total.
+                self.device
+                    .stats()
+                    .add_fences_amortized(2 * (staged.len() as u64 - 1));
+            }
+            max_seq
+        } else {
+            // No log: the staging fence above is the durability point
+            // (the mode's own guarantee — staged bytes durable, no
+            // atomicity).  One private epoch per batch.
+            for op in &staged {
+                op_seqs.push(vec![0; op.pending.len()]);
+            }
+            if staged.len() >= 2 {
+                self.device
+                    .stats()
+                    .add_fences_amortized(staged.len() as u64 - 1);
+            }
+            self.published_epoch
+                .fetch_add(1, std::sync::atomic::Ordering::AcqRel)
+                + 1
+        };
+
+        // Phase 3: record the staged extents and complete the ops.
+        let now_ns = self.device.clock().now_ns_f64();
+        for (op, seqs) in staged.iter().zip(op_seqs) {
+            let guard = &mut guards[op.guard_index];
+            for ((alloc, cur, n), seq) in op.pending.iter().zip(seqs) {
+                guard.staged.push(StagedExtent {
+                    target_offset: *cur,
+                    len: *n as u64,
+                    staging_ino: alloc.staging_ino,
+                    staging_fd: alloc.staging_fd,
+                    staging_offset: alloc.staging_offset,
+                    device_offset: alloc.device_offset,
+                    seq,
+                });
+            }
+            guard.cached_size = guard.cached_size.max(op.target_offset + op.total);
+            guard.last_staged_ns = now_ns;
+            self.device.stats().add_appendv(op.buf_range as u64);
+            cqes[op.sqe_index] = Some(Cqe {
+                user_data: sqes[op.sqe_index].user_data,
+                result: Ok(op.total),
+                epoch,
+                data: None,
+            });
+        }
+
+        // Same maintenance nudges as the synchronous staging path, once
+        // per batch (and a relink nudge per heavily-staged file).
+        if self.config.daemon.enabled {
+            use std::sync::atomic::Ordering;
+            let cfg = &self.config.daemon;
+            if self.staging.needs_provisioning()
+                && self
+                    .provision_nudged
+                    .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.nudge(Task::ProvisionStaging);
+            }
+            if let Some(oplog) = self.oplog.as_ref() {
+                if oplog.utilization() >= cfg.oplog_checkpoint_fraction
+                    && self
+                        .checkpoint_nudged
+                        .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    self.nudge(Task::Checkpoint);
+                }
+            }
+            for guard in &guards {
+                if guard.staged.len() >= cfg.relink_batch_size.saturating_mul(4) {
+                    self.nudge(Task::RelinkFile(guard.ino));
+                }
+            }
+        }
+    }
+
+    /// Group-commits `entries` with the stage-path's full-log handling
+    /// (seal the epoch or grow the log, then retry).  `guards[0]` is
+    /// the already-held state the full-log handler may relink through.
+    fn ring_log_commit(
+        &self,
+        entries: &[LogEntry],
+        guards: &mut [parking_lot::RwLockWriteGuard<'_, crate::state::FileState>],
+    ) -> FsResult<()> {
+        loop {
+            let res = match (self.oplog.as_ref(), entries.len()) {
+                (None, _) | (_, 0) => Ok(()),
+                (Some(_), 1) => self.log_append(&entries[0]),
+                (Some(oplog), _) => oplog.append_batch(entries),
+            };
+            match res {
+                Ok(()) => return Ok(()),
+                Err(FsError::NoSpace) => self.handle_log_full(&mut guards[0])?,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// The [`RingBackend`] that runs drained batches through
+/// [`SplitFs::ring_batch`] — cross-file fence coalescing plus
+/// operation-log durability epochs.
+pub struct SplitRingBackend {
+    fs: Arc<SplitFs>,
+}
+
+impl SplitRingBackend {
+    /// Wraps a SplitFS instance.
+    pub fn new(fs: Arc<SplitFs>) -> Self {
+        Self { fs }
+    }
+}
+
+impl RingBackend for SplitRingBackend {
+    fn run_batch(&self, sqes: Vec<Sqe>) -> Vec<Cqe> {
+        self.fs.ring_batch(sqes)
+    }
+
+    fn published_epoch(&self) -> u64 {
+        self.fs.published_epoch()
+    }
+
+    fn device(&self) -> &Arc<PmemDevice> {
+        FileSystem::device(&*self.fs)
+    }
+}
+
+/// Builds a ring hub over `fs` and attaches it, so the instance's
+/// maintenance daemon drains the hub's rings on every tick.  The hub
+/// keeps the instance alive (its backend holds the `Arc`); the
+/// instance holds the hub only weakly.
+pub fn ring_hub(fs: &Arc<SplitFs>) -> Arc<RingFs> {
+    let hub = RingFs::with_backend(Arc::new(SplitRingBackend::new(Arc::clone(fs))));
+    fs.attach_ring_hub(&hub);
+    hub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SplitConfig;
+    use crate::modes::Mode;
+    use vfs::OpenFlags;
+
+    fn strict_fs() -> Arc<SplitFs> {
+        let device = pmem::PmemBuilder::new(256 * 1024 * 1024)
+            .track_persistence(false)
+            .build();
+        let kernel = kernelfs::Ext4Dax::mkfs(device).unwrap();
+        let config = SplitConfig::new(Mode::Strict)
+            .with_staging(4, 8 * 1024 * 1024)
+            .with_oplog_size(512 * 1024);
+        SplitFs::new(kernel, config).unwrap()
+    }
+
+    #[test]
+    fn batch_coalesces_fences_across_unrelated_files() {
+        let fs = strict_fs();
+        let hub = ring_hub(&fs);
+        let ring = hub.ring(16);
+        let mut fds = Vec::new();
+        for i in 0..4 {
+            fds.push(
+                fs.open(&format!("/ring-{i}.log"), OpenFlags::create())
+                    .unwrap(),
+            );
+        }
+        fs.maintenance_quiesce();
+        let before = FileSystem::device(&*fs).stats().snapshot();
+        for (i, fd) in fds.iter().enumerate() {
+            ring.try_submit(Sqe::appendv(i as u64, *fd, vec![vec![i as u8; 64]]))
+                .unwrap();
+        }
+        hub.drain(aio::DEFAULT_DRAIN_BATCH);
+        let delta = FileSystem::device(&*fs).stats().snapshot().delta(&before);
+        // Four writes to four different files, two fences total — the
+        // synchronous path would have paid eight.
+        assert_eq!(delta.fences, 2, "one data fence + one log fence");
+        assert_eq!(delta.fences_amortized, 2 * 3);
+        assert_eq!(delta.ring_depth, 4);
+        assert_eq!(delta.completion_batch, 1);
+
+        let mut cqes = Vec::new();
+        ring.harvest(&mut cqes);
+        assert_eq!(cqes.len(), 4);
+        let epoch = cqes.iter().map(|c| c.epoch).max().unwrap();
+        assert!(epoch > 0 && epoch <= fs.published_epoch());
+        hub.await_epoch(epoch).unwrap();
+        for (i, fd) in fds.iter().enumerate() {
+            FileSystem::fsync(&*fs, *fd).unwrap();
+            assert_eq!(
+                fs.read_file(&format!("/ring-{i}.log")).unwrap(),
+                vec![i as u8; 64]
+            );
+        }
+    }
+
+    #[test]
+    fn appends_to_one_file_in_a_batch_never_overlap() {
+        let fs = strict_fs();
+        let hub = ring_hub(&fs);
+        let ring = hub.ring(8);
+        let fd = fs.open("/seq.log", OpenFlags::create()).unwrap();
+        for i in 0..6u64 {
+            ring.try_submit(Sqe::appendv(i, fd, vec![vec![i as u8 + 1; 32]]))
+                .unwrap();
+        }
+        hub.drain(aio::DEFAULT_DRAIN_BATCH);
+        let mut cqes = Vec::new();
+        ring.harvest(&mut cqes);
+        assert!(cqes.iter().all(|c| c.result == Ok(32)));
+        FileSystem::fsync(&*fs, fd).unwrap();
+        let data = fs.read_file("/seq.log").unwrap();
+        assert_eq!(data.len(), 6 * 32);
+        // Each append occupies its own disjoint range, in some order.
+        let mut seen: Vec<u8> = data.chunks(32).map(|c| c[0]).collect();
+        for chunk in data.chunks(32) {
+            assert!(chunk.iter().all(|&b| b == chunk[0]));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (1..=6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mixed_batch_reads_fsyncs_and_writes_complete() {
+        let fs = strict_fs();
+        let hub = ring_hub(&fs);
+        let ring = hub.ring(8);
+        let fd = fs.open("/mixed.log", OpenFlags::create()).unwrap();
+        fs.append(fd, b"pre-existing").unwrap();
+        ring.try_submit(Sqe::read(1, fd, 0, 12)).unwrap();
+        ring.try_submit(Sqe::appendv(2, fd, vec![b"-more".to_vec()]))
+            .unwrap();
+        ring.try_submit(Sqe::fsync(3, fd)).unwrap();
+        hub.drain(aio::DEFAULT_DRAIN_BATCH);
+        let mut cqes = Vec::new();
+        ring.harvest(&mut cqes);
+        assert_eq!(cqes.len(), 3);
+        let read = cqes.iter().find(|c| c.user_data == 1).unwrap();
+        assert_eq!(read.data.as_deref(), Some(&b"pre-existing"[..]));
+        assert!(cqes.iter().all(|c| c.result.is_ok()));
+        let epoch = cqes.iter().map(|c| c.epoch).max().unwrap();
+        assert!(epoch <= fs.published_epoch());
+    }
+
+    #[test]
+    fn daemon_drains_rings_without_caller_drains() {
+        let fs = strict_fs();
+        let hub = ring_hub(&fs);
+        let ring = hub.ring(8);
+        let fd = fs.open("/daemon.log", OpenFlags::create()).unwrap();
+        for i in 0..4u64 {
+            ring.try_submit(Sqe::appendv(i, fd, vec![vec![7u8; 16]]))
+                .unwrap();
+        }
+        // Never call hub.drain from this thread: the maintenance tick
+        // must pick the submissions up on its own.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let mut cqes = Vec::new();
+        while cqes.len() < 4 {
+            ring.harvest(&mut cqes);
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never drained the ring"
+            );
+            std::thread::yield_now();
+        }
+        assert!(cqes.iter().all(|c| c.result == Ok(16)));
+    }
+
+    #[test]
+    fn epoch_is_never_reported_ahead_of_publication() {
+        let fs = strict_fs();
+        let hub = ring_hub(&fs);
+        let ring = hub.ring(32);
+        let fd = fs.open("/epochs.log", OpenFlags::create()).unwrap();
+        let mut harvested = 0u64;
+        let mut cqes = Vec::new();
+        for round in 0..8u64 {
+            for i in 0..4u64 {
+                ring.try_submit(Sqe::appendv(round * 4 + i, fd, vec![vec![1u8; 48]]))
+                    .unwrap();
+            }
+            hub.drain(aio::DEFAULT_DRAIN_BATCH);
+            cqes.clear();
+            ring.harvest(&mut cqes);
+            for cqe in &cqes {
+                // The invariant the whole design hangs on: a completion
+                // may never claim an epoch the instance has not fenced.
+                assert!(cqe.epoch <= fs.published_epoch());
+                assert!(cqe.result.is_ok());
+            }
+            harvested += cqes.len() as u64;
+        }
+        assert_eq!(harvested, 32);
+    }
+}

@@ -24,6 +24,11 @@
 //! * [`latency`] — the closed-loop per-operation latency workload: a
 //!   mixed append/read/overwrite/fsync stream whose per-op latency
 //!   distributions are captured by an attached [`obs::Recorder`].
+//! * [`openloop`] — the open-loop async-ring workload: each thread
+//!   keeps a target number of appends in flight on an [`aio`]
+//!   submission ring, sweeping the offered load to show fence
+//!   amortization and measuring submit-to-harvest latency
+//!   percentiles plus durability-epoch invariant violations.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,6 +37,7 @@ pub mod appbench;
 pub mod io_patterns;
 pub mod latency;
 pub mod multiproc;
+pub mod openloop;
 pub mod tpcc;
 pub mod utilities;
 pub mod varmail;

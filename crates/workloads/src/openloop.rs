@@ -1,0 +1,298 @@
+//! Open-loop ring workload behind `harness -- openloop`.
+//!
+//! Where [`crate::latency`] is closed-loop (the next request issues
+//! only when the previous returns, so concurrency per thread is pinned
+//! at one), this workload drives the [`aio`] submission rings with an
+//! **open-loop arrival process**: each thread keeps a target number of
+//! operations *in flight*, topping the ring back up the moment
+//! completions are harvested.  Sweeping the in-flight target (the
+//! offered load) exposes the property the rings exist for — the drain
+//! path coalesces log fences across everything submitted, so fences
+//! per operation *fall* as offered load rises, while the synchronous
+//! path pays the same two fences per append no matter the load.
+//!
+//! Per-operation latency is measured in simulated nanoseconds from
+//! submission to harvest, so it includes queueing delay — the honest
+//! open-loop number, unlike a closed-loop service time.  Every harvest
+//! also checks the durability-epoch invariant: a completion may never
+//! carry an epoch the backend has not yet published.
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use aio::{RingFs, Sqe};
+use parking_lot::Mutex;
+use vfs::{FileSystem, FsError, FsResult, OpenFlags};
+
+/// Parameters of one open-loop sweep.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Submitting threads; each owns one file and one ring.
+    pub threads: usize,
+    /// The offered-load sweep: target operations in flight per thread.
+    pub inflight_levels: Vec<usize>,
+    /// Appends per thread at each level.
+    pub ops_per_level: u64,
+    /// Payload bytes per appended record.
+    pub record_size: usize,
+    /// Submission-ring depth (must cover the largest in-flight level).
+    pub ring_depth: usize,
+    /// Directory holding the per-thread files.
+    pub dir: String,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            inflight_levels: vec![1, 4, 16],
+            ops_per_level: 256,
+            record_size: 1008,
+            ring_depth: 64,
+            dir: "/openloop".to_string(),
+        }
+    }
+}
+
+/// One offered-load level of the sweep.
+#[derive(Debug, Clone)]
+pub struct OpenLoopLevel {
+    /// Target operations in flight per thread.
+    pub inflight: usize,
+    /// Completions harvested (should equal `threads * ops_per_level`).
+    pub completions: u64,
+    /// Median submit-to-harvest latency, simulated nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency.
+    pub p999_ns: u64,
+    /// Completions whose epoch exceeded the published epoch at harvest
+    /// time (the durability invariant: must be zero).
+    pub epoch_violations: u64,
+    /// Completions that carried an error result.
+    pub errors: u64,
+    /// Device fences issued during the level (from the stats delta).
+    pub fences: u64,
+}
+
+impl OpenLoopLevel {
+    /// Fences per completed operation at this level.
+    pub fn fences_per_op(&self) -> f64 {
+        if self.completions == 0 {
+            return 0.0;
+        }
+        self.fences as f64 / self.completions as f64
+    }
+}
+
+/// The outcome of one open-loop sweep.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// One entry per offered-load level, in sweep order.
+    pub levels: Vec<OpenLoopLevel>,
+    /// Total simulated nanoseconds for the whole sweep.
+    pub elapsed_ns: f64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as u64
+}
+
+/// Runs the sweep: for each in-flight level, every thread keeps that
+/// many appends outstanding on its ring until `ops_per_level` have
+/// completed, harvesting latencies and checking the epoch invariant as
+/// it goes.  `hub` must be a ring hub whose backend executes against
+/// `fs` (e.g. [`splitfs::ring_hub`], or [`aio::RingFs::new`] for the
+/// synchronous fallback backend).
+pub fn run(
+    fs: &Arc<dyn FileSystem>,
+    hub: &Arc<RingFs>,
+    config: &OpenLoopConfig,
+) -> FsResult<OpenLoopReport> {
+    if config.threads == 0 || config.ops_per_level == 0 || config.inflight_levels.is_empty() {
+        return Err(FsError::InvalidArgument);
+    }
+    if config
+        .inflight_levels
+        .iter()
+        .any(|&l| l == 0 || l > config.ring_depth)
+    {
+        return Err(FsError::InvalidArgument);
+    }
+    let device = Arc::clone(fs.device());
+    if !fs.exists(&config.dir) {
+        fs.mkdir(&config.dir)?;
+    }
+    let mut fds = Vec::with_capacity(config.threads);
+    for t in 0..config.threads {
+        fds.push(fs.open(&format!("{}/ol-{t}.log", config.dir), OpenFlags::create())?);
+    }
+    let start_sim = device.clock().now_ns_f64();
+    let mut levels = Vec::with_capacity(config.inflight_levels.len());
+    for &inflight in &config.inflight_levels {
+        let before = device.stats().snapshot();
+        let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+        let violations: Mutex<u64> = Mutex::new(0);
+        let errors: Mutex<u64> = Mutex::new(0);
+        std::thread::scope(|scope| {
+            for (t, fd) in fds.iter().enumerate() {
+                let (hub, config) = (Arc::clone(hub), config.clone());
+                let device = Arc::clone(&device);
+                let (latencies, violations, errors) = (&latencies, &violations, &errors);
+                let fd = *fd;
+                scope.spawn(move || {
+                    let ring = hub.ring(config.ring_depth);
+                    let mut submit_ns: HashMap<u64, f64> = HashMap::new();
+                    let mut lats = Vec::with_capacity(config.ops_per_level as usize);
+                    let (mut viol, mut errs) = (0u64, 0u64);
+                    let mut cqes = Vec::new();
+                    let mut submitted = 0u64;
+                    let mut completed = 0u64;
+                    while completed < config.ops_per_level {
+                        // Top the ring up to the offered-load target.
+                        while submitted < config.ops_per_level
+                            && submitted - completed < inflight as u64
+                        {
+                            let body = vec![(t as u8).wrapping_add(1); config.record_size];
+                            let now = device.clock().now_ns_f64();
+                            match ring.try_submit(Sqe::appendv(submitted, fd, vec![body])) {
+                                Ok(()) => {
+                                    submit_ns.insert(submitted, now);
+                                    submitted += 1;
+                                }
+                                Err(_) => break, // ring full: harvest first
+                            }
+                        }
+                        hub.drain(aio::DEFAULT_DRAIN_BATCH);
+                        cqes.clear();
+                        ring.harvest(&mut cqes);
+                        if cqes.is_empty() {
+                            // Another thread (or the daemon) holds the
+                            // drain; our completions are on their way.
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        let published = hub.published_epoch();
+                        let now = device.clock().now_ns_f64();
+                        for cqe in &cqes {
+                            if let Some(t0) = submit_ns.remove(&cqe.user_data) {
+                                lats.push((now - t0).max(1.0));
+                            }
+                            if cqe.epoch > published {
+                                viol += 1;
+                            }
+                            if cqe.result.is_err() {
+                                errs += 1;
+                            }
+                            completed += 1;
+                        }
+                    }
+                    latencies.lock().extend(lats);
+                    *violations.lock() += viol;
+                    *errors.lock() += errs;
+                });
+            }
+        });
+        let mut lats = latencies.into_inner();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let delta = device.stats().snapshot().delta(&before);
+        levels.push(OpenLoopLevel {
+            inflight,
+            completions: lats.len() as u64,
+            p50_ns: percentile(&lats, 0.50),
+            p99_ns: percentile(&lats, 0.99),
+            p999_ns: percentile(&lats, 0.999),
+            epoch_violations: violations.into_inner(),
+            errors: errors.into_inner(),
+            fences: delta.fences,
+        });
+    }
+    fs.fsync_many(&fds)?;
+    for fd in fds {
+        fs.close(fd)?;
+    }
+    Ok(OpenLoopReport {
+        levels,
+        elapsed_ns: device.clock().now_ns_f64() - start_sim,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strict_splitfs() -> Arc<splitfs::SplitFs> {
+        let device = pmem::PmemBuilder::new(256 * 1024 * 1024)
+            .track_persistence(false)
+            .build();
+        let kernel = kernelfs::Ext4Dax::mkfs(device).unwrap();
+        let config = splitfs::SplitConfig::new(splitfs::Mode::Strict)
+            .with_staging(4, 8 * 1024 * 1024)
+            .with_oplog_size(512 * 1024);
+        splitfs::SplitFs::new(kernel, config).unwrap()
+    }
+
+    #[test]
+    fn sweep_completes_every_op_with_zero_epoch_violations() {
+        let fs = strict_splitfs();
+        let hub = splitfs::ring_hub(&fs);
+        let dynfs: Arc<dyn FileSystem> = fs.clone();
+        let config = OpenLoopConfig {
+            threads: 2,
+            inflight_levels: vec![1, 8],
+            ops_per_level: 128,
+            record_size: 256,
+            ring_depth: 32,
+            dir: "/ol-test".to_string(),
+        };
+        let report = run(&dynfs, &hub, &config).unwrap();
+        assert_eq!(report.levels.len(), 2);
+        for level in &report.levels {
+            assert_eq!(level.completions, 2 * 128);
+            assert_eq!(level.epoch_violations, 0);
+            assert_eq!(level.errors, 0);
+            assert!(level.p50_ns > 0);
+            assert!(level.p99_ns >= level.p50_ns);
+            assert!(level.p999_ns >= level.p99_ns);
+            assert!(level.fences > 0);
+        }
+        // The whole point: deeper offered load amortizes fences.
+        assert!(
+            report.levels[1].fences_per_op() < report.levels[0].fences_per_op(),
+            "fences/op did not fall with offered load: {:?}",
+            report
+                .levels
+                .iter()
+                .map(|l| l.fences_per_op())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn openloop_rejects_bad_configs() {
+        let fs = strict_splitfs();
+        let hub = splitfs::ring_hub(&fs);
+        let dynfs: Arc<dyn FileSystem> = fs;
+        for config in [
+            OpenLoopConfig {
+                threads: 0,
+                ..OpenLoopConfig::default()
+            },
+            OpenLoopConfig {
+                inflight_levels: vec![],
+                ..OpenLoopConfig::default()
+            },
+            OpenLoopConfig {
+                inflight_levels: vec![128],
+                ring_depth: 16,
+                ..OpenLoopConfig::default()
+            },
+        ] {
+            assert!(run(&dynfs, &hub, &config).is_err());
+        }
+    }
+}
