@@ -20,6 +20,7 @@
 //!   multi      aggregate throughput at 1/2/4 U-Split instances on one kernel
 //!   latency    per-op latency percentiles + software overhead (five FSes)
 //!   openloop   async-ring offered-load sweep vs the synchronous baseline
+//!   metadata   concurrent create/resolve scale-out at 1/2/4/8 threads
 //!   resources  U-Split DRAM footprint after a YCSB run (§5.10)
 //!   all        everything above
 //!
@@ -223,6 +224,27 @@ fn run(which: &str, scale: Scale) {
                 println!("OPENLOOP_JSON {line}");
             }
         }
+        "metadata" => {
+            let report = experiments::metadata_report(scale);
+            print_table(
+                "Metadata — concurrent create/resolve scale-out (SplitFS-strict, sharded namespace)",
+                &[
+                    "Threads",
+                    "Creates",
+                    "vs 1 thread",
+                    "Resolves",
+                    "Cache hit rate",
+                    "NS shard waits",
+                    "Cache invalidations",
+                    "Consistency failures",
+                ],
+                &report.rows,
+            );
+            // Machine-readable mirror of the table for the CI smoke gate.
+            for line in &report.json {
+                println!("METADATA_JSON {line}");
+            }
+        }
         "resources" => print_table(
             "§5.10 — resource consumption after YCSB-A on SplitFS-strict",
             &["Metric", "Value"],
@@ -231,7 +253,7 @@ fn run(which: &str, scale: Scale) {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon scaling vectored multi latency openloop resources all"
+                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon scaling vectored multi latency openloop metadata resources all"
             );
             std::process::exit(2);
         }
@@ -268,6 +290,7 @@ fn main() {
         "multi",
         "latency",
         "openloop",
+        "metadata",
         "resources",
     ];
     for experiment in which {

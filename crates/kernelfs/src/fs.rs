@@ -33,22 +33,57 @@
 //! * **journal admission** — [`Journal`] regions with per-region admission
 //!   locks and a global transaction-id order (see `journal.rs`);
 //! * **descriptor table** — [`FD_SHARDS`] shards keyed by descriptor;
-//! * **directory namespace** (paths, open counts, orphans) — one coarser
-//!   `RwLock<Namespace>`, taken only by metadata operations.
+//! * **directory namespace** (directory entries, open counts, orphans) —
+//!   [`NS_SHARDS`] shards of `NsShard` keyed by inode number: a
+//!   directory's entry map lives in the shard of the directory's own
+//!   inode, open counts and orphan flags in the shard of the file's
+//!   inode, so metadata churn in disjoint directories never serializes.
+//!   Inode numbers come from lock-free per-shard congruence pools
+//!   (`Ext4Dax::alloc_ino`): a new file's number is congruent to its
+//!   parent's namespace shard, and the inode shard follows the same
+//!   congruence, so a directory's whole create path — parent inode,
+//!   child inodes, namespace state — stays on one shard pair and
+//!   threads in disjoint directories share no locks at all.
+//!
+//! Above the namespace shards sits a **full-path lookup cache**: resolving
+//! a deep path is one hash probe instead of a per-component walk.  Entries
+//! are pinned to a per-directory generation (bumped under the parent's
+//! shard write lock by unlink/rename/rmdir) plus a global directory-move
+//! generation (bumped when a directory is renamed, which invalidates
+//! every cached deep path whose prefix could have moved; rmdir needs no
+//! bump — a removed directory's state vanishes from its shard and inode
+//! numbers are never reused, so descendants fail validation forever).
+//! Creates overwrite their exact cache key instead of bumping the parent
+//! generation, so sibling entries stay hot under create-heavy churn, and
+//! negative entries record confirmed absences.  Cache fills happen while
+//! the parent's shard is read-locked and mutations while it is
+//! write-locked, so fills and invalidations on one key serialize through
+//! the shard's `RwLock`.
 //!
 //! Lock ordering rules (deadlock freedom by construction):
 //!
-//! 1. `Namespace` before any inode shard.  Never acquire the namespace
-//!    lock while holding an inode-shard lock.
+//! 1. Namespace shards before any inode shard.  Never acquire a
+//!    namespace-shard lock while holding an inode-shard lock.
 //! 2. Multiple inode shards are always acquired in ascending shard index
-//!    (the internal `lock_inodes_write` helper).
+//!    (the internal `lock_inodes_write` helper); multiple namespace
+//!    shards likewise in ascending shard index (`lock_ns_write`).
 //! 3. Allocator and journal locks are acquired and released inside leaf
 //!    calls only — no caller holds one across another lock acquisition.
 //! 4. Descriptor-shard locks are leaf locks: look up, clone, release.
+//!    Path-cache shard locks are leaf locks too: probe or update,
+//!    release.
 //!
-//! Contended shard acquisitions are counted in
-//! `pmem::StatsSnapshot::shard_lock_waits`, which the `scaling` experiment
-//! reports.
+//! Mutating metadata operations resolve their path optimistically (each
+//! prefix component under a transient shard read lock), then take the
+//! needed namespace-shard write guards and re-verify the resolved entry
+//! and the directory-move generation under them, retrying the resolve if
+//! a concurrent mutation won the race.
+//!
+//! Contended inode/descriptor shard acquisitions are counted in
+//! `pmem::StatsSnapshot::shard_lock_waits`; contended namespace-shard
+//! acquisitions in `ns_shard_lock_waits`; path-cache effectiveness in
+//! `path_cache_hits` / `path_cache_misses` / `path_cache_invalidations`
+//! (the `scaling` and `metadata` experiments report them).
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -79,6 +114,9 @@ pub const INODE_SHARDS: usize = 16;
 /// Number of descriptor-table shards.
 pub const FD_SHARDS: usize = 16;
 
+/// Number of namespace shards (directory entries, open counts, orphans).
+pub const NS_SHARDS: usize = 16;
+
 #[derive(Debug, Clone)]
 struct OpenFile {
     ino: u64,
@@ -98,19 +136,114 @@ struct DirSlot {
     entry_len: usize,
 }
 
-/// The directory namespace and open-file tracking, behind one coarse lock
-/// (directory operations are not the hot path the paper optimizes).
-#[derive(Debug)]
-struct Namespace {
-    dirs: HashMap<u64, BTreeMap<String, DirSlot>>,
+/// One directory's in-memory state: its entry map plus the invalidation
+/// generation the full-path cache pins entries to.
+#[derive(Debug, Default)]
+struct DirState {
+    entries: BTreeMap<String, DirSlot>,
+    /// Bumped under the owning shard's write lock on every destructive
+    /// entry change (unlink, rename, rmdir); path-cache entries pinned to
+    /// an older generation fail validation.  Creates do not bump it —
+    /// they overwrite their exact cache key instead, so sibling entries
+    /// stay hot under create-heavy churn.
+    gen: u64,
+}
+
+/// One shard of the directory namespace.  Directory operations used to
+/// funnel through a single coarse `RwLock`; with metadata-heavy
+/// workloads (varmail-style create/unlink churn, million-file trees)
+/// that lock was the last single-lock choke point, so the namespace is
+/// now [`NS_SHARDS`]-way sharded by inode number: a directory's entry
+/// map lives in the shard of the directory's own inode, and a file's
+/// open count / orphan flag in the shard of the file's inode.
+#[derive(Debug, Default)]
+struct NsShard {
+    /// Directory inode → its entries and invalidation generation.
+    dirs: HashMap<u64, DirState>,
+    /// Open-descriptor counts, keyed by file inode.
     open_counts: HashMap<u64, u32>,
     /// Inodes whose last link was removed while still open; freed on the
     /// final close.
     orphans: HashMap<u64, bool>,
-    next_ino: u64,
+}
+
+/// A validated full-path cache entry.  `ino == None` is a negative
+/// entry: the name was confirmed absent from `parent` at fill time.
+#[derive(Debug, Clone, Copy)]
+struct PathCacheEntry {
+    /// Inode of the directory holding (or lacking) the final component.
+    parent: u64,
+    /// The parent directory's [`DirState::gen`] at fill time.
+    parent_gen: u64,
+    /// The global directory-move generation at the start of the resolve
+    /// that produced this entry.  A directory rename or rmdir anywhere
+    /// bumps the global counter, invalidating every cached deep path
+    /// whose prefix chain could have moved.
+    move_gen: u64,
+    ino: Option<u64>,
+}
+
+/// The full-path lookup cache layered above the namespace shards: deep
+/// `resolve()` becomes one hash probe (plus a generation check under the
+/// parent's shard lock) instead of a per-component walk.
+#[derive(Debug)]
+struct PathCache {
+    shards: Vec<RwLock<HashMap<String, PathCacheEntry>>>,
+    /// See [`PathCacheEntry::move_gen`].
+    dir_move_gen: AtomicU64,
+}
+
+impl PathCache {
+    fn new() -> Self {
+        PathCache {
+            shards: (0..NS_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            dir_move_gen: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, path: &str) -> &RwLock<HashMap<String, PathCacheEntry>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        path.hash(&mut h);
+        &self.shards[h.finish() as usize % self.shards.len()]
+    }
+
+    fn get(&self, path: &str) -> Option<PathCacheEntry> {
+        self.shard(path).read().get(path).copied()
+    }
+
+    fn insert(&self, path: &str, entry: PathCacheEntry) {
+        self.shard(path).write().insert(path.to_string(), entry);
+    }
+
+    fn remove(&self, path: &str) {
+        self.shard(path).write().remove(path);
+    }
+
+    fn move_gen(&self) -> u64 {
+        self.dir_move_gen.load(Ordering::Acquire)
+    }
+
+    /// Bumps the directory-move generation, returning the new value.
+    fn bump_move_gen(&self) -> u64 {
+        self.dir_move_gen.fetch_add(1, Ordering::AcqRel) + 1
+    }
 }
 
 type InodeShard = HashMap<u64, Inode>;
+
+/// Maps an inode number to its inode shard.  Inode numbers are handed out
+/// from per-namespace-shard congruence pools ([`Ext4Dax::alloc_ino`]) and
+/// the inode shard follows the same congruence: a directory's files share
+/// their parent's pool, so the whole working set of one directory — the
+/// parent inode, the child inodes and the namespace state — lives on one
+/// shard pair, and threads in disjoint directories touch disjoint inode
+/// *and* namespace shards (nothing on their create path is shared).
+fn inode_shard_of(ino: u64, shards: usize) -> usize {
+    ino as usize % shards
+}
 
 /// The ext4-DAX-like kernel file system.
 #[derive(Debug)]
@@ -118,7 +251,15 @@ pub struct Ext4Dax {
     device: Arc<PmemDevice>,
     sb: Superblock,
     inodes: Vec<RwLock<InodeShard>>,
-    ns: RwLock<Namespace>,
+    ns: Vec<RwLock<NsShard>>,
+    /// Per-namespace-shard inode-number pools: pool `s` hands out numbers
+    /// congruent to `s` modulo [`NS_SHARDS`] (see [`Ext4Dax::alloc_ino`]).
+    next_inos: Vec<AtomicU64>,
+    /// Round-robin pool selector for new *directories*, which should
+    /// spread across namespace shards (each is a future parent) rather
+    /// than pile onto their own parent's shard.
+    dir_pool_rotor: AtomicU64,
+    path_cache: PathCache,
     fds: Vec<RwLock<HashMap<Fd, OpenFile>>>,
     next_fd: AtomicU64,
     alloc: ShardedAllocator,
@@ -162,21 +303,55 @@ impl ShardSet<'_> {
     }
 
     fn inode_mut(&mut self, shards: usize, ino: u64) -> FsResult<&mut Inode> {
-        self.map_for(ino as usize % shards)
+        self.map_for(inode_shard_of(ino, shards))
             .get_mut(&ino)
             .ok_or(FsError::BadFd)
     }
 
     fn inode(&mut self, shards: usize, ino: u64) -> FsResult<&Inode> {
-        self.map_for(ino as usize % shards)
+        self.map_for(inode_shard_of(ino, shards))
             .get(&ino)
             .ok_or(FsError::BadFd)
     }
 }
 
+/// Write guards over the distinct namespace shards a metadata operation
+/// touches, acquired in ascending shard order (lock-ordering rule 10:
+/// ascending namespace-shard order, and namespace shards before inode
+/// shards).
+struct NsGuards<'a> {
+    guards: Vec<(usize, RwLockWriteGuard<'a, NsShard>)>,
+}
+
+impl NsGuards<'_> {
+    fn shard_mut(&mut self, shards: usize, ino: u64) -> &mut NsShard {
+        let idx = ino as usize % shards;
+        let slot = self
+            .guards
+            .iter_mut()
+            .find(|(i, _)| *i == idx)
+            .expect("ns shard not locked by this set");
+        &mut slot.1
+    }
+
+    fn dir(&mut self, shards: usize, ino: u64) -> FsResult<&DirState> {
+        self.shard_mut(shards, ino)
+            .dirs
+            .get(&ino)
+            .ok_or(FsError::NotADirectory)
+    }
+
+    fn dir_mut(&mut self, shards: usize, ino: u64) -> FsResult<&mut DirState> {
+        self.shard_mut(shards, ino)
+            .dirs
+            .get_mut(&ino)
+            .ok_or(FsError::NotADirectory)
+    }
+}
+
 impl Ext4Dax {
     fn inode_shard_idx(&self, ino: u64) -> usize {
-        ino as usize % self.inodes.len()
+        inode_shard_of(ino, self.inodes.len())
     }
 
     fn fd_shard_idx(&self, fd: Fd) -> usize {
@@ -219,6 +394,61 @@ impl Ext4Dax {
         ShardSet { guards }
     }
 
+    fn ns_shard_idx(&self, ino: u64) -> usize {
+        ino as usize % self.ns.len()
+    }
+
+    /// Namespace-shard acquisition with contention accounting: a failed
+    /// `try_lock` counts an `ns_shard_lock_waits`, emits an
+    /// [`obs::SpanEvent::NsShardWait`], and charges the blocked time
+    /// (global simulated-clock delta) to the calling thread's critical
+    /// path — mirroring [`PmemDevice::lock_contended`] for the inode
+    /// shards.
+    fn ns_lock_contended<G>(
+        &self,
+        try_lock: impl FnOnce() -> Option<G>,
+        lock: impl FnOnce() -> G,
+    ) -> G {
+        match try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.device.stats().add_ns_shard_lock_wait();
+                obs::event(obs::SpanEvent::NsShardWait);
+                let t0 = self.device.clock().now_ns_f64();
+                let guard = lock();
+                pmem::SimClock::charge_thread_wait(self.device.clock().now_ns_f64() - t0);
+                guard
+            }
+        }
+    }
+
+    /// Read-locks the namespace shard owning `ino`.
+    fn lock_ns_read(&self, ino: u64) -> RwLockReadGuard<'_, NsShard> {
+        let shard = &self.ns[self.ns_shard_idx(ino)];
+        self.ns_lock_contended(|| shard.try_read(), || shard.read())
+    }
+
+    /// Write-locks the namespace shard owning `ino`.
+    fn lock_ns_shard_write(&self, ino: u64) -> RwLockWriteGuard<'_, NsShard> {
+        let shard = &self.ns[self.ns_shard_idx(ino)];
+        self.ns_lock_contended(|| shard.try_write(), || shard.write())
+    }
+
+    /// Write-locks the distinct namespace shards of `inos`, in ascending
+    /// shard order (rule 10).
+    fn lock_ns_write(&self, inos: &[u64]) -> NsGuards<'_> {
+        let mut idxs: Vec<usize> = inos.iter().map(|&ino| self.ns_shard_idx(ino)).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        let mut guards = Vec::with_capacity(idxs.len());
+        for idx in idxs {
+            let shard = &self.ns[idx];
+            let guard = self.ns_lock_contended(|| shard.try_write(), || shard.write());
+            guards.push((idx, guard));
+        }
+        NsGuards { guards }
+    }
+
     /// Looks up (and clones) an open descriptor.
     fn lookup_fd(&self, fd: Fd) -> FsResult<OpenFile> {
         self.fds[self.fd_shard_idx(fd)]
@@ -246,6 +476,81 @@ impl Ext4Dax {
         if let Some(file) = self.fds[self.fd_shard_idx(fd)].write().get_mut(&fd) {
             f(file);
         }
+    }
+
+    /// Builds the per-namespace-shard inode-number pool counters from the
+    /// inos already in use (mkfs / mount constructor helper).  Pool `s`
+    /// allocates numbers `n * NS_SHARDS + s`; each counter starts past the
+    /// largest existing number in its congruence class.  Ino 0 is the
+    /// "no inode" sentinel (e.g. `replaced_ino` in rename records), so
+    /// pool 0 starts at 1.
+    fn build_ino_pools(existing: impl Iterator<Item = u64>) -> Vec<AtomicU64> {
+        let mut counters = vec![0u64; NS_SHARDS];
+        counters[0] = 1;
+        for ino in existing {
+            let s = ino as usize % NS_SHARDS;
+            counters[s] = counters[s].max(ino / NS_SHARDS as u64 + 1);
+        }
+        counters.into_iter().map(AtomicU64::new).collect()
+    }
+
+    /// Allocates an inode number for a new child of `parent`.
+    ///
+    /// Numbers come from [`NS_SHARDS`] congruence pools (`ino % NS_SHARDS`
+    /// is the pool id).  Files prefer the pool matching the parent's
+    /// namespace shard: the file's `open_counts`/`orphans` state then
+    /// lives on the same shard as the directory entry being created, so
+    /// threads working in disjoint directories take disjoint namespace
+    /// locks.  Directories instead take the next pool off a round-robin
+    /// rotor — each is a future parent, and sibling directories (e.g.
+    /// per-thread working dirs) must land on *different* shards for the
+    /// workload to scale.  The inode shard follows the same congruence
+    /// (see [`inode_shard_of`]), so a directory's entire create path —
+    /// parent inode, child inodes, namespace state — stays on one shard
+    /// pair.  A full preferred pool falls back to the
+    /// neighboring pools — alignment is a performance heuristic, never a
+    /// correctness requirement — and the allocator only reports
+    /// [`FsError::NoSpace`] once every pool has exhausted the inode table
+    /// (which also closes the old overflow hazard of numbering straight
+    /// past `inode_count` into the bitmap region).
+    fn alloc_ino(&self, parent: u64, is_dir: bool) -> FsResult<u64> {
+        let pools = self.next_inos.len();
+        let preferred = if is_dir {
+            // Skip the root's shard: every cache-miss resolve read-locks
+            // the root's directory state, so parking a busy directory
+            // (and with it every file it will ever hold) on that shard
+            // would put writer traffic on the hottest read path.
+            let root_shard = self.ns_shard_idx(ROOT_INO);
+            let s = self.dir_pool_rotor.fetch_add(1, Ordering::Relaxed) as usize % (pools - 1);
+            if s >= root_shard {
+                s + 1
+            } else {
+                s
+            }
+        } else {
+            self.ns_shard_idx(parent)
+        };
+        for attempt in 0..pools {
+            let s = (preferred + attempt) % pools;
+            let n = self.next_inos[s].fetch_add(1, Ordering::Relaxed);
+            let ino = n * NS_SHARDS as u64 + s as u64;
+            if ino < self.sb.inode_count {
+                return Ok(ino);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    /// Distributes a flat directory map into [`NS_SHARDS`] namespace
+    /// shards (mkfs / mount constructor helper).
+    fn build_ns_shards(dirs: HashMap<u64, BTreeMap<String, DirSlot>>) -> Vec<RwLock<NsShard>> {
+        let mut shards: Vec<NsShard> = (0..NS_SHARDS).map(|_| NsShard::default()).collect();
+        for (ino, entries) in dirs {
+            shards[ino as usize % NS_SHARDS]
+                .dirs
+                .insert(ino, DirState { entries, gen: 0 });
+        }
+        shards.into_iter().map(RwLock::new).collect()
     }
 
     /// Formats the device and returns a mounted file system.
@@ -283,7 +588,7 @@ impl Ext4Dax {
             .map(|_| RwLock::new(HashMap::new()))
             .collect();
         let root = Inode::new(ROOT_INO, InodeKind::Directory);
-        inode_shards[ROOT_INO as usize % INODE_SHARDS]
+        inode_shards[inode_shard_of(ROOT_INO, INODE_SHARDS)]
             .get_mut()
             .insert(ROOT_INO, root);
         let mut dirs = HashMap::new();
@@ -293,12 +598,10 @@ impl Ext4Dax {
             device,
             sb,
             inodes: inode_shards,
-            ns: RwLock::new(Namespace {
-                dirs,
-                open_counts: HashMap::new(),
-                orphans: HashMap::new(),
-                next_ino: ROOT_INO + 1,
-            }),
+            ns: Self::build_ns_shards(dirs),
+            next_inos: Self::build_ino_pools(std::iter::once(ROOT_INO)),
+            dir_pool_rotor: AtomicU64::new(0),
+            path_cache: PathCache::new(),
             fds: (0..FD_SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
@@ -340,7 +643,6 @@ impl Ext4Dax {
 
         let mut inodes: HashMap<u64, Inode> = HashMap::new();
         let mut record_buf = vec![0u8; INODE_RECORD_SIZE];
-        let mut next_ino = ROOT_INO + 1;
         for ino in 1..sb.inode_count {
             device.read_uncharged(sb.inode_offset(ino), &mut record_buf);
             if let Some((mut inode, _count, overflow_head)) = Inode::deserialize(ino, &record_buf)?
@@ -352,7 +654,6 @@ impl Ext4Dax {
                     next = inode.load_overflow(next, &block)?;
                 }
                 inodes.insert(ino, inode);
-                next_ino = next_ino.max(ino + 1);
             }
         }
 
@@ -383,16 +684,15 @@ impl Ext4Dax {
         //    state.
         for rec in &records {
             Self::replay_record(rec, &mut inodes, &mut dirs, &alloc, &mut lease_ids);
-            if let Some(m) = inodes.keys().max() {
-                next_ino = next_ino.max(m + 1);
-            }
         }
 
+        let next_inos =
+            Self::build_ino_pools(inodes.keys().copied().chain(std::iter::once(ROOT_INO)));
         let mut inode_shards: Vec<RwLock<InodeShard>> = (0..INODE_SHARDS)
             .map(|_| RwLock::new(HashMap::new()))
             .collect();
         for (ino, inode) in inodes {
-            inode_shards[ino as usize % INODE_SHARDS]
+            inode_shards[inode_shard_of(ino, INODE_SHARDS)]
                 .get_mut()
                 .insert(ino, inode);
         }
@@ -405,12 +705,10 @@ impl Ext4Dax {
             device,
             sb,
             inodes: inode_shards,
-            ns: RwLock::new(Namespace {
-                dirs,
-                open_counts: HashMap::new(),
-                orphans: HashMap::new(),
-                next_ino,
-            }),
+            ns: Self::build_ns_shards(dirs),
+            next_inos,
+            dir_pool_rotor: AtomicU64::new(0),
+            path_cache: PathCache::new(),
             fds: (0..FD_SHARDS)
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
@@ -680,27 +978,107 @@ impl Ext4Dax {
             .write(off, &zero, PersistMode::NonTemporal, TimeCategory::Metadata);
     }
 
-    /// Resolves a path to `(parent_ino, name, Option<ino>)` against the
-    /// namespace.  Directory-ness of intermediate components is checked
-    /// against the namespace's directory map, so no inode shard needs to be
-    /// locked during resolution.
-    fn resolve(&self, ns: &Namespace, path: &str) -> FsResult<(u64, String, Option<u64>)> {
+    /// Resolves a **normalized** path to `(parent_ino, name, Option<ino>)`.
+    ///
+    /// Fast path: one hash probe of the full-path cache, validated under
+    /// the parent directory's shard read lock (directory-move generation
+    /// and parent generation both unchanged since fill) — a deep resolve
+    /// costs one dirent charge instead of one per component.  Near miss:
+    /// if the full path is absent but the parent directory's path is
+    /// cached, the final component is looked up under the parent's shard
+    /// alone (two dirent charges, no shared-prefix locks).  Slow path:
+    /// a per-component walk taking each prefix directory's shard read
+    /// lock transiently, then a cache fill while the final parent's
+    /// shard is still read-locked (so fills and invalidations on one key
+    /// serialize through that shard's `RwLock`).  Directory-ness of
+    /// intermediate components is checked against the namespace's
+    /// directory maps, so no inode shard is locked during resolution.
+    fn resolve_norm(&self, norm: &str) -> FsResult<(u64, String, Option<u64>)> {
         let cost = self.device.cost().clone();
-        let (parent_path, name) = vpath::split(path)?;
+        let move_gen = self.path_cache.move_gen();
+        let (parent_path, name) = vpath::split(norm)?;
+        if let Some(e) = self.path_cache.get(norm) {
+            if e.move_gen == move_gen {
+                let guard = self.lock_ns_read(e.parent);
+                if guard.dirs.get(&e.parent).map(|d| d.gen) == Some(e.parent_gen) {
+                    self.charge(cost.ext4_dirent_ns);
+                    self.device.stats().add_path_cache_hit();
+                    return Ok((e.parent, name, e.ino));
+                }
+            }
+            // Stale entry: drop it so the walk below refills the slot.
+            self.path_cache.remove(norm);
+        }
+        self.device.stats().add_path_cache_miss();
+        obs::event(obs::SpanEvent::PathCacheMiss);
+        // Near miss: the parent directory's own path is often still
+        // cached (creates of fresh names in a warm directory).  A
+        // positive **directory** entry needs no parent-generation check
+        // here: inode numbers are never reused and every directory move
+        // bumps `move_gen`, so "`move_gen` unchanged and the directory
+        // still exists" proves the inode is still at that path.  The
+        // resolve then touches only the parent's own shard — a create in
+        // a deep tree takes no shared-prefix locks at all, which is what
+        // keeps disjoint-directory writers off each other's shards.
+        if parent_path != "/" {
+            if let Some(pe) = self.path_cache.get(&parent_path) {
+                if pe.move_gen == move_gen {
+                    if let Some(p_ino) = pe.ino {
+                        let guard = self.lock_ns_read(p_ino);
+                        if let Some(d) = guard.dirs.get(&p_ino) {
+                            // One probe plus one dirent lookup instead of
+                            // a per-component walk.
+                            self.charge(2.0 * cost.ext4_dirent_ns);
+                            let ino = d.entries.get(&name).map(|s| s.ino);
+                            self.path_cache.insert(
+                                norm,
+                                PathCacheEntry {
+                                    parent: p_ino,
+                                    parent_gen: d.gen,
+                                    move_gen,
+                                    ino,
+                                },
+                            );
+                            return Ok((p_ino, name, ino));
+                        }
+                        drop(guard);
+                        // The cached inode is not a live directory (it
+                        // was removed, or the entry names a file): evict
+                        // and take the walk below.
+                        self.path_cache.remove(&parent_path);
+                    }
+                } else {
+                    self.path_cache.remove(&parent_path);
+                }
+            }
+        }
         let comps = vpath::components(&parent_path)?;
         let mut dir_ino = ROOT_INO;
         for comp in &comps {
             self.charge(cost.ext4_dirent_ns);
-            let map = ns.dirs.get(&dir_ino).ok_or(FsError::NotADirectory)?;
-            let slot = map.get(comp).ok_or(FsError::NotFound)?;
-            if !ns.dirs.contains_key(&slot.ino) {
-                return Err(FsError::NotADirectory);
-            }
+            let guard = self.lock_ns_read(dir_ino);
+            let d = guard.dirs.get(&dir_ino).ok_or(FsError::NotADirectory)?;
+            let slot = d.entries.get(comp).ok_or(FsError::NotFound)?;
             dir_ino = slot.ino;
         }
         self.charge(cost.ext4_dirent_ns);
-        let map = ns.dirs.get(&dir_ino).ok_or(FsError::NotADirectory)?;
-        Ok((dir_ino, name.clone(), map.get(&name).map(|s| s.ino)))
+        let guard = self.lock_ns_read(dir_ino);
+        let d = guard.dirs.get(&dir_ino).ok_or(FsError::NotADirectory)?;
+        let ino = d.entries.get(&name).map(|s| s.ino);
+        // Fill (positive or negative) while the parent shard is still
+        // read-locked; `move_gen` was snapshotted before the walk, so an
+        // overlapping directory move leaves this entry invalid.
+        self.path_cache.insert(
+            norm,
+            PathCacheEntry {
+                parent: dir_ino,
+                parent_gen: d.gen,
+                move_gen,
+                ino,
+            },
+        );
+        drop(guard);
+        Ok((dir_ino, name, ino))
     }
 
     /// Ensures blocks are allocated to cover file byte range
@@ -782,11 +1160,11 @@ impl Ext4Dax {
     }
 
     /// Appends a directory entry, extending the directory data as needed.
-    /// Called with the namespace write lock and the parent inode's shard
-    /// lock held.
+    /// Called with the parent's namespace-shard write guard and the
+    /// parent inode's shard lock held.
     fn dir_append_entry(
         &self,
-        ns: &mut Namespace,
+        dir: &mut DirState,
         parent_inode: &mut Inode,
         name: &str,
         ino: u64,
@@ -798,36 +1176,33 @@ impl Ext4Dax {
         self.allocate_range(parent_inode, offset, entry.len() as u64)?;
         self.write_blocks(parent_inode, offset, &entry, TimeCategory::Metadata)?;
         parent_inode.size = offset + entry.len() as u64;
-        ns.dirs
-            .get_mut(&parent_inode.ino)
-            .ok_or(FsError::NotADirectory)?
-            .insert(
-                name.to_string(),
-                DirSlot {
-                    ino,
-                    entry_offset: offset,
-                    entry_len: entry.len(),
-                },
-            );
+        dir.entries.insert(
+            name.to_string(),
+            DirSlot {
+                ino,
+                entry_offset: offset,
+                entry_len: entry.len(),
+            },
+        );
         Ok(())
     }
 
-    /// Overwrites a directory entry with a tombstone.  Called with the
-    /// namespace write lock and the parent inode's shard lock held.
+    /// Overwrites a directory entry with a tombstone and bumps the
+    /// parent's invalidation generation (every destructive entry change —
+    /// unlink, rename, rmdir — funnels through here).  Called with the
+    /// parent's namespace-shard write guard and the parent inode's shard
+    /// lock held.
     fn dir_remove_entry(
         &self,
-        ns: &mut Namespace,
+        dir: &mut DirState,
         parent_inode: &Inode,
         name: &str,
     ) -> FsResult<DirSlot> {
         let cost = self.device.cost().clone();
         self.charge(cost.ext4_dirent_ns);
-        let slot = ns
-            .dirs
-            .get_mut(&parent_inode.ino)
-            .ok_or(FsError::NotADirectory)?
-            .remove(name)
-            .ok_or(FsError::NotFound)?;
+        let slot = dir.entries.remove(name).ok_or(FsError::NotFound)?;
+        dir.gen += 1;
+        self.device.stats().add_path_cache_invalidation();
         if slot.entry_offset != u64::MAX {
             let tomb = dir::encode_tombstone(slot.entry_len - 10);
             self.write_blocks(
@@ -1303,6 +1678,89 @@ impl Ext4Dax {
         self.alloc.free_blocks()
     }
 
+    /// Whole-tree namespace consistency check (an in-memory fsck), used by
+    /// the concurrent-metadata stress tests and the `metaload` workload's
+    /// verify phase.  Takes every namespace shard (read, ascending) and
+    /// then every inode shard (read, ascending) — the same order as rule 1
+    /// — so it can run concurrently with foreground metadata traffic and
+    /// still observe an atomic snapshot.  Returns one human-readable
+    /// string per violation; an empty vector means the tree is consistent.
+    pub fn check_namespace(&self) -> Vec<String> {
+        let ns_guards: Vec<RwLockReadGuard<'_, NsShard>> = self
+            .ns
+            .iter()
+            .map(|s| self.ns_lock_contended(|| s.try_read(), || s.read()))
+            .collect();
+        let inode_guards: Vec<RwLockReadGuard<'_, InodeShard>> = self
+            .inodes
+            .iter()
+            .map(|s| self.device.lock_contended(|| s.try_read(), || s.read()))
+            .collect();
+        let ishards = inode_guards.len();
+        let nshards = ns_guards.len();
+        let mut violations = Vec::new();
+
+        // Pass 1: every directory state belongs to a directory inode, every
+        // entry points at a live inode; count how often each ino is linked.
+        let mut refcount: HashMap<u64, u64> = HashMap::new();
+        for g in &ns_guards {
+            for (&dir_ino, dir) in &g.dirs {
+                match inode_guards[inode_shard_of(dir_ino, ishards)].get(&dir_ino) {
+                    None => {
+                        violations.push(format!("dir {dir_ino}: directory state without an inode"))
+                    }
+                    Some(inode) if !inode.is_dir() => violations.push(format!(
+                        "dir {dir_ino}: directory state but inode kind is not a directory"
+                    )),
+                    Some(_) => {}
+                }
+                for (name, slot) in &dir.entries {
+                    if inode_guards[inode_shard_of(slot.ino, ishards)]
+                        .get(&slot.ino)
+                        .is_none()
+                    {
+                        violations.push(format!(
+                            "dir {dir_ino}: entry {name:?} points at missing inode {}",
+                            slot.ino
+                        ));
+                    }
+                    *refcount.entry(slot.ino).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Pass 2: link-count discipline.  Every live inode except the root
+        // is referenced exactly once (no hard links in this model), except
+        // unlinked-while-open orphans, which must not be referenced at all;
+        // directory inodes must have directory state and files must not.
+        for g in &inode_guards {
+            for (&ino, inode) in g.iter() {
+                let refs = refcount.get(&ino).copied().unwrap_or(0);
+                let ns = &ns_guards[ino as usize % nshards];
+                let orphaned = ns.orphans.contains_key(&ino);
+                let has_dir_state = ns.dirs.contains_key(&ino);
+                if inode.is_dir() != has_dir_state {
+                    violations.push(format!(
+                        "ino {ino}: inode is_dir={} but directory state present={}",
+                        inode.is_dir(),
+                        has_dir_state
+                    ));
+                }
+                if ino == ROOT_INO {
+                    continue;
+                }
+                if orphaned && refs != 0 {
+                    violations.push(format!(
+                        "ino {ino}: orphaned (unlinked while open) but still linked {refs}x"
+                    ));
+                } else if !orphaned && refs != 1 {
+                    violations.push(format!("ino {ino}: linked {refs}x (expected exactly 1)"));
+                }
+            }
+        }
+        violations
+    }
+
     /// Opens an existing inode by number, bypassing path resolution.  This
     /// models opening through the inode cache / a file handle; SplitFS's
     /// crash recovery uses it because operation-log entries reference files
@@ -1315,7 +1773,11 @@ impl Ext4Dax {
                 return Err(FsError::NotFound);
             }
         }
-        *self.ns.write().open_counts.entry(ino).or_insert(0) += 1;
+        *self
+            .lock_ns_shard_write(ino)
+            .open_counts
+            .entry(ino)
+            .or_insert(0) += 1;
         Ok(self.insert_fd(ino, flags))
     }
 
@@ -1457,75 +1919,106 @@ impl FileSystem for Ext4Dax {
     fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
         self.charge_syscall();
         let cost = self.device.cost().clone();
-        let mut ns = self.ns.write();
-        let (parent, name, existing) = self.resolve(&ns, path)?;
-        let ino = match existing {
-            Some(ino) => {
-                if flags.exclusive && flags.create {
-                    return Err(FsError::AlreadyExists);
+        let norm = vpath::normalize(path)?;
+        let shards = self.ns.len();
+        let ino = loop {
+            let move_gen = self.path_cache.move_gen();
+            let (parent, name, existing) = self.resolve_norm(&norm)?;
+            match existing {
+                Some(ino) => {
+                    if flags.exclusive && flags.create {
+                        return Err(FsError::AlreadyExists);
+                    }
+                    let mut g = self.lock_ns_write(&[parent, ino]);
+                    if self.path_cache.move_gen() != move_gen
+                        || g.dir(shards, parent)?.entries.get(&name).map(|s| s.ino) != Some(ino)
+                    {
+                        continue; // lost a race to a rename/unlink: re-resolve
+                    }
+                    let is_dir = g.shard_mut(shards, ino).dirs.contains_key(&ino);
+                    if is_dir && (flags.write || flags.truncate) {
+                        return Err(FsError::IsADirectory);
+                    }
+                    if flags.truncate {
+                        let mut shard = self.lock_inode_write(ino);
+                        let inode = shard.get_mut(&ino).ok_or(FsError::NotFound)?;
+                        let mut records = vec![
+                            JournalRecord::SetSize { ino, size: 0 },
+                            JournalRecord::TruncateExtents {
+                                ino,
+                                from_logical: 0,
+                            },
+                        ];
+                        let (free_records, runs) = self.free_inode_blocks(inode);
+                        records.extend(free_records);
+                        inode.size = 0;
+                        let (_tid, txn) = self.journal.commit(ino, &records)?;
+                        self.write_inode(inode);
+                        self.release_runs(&runs);
+                        drop(txn);
+                    }
+                    *g.shard_mut(shards, ino).open_counts.entry(ino).or_insert(0) += 1;
+                    break ino;
                 }
-                let is_dir = ns.dirs.contains_key(&ino);
-                if is_dir && (flags.write || flags.truncate) {
-                    return Err(FsError::IsADirectory);
-                }
-                if flags.truncate {
-                    let mut shard = self.lock_inode_write(ino);
-                    let inode = shard.get_mut(&ino).ok_or(FsError::NotFound)?;
-                    let mut records = vec![
-                        JournalRecord::SetSize { ino, size: 0 },
-                        JournalRecord::TruncateExtents {
-                            ino,
-                            from_logical: 0,
-                        },
-                    ];
-                    let (free_records, runs) = self.free_inode_blocks(inode);
-                    records.extend(free_records);
-                    inode.size = 0;
-                    let (_tid, txn) = self.journal.commit(ino, &records)?;
-                    self.write_inode(inode);
-                    self.release_runs(&runs);
-                    drop(txn);
-                }
-                ino
-            }
-            None => {
-                if !flags.create {
-                    return Err(FsError::NotFound);
-                }
-                self.charge(cost.ext4_inode_update_ns);
-                let ino = ns.next_ino;
-                ns.next_ino += 1;
-                let (_tid, txn) = self.journal.commit(
-                    ino,
-                    &[JournalRecord::CreateInode {
+                None => {
+                    if !flags.create {
+                        return Err(FsError::NotFound);
+                    }
+                    // Allocate the ino before locking so the ns guard set can
+                    // cover its shard; a lost race leaks the number, which is
+                    // harmless (inos are never reused anyway).
+                    let ino = self.alloc_ino(parent, false)?;
+                    let mut g = self.lock_ns_write(&[parent, ino]);
+                    if self.path_cache.move_gen() != move_gen
+                        || g.dir(shards, parent)?.entries.contains_key(&name)
+                    {
+                        continue;
+                    }
+                    self.charge(cost.ext4_inode_update_ns);
+                    let (_tid, txn) = self.journal.commit(
                         ino,
-                        parent,
-                        name: name.clone(),
-                        is_dir: false,
-                    }],
-                )?;
-                let shards = self.inodes.len();
-                let mut set = self.lock_inodes_write(&[ino, parent]);
-                set.map_for(ino as usize % shards)
-                    .insert(ino, Inode::new(ino, InodeKind::File));
-                {
-                    let parent_inode = set.inode_mut(shards, parent)?;
-                    self.dir_append_entry(&mut ns, parent_inode, &name, ino)?;
+                        &[JournalRecord::CreateInode {
+                            ino,
+                            parent,
+                            name: name.clone(),
+                            is_dir: false,
+                        }],
+                    )?;
+                    let ishards = self.inodes.len();
+                    let mut set = self.lock_inodes_write(&[ino, parent]);
+                    set.map_for(inode_shard_of(ino, ishards))
+                        .insert(ino, Inode::new(ino, InodeKind::File));
+                    {
+                        let parent_inode = set.inode_mut(ishards, parent)?;
+                        let dir = g.dir_mut(shards, parent)?;
+                        self.dir_append_entry(dir, parent_inode, &name, ino)?;
+                    }
+                    {
+                        let inode = set.inode_mut(ishards, ino)?;
+                        self.write_inode(inode);
+                    }
+                    {
+                        let parent_inode = set.inode_mut(ishards, parent)?;
+                        self.write_inode(parent_inode);
+                    }
+                    drop(txn);
+                    // Exact-key positive overwrite (no generation bump):
+                    // sibling cache entries stay live across create churn.
+                    let parent_gen = g.dir(shards, parent)?.gen;
+                    self.path_cache.insert(
+                        &norm,
+                        PathCacheEntry {
+                            parent,
+                            parent_gen,
+                            move_gen,
+                            ino: Some(ino),
+                        },
+                    );
+                    *g.shard_mut(shards, ino).open_counts.entry(ino).or_insert(0) += 1;
+                    break ino;
                 }
-                {
-                    let inode = set.inode_mut(shards, ino)?;
-                    self.write_inode(inode);
-                }
-                {
-                    let parent_inode = set.inode_mut(shards, parent)?;
-                    self.write_inode(parent_inode);
-                }
-                drop(txn);
-                ino
             }
         };
-        *ns.open_counts.entry(ino).or_insert(0) += 1;
-        drop(ns);
         Ok(self.insert_fd(ino, flags))
     }
 
@@ -1537,7 +2030,7 @@ impl FileSystem for Ext4Dax {
                 .remove(&fd)
                 .ok_or(FsError::BadFd)?
         };
-        let mut ns = self.ns.write();
+        let mut ns = self.lock_ns_shard_write(file.ino);
         let count = ns.open_counts.entry(file.ino).or_insert(1);
         *count = count.saturating_sub(1);
         if *count == 0 {
@@ -1830,12 +2323,11 @@ impl FileSystem for Ext4Dax {
 
     fn stat(&self, path: &str) -> FsResult<FileStat> {
         self.charge_syscall();
-        let ns = self.ns.read();
         let norm = vpath::normalize(path)?;
         let ino = if norm == "/" {
             ROOT_INO
         } else {
-            let (_, _, existing) = self.resolve(&ns, &norm)?;
+            let (_, _, existing) = self.resolve_norm(&norm)?;
             existing.ok_or(FsError::NotFound)?
         };
         let shard = self.lock_inode_read(ino);
@@ -1851,36 +2343,311 @@ impl FileSystem for Ext4Dax {
 
     fn unlink(&self, path: &str) -> FsResult<()> {
         self.charge_syscall();
-        let mut ns = self.ns.write();
-        let (parent, name, existing) = self.resolve(&ns, path)?;
-        let ino = existing.ok_or(FsError::NotFound)?;
-        if ns.dirs.contains_key(&ino) {
-            return Err(FsError::IsADirectory);
-        }
-        let shards = self.inodes.len();
-        let mut set = self.lock_inodes_write(&[parent, ino]);
-        {
-            let parent_inode = set.inode(shards, parent)?;
-            self.dir_remove_entry(&mut ns, parent_inode, &name)?;
-        }
-        let still_open = ns.open_counts.get(&ino).copied().unwrap_or(0) > 0;
-        if still_open {
-            ns.orphans.insert(ino, true);
-            let (_tid, txn) = self.journal.commit(
-                ino,
-                &[JournalRecord::Unlink {
+        let norm = vpath::normalize(path)?;
+        let shards = self.ns.len();
+        loop {
+            let move_gen = self.path_cache.move_gen();
+            let (parent, name, existing) = self.resolve_norm(&norm)?;
+            let ino = existing.ok_or(FsError::NotFound)?;
+            let mut g = self.lock_ns_write(&[parent, ino]);
+            if self.path_cache.move_gen() != move_gen
+                || g.dir(shards, parent)?.entries.get(&name).map(|s| s.ino) != Some(ino)
+            {
+                continue;
+            }
+            if g.shard_mut(shards, ino).dirs.contains_key(&ino) {
+                return Err(FsError::IsADirectory);
+            }
+            let ishards = self.inodes.len();
+            let mut set = self.lock_inodes_write(&[parent, ino]);
+            {
+                let parent_inode = set.inode(ishards, parent)?;
+                let dir = g.dir_mut(shards, parent)?;
+                self.dir_remove_entry(dir, parent_inode, &name)?;
+            }
+            let still_open = g
+                .shard_mut(shards, ino)
+                .open_counts
+                .get(&ino)
+                .copied()
+                .unwrap_or(0)
+                > 0;
+            if still_open {
+                g.shard_mut(shards, ino).orphans.insert(ino, true);
+                let (_tid, txn) = self.journal.commit(
+                    ino,
+                    &[JournalRecord::Unlink {
+                        parent,
+                        name,
+                        ino,
+                        free_inode: false,
+                    }],
+                )?;
+                {
+                    let parent_inode = set.inode_mut(ishards, parent)?;
+                    self.write_inode(parent_inode);
+                }
+                drop(txn);
+            } else {
+                let (mut records, runs) = {
+                    let inode = set.inode_mut(ishards, ino)?;
+                    self.free_inode_blocks(inode)
+                };
+                records.push(JournalRecord::Unlink {
                     parent,
                     name,
                     ino,
-                    free_inode: false,
+                    free_inode: true,
+                });
+                let (_tid, txn) = self.journal.commit(ino, &records)?;
+                set.map_for(inode_shard_of(ino, ishards)).remove(&ino);
+                self.zero_inode_record(ino);
+                {
+                    let parent_inode = set.inode_mut(ishards, parent)?;
+                    self.write_inode(parent_inode);
+                }
+                self.release_runs(&runs);
+                drop(txn);
+            }
+            // Negative entry filled after the gen bump, under the parent's
+            // shard write guard: the next create-then-open of this exact
+            // path still misses once, but repeat lookups of a deleted path
+            // (create-heavy churn probing for collisions) hit.
+            let parent_gen = g.dir(shards, parent)?.gen;
+            self.path_cache.insert(
+                &norm,
+                PathCacheEntry {
+                    parent,
+                    parent_gen,
+                    move_gen,
+                    ino: None,
+                },
+            );
+            return Ok(());
+        }
+    }
+
+    fn rename(&self, old: &str, new: &str) -> FsResult<()> {
+        self.charge_syscall();
+        let old_norm = vpath::normalize(old)?;
+        let new_norm = vpath::normalize(new)?;
+        let nshards = self.ns.len();
+        loop {
+            let move_gen = self.path_cache.move_gen();
+            let (old_parent, old_name, old_ino) = self.resolve_norm(&old_norm)?;
+            let ino = old_ino.ok_or(FsError::NotFound)?;
+            let (new_parent, new_name, new_existing) = self.resolve_norm(&new_norm)?;
+            let replaced_ino = new_existing.unwrap_or(0);
+            if replaced_ino == ino {
+                return Ok(());
+            }
+            let mut involved_ns = vec![old_parent, new_parent, ino];
+            if replaced_ino != 0 {
+                involved_ns.push(replaced_ino);
+            }
+            let mut g = self.lock_ns_write(&involved_ns);
+            if self.path_cache.move_gen() != move_gen
+                || g.dir(nshards, old_parent)?
+                    .entries
+                    .get(&old_name)
+                    .map(|s| s.ino)
+                    != Some(ino)
+                || g.dir(nshards, new_parent)?
+                    .entries
+                    .get(&new_name)
+                    .map(|s| s.ino)
+                    != new_existing
+            {
+                continue;
+            }
+            if replaced_ino != 0
+                && g.shard_mut(nshards, replaced_ino)
+                    .dirs
+                    .contains_key(&replaced_ino)
+            {
+                return Err(FsError::IsADirectory);
+            }
+            let moving_dir = g.shard_mut(nshards, ino).dirs.contains_key(&ino);
+            // A directory move changes the meaning of every path beneath
+            // it, including paths whose parent shards this guard set does
+            // not hold.  Bump the global directory-move generation while
+            // the guards are held and *before* mutating: any resolve that
+            // snapshots the new generation will block on the old/new
+            // parent shard and observe the post-move namespace.
+            let entry_move_gen = if moving_dir {
+                self.path_cache.bump_move_gen()
+            } else {
+                move_gen
+            };
+
+            let shards = self.inodes.len();
+            let mut involved = vec![old_parent, new_parent, ino];
+            if replaced_ino != 0 {
+                involved.push(replaced_ino);
+            }
+            let mut set = self.lock_inodes_write(&involved);
+
+            let mut records = vec![JournalRecord::Rename {
+                old_parent,
+                old_name: old_name.clone(),
+                new_parent,
+                new_name: new_name.clone(),
+                ino,
+                replaced_ino,
+            }];
+            let mut freed_runs = Vec::new();
+            if replaced_ino != 0 {
+                let replaced = set.inode_mut(shards, replaced_ino)?;
+                let (free_records, runs) = self.free_inode_blocks(replaced);
+                records.extend(free_records);
+                freed_runs = runs;
+            }
+            let (_tid, txn) = self.journal.commit(ino, &records)?;
+
+            {
+                let old_parent_inode = set.inode(shards, old_parent)?;
+                let dir = g.dir_mut(nshards, old_parent)?;
+                self.dir_remove_entry(dir, old_parent_inode, &old_name)?;
+            }
+            if replaced_ino != 0 {
+                {
+                    let new_parent_inode = set.inode(shards, new_parent)?;
+                    let dir = g.dir_mut(nshards, new_parent)?;
+                    self.dir_remove_entry(dir, new_parent_inode, &new_name)?;
+                }
+                set.map_for(inode_shard_of(replaced_ino, shards))
+                    .remove(&replaced_ino);
+                self.zero_inode_record(replaced_ino);
+            }
+            {
+                let new_parent_inode = set.inode_mut(shards, new_parent)?;
+                let dir = g.dir_mut(nshards, new_parent)?;
+                self.dir_append_entry(dir, new_parent_inode, &new_name, ino)?;
+            }
+            {
+                let old_parent_inode = set.inode_mut(shards, old_parent)?;
+                self.write_inode(old_parent_inode);
+            }
+            {
+                let new_parent_inode = set.inode_mut(shards, new_parent)?;
+                self.write_inode(new_parent_inode);
+            }
+            self.release_runs(&freed_runs);
+            drop(txn);
+            // Refresh both endpoints under the guards (a directory move
+            // uses the bumped generation so its own fills survive it).
+            let old_parent_gen = g.dir(nshards, old_parent)?.gen;
+            self.path_cache.insert(
+                &old_norm,
+                PathCacheEntry {
+                    parent: old_parent,
+                    parent_gen: old_parent_gen,
+                    move_gen: entry_move_gen,
+                    ino: None,
+                },
+            );
+            let new_parent_gen = g.dir(nshards, new_parent)?.gen;
+            self.path_cache.insert(
+                &new_norm,
+                PathCacheEntry {
+                    parent: new_parent,
+                    parent_gen: new_parent_gen,
+                    move_gen: entry_move_gen,
+                    ino: Some(ino),
+                },
+            );
+            return Ok(());
+        }
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        self.charge_syscall();
+        let norm = vpath::normalize(path)?;
+        let nshards = self.ns.len();
+        loop {
+            let move_gen = self.path_cache.move_gen();
+            let (parent, name, existing) = self.resolve_norm(&norm)?;
+            if existing.is_some() {
+                return Err(FsError::AlreadyExists);
+            }
+            let ino = self.alloc_ino(parent, true)?;
+            let mut g = self.lock_ns_write(&[parent, ino]);
+            if self.path_cache.move_gen() != move_gen
+                || g.dir(nshards, parent)?.entries.contains_key(&name)
+            {
+                continue;
+            }
+            let (_tid, txn) = self.journal.commit(
+                ino,
+                &[JournalRecord::CreateInode {
+                    ino,
+                    parent,
+                    name: name.clone(),
+                    is_dir: true,
                 }],
             )?;
+            let shards = self.inodes.len();
+            let mut set = self.lock_inodes_write(&[ino, parent]);
+            set.map_for(inode_shard_of(ino, shards))
+                .insert(ino, Inode::new(ino, InodeKind::Directory));
+            g.shard_mut(nshards, ino)
+                .dirs
+                .insert(ino, DirState::default());
+            {
+                let parent_inode = set.inode_mut(shards, parent)?;
+                let dir = g.dir_mut(nshards, parent)?;
+                self.dir_append_entry(dir, parent_inode, &name, ino)?;
+            }
+            {
+                let inode = set.inode_mut(shards, ino)?;
+                self.write_inode(inode);
+            }
             {
                 let parent_inode = set.inode_mut(shards, parent)?;
                 self.write_inode(parent_inode);
             }
             drop(txn);
-        } else {
+            let parent_gen = g.dir(nshards, parent)?.gen;
+            self.path_cache.insert(
+                &norm,
+                PathCacheEntry {
+                    parent,
+                    parent_gen,
+                    move_gen,
+                    ino: Some(ino),
+                },
+            );
+            return Ok(());
+        }
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.charge_syscall();
+        let norm = vpath::normalize(path)?;
+        let nshards = self.ns.len();
+        loop {
+            let move_gen = self.path_cache.move_gen();
+            let (parent, name, existing) = self.resolve_norm(&norm)?;
+            let ino = existing.ok_or(FsError::NotFound)?;
+            let mut g = self.lock_ns_write(&[parent, ino]);
+            if self.path_cache.move_gen() != move_gen
+                || g.dir(nshards, parent)?.entries.get(&name).map(|s| s.ino) != Some(ino)
+            {
+                continue;
+            }
+            if !g.shard_mut(nshards, ino).dirs.contains_key(&ino) {
+                return Err(FsError::NotADirectory);
+            }
+            if !g.dir(nshards, ino)?.entries.is_empty() {
+                return Err(FsError::NotEmpty);
+            }
+            let shards = self.inodes.len();
+            let mut set = self.lock_inodes_write(&[parent, ino]);
+            {
+                let parent_inode = set.inode(shards, parent)?;
+                let dir = g.dir_mut(nshards, parent)?;
+                self.dir_remove_entry(dir, parent_inode, &name)?;
+            }
             let (mut records, runs) = {
                 let inode = set.inode_mut(shards, ino)?;
                 self.free_inode_blocks(inode)
@@ -1892,7 +2659,11 @@ impl FileSystem for Ext4Dax {
                 free_inode: true,
             });
             let (_tid, txn) = self.journal.commit(ino, &records)?;
-            set.map_for(ino as usize % shards).remove(&ino);
+            set.map_for(inode_shard_of(ino, shards)).remove(&ino);
+            // No directory-move bump needed: cached descendants carry
+            // `parent == ino`, and inos are never reused, so the missing
+            // `DirState` fails their validation probe forever after.
+            g.shard_mut(nshards, ino).dirs.remove(&ino);
             self.zero_inode_record(ino);
             {
                 let parent_inode = set.inode_mut(shards, parent)?;
@@ -1900,169 +2671,32 @@ impl FileSystem for Ext4Dax {
             }
             self.release_runs(&runs);
             drop(txn);
-        }
-        Ok(())
-    }
-
-    fn rename(&self, old: &str, new: &str) -> FsResult<()> {
-        self.charge_syscall();
-        let mut ns = self.ns.write();
-        let (old_parent, old_name, old_ino) = self.resolve(&ns, old)?;
-        let ino = old_ino.ok_or(FsError::NotFound)?;
-        let (new_parent, new_name, new_existing) = self.resolve(&ns, new)?;
-        let replaced_ino = new_existing.unwrap_or(0);
-        if replaced_ino == ino {
+            let parent_gen = g.dir(nshards, parent)?.gen;
+            self.path_cache.insert(
+                &norm,
+                PathCacheEntry {
+                    parent,
+                    parent_gen,
+                    move_gen,
+                    ino: None,
+                },
+            );
             return Ok(());
         }
-        if replaced_ino != 0 && ns.dirs.contains_key(&replaced_ino) {
-            return Err(FsError::IsADirectory);
-        }
-
-        let shards = self.inodes.len();
-        let mut involved = vec![old_parent, new_parent, ino];
-        if replaced_ino != 0 {
-            involved.push(replaced_ino);
-        }
-        let mut set = self.lock_inodes_write(&involved);
-
-        let mut records = vec![JournalRecord::Rename {
-            old_parent,
-            old_name: old_name.clone(),
-            new_parent,
-            new_name: new_name.clone(),
-            ino,
-            replaced_ino,
-        }];
-        let mut freed_runs = Vec::new();
-        if replaced_ino != 0 {
-            let replaced = set.inode_mut(shards, replaced_ino)?;
-            let (free_records, runs) = self.free_inode_blocks(replaced);
-            records.extend(free_records);
-            freed_runs = runs;
-        }
-        let (_tid, txn) = self.journal.commit(ino, &records)?;
-
-        {
-            let old_parent_inode = set.inode(shards, old_parent)?;
-            self.dir_remove_entry(&mut ns, old_parent_inode, &old_name)?;
-        }
-        if replaced_ino != 0 {
-            {
-                let new_parent_inode = set.inode(shards, new_parent)?;
-                self.dir_remove_entry(&mut ns, new_parent_inode, &new_name)?;
-            }
-            set.map_for(replaced_ino as usize % shards)
-                .remove(&replaced_ino);
-            self.zero_inode_record(replaced_ino);
-        }
-        {
-            let new_parent_inode = set.inode_mut(shards, new_parent)?;
-            self.dir_append_entry(&mut ns, new_parent_inode, &new_name, ino)?;
-        }
-        {
-            let old_parent_inode = set.inode_mut(shards, old_parent)?;
-            self.write_inode(old_parent_inode);
-        }
-        {
-            let new_parent_inode = set.inode_mut(shards, new_parent)?;
-            self.write_inode(new_parent_inode);
-        }
-        self.release_runs(&freed_runs);
-        drop(txn);
-        Ok(())
-    }
-
-    fn mkdir(&self, path: &str) -> FsResult<()> {
-        self.charge_syscall();
-        let mut ns = self.ns.write();
-        let (parent, name, existing) = self.resolve(&ns, path)?;
-        if existing.is_some() {
-            return Err(FsError::AlreadyExists);
-        }
-        let ino = ns.next_ino;
-        ns.next_ino += 1;
-        let (_tid, txn) = self.journal.commit(
-            ino,
-            &[JournalRecord::CreateInode {
-                ino,
-                parent,
-                name: name.clone(),
-                is_dir: true,
-            }],
-        )?;
-        let shards = self.inodes.len();
-        let mut set = self.lock_inodes_write(&[ino, parent]);
-        set.map_for(ino as usize % shards)
-            .insert(ino, Inode::new(ino, InodeKind::Directory));
-        ns.dirs.insert(ino, BTreeMap::new());
-        {
-            let parent_inode = set.inode_mut(shards, parent)?;
-            self.dir_append_entry(&mut ns, parent_inode, &name, ino)?;
-        }
-        {
-            let inode = set.inode_mut(shards, ino)?;
-            self.write_inode(inode);
-        }
-        {
-            let parent_inode = set.inode_mut(shards, parent)?;
-            self.write_inode(parent_inode);
-        }
-        drop(txn);
-        Ok(())
-    }
-
-    fn rmdir(&self, path: &str) -> FsResult<()> {
-        self.charge_syscall();
-        let mut ns = self.ns.write();
-        let (parent, name, existing) = self.resolve(&ns, path)?;
-        let ino = existing.ok_or(FsError::NotFound)?;
-        if !ns.dirs.contains_key(&ino) {
-            return Err(FsError::NotADirectory);
-        }
-        if ns.dirs.get(&ino).map(|m| !m.is_empty()).unwrap_or(false) {
-            return Err(FsError::NotEmpty);
-        }
-        let shards = self.inodes.len();
-        let mut set = self.lock_inodes_write(&[parent, ino]);
-        {
-            let parent_inode = set.inode(shards, parent)?;
-            self.dir_remove_entry(&mut ns, parent_inode, &name)?;
-        }
-        let (mut records, runs) = {
-            let inode = set.inode_mut(shards, ino)?;
-            self.free_inode_blocks(inode)
-        };
-        records.push(JournalRecord::Unlink {
-            parent,
-            name,
-            ino,
-            free_inode: true,
-        });
-        let (_tid, txn) = self.journal.commit(ino, &records)?;
-        set.map_for(ino as usize % shards).remove(&ino);
-        ns.dirs.remove(&ino);
-        self.zero_inode_record(ino);
-        {
-            let parent_inode = set.inode_mut(shards, parent)?;
-            self.write_inode(parent_inode);
-        }
-        self.release_runs(&runs);
-        drop(txn);
-        Ok(())
     }
 
     fn readdir(&self, path: &str) -> FsResult<Vec<String>> {
         self.charge_syscall();
-        let ns = self.ns.read();
         let norm = vpath::normalize(path)?;
         let ino = if norm == "/" {
             ROOT_INO
         } else {
-            let (_, _, existing) = self.resolve(&ns, &norm)?;
+            let (_, _, existing) = self.resolve_norm(&norm)?;
             existing.ok_or(FsError::NotFound)?
         };
-        let map = ns.dirs.get(&ino).ok_or(FsError::NotADirectory)?;
-        Ok(map.keys().cloned().collect())
+        let guard = self.lock_ns_read(ino);
+        let dir = guard.dirs.get(&ino).ok_or(FsError::NotADirectory)?;
+        Ok(dir.entries.keys().cloned().collect())
     }
 
     fn sync(&self) -> FsResult<()> {

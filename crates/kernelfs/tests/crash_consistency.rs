@@ -95,6 +95,51 @@ fn unlinked_files_stay_unlinked_after_crash() {
     check_metadata_consistency(&fs2, "/");
 }
 
+#[test]
+fn rename_across_ns_shards_recovers_exactly_one_link() {
+    // The source and destination directories get consecutive inode
+    // numbers, which hash to different namespace shards, so every rename
+    // below crosses shards and its journal record spans two guard sets.
+    // After a crash, replay must leave each file with exactly one link —
+    // under its old name or its new name, never both, never neither.
+    let device = device();
+    let fs = Ext4Dax::mkfs(Arc::clone(&device)).unwrap();
+    fs.mkdir("/srcdir").unwrap();
+    fs.mkdir("/dstdir").unwrap();
+    const FILES: usize = 8;
+    for i in 0..FILES {
+        fs.write_file(&format!("/srcdir/f{i}"), format!("payload-{i}").as_bytes())
+            .unwrap();
+    }
+    for i in 0..FILES {
+        fs.rename(&format!("/srcdir/f{i}"), &format!("/dstdir/g{i}"))
+            .unwrap();
+    }
+    device.crash();
+
+    let fs2 = Ext4Dax::mount(device).unwrap();
+    for i in 0..FILES {
+        let old = fs2.exists(&format!("/srcdir/f{i}"));
+        let new = fs2.exists(&format!("/dstdir/g{i}"));
+        assert!(
+            old ^ new,
+            "file {i}: old={old} new={new} — rename replay must leave exactly one link"
+        );
+        let surviving = if new {
+            format!("/dstdir/g{i}")
+        } else {
+            format!("/srcdir/f{i}")
+        };
+        assert_eq!(
+            fs2.read_file(&surviving).unwrap(),
+            format!("payload-{i}").as_bytes()
+        );
+    }
+    let violations = fs2.check_namespace();
+    assert!(violations.is_empty(), "fsck violations: {violations:#?}");
+    check_metadata_consistency(&fs2, "/");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

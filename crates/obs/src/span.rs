@@ -151,11 +151,16 @@ pub enum SpanEvent {
     ColdRelink,
     /// The foreground stalled waiting for a log checkpoint.
     CheckpointStall,
+    /// A kernel namespace shard was contended and the thread waited.
+    NsShardWait,
+    /// A full-path cache probe missed and resolve fell back to the
+    /// per-component directory walk.
+    PathCacheMiss,
 }
 
 impl SpanEvent {
     /// Number of event kinds.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
 
     /// Every event, in display order.
     pub const ALL: [SpanEvent; SpanEvent::COUNT] = [
@@ -167,6 +172,8 @@ impl SpanEvent {
         SpanEvent::JournalRegionWait,
         SpanEvent::ColdRelink,
         SpanEvent::CheckpointStall,
+        SpanEvent::NsShardWait,
+        SpanEvent::PathCacheMiss,
     ];
 
     #[inline]
@@ -185,6 +192,8 @@ impl SpanEvent {
             SpanEvent::JournalRegionWait => "journal_region_wait",
             SpanEvent::ColdRelink => "cold_relink",
             SpanEvent::CheckpointStall => "checkpoint_stall",
+            SpanEvent::NsShardWait => "ns_shard_wait",
+            SpanEvent::PathCacheMiss => "path_cache_miss",
         }
     }
 

@@ -97,6 +97,28 @@ pub struct Stats {
     scaling: ScalingCounters,
     lease: LeaseCounters,
     ring: RingCounters,
+    namespace: NamespaceCounters,
+}
+
+/// Counters for the sharded kernel namespace and its full-path lookup
+/// cache: contended namespace-shard acquisitions (the `metadata`
+/// experiment is scored on this staying ~zero for threads in disjoint
+/// directories), path-cache probes that hit or missed, and cache
+/// invalidations (per-directory generation bumps plus global
+/// directory-move bumps).
+#[derive(Debug, Default)]
+pub struct NamespaceCounters {
+    /// Times a namespace-shard lock was contended: a `try_lock` failed
+    /// and the thread had to block.
+    ns_shard_lock_waits: AtomicU64,
+    /// Full-path cache probes that returned a usable (validated) entry.
+    path_cache_hits: AtomicU64,
+    /// Full-path cache probes that missed or failed generation
+    /// validation, forcing a per-component directory walk.
+    path_cache_misses: AtomicU64,
+    /// Cache invalidations: per-directory generation bumps (unlink,
+    /// rename, rmdir) and global directory-move generation bumps.
+    path_cache_invalidations: AtomicU64,
 }
 
 /// Counters for the asynchronous submission/completion rings: how many
@@ -467,6 +489,35 @@ impl Stats {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one contended namespace-shard lock acquisition (a
+    /// `try_lock` failed and the thread blocked).
+    pub fn add_ns_shard_lock_wait(&self) {
+        self.namespace
+            .ns_shard_lock_waits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one validated full-path cache hit.
+    pub fn add_path_cache_hit(&self) {
+        self.namespace
+            .path_cache_hits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one full-path cache miss (absent or stale entry).
+    pub fn add_path_cache_miss(&self) {
+        self.namespace
+            .path_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one path-cache invalidation (a generation bump).
+    pub fn add_path_cache_invalidation(&self) {
+        self.namespace
+            .path_cache_invalidations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one ring drain that popped `depth` queued submissions.
     pub fn add_ring_drain(&self, depth: u64) {
         self.ring.ring_depth.fetch_add(depth, Ordering::Relaxed);
@@ -543,6 +594,13 @@ impl Stats {
             ring_depth: self.ring.ring_depth.load(Ordering::Relaxed),
             completion_batch: self.ring.completion_batch.load(Ordering::Relaxed),
             fences_amortized: self.ring.fences_amortized.load(Ordering::Relaxed),
+            ns_shard_lock_waits: self.namespace.ns_shard_lock_waits.load(Ordering::Relaxed),
+            path_cache_hits: self.namespace.path_cache_hits.load(Ordering::Relaxed),
+            path_cache_misses: self.namespace.path_cache_misses.load(Ordering::Relaxed),
+            path_cache_invalidations: self
+                .namespace
+                .path_cache_invalidations
+                .load(Ordering::Relaxed),
         }
     }
 
@@ -610,6 +668,14 @@ impl Stats {
         self.ring.ring_depth.store(0, Ordering::Relaxed);
         self.ring.completion_batch.store(0, Ordering::Relaxed);
         self.ring.fences_amortized.store(0, Ordering::Relaxed);
+        self.namespace
+            .ns_shard_lock_waits
+            .store(0, Ordering::Relaxed);
+        self.namespace.path_cache_hits.store(0, Ordering::Relaxed);
+        self.namespace.path_cache_misses.store(0, Ordering::Relaxed);
+        self.namespace
+            .path_cache_invalidations
+            .store(0, Ordering::Relaxed);
     }
 }
 
@@ -696,6 +762,16 @@ pub struct StatsSnapshot {
     /// Ordering fences avoided by coalescing batched writes under a
     /// shared fence pair.
     pub fences_amortized: u64,
+    /// Contended namespace-shard lock acquisitions (a `try_lock` failed
+    /// first).  ~Zero for threads working in disjoint directories.
+    pub ns_shard_lock_waits: u64,
+    /// Validated full-path cache hits (deep resolve served by one probe).
+    pub path_cache_hits: u64,
+    /// Full-path cache misses (absent or stale entry; component walk).
+    pub path_cache_misses: u64,
+    /// Path-cache invalidations (per-directory and directory-move
+    /// generation bumps).
+    pub path_cache_invalidations: u64,
 }
 
 impl StatsSnapshot {
@@ -825,6 +901,16 @@ impl StatsSnapshot {
         out.fences_amortized = out
             .fences_amortized
             .saturating_sub(earlier.fences_amortized);
+        out.ns_shard_lock_waits = out
+            .ns_shard_lock_waits
+            .saturating_sub(earlier.ns_shard_lock_waits);
+        out.path_cache_hits = out.path_cache_hits.saturating_sub(earlier.path_cache_hits);
+        out.path_cache_misses = out
+            .path_cache_misses
+            .saturating_sub(earlier.path_cache_misses);
+        out.path_cache_invalidations = out
+            .path_cache_invalidations
+            .saturating_sub(earlier.path_cache_invalidations);
         out
     }
 
@@ -836,7 +922,7 @@ impl StatsSnapshot {
     /// Every scalar event counter as `(name, value)` pairs, in a stable
     /// order — the single source the JSON exporters iterate instead of
     /// naming each field again.
-    pub fn counters(&self) -> [(&'static str, u64); 34] {
+    pub fn counters(&self) -> [(&'static str, u64); 38] {
         [
             ("flushes", self.flushes),
             ("fences", self.fences),
@@ -872,6 +958,10 @@ impl StatsSnapshot {
             ("ring_depth", self.ring_depth),
             ("completion_batch", self.completion_batch),
             ("fences_amortized", self.fences_amortized),
+            ("ns_shard_lock_waits", self.ns_shard_lock_waits),
+            ("path_cache_hits", self.path_cache_hits),
+            ("path_cache_misses", self.path_cache_misses),
+            ("path_cache_invalidations", self.path_cache_invalidations),
         ]
     }
 }

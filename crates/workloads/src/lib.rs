@@ -29,6 +29,12 @@
 //!   submission ring, sweeping the offered load to show fence
 //!   amortization and measuring submit-to-harvest latency
 //!   percentiles plus durability-epoch invariant violations.
+//! * [`metaload`] — the concurrent metadata scale-out workload behind
+//!   `harness -- metadata`: N threads churn (create/append/fsync/unlink)
+//!   and age files in disjoint deep directories, then repeatedly resolve
+//!   the aged paths, measuring critical-path creates/sec and
+//!   resolves/sec, the full-path cache hit rate, and namespace-shard
+//!   lock waits.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,6 +42,7 @@
 pub mod appbench;
 pub mod io_patterns;
 pub mod latency;
+pub mod metaload;
 pub mod multiproc;
 pub mod openloop;
 pub mod tpcc;

@@ -1,0 +1,317 @@
+//! Concurrent metadata scale-out workload (`harness -- metadata`).
+//!
+//! The namespace-sharding experiment: `threads` workers, each confined to
+//! its own **deep** leaf directory under a shared prefix
+//! (`/meta/t<t>/d0/d1/.../d<depth-1>`), drive a varmail-style
+//! create/append/fsync/unlink churn, then an aging pass that bulk-creates
+//! files (the paper's million-file aging, scaled to the simulated
+//! device's 65,536-inode table — [`kernelfs::Ext4Dax`]'s allocator
+//! returns `NoSpace` past it), then a resolve pass that repeatedly stats
+//! every aged deep path.  With the full-path lookup cache the resolve
+//! pass is one hash probe per stat instead of a five-component walk, and
+//! with the namespace sharded by parent directory the disjoint leaf
+//! directories contend on (almost) nothing.
+//!
+//! As in [`crate::walshard`], the headline metrics are **critical-path**
+//! simulated rates: each worker measures its own simulated time
+//! ([`pmem::SimClock::thread_time_ns`] — its charges plus simulated lock
+//! waits), and each phase's makespan is the maximum over the workers.
+//! Fixed per-thread work means perfect scaling keeps the makespan flat as
+//! threads grow, so creates/sec and resolves/sec grow ~linearly.  The
+//! result also carries the phase-scoped path-cache hit rate, the
+//! namespace-shard lock-wait count, and a consistency-failure count from
+//! the post-run fsck ([`Ext4Dax::check_namespace`]) plus a full stat walk
+//! of every aged file — a run that corrupts the tree must not report
+//! healthy throughput.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use kernelfs::Ext4Dax;
+use parking_lot::Mutex;
+use pmem::{SimClock, StatsSnapshot};
+use vfs::{FileSystem, FsError, FsResult, OpenFlags};
+
+/// Parameters of one metadata scale-out run.
+#[derive(Debug, Clone)]
+pub struct MetaloadConfig {
+    /// Worker threads; each owns one deep leaf directory.
+    pub threads: usize,
+    /// Churn iterations per thread (each is one
+    /// create/append/fsync/close/open/read/close/unlink sequence).
+    pub churn_iters: u64,
+    /// Files the aging pass creates per thread.  Every aged file consumes
+    /// one inode that is never reused, so
+    /// `threads * (churn_iters + aging_files)` must stay inside the
+    /// 65,536-inode table.
+    pub aging_files: u64,
+    /// Times the resolve pass stats each aged file.
+    pub resolve_repeats: u64,
+    /// Bytes appended (and fsynced) per churn iteration.
+    pub append_size: usize,
+    /// Directory components between `/meta/t<t>` and the leaf, so every
+    /// workload path is `depth + 2` components deep.
+    pub depth: usize,
+    /// Root of the shared directory tree.
+    pub dir: String,
+}
+
+impl Default for MetaloadConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            churn_iters: 96,
+            aging_files: 512,
+            resolve_repeats: 4,
+            append_size: 1024,
+            depth: 3,
+            dir: "/meta".to_string(),
+        }
+    }
+}
+
+/// The outcome of one metadata scale-out run.
+#[derive(Debug, Clone)]
+pub struct MetaloadResult {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Files created across all threads (churn + aging).
+    pub creates: u64,
+    /// Stats issued by the resolve pass across all threads.
+    pub resolves: u64,
+    /// Churn-phase makespan: max over workers of own simulated ns.
+    pub churn_critical_ns: f64,
+    /// Aging-phase makespan in simulated ns.
+    pub aging_critical_ns: f64,
+    /// Resolve-phase makespan in simulated ns.
+    pub resolve_critical_ns: f64,
+    /// Host wall-clock ns for the three measured phases together.
+    pub wall_ns: f64,
+    /// Path-cache hit rate over the resolve pass only (hits divided by
+    /// hits plus misses).
+    pub cache_hit_rate: f64,
+    /// Namespace-shard lock waits over the whole run; ≈ 0 when the
+    /// per-thread directories land on distinct shards.
+    pub ns_shard_lock_waits: u64,
+    /// Path-cache invalidations over the whole run (one per unlink).
+    pub cache_invalidations: u64,
+    /// Fsck violations plus aged files that failed to stat after the run.
+    /// Anything other than zero is a correctness bug.
+    pub consistency_failures: u64,
+    /// Device statistics delta for the whole run.
+    pub stats: StatsSnapshot,
+}
+
+impl MetaloadResult {
+    /// Creates per simulated second on the critical path (churn creates
+    /// over the churn makespan plus aging creates over the aging
+    /// makespan, i.e. total creates over the total create-phase time).
+    pub fn creates_per_sec(&self) -> f64 {
+        let ns = self.churn_critical_ns + self.aging_critical_ns;
+        if ns <= 0.0 {
+            0.0
+        } else {
+            self.creates as f64 / ns * 1e9
+        }
+    }
+
+    /// Resolves per simulated second on the resolve-phase critical path.
+    pub fn resolves_per_sec(&self) -> f64 {
+        if self.resolve_critical_ns <= 0.0 {
+            0.0
+        } else {
+            self.resolves as f64 / self.resolve_critical_ns * 1e9
+        }
+    }
+}
+
+/// Runs one phase across `threads` workers and returns its makespan: the
+/// maximum over workers of their own simulated time.
+fn phase<F: Fn(usize) + Sync>(threads: usize, body: F) -> f64 {
+    let times: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(threads));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let body = &body;
+            let times = &times;
+            scope.spawn(move || {
+                let t0 = SimClock::thread_time_ns();
+                body(t);
+                times.lock().push(SimClock::thread_time_ns() - t0);
+            });
+        }
+    });
+    times.into_inner().into_iter().fold(0.0f64, f64::max)
+}
+
+/// Runs the workload on `fs` (any mount — U-Split or the bare kernel)
+/// with `kernel` as the underlying kernel file system for the post-run
+/// fsck.  Returns the critical-path rates, the resolve-phase cache hit
+/// rate, and the consistency verdict.
+pub fn run(
+    fs: &Arc<dyn FileSystem>,
+    kernel: &Arc<Ext4Dax>,
+    config: &MetaloadConfig,
+) -> FsResult<MetaloadResult> {
+    if config.threads == 0 || config.churn_iters == 0 || config.aging_files == 0 {
+        return Err(FsError::InvalidArgument);
+    }
+    let device = Arc::clone(fs.device());
+
+    // Build the shared deep tree (untimed setup).
+    if !fs.exists(&config.dir) {
+        fs.mkdir(&config.dir)?;
+    }
+    let leaves: Vec<String> = (0..config.threads)
+        .map(|t| {
+            let mut path = format!("{}/t{t}", config.dir);
+            if !fs.exists(&path) {
+                fs.mkdir(&path)?;
+            }
+            for d in 0..config.depth {
+                path.push_str(&format!("/d{d}"));
+                if !fs.exists(&path) {
+                    fs.mkdir(&path)?;
+                }
+            }
+            Ok(path)
+        })
+        .collect::<FsResult<_>>()?;
+
+    let before = device.stats().snapshot();
+    let start_wall = Instant::now();
+
+    // Phase 1 — churn: varmail-style create/append/fsync/unlink, each
+    // thread inside its own leaf.
+    let append_block = vec![0xC3u8; config.append_size];
+    let churn_critical_ns = phase(config.threads, |t| {
+        let leaf = &leaves[t];
+        let mut buf = vec![0u8; config.append_size];
+        for i in 0..config.churn_iters {
+            let path = format!("{leaf}/churn-{i}");
+            let fd = fs.open(&path, OpenFlags::create()).expect("churn create");
+            fs.append(fd, &append_block).expect("churn append");
+            fs.fsync(fd).expect("churn fsync");
+            fs.close(fd).expect("churn close");
+            let fd = fs
+                .open(&path, OpenFlags::read_only())
+                .expect("churn reopen");
+            fs.read_at(fd, 0, &mut buf).expect("churn read");
+            fs.close(fd).expect("churn close");
+            fs.unlink(&path).expect("churn unlink");
+        }
+    });
+
+    // Phase 2 — aging: bulk-create the long-lived file population.
+    let aging_critical_ns = phase(config.threads, |t| {
+        let leaf = &leaves[t];
+        for i in 0..config.aging_files {
+            let path = format!("{leaf}/aged-{i}");
+            let fd = fs.open(&path, OpenFlags::create()).expect("aging create");
+            fs.close(fd).expect("aging close");
+        }
+    });
+
+    // Phase 3 — resolve: repeated deep-path stats, issued to the kernel
+    // directly.  U-Split answers a stat of a file it has open from its
+    // user-space attribute cache (§3.5) without entering the kernel at
+    // all; the subject here is the kernel namespace every metadata
+    // operation (open, unlink, rename, any U-Split miss) must resolve
+    // through, so the pass drives `kernel.stat` and the hit rate is
+    // scoped to this phase alone.
+    let resolve_before = device.stats().snapshot();
+    let resolve_critical_ns = phase(config.threads, |t| {
+        let leaf = &leaves[t];
+        for _ in 0..config.resolve_repeats {
+            for i in 0..config.aging_files {
+                kernel
+                    .stat(&format!("{leaf}/aged-{i}"))
+                    .expect("resolve stat");
+            }
+        }
+    });
+    let resolve_delta = device.stats().snapshot().delta(&resolve_before);
+    let wall_ns = start_wall.elapsed().as_nanos() as f64;
+
+    // Phase 4 — verify: whole-tree fsck plus a stat of every aged file.
+    let mut consistency_failures = kernel.check_namespace().len() as u64;
+    for leaf in &leaves {
+        for i in 0..config.aging_files {
+            if fs.stat(&format!("{leaf}/aged-{i}")).is_err() {
+                consistency_failures += 1;
+            }
+        }
+    }
+
+    let stats = device.stats().snapshot().delta(&before);
+    let resolves_issued = resolve_delta.path_cache_hits + resolve_delta.path_cache_misses;
+    Ok(MetaloadResult {
+        threads: config.threads,
+        creates: config.threads as u64 * (config.churn_iters + config.aging_files),
+        resolves: config.threads as u64 * config.resolve_repeats * config.aging_files,
+        churn_critical_ns,
+        aging_critical_ns,
+        resolve_critical_ns,
+        wall_ns,
+        cache_hit_rate: if resolves_issued == 0 {
+            0.0
+        } else {
+            resolve_delta.path_cache_hits as f64 / resolves_issued as f64
+        },
+        ns_shard_lock_waits: stats.ns_shard_lock_waits,
+        cache_invalidations: stats.path_cache_invalidations,
+        consistency_failures,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmemBuilder;
+
+    fn kernel() -> Arc<Ext4Dax> {
+        let device = PmemBuilder::new(256 * 1024 * 1024)
+            .track_persistence(false)
+            .build();
+        Ext4Dax::mkfs(device).unwrap()
+    }
+
+    #[test]
+    fn metaload_keeps_tree_consistent_and_hits_the_path_cache() {
+        let kernel = kernel();
+        let fs = Arc::clone(&kernel) as Arc<dyn FileSystem>;
+        let config = MetaloadConfig {
+            threads: 4,
+            churn_iters: 24,
+            aging_files: 64,
+            resolve_repeats: 3,
+            ..MetaloadConfig::default()
+        };
+        let result = run(&fs, &kernel, &config).unwrap();
+        assert_eq!(result.consistency_failures, 0);
+        assert_eq!(result.creates, 4 * (24 + 64));
+        assert_eq!(result.resolves, 4 * 3 * 64);
+        assert!(result.creates_per_sec() > 0.0);
+        assert!(result.resolves_per_sec() > 0.0);
+        // Aged files were cached at create; every resolve-phase stat is a
+        // hash probe.
+        assert!(
+            result.cache_hit_rate > 0.9,
+            "deep-tree resolve should be cache-served: hit rate {}",
+            result.cache_hit_rate
+        );
+        // One invalidation per churn unlink.
+        assert!(result.cache_invalidations >= 4 * 24);
+    }
+
+    #[test]
+    fn metaload_rejects_empty_configs() {
+        let kernel = kernel();
+        let fs = Arc::clone(&kernel) as Arc<dyn FileSystem>;
+        let config = MetaloadConfig {
+            threads: 0,
+            ..MetaloadConfig::default()
+        };
+        assert!(run(&fs, &kernel, &config).is_err());
+    }
+}
