@@ -598,10 +598,12 @@ impl RingFs {
     pub fn await_epoch(&self, epoch: u64) -> FsResult<()> {
         loop {
             if self.backend.published_epoch() >= epoch {
+                self.declare_epoch(epoch);
                 return Ok(());
             }
             if self.drain(DEFAULT_DRAIN_BATCH) == 0 {
                 if self.backend.published_epoch() >= epoch {
+                    self.declare_epoch(epoch);
                     return Ok(());
                 }
                 if self.in_flight() == 0 {
@@ -611,6 +613,16 @@ impl RingFs {
                 std::thread::yield_now();
             }
         }
+    }
+
+    /// Declares the satisfied `await_epoch` on the device's durability
+    /// ledger: this is the application-visible promise the crash-point
+    /// fuzzer's oracle checks (publication happened under the backend's
+    /// fence, so the declaration rule holds).
+    fn declare_epoch(&self, epoch: u64) {
+        self.backend
+            .device()
+            .declare(pmem::Promise::EpochDurable { epoch });
     }
 }
 

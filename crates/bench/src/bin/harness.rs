@@ -22,9 +22,13 @@
 //!   openloop   async-ring offered-load sweep vs the synchronous baseline
 //!   metadata   concurrent create/resolve scale-out at 1/2/4/8 threads
 //!   resources  U-Split DRAM footprint after a YCSB run (§5.10)
+//!   crashfuzz  crash-point fuzzing: oracle-checked recovery at sampled
+//!              fence boundaries, differential triage, media faults
 //!   all        everything above
 //!
 //! `--full` switches from the quick sizes to paper-scale inputs.
+//! `CHAOS_SEED` steers the crashfuzz workload and sampled boundaries;
+//! `CRASHFUZZ_EXTENDED=1` selects the nightly-depth crashfuzz profile.
 //! ```
 
 use bench::experiments::{self, Scale};
@@ -250,10 +254,31 @@ fn run(which: &str, scale: Scale) {
             &["Metric", "Value"],
             &experiments::resources(scale),
         ),
+        "crashfuzz" => {
+            let report = experiments::crashfuzz_report(scale);
+            print_table(
+                "Crash-point fuzzing — oracle-checked recovery at sampled fence boundaries",
+                &[
+                    "Mode",
+                    "Policy",
+                    "Fences",
+                    "Points",
+                    "Unreached",
+                    "Violations",
+                    "Fsck failures",
+                    "Promises checked",
+                ],
+                &report.rows,
+            );
+            // Machine-readable mirror of the table for the CI smoke gate.
+            for line in &report.json {
+                println!("CRASHFUZZ_JSON {line}");
+            }
+        }
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon scaling vectored multi latency openloop metadata resources all"
+                "valid: table1 table2 table6 table7 fig3 fig4 fig5 fig6 recovery daemon scaling vectored multi latency openloop metadata resources crashfuzz all"
             );
             std::process::exit(2);
         }
@@ -292,6 +317,7 @@ fn main() {
         "openloop",
         "metadata",
         "resources",
+        "crashfuzz",
     ];
     for experiment in which {
         if experiment == "all" {

@@ -1365,6 +1365,160 @@ pub fn metadata(scale: Scale) -> Vec<Row> {
     metadata_report(scale).rows
 }
 
+/// The crash-point fuzzing experiment's table plus its CI JSON mirror.
+pub struct CrashFuzzReport {
+    /// The rows of the human-readable table.
+    pub rows: Vec<Row>,
+    /// One JSON object per row, stable key order, for the CI gate.
+    pub json: Vec<String>,
+}
+
+/// The crash-point fuzzing experiment: enumerate every fence boundary
+/// the concurrent crash-mix workload crosses, crash at a sampled set of
+/// them per mode/policy, recover each image and hold it to the
+/// declared-durability oracle plus fsck; then the differential
+/// (KeepAll vs LoseUnflushed) classifier and the media-fault injection
+/// round.  The acceptance bar, gated by CI on the `total` JSON row:
+/// ≥ 200 crash points explored across SplitFS-strict and SplitFS-POSIX,
+/// **zero** oracle violations, **zero** fsck failures, and zero
+/// unclassified differential divergences.  `CHAOS_SEED` steers the
+/// workload and the sampled boundaries; `CRASHFUZZ_EXTENDED=1` switches
+/// to the nightly profile (several times more points per mode).
+pub fn crashfuzz_report(scale: Scale) -> CrashFuzzReport {
+    use chaos::FuzzConfig;
+    use pmem::CrashPolicy;
+
+    let extended = std::env::var("CRASHFUZZ_EXTENDED")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    let seed = chaos::chaos_seed(0xC4A0_5EED);
+    let per_mode = match (scale, extended) {
+        (Scale::Quick, false) => 120,
+        (Scale::Quick, true) => 500,
+        (Scale::Full, false) => 400,
+        (Scale::Full, true) => 1500,
+    };
+    let diff_points = per_mode / 3;
+
+    let configs = [
+        ("strict", Mode::Strict, CrashPolicy::LoseUnflushed),
+        ("posix", Mode::Posix, CrashPolicy::LoseUnflushed),
+        ("strict", Mode::Strict, CrashPolicy::TornWrites { seed }),
+    ];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut total_points = 0u64;
+    let mut total_unreached = 0u64;
+    let mut total_violations = 0u64;
+    let mut total_fsck = 0u64;
+    let mut total_promises = 0u64;
+    let mut fences = 0u64;
+    for (mode_name, mode, policy) in configs {
+        let mut config = FuzzConfig::smoke(mode, seed);
+        config.policy = policy;
+        config.max_points = per_mode;
+        let report = chaos::fuzz::run(&config).expect("crashfuzz run");
+        let policy_name = match policy {
+            CrashPolicy::LoseUnflushed => "lose-unflushed",
+            CrashPolicy::KeepAll => "keep-all",
+            CrashPolicy::TornWrites { .. } => "torn-writes",
+        };
+        fences = fences.max(report.fences_enumerated);
+        total_points += report.points_explored;
+        total_unreached += report.points_unreached;
+        total_violations += report.violations.len() as u64;
+        total_fsck += report.fsck_failures;
+        total_promises += report.promises_checked;
+        rows.push(vec![
+            mode_name.to_string(),
+            policy_name.to_string(),
+            report.fences_enumerated.to_string(),
+            report.points_explored.to_string(),
+            report.points_unreached.to_string(),
+            report.violations.len().to_string(),
+            report.fsck_failures.to_string(),
+            report.promises_checked.to_string(),
+        ]);
+        json.push(
+            obs::JsonObject::new()
+                .str("experiment", "crashfuzz")
+                .str("mode", mode_name)
+                .str("policy", policy_name)
+                .u64("fences_enumerated", report.fences_enumerated)
+                .u64("points", report.points_explored)
+                .u64("unreached", report.points_unreached)
+                .u64("violations", report.violations.len() as u64)
+                .u64("fsck_failures", report.fsck_failures)
+                .u64("promises_checked", report.promises_checked)
+                .finish(),
+        );
+        for violation in &report.violations {
+            eprintln!("crashfuzz[{mode_name}/{policy_name}] violation: {violation}");
+        }
+    }
+
+    let diff = chaos::fuzz::run_differential(&FuzzConfig::smoke(Mode::Strict, seed), diff_points)
+        .expect("crashfuzz differential");
+    rows.push(vec![
+        "differential".into(),
+        "keep-all vs lose-unflushed".into(),
+        "-".into(),
+        (diff.consistent + diff.missing_fence + diff.logic_bug + diff.unclassified).to_string(),
+        diff.skipped.to_string(),
+        diff.logic_bug.to_string(),
+        "-".into(),
+        format!(
+            "{} missing-fence, {} unclassified",
+            diff.missing_fence, diff.unclassified
+        ),
+    ]);
+
+    let media = chaos::fuzz::run_media_faults(&FuzzConfig::smoke(Mode::Strict, seed))
+        .expect("crashfuzz media faults");
+    rows.push(vec![
+        "media".into(),
+        "read-error ranges".into(),
+        "-".into(),
+        media.injected.to_string(),
+        "0".into(),
+        (media.injected - media.propagated).to_string(),
+        (!media.contained as u64).to_string(),
+        format!("restored: {}", media.restored),
+    ]);
+
+    rows.push(vec![
+        "total".into(),
+        "-".into(),
+        fences.to_string(),
+        total_points.to_string(),
+        total_unreached.to_string(),
+        total_violations.to_string(),
+        total_fsck.to_string(),
+        total_promises.to_string(),
+    ]);
+    json.push(
+        obs::JsonObject::new()
+            .str("experiment", "crashfuzz")
+            .str("mode", "total")
+            .u64("fences_enumerated", fences)
+            .u64("points", total_points)
+            .u64("unreached", total_unreached)
+            .u64("violations", total_violations)
+            .u64("fsck_failures", total_fsck)
+            .u64("promises_checked", total_promises)
+            .u64("diff_consistent", diff.consistent)
+            .u64("diff_missing_fence", diff.missing_fence)
+            .u64("diff_logic_bug", diff.logic_bug)
+            .u64("diff_unclassified", diff.unclassified)
+            .u64("media_injected", media.injected)
+            .u64("media_propagated", media.propagated)
+            .u64("media_contained", media.contained as u64)
+            .u64("media_restored", media.restored as u64)
+            .finish(),
+    );
+    CrashFuzzReport { rows, json }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

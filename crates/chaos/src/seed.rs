@@ -1,0 +1,64 @@
+//! `CHAOS_SEED` — one knob that reseeds every randomized test.
+//!
+//! Every fuzz loop and property test in the workspace derives its
+//! randomness from a deterministic per-test seed.  Setting the
+//! `CHAOS_SEED` environment variable perturbs all of them at once
+//! (nightly runs sweep it), and every failure report prints the value
+//! that reproduces the failing schedule:
+//!
+//! ```text
+//! CHAOS_SEED=0x1d4c9f23 cargo test -p chaos
+//! ```
+//!
+//! Accepted forms: decimal (`12345`) or hexadecimal with a `0x` prefix.
+
+/// The environment variable consulted by [`chaos_seed`].
+pub const CHAOS_SEED_ENV: &str = "CHAOS_SEED";
+
+/// Parses a `CHAOS_SEED`-style value: decimal, or hex with `0x`/`0X`.
+pub fn parse_seed(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+/// Returns the seed every randomized entry point should start from:
+/// the `CHAOS_SEED` environment variable if set (and parseable), else
+/// `default`.  An unparseable value falls back to `default` rather than
+/// aborting, so a typo degrades to a deterministic run.
+pub fn chaos_seed(default: u64) -> u64 {
+    std::env::var(CHAOS_SEED_ENV)
+        .ok()
+        .and_then(|raw| parse_seed(&raw))
+        .unwrap_or(default)
+}
+
+/// The line a failing fuzz/property run prints so the schedule can be
+/// replayed: `CHAOS_SEED=0x<seed>`.
+pub fn replay_banner(seed: u64) -> String {
+    format!("{CHAOS_SEED_ENV}=0x{seed:x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed(" 0xff "), Some(255));
+        assert_eq!(parse_seed("0XDEADBEEF"), Some(0xDEAD_BEEF));
+        assert_eq!(parse_seed("zebra"), None);
+        assert_eq!(parse_seed("0x"), None);
+    }
+
+    #[test]
+    fn banner_round_trips() {
+        let banner = replay_banner(0x1d4c);
+        let value = banner.split('=').nth(1).unwrap();
+        assert_eq!(parse_seed(value), Some(0x1d4c));
+    }
+}

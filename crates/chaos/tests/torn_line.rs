@@ -1,0 +1,72 @@
+//! Property: the torn-write model never interleaves bytes.
+//!
+//! The [`pmem::CrashPolicy::TornWrites`] model claims a torn cache line
+//! is always a contiguous prefix of the pending store glued to a suffix
+//! of the old durable bytes (or vice versa) — hardware drains whole
+//! lines, so a crash can only cut *between* drains, never shuffle bytes
+//! within one.  This property drives [`pmem::crash::tear_line`] with
+//! arbitrary durable/pending contents and checks the claim structurally:
+//! every output is exactly one of the `CACHE_LINE + 1` prefix splices or
+//! one of the suffix splices, and the cut agrees with
+//! [`pmem::crash::torn_cut`].  `CHAOS_SEED` steers both the generated
+//! line contents (through the proptest shim) and the tear seed.
+
+use chaos::chaos_seed;
+use pmem::crash::{tear_line, torn_cut};
+use pmem::CACHE_LINE;
+use proptest::prelude::*;
+
+/// All legal post-tear images of one line: for each cut point, the
+/// pending-prefix splice and the pending-suffix splice.
+fn legal_tears(durable: &[u8], pending: &[u8]) -> Vec<Vec<u8>> {
+    let mut legal = Vec::with_capacity(2 * (durable.len() + 1));
+    for cut in 0..=durable.len() {
+        let mut prefix = pending[..cut].to_vec();
+        prefix.extend_from_slice(&durable[cut..]);
+        legal.push(prefix);
+        let mut suffix = durable[..cut].to_vec();
+        suffix.extend_from_slice(&pending[cut..]);
+        legal.push(suffix);
+    }
+    legal
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A torn line is a prefix/suffix splice of (pending, durable) —
+    /// never an interleaving — and matches the declared cut exactly.
+    #[test]
+    fn torn_line_is_prefix_or_suffix_never_interleaved(
+        durable in prop::collection::vec(any::<u8>(), CACHE_LINE),
+        pending in prop::collection::vec(any::<u8>(), CACHE_LINE),
+        line_index in any::<u64>(),
+        seed_salt in any::<u64>(),
+    ) {
+        let seed = chaos_seed(0xC4A0_5EED) ^ seed_salt;
+        let torn = tear_line(seed, line_index, &durable, &pending);
+        prop_assert_eq!(torn.len(), CACHE_LINE);
+
+        // Structural claim: the output is one of the legal splices.
+        prop_assert!(
+            legal_tears(&durable, &pending).contains(&torn),
+            "torn line interleaves durable and pending bytes \
+             (seed {seed:#x}, line {line_index})"
+        );
+
+        // And it is exactly the splice torn_cut declares.
+        let (cut, prefix) = torn_cut(seed, line_index);
+        let expected: Vec<u8> = if prefix {
+            pending[..cut].iter().chain(&durable[cut..]).copied().collect()
+        } else {
+            durable[..cut].iter().chain(&pending[cut..]).copied().collect()
+        };
+        prop_assert_eq!(torn, expected);
+
+        // Determinism: a replay with the same seed tears identically.
+        prop_assert_eq!(
+            tear_line(seed, line_index, &durable, &pending),
+            tear_line(seed, line_index, &durable, &pending)
+        );
+    }
+}

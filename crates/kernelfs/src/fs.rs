@@ -1269,12 +1269,12 @@ impl Ext4Dax {
                     } else {
                         AccessPattern::Sequential
                     };
-                    self.device.read(
+                    self.device.try_read(
                         phys * BLOCK_SIZE as u64 + within as u64,
                         &mut buf[pos..pos + chunk],
                         p,
                         cat,
-                    );
+                    )?;
                 }
                 None => {
                     // Hole: reads as zeroes.
@@ -1899,6 +1899,12 @@ impl Ext4Dax {
         )?;
         self.leases.persist();
         drop(txn);
+        // Journaled and persisted: recovery must now honor this lease
+        // state (active or orphaned if acquired; gone if released).
+        self.device.declare(pmem::Promise::LeaseJournaled {
+            instance: instance_id,
+            acquired: acquire,
+        });
         Ok(())
     }
 }

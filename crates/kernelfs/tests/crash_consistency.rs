@@ -2,10 +2,16 @@
 //! crash at an arbitrary point, the file system must mount, its metadata
 //! must be consistent (every directory entry points at a live inode, sizes
 //! are sane), and operations that the journal committed must be visible.
+//!
+//! The post-crash consistency walk is the shared [`chaos::Recovered`]
+//! harness — the same fsck the crash-point fuzzer runs at every
+//! enumerated fence boundary — so this file only states what each
+//! scenario additionally promises.
 
 use std::sync::Arc;
 
-use kernelfs::{Ext4Dax, BLOCK_SIZE};
+use chaos::Recovered;
+use kernelfs::Ext4Dax;
 use pmem::{PmemBuilder, PmemDevice};
 use proptest::prelude::*;
 use vfs::{FileSystem, OpenFlags};
@@ -14,30 +20,12 @@ fn device() -> Arc<PmemDevice> {
     PmemBuilder::new(192 * 1024 * 1024).build()
 }
 
-/// Checks the invariants POSIX metadata consistency demands: every name in
-/// every reachable directory resolves to a stat-able object and file sizes
-/// do not exceed the allocated block span by more than one block.
-fn check_metadata_consistency(fs: &Arc<Ext4Dax>, dir: &str) {
-    for name in fs.readdir(dir).expect("readdir after recovery") {
-        let path = if dir == "/" {
-            format!("/{name}")
-        } else {
-            format!("{dir}/{name}")
-        };
-        let stat = fs
-            .stat(&path)
-            .unwrap_or_else(|e| panic!("dangling entry {path}: {e}"));
-        if stat.is_dir {
-            check_metadata_consistency(fs, &path);
-        } else {
-            assert!(
-                stat.size <= (stat.blocks + 1) * BLOCK_SIZE as u64 + BLOCK_SIZE as u64,
-                "{path}: size {} not covered by {} blocks",
-                stat.size,
-                stat.blocks
-            );
-        }
-    }
+/// Remounts the crashed device and runs the shared fsck walk; returns the
+/// recovered kernel for scenario-specific assertions.
+fn recover_clean(device: &Arc<PmemDevice>) -> Arc<Ext4Dax> {
+    let rec = Recovered::mount(device).unwrap();
+    rec.assert_clean();
+    rec.kernel
 }
 
 #[test]
@@ -50,10 +38,9 @@ fn fsynced_files_survive_crashes_completely() {
     fs.write_file("/keep/b.bin", b"short").unwrap();
     device.crash();
 
-    let fs2 = Ext4Dax::mount(device).unwrap();
+    let fs2 = recover_clean(&device);
     assert_eq!(fs2.read_file("/keep/a.bin").unwrap(), payload);
     assert_eq!(fs2.read_file("/keep/b.bin").unwrap(), b"short");
-    check_metadata_consistency(&fs2, "/");
 }
 
 #[test]
@@ -65,7 +52,7 @@ fn rename_is_atomic_under_crash() {
     fs.rename("/incoming.tmp", "/target").unwrap();
     device.crash();
 
-    let fs2 = Ext4Dax::mount(device).unwrap();
+    let fs2 = recover_clean(&device);
     // After the crash the target is exactly one of the two versions and the
     // temporary name never coexists with a completed rename.
     let data = fs2.read_file("/target").unwrap();
@@ -76,7 +63,6 @@ fn rename_is_atomic_under_crash() {
     if data == b"new contents" {
         assert!(!fs2.exists("/incoming.tmp"));
     }
-    check_metadata_consistency(&fs2, "/");
 }
 
 #[test]
@@ -90,9 +76,8 @@ fn unlinked_files_stay_unlinked_after_crash() {
     assert!(free_after > free_before);
     device.crash();
 
-    let fs2 = Ext4Dax::mount(device).unwrap();
+    let fs2 = recover_clean(&device);
     assert!(!fs2.exists("/doomed"));
-    check_metadata_consistency(&fs2, "/");
 }
 
 #[test]
@@ -117,7 +102,7 @@ fn rename_across_ns_shards_recovers_exactly_one_link() {
     }
     device.crash();
 
-    let fs2 = Ext4Dax::mount(device).unwrap();
+    let fs2 = recover_clean(&device);
     for i in 0..FILES {
         let old = fs2.exists(&format!("/srcdir/f{i}"));
         let new = fs2.exists(&format!("/dstdir/g{i}"));
@@ -135,9 +120,6 @@ fn rename_across_ns_shards_recovers_exactly_one_link() {
             format!("payload-{i}").as_bytes()
         );
     }
-    let violations = fs2.check_namespace();
-    assert!(violations.is_empty(), "fsck violations: {violations:#?}");
-    check_metadata_consistency(&fs2, "/");
 }
 
 proptest! {
@@ -180,10 +162,11 @@ proptest! {
             }
         }
         device.crash();
-        let fs2 = Ext4Dax::mount(device).unwrap();
-        check_metadata_consistency(&fs2, "/");
+        let rec = Recovered::mount(&device).unwrap();
+        let fsck = rec.fsck();
+        prop_assert!(fsck.is_empty(), "fsck violations: {:#?}", fsck);
         for (path, expected) in &synced {
-            let data = fs2.read_file(path).unwrap();
+            let data = rec.kernel.read_file(path).unwrap();
             prop_assert_eq!(&data, expected, "durable file {} lost data", path);
         }
     }

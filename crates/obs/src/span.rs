@@ -156,11 +156,16 @@ pub enum SpanEvent {
     /// A full-path cache probe missed and resolve fell back to the
     /// per-component directory walk.
     PathCacheMiss,
+    /// The crash-point fuzzer captured a crash image at a fence boundary.
+    CrashCapture,
+    /// Recovery from a captured crash image broke a declared-durability
+    /// promise (or fsck / foreign-entry containment).
+    OracleViolation,
 }
 
 impl SpanEvent {
     /// Number of event kinds.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
 
     /// Every event, in display order.
     pub const ALL: [SpanEvent; SpanEvent::COUNT] = [
@@ -174,6 +179,8 @@ impl SpanEvent {
         SpanEvent::CheckpointStall,
         SpanEvent::NsShardWait,
         SpanEvent::PathCacheMiss,
+        SpanEvent::CrashCapture,
+        SpanEvent::OracleViolation,
     ];
 
     #[inline]
@@ -194,6 +201,8 @@ impl SpanEvent {
             SpanEvent::CheckpointStall => "checkpoint_stall",
             SpanEvent::NsShardWait => "ns_shard_wait",
             SpanEvent::PathCacheMiss => "path_cache_miss",
+            SpanEvent::CrashCapture => "crash_capture",
+            SpanEvent::OracleViolation => "oracle_violation",
         }
     }
 

@@ -7,6 +7,8 @@
 //! synchronous durability in sync mode, and atomic operations in strict
 //! mode.
 
+use crate::CACHE_LINE;
+
 /// What happens to cache lines that were written but never flushed+fenced
 /// when a crash is injected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -20,6 +22,53 @@ pub enum CrashPolicy {
     /// on power failure).  Useful for differential testing: a bug that only
     /// reproduces under `LoseUnflushed` is a missing flush/fence.
     KeepAll,
+    /// Unflushed lines survive *torn*: for each written-but-unfenced cache
+    /// line, a contiguous prefix or suffix of the pending store reaches the
+    /// persistence domain and the rest of the line keeps its old durable
+    /// bytes.  Hardware persists whole lines atomically, but a crash can
+    /// land between the line-sized drains of a multi-line store — this
+    /// policy models the worst legal outcome at line granularity.  The cut
+    /// point and direction are a pure function of the seed and the line
+    /// index, so a failing run is replayable.
+    TornWrites {
+        /// Seed selecting each line's survival cut point and direction.
+        seed: u64,
+    },
+}
+
+/// The deterministic tear decision for one cache line: how many bytes
+/// survive (`0..=CACHE_LINE`) and whether they are a prefix (`true`) or a
+/// suffix (`false`) of the pending store.
+pub fn torn_cut(seed: u64, line_index: u64) -> (usize, bool) {
+    // splitmix64 over (seed, line) — stateless, so enumeration order of the
+    // dirty-line set cannot affect the outcome.
+    let mut z = seed ^ line_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let cut = (z % (CACHE_LINE as u64 + 1)) as usize;
+    let prefix = (z >> 32) & 1 == 0;
+    (cut, prefix)
+}
+
+/// Applies the tear for `line_index` to one cache line: `durable` holds the
+/// old (fenced) bytes, `pending` the new volatile bytes, and the result is
+/// the line as it would read after the crash.  The survivor is always
+/// `pending[..cut] + durable[cut..]` or `durable[..cut] + pending[cut..]` —
+/// never an interleaving.
+pub fn tear_line(seed: u64, line_index: u64, durable: &[u8], pending: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(durable.len(), pending.len());
+    let (cut, prefix) = torn_cut(seed, line_index);
+    let cut = cut.min(durable.len());
+    let mut out = Vec::with_capacity(durable.len());
+    if prefix {
+        out.extend_from_slice(&pending[..cut]);
+        out.extend_from_slice(&durable[cut..]);
+    } else {
+        out.extend_from_slice(&durable[..cut]);
+        out.extend_from_slice(&pending[cut..]);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -29,5 +78,42 @@ mod tests {
     #[test]
     fn default_policy_is_conservative() {
         assert_eq!(CrashPolicy::default(), CrashPolicy::LoseUnflushed);
+    }
+
+    #[test]
+    fn torn_cut_is_deterministic_and_bounded() {
+        for line in 0..1000u64 {
+            let (cut, prefix) = torn_cut(42, line);
+            assert_eq!((cut, prefix), torn_cut(42, line));
+            assert!(cut <= CACHE_LINE);
+        }
+    }
+
+    #[test]
+    fn torn_cut_varies_across_lines_and_seeds() {
+        let cuts: std::collections::HashSet<usize> =
+            (0..256).map(|line| torn_cut(7, line).0).collect();
+        assert!(cuts.len() > 8, "cut points should spread over the line");
+        assert_ne!(
+            (0..32).map(|l| torn_cut(1, l)).collect::<Vec<_>>(),
+            (0..32).map(|l| torn_cut(2, l)).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn tear_is_prefix_or_suffix_of_pending() {
+        let durable = [0xAAu8; CACHE_LINE];
+        let pending = [0x55u8; CACHE_LINE];
+        for line in 0..256u64 {
+            let torn = tear_line(9, line, &durable, &pending);
+            let (cut, prefix) = torn_cut(9, line);
+            if prefix {
+                assert!(torn[..cut].iter().all(|&b| b == 0x55));
+                assert!(torn[cut..].iter().all(|&b| b == 0xAA));
+            } else {
+                assert!(torn[..cut].iter().all(|&b| b == 0xAA));
+                assert!(torn[cut..].iter().all(|&b| b == 0x55));
+            }
+        }
     }
 }

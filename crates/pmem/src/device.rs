@@ -16,15 +16,17 @@
 //! user space (U-Split), exactly as ext4 DAX hands out PM physical pages
 //! through the page table.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 
 use crate::clock::SimClock;
 use crate::cost::CostModel;
-use crate::crash::CrashPolicy;
+use crate::crash::{tear_line, CrashPolicy};
+use crate::oracle::{Promise, PromiseLedger};
 use crate::persist::{AccessPattern, PersistMode};
 use crate::stats::{Stats, TimeCategory};
 use crate::CACHE_LINE;
@@ -98,7 +100,71 @@ impl PmemBuilder {
             clock: Arc::new(SimClock::new()),
             stats: Arc::new(Stats::new()),
             cost: self.cost,
+            fence_seq: AtomicU64::new(0),
+            fence_hook: FenceHookSlot(Mutex::new(None)),
+            fence_hook_armed: AtomicBool::new(false),
+            poison: Mutex::new(Vec::new()),
+            poison_armed: AtomicBool::new(false),
+            ledger: PromiseLedger::default(),
         })
+    }
+}
+
+/// A fence interceptor: called at the *start* of every
+/// [`PmemDevice::fence`] with the fence's ordinal (0-based, monotone per
+/// device), before any pending line drains.  A crash image captured inside
+/// the hook at ordinal `k` therefore models "power fails before fence `k`
+/// completes".  The hook runs on the fencing thread with no device locks
+/// held; it must not call `fence` itself.
+pub type FenceHook = Arc<dyn Fn(&PmemDevice, u64) + Send + Sync>;
+
+struct FenceHookSlot(Mutex<Option<FenceHook>>);
+
+impl std::fmt::Debug for FenceHookSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FenceHookSlot")
+    }
+}
+
+/// A point-in-time post-crash image of the whole device, computed under the
+/// device's [`CrashPolicy`] by [`PmemDevice::capture_crash_image`].
+///
+/// Capturing does not perturb the live device: the workload keeps running
+/// and the image is later [restored](PmemDevice::restore_crash_image) into
+/// a fresh device to exercise recovery.  The image also snapshots the
+/// promise-ledger length *before* any byte is copied, so every recorded
+/// promise with `seq < ledger_len` was established strictly before the
+/// captured state.
+#[derive(Debug, Clone)]
+pub struct CrashImage {
+    size: usize,
+    fence_ordinal: u64,
+    ledger_len: usize,
+    torn_lines: u64,
+    shards: Vec<Box<[u8]>>,
+}
+
+impl CrashImage {
+    /// Device capacity the image was captured from.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Value of the device fence ordinal when the capture ran.
+    pub fn fence_ordinal(&self) -> u64 {
+        self.fence_ordinal
+    }
+
+    /// Promise-ledger length snapshotted at the start of the capture;
+    /// promises with `seq` below this bound recovery from this image.
+    pub fn ledger_len(&self) -> usize {
+        self.ledger_len
+    }
+
+    /// Number of cache lines that survived torn (always 0 outside
+    /// [`CrashPolicy::TornWrites`]).
+    pub fn torn_lines(&self) -> u64 {
+        self.torn_lines
     }
 }
 
@@ -131,6 +197,15 @@ pub struct PmemDevice {
     clock: Arc<SimClock>,
     stats: Arc<Stats>,
     cost: CostModel,
+    /// Monotone count of fences issued; the hook sees each fence's ordinal.
+    fence_seq: AtomicU64,
+    fence_hook: FenceHookSlot,
+    /// Fast-path gate so un-instrumented runs pay one relaxed load per fence.
+    fence_hook_armed: AtomicBool,
+    /// Byte ranges that fail checked reads (media-error injection).
+    poison: Mutex<Vec<(u64, u64)>>,
+    poison_armed: AtomicBool,
+    ledger: PromiseLedger,
 }
 
 impl PmemDevice {
@@ -239,6 +314,11 @@ impl PmemDevice {
             return None;
         }
         self.check_range(offset, len);
+        if self.poison_hit(offset, len).is_some() {
+            // Refuse the zero-copy path so the caller's owned-read fallback
+            // (which reads through `try_read`) surfaces the media error.
+            return None;
+        }
         let start = offset as usize;
         let shard_idx = start / SHARD_SIZE;
         if (start + len - 1) / SHARD_SIZE != shard_idx {
@@ -381,7 +461,19 @@ impl PmemDevice {
 
     /// Issues an ordering fence (`sfence`): all pending lines reach the
     /// persistence domain.  Charges one fence.
+    ///
+    /// Every fence has a 0-based ordinal; when a [`FenceHook`] is
+    /// installed it runs first, *before* pending lines drain, so a crash
+    /// image captured inside it reflects a power failure at exactly this
+    /// boundary.
     pub fn fence(&self, cat: TimeCategory) {
+        let ordinal = self.fence_seq.fetch_add(1, Ordering::Relaxed);
+        if self.fence_hook_armed.load(Ordering::Acquire) {
+            let hook = self.fence_hook.0.lock().clone();
+            if let Some(hook) = hook {
+                hook(self, ordinal);
+            }
+        }
         if self.track_persistence {
             let pending: Vec<u64> = {
                 let mut tracker = self.tracker.lock();
@@ -461,37 +553,193 @@ impl PmemDevice {
     /// Panics if the device was built with persistence tracking disabled —
     /// crashing such a device is always a test-configuration bug.
     pub fn crash(&self) {
+        let image = self.capture_crash_image();
+        self.restore_crash_image(&image);
+    }
+
+    /// Computes the post-crash device contents under the [`CrashPolicy`]
+    /// *without* perturbing the live device, so a concurrent workload can
+    /// keep running after the capture (the crash-point fuzzer captures one
+    /// image per fence boundary from inside a [`FenceHook`]).
+    ///
+    /// Ordering contract: the persistence tracker's lock is held across
+    /// the whole capture — ledger-length snapshot first, then every shard
+    /// byte.  Every path that makes bytes durable (a store marking its
+    /// lines, a fence draining them) goes through that lock, so nothing
+    /// can become durable between the ledger cut and the byte copy, and
+    /// declaration sites declare only *after* their durability fence.
+    /// Together that makes the image consistent with its ledger prefix:
+    /// every included promise was durable before the capture began, and
+    /// no operation declared after the cut can have leaked effects into
+    /// the image.  At worst the image misses a promise that raced the
+    /// capture — the conservative direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device was built with persistence tracking disabled —
+    /// crash-imaging such a device is always a test-configuration bug.
+    pub fn capture_crash_image(&self) -> CrashImage {
         assert!(
             self.track_persistence,
-            "crash() requires a device built with track_persistence(true)"
+            "capture_crash_image() requires a device built with track_persistence(true)"
         );
-        match self.crash_policy {
-            CrashPolicy::KeepAll => {
-                // Everything survives: copy volatile view into the shadow so
-                // both views agree, then clear tracking.
-                for shard in &self.shards {
-                    let mut s = shard.write();
-                    let data: Vec<u8> = s.data.to_vec();
-                    if let Some(shadow) = s.shadow.as_mut() {
-                        shadow.copy_from_slice(&data);
-                    }
+        // Quiesce the device: writers block in `mark_lines`, fences block
+        // at their drain, until the capture finishes.
+        let tracker = self.tracker.lock();
+        let ledger_len = self.ledger.len();
+        let fence_ordinal = self.fence_seq.load(Ordering::Relaxed);
+        // Unpersisted (dirty or pending) lines grouped by shard; only the
+        // torn-write model needs them.
+        let mut torn_by_shard: HashMap<usize, Vec<u64>> = HashMap::new();
+        if let CrashPolicy::TornWrites { .. } = self.crash_policy {
+            for &line in tracker.dirty.iter().chain(tracker.pending.iter()) {
+                let abs = line as usize * CACHE_LINE;
+                if abs < self.size {
+                    torn_by_shard
+                        .entry(abs / SHARD_SIZE)
+                        .or_default()
+                        .push(line);
                 }
             }
-            CrashPolicy::LoseUnflushed => {
-                for shard in &self.shards {
-                    let mut s = shard.write();
-                    let shadow: Vec<u8> = s
-                        .shadow
-                        .as_ref()
-                        .expect("persistence tracking enabled")
-                        .to_vec();
-                    s.data.copy_from_slice(&shadow);
+        }
+        let mut torn_lines = 0u64;
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let s = shard.read();
+            let mut img: Box<[u8]> = match self.crash_policy {
+                CrashPolicy::KeepAll => s.data.clone(),
+                CrashPolicy::LoseUnflushed | CrashPolicy::TornWrites { .. } => s
+                    .shadow
+                    .as_ref()
+                    .expect("persistence tracking enabled")
+                    .clone(),
+            };
+            if let CrashPolicy::TornWrites { seed } = self.crash_policy {
+                for &line in torn_by_shard.get(&idx).into_iter().flatten() {
+                    let within = line as usize * CACHE_LINE - idx * SHARD_SIZE;
+                    let n = CACHE_LINE.min(SHARD_SIZE - within);
+                    let torn = tear_line(
+                        seed,
+                        line,
+                        &img[within..within + n],
+                        &s.data[within..within + n],
+                    );
+                    img[within..within + n].copy_from_slice(&torn);
+                    torn_lines += 1;
                 }
+            }
+            shards.push(img);
+        }
+        self.stats.add_crash_capture();
+        self.stats.add_torn_lines(torn_lines);
+        CrashImage {
+            size: self.size,
+            fence_ordinal,
+            ledger_len,
+            torn_lines,
+            shards,
+        }
+    }
+
+    /// Overwrites this device's contents (volatile view *and* persistent
+    /// image) with a captured [`CrashImage`] and clears persistence
+    /// tracking — the state a real machine finds on PM after the power
+    /// failure the image models.  The device must have the same capacity
+    /// the image was captured from.
+    pub fn restore_crash_image(&self, image: &CrashImage) {
+        assert_eq!(
+            image.size, self.size,
+            "crash image size {} does not match device size {}",
+            image.size, self.size
+        );
+        for (shard, img) in self.shards.iter().zip(&image.shards) {
+            let mut s = shard.write();
+            s.data.copy_from_slice(img);
+            if let Some(shadow) = s.shadow.as_mut() {
+                shadow.copy_from_slice(img);
             }
         }
         let mut tracker = self.tracker.lock();
         tracker.dirty.clear();
         tracker.pending.clear();
+    }
+
+    /// Installs (or removes, with `None`) the fence interceptor.  See
+    /// [`FenceHook`] for the calling contract.
+    pub fn set_fence_hook(&self, hook: Option<FenceHook>) {
+        let armed = hook.is_some();
+        *self.fence_hook.0.lock() = hook;
+        self.fence_hook_armed.store(armed, Ordering::Release);
+    }
+
+    /// Number of fences issued so far (the next fence gets this ordinal).
+    pub fn fence_ordinal(&self) -> u64 {
+        self.fence_seq.load(Ordering::Relaxed)
+    }
+
+    /// The declared-durability promise ledger attached to this device.
+    pub fn ledger(&self) -> &PromiseLedger {
+        &self.ledger
+    }
+
+    /// Records a durability promise on the ledger (no-op returning `None`
+    /// unless the ledger is enabled).  Call only *after* the fence /
+    /// journal commit / epoch publish that establishes the promised
+    /// durability — see the [`crate::oracle`] soundness rule.
+    pub fn declare(&self, promise: Promise) -> Option<u64> {
+        let seq = self.ledger.declare(promise)?;
+        self.stats.add_promise_declared();
+        Some(seq)
+    }
+
+    /// Marks `[offset, offset+len)` as failing media: subsequent
+    /// [`PmemDevice::try_read`] calls overlapping the range return
+    /// [`MediaError`], and [`PmemDevice::try_read_view`] refuses the range
+    /// so callers fall back to their checked owned-read path.  Ranges
+    /// accumulate until [`PmemDevice::clear_poison`].
+    pub fn poison_range(&self, offset: u64, len: u64) {
+        self.check_range(offset, len as usize);
+        self.poison.lock().push((offset, len));
+        self.poison_armed.store(true, Ordering::Release);
+    }
+
+    /// Removes every poisoned range.
+    pub fn clear_poison(&self) {
+        self.poison.lock().clear();
+        self.poison_armed.store(false, Ordering::Release);
+    }
+
+    /// First poisoned byte overlapping `[offset, offset+len)`, if any.
+    fn poison_hit(&self, offset: u64, len: usize) -> Option<u64> {
+        if len == 0 || !self.poison_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        let end = offset + len as u64;
+        let ranges = self.poison.lock();
+        ranges
+            .iter()
+            .filter(|&&(s, l)| offset < s + l && s < end)
+            .map(|&(s, _)| s.max(offset))
+            .min()
+    }
+
+    /// Like [`PmemDevice::read`], but fails with [`MediaError`] when the
+    /// range overlaps a poisoned region.  File-system data paths read
+    /// through this so injected media errors propagate to their callers
+    /// instead of silently serving bytes.
+    pub fn try_read(
+        &self,
+        offset: u64,
+        buf: &mut [u8],
+        pattern: AccessPattern,
+        cat: TimeCategory,
+    ) -> Result<(), MediaError> {
+        if let Some(bad) = self.poison_hit(offset, buf.len()) {
+            self.stats.add_media_read_error();
+            return Err(MediaError { offset: bad });
+        }
+        self.read(offset, buf, pattern, cat);
+        Ok(())
     }
 
     /// Number of cache lines currently written but not yet persistent
@@ -502,6 +750,23 @@ impl PmemDevice {
         tracker.dirty.len() + tracker.pending.len()
     }
 }
+
+/// A media read error returned by [`PmemDevice::try_read`] when the range
+/// overlaps a [poisoned](PmemDevice::poison_range) region — the emulated
+/// equivalent of an uncorrectable-ECC machine check on a PM load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MediaError {
+    /// Device offset of the first failing byte within the attempted read.
+    pub offset: u64,
+}
+
+impl std::fmt::Display for MediaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "media read error at device offset {}", self.offset)
+    }
+}
+
+impl std::error::Error for MediaError {}
 
 /// A zero-copy borrow of a contiguous device range, returned by
 /// [`PmemDevice::try_read_view`].
@@ -778,5 +1043,158 @@ mod tests {
             .track_persistence(false)
             .build();
         dev.crash();
+    }
+
+    #[test]
+    fn fence_hook_sees_each_ordinal_before_pending_lines_drain() {
+        let dev = small_device();
+        dev.write(
+            0,
+            &[1u8; 64],
+            PersistMode::NonTemporal,
+            TimeCategory::UserData,
+        );
+        let seen: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        dev.set_fence_hook(Some(Arc::new(move |d: &PmemDevice, ordinal| {
+            seen2.lock().push((ordinal, d.unpersisted_lines()));
+        })));
+        dev.fence(TimeCategory::UserData);
+        dev.fence(TimeCategory::UserData);
+        dev.set_fence_hook(None);
+        dev.fence(TimeCategory::UserData);
+        let seen = seen.lock();
+        // Ordinal 0 ran with the NT line still unpersisted (hook precedes
+        // the drain); ordinal 1 saw nothing outstanding; ordinal 2 was
+        // after the hook was removed.
+        assert_eq!(&*seen, &[(0, 1), (1, 0)]);
+        assert_eq!(dev.fence_ordinal(), 3);
+    }
+
+    #[test]
+    fn captured_image_restores_into_a_fresh_device() {
+        let dev = small_device();
+        dev.write(
+            4096,
+            &[0xC3u8; 128],
+            PersistMode::NonTemporal,
+            TimeCategory::UserData,
+        );
+        dev.fence(TimeCategory::UserData);
+        // Unfenced write after the durable one: must not appear in the image.
+        dev.write(
+            8192,
+            &[0x77u8; 64],
+            PersistMode::Temporal,
+            TimeCategory::UserData,
+        );
+        let image = dev.capture_crash_image();
+        // The live device is unperturbed by the capture.
+        let mut live = [0u8; 64];
+        dev.read_uncharged(8192, &mut live);
+        assert_eq!(live, [0x77u8; 64]);
+
+        let fresh = PmemBuilder::new(dev.size()).build();
+        fresh.restore_crash_image(&image);
+        let mut out = [0u8; 128];
+        fresh.read_uncharged(4096, &mut out);
+        assert_eq!(out, [0xC3u8; 128]);
+        // The unfenced temporal store must not have made it into the image.
+        let mut lost = [0xFFu8; 64];
+        fresh.read_uncharged(8192, &mut lost);
+        assert_eq!(lost, [0u8; 64]);
+        assert_eq!(image.fence_ordinal(), 1);
+    }
+
+    #[test]
+    fn torn_writes_preserve_prefix_or_suffix_per_line() {
+        let seed = 0xDEAD_BEEF;
+        let dev = PmemBuilder::new(SHARD_SIZE)
+            .crash_policy(CrashPolicy::TornWrites { seed })
+            .build();
+        let old = [0x11u8; 256];
+        dev.write(0, &old, PersistMode::NonTemporal, TimeCategory::UserData);
+        dev.fence(TimeCategory::UserData);
+        let new = [0x99u8; 256];
+        dev.write(0, &new, PersistMode::Temporal, TimeCategory::UserData);
+        let image = dev.capture_crash_image();
+        assert_eq!(image.torn_lines(), 4);
+        dev.restore_crash_image(&image);
+        let mut out = [0u8; 256];
+        dev.read_uncharged(0, &mut out);
+        for line in 0..4u64 {
+            let lo = line as usize * CACHE_LINE;
+            let got = &out[lo..lo + CACHE_LINE];
+            let expect =
+                crate::crash::tear_line(seed, line, &old[..CACHE_LINE], &new[..CACHE_LINE]);
+            assert_eq!(got, &expect[..], "line {line}");
+        }
+    }
+
+    #[test]
+    fn poisoned_ranges_fail_checked_reads_until_cleared() {
+        let dev = small_device();
+        dev.write_uncharged(10_000, &[5u8; 512]);
+        let mut buf = [0u8; 64];
+        assert!(dev
+            .try_read(
+                10_000,
+                &mut buf,
+                AccessPattern::Sequential,
+                TimeCategory::UserData
+            )
+            .is_ok());
+        dev.poison_range(10_100, 50);
+        let err = dev
+            .try_read(
+                10_000,
+                &mut [0u8; 512],
+                AccessPattern::Sequential,
+                TimeCategory::UserData,
+            )
+            .unwrap_err();
+        assert_eq!(err.offset, 10_100);
+        assert!(err.to_string().contains("media read error"));
+        // Non-overlapping reads still succeed, and the zero-copy path
+        // refuses the poisoned range so callers hit the checked fallback.
+        assert!(dev
+            .try_read(
+                20_000,
+                &mut buf,
+                AccessPattern::Sequential,
+                TimeCategory::UserData
+            )
+            .is_ok());
+        assert!(dev
+            .try_read_view(
+                10_050,
+                200,
+                AccessPattern::Sequential,
+                TimeCategory::UserData
+            )
+            .is_none());
+        dev.clear_poison();
+        assert!(dev
+            .try_read(
+                10_000,
+                &mut [0u8; 512],
+                AccessPattern::Sequential,
+                TimeCategory::UserData
+            )
+            .is_ok());
+        assert_eq!(dev.stats().snapshot().media_read_errors, 1);
+    }
+
+    #[test]
+    fn capture_snapshots_ledger_length_before_bytes() {
+        let dev = small_device();
+        dev.ledger().set_enabled(true);
+        dev.declare(Promise::EpochDurable { epoch: 1 });
+        let image = dev.capture_crash_image();
+        dev.declare(Promise::EpochDurable { epoch: 2 });
+        assert_eq!(image.ledger_len(), 1);
+        assert_eq!(dev.ledger().records_up_to(image.ledger_len()).len(), 1);
+        assert_eq!(dev.stats().snapshot().promises_declared, 2);
+        assert_eq!(dev.stats().snapshot().crash_captures, 1);
     }
 }

@@ -30,13 +30,15 @@ pub mod clock;
 pub mod cost;
 pub mod crash;
 pub mod device;
+pub mod oracle;
 pub mod persist;
 pub mod stats;
 
 pub use clock::SimClock;
 pub use cost::CostModel;
 pub use crash::CrashPolicy;
-pub use device::{PmemBuilder, PmemDevice, PmemView};
+pub use device::{CrashImage, FenceHook, MediaError, PmemBuilder, PmemDevice, PmemView};
+pub use oracle::{content_hash, Promise, PromiseLedger, PromiseRecord};
 pub use persist::{AccessPattern, PersistMode};
 pub use stats::{Stats, StatsSnapshot, TimeCategory};
 

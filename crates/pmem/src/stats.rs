@@ -98,6 +98,24 @@ pub struct Stats {
     lease: LeaseCounters,
     ring: RingCounters,
     namespace: NamespaceCounters,
+    chaos: ChaosCounters,
+}
+
+/// Counters for the crash-point fuzzing and fault-injection machinery:
+/// crash images captured (one per explored fence boundary plus one per
+/// direct `crash()` call), cache lines that survived torn under
+/// `CrashPolicy::TornWrites`, checked reads that failed on an injected
+/// media error, and durability promises recorded on the device's ledger.
+#[derive(Debug, Default)]
+pub struct ChaosCounters {
+    /// Crash images computed (`capture_crash_image`, including `crash()`).
+    crash_captures: AtomicU64,
+    /// Cache lines that survived as a torn prefix/suffix in a capture.
+    torn_lines: AtomicU64,
+    /// Checked reads that overlapped a poisoned range and failed.
+    media_read_errors: AtomicU64,
+    /// Durability promises recorded on the ledger.
+    promises_declared: AtomicU64,
 }
 
 /// Counters for the sharded kernel namespace and its full-path lookup
@@ -518,6 +536,26 @@ impl Stats {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one crash-image capture.
+    pub fn add_crash_capture(&self) {
+        self.chaos.crash_captures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` cache lines surviving torn in a crash capture.
+    pub fn add_torn_lines(&self, n: u64) {
+        self.chaos.torn_lines.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one checked read failing on an injected media error.
+    pub fn add_media_read_error(&self) {
+        self.chaos.media_read_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one durability promise declared on the ledger.
+    pub fn add_promise_declared(&self) {
+        self.chaos.promises_declared.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one ring drain that popped `depth` queued submissions.
     pub fn add_ring_drain(&self, depth: u64) {
         self.ring.ring_depth.fetch_add(depth, Ordering::Relaxed);
@@ -601,6 +639,10 @@ impl Stats {
                 .namespace
                 .path_cache_invalidations
                 .load(Ordering::Relaxed),
+            crash_captures: self.chaos.crash_captures.load(Ordering::Relaxed),
+            torn_lines: self.chaos.torn_lines.load(Ordering::Relaxed),
+            media_read_errors: self.chaos.media_read_errors.load(Ordering::Relaxed),
+            promises_declared: self.chaos.promises_declared.load(Ordering::Relaxed),
         }
     }
 
@@ -676,6 +718,10 @@ impl Stats {
         self.namespace
             .path_cache_invalidations
             .store(0, Ordering::Relaxed);
+        self.chaos.crash_captures.store(0, Ordering::Relaxed);
+        self.chaos.torn_lines.store(0, Ordering::Relaxed);
+        self.chaos.media_read_errors.store(0, Ordering::Relaxed);
+        self.chaos.promises_declared.store(0, Ordering::Relaxed);
     }
 }
 
@@ -772,6 +818,15 @@ pub struct StatsSnapshot {
     /// Path-cache invalidations (per-directory and directory-move
     /// generation bumps).
     pub path_cache_invalidations: u64,
+    /// Crash images captured (fuzzer crash points plus direct `crash()`).
+    pub crash_captures: u64,
+    /// Cache lines that survived torn in crash captures
+    /// (`CrashPolicy::TornWrites`).
+    pub torn_lines: u64,
+    /// Checked reads that failed on an injected media error.
+    pub media_read_errors: u64,
+    /// Durability promises recorded on the device's ledger.
+    pub promises_declared: u64,
 }
 
 impl StatsSnapshot {
@@ -911,6 +966,14 @@ impl StatsSnapshot {
         out.path_cache_invalidations = out
             .path_cache_invalidations
             .saturating_sub(earlier.path_cache_invalidations);
+        out.crash_captures = out.crash_captures.saturating_sub(earlier.crash_captures);
+        out.torn_lines = out.torn_lines.saturating_sub(earlier.torn_lines);
+        out.media_read_errors = out
+            .media_read_errors
+            .saturating_sub(earlier.media_read_errors);
+        out.promises_declared = out
+            .promises_declared
+            .saturating_sub(earlier.promises_declared);
         out
     }
 
@@ -922,7 +985,7 @@ impl StatsSnapshot {
     /// Every scalar event counter as `(name, value)` pairs, in a stable
     /// order — the single source the JSON exporters iterate instead of
     /// naming each field again.
-    pub fn counters(&self) -> [(&'static str, u64); 38] {
+    pub fn counters(&self) -> [(&'static str, u64); 42] {
         [
             ("flushes", self.flushes),
             ("fences", self.fences),
@@ -962,6 +1025,10 @@ impl StatsSnapshot {
             ("path_cache_hits", self.path_cache_hits),
             ("path_cache_misses", self.path_cache_misses),
             ("path_cache_invalidations", self.path_cache_invalidations),
+            ("crash_captures", self.crash_captures),
+            ("torn_lines", self.torn_lines),
+            ("media_read_errors", self.media_read_errors),
+            ("promises_declared", self.promises_declared),
         ]
     }
 }

@@ -273,12 +273,36 @@ pub mod prelude {
     };
 }
 
+/// Environment variable that perturbs every property's value stream.
+///
+/// Set `CHAOS_SEED` (decimal or `0x`-prefixed hex) to explore a
+/// different deterministic stream per property; a failing run prints
+/// the value to export to reproduce it.  Unset, every run uses the
+/// fixed default stream (seed `0`).
+pub const CHAOS_SEED_ENV: &str = "CHAOS_SEED";
+
+/// The `CHAOS_SEED` override currently in effect (`0` when unset or
+/// unparsable).
+pub fn chaos_seed() -> u64 {
+    std::env::var(CHAOS_SEED_ENV)
+        .ok()
+        .and_then(|raw| {
+            let raw = raw.trim();
+            match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => raw.parse().ok(),
+            }
+        })
+        .unwrap_or(0)
+}
+
 /// Runs one property: `cases` seeded executions of `body`.
 ///
 /// Called by the [`proptest!`] macro; public so the macro expansion can
-/// reach it.  The per-test seed mixes the property name so different
-/// properties see different streams, and the case index is reported on
-/// failure.
+/// reach it.  The per-test seed mixes the property name (so different
+/// properties see different streams) with [`chaos_seed`] (so `CHAOS_SEED`
+/// steers every property to fresh cases); a failure reports the case
+/// index and the `CHAOS_SEED` to export to reproduce it.
 pub fn run_proptest(
     config: ProptestConfig,
     name: &str,
@@ -288,12 +312,13 @@ pub fn run_proptest(
     let name_seed: u64 = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
         (h ^ b as u64).wrapping_mul(0x100000001b3)
     });
+    let chaos = chaos_seed();
+    let base = name_seed ^ chaos.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
     for case in 0..config.cases {
-        let mut rng =
-            TestRng::seed_from_u64(name_seed ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = TestRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15));
         if let Err(msg) = body(&mut rng) {
             panic!(
-                "property '{name}' failed on case {case}/{}: {msg}",
+                "property '{name}' failed on case {case}/{} (reproduce with CHAOS_SEED={chaos:#x}): {msg}",
                 config.cases
             );
         }
@@ -412,6 +437,16 @@ mod tests {
             prop_assert_eq!(items.len(), items.len());
             prop_assert_ne!(items.len(), 0);
         }
+    }
+
+    #[test]
+    fn chaos_seed_parses_decimal_and_hex() {
+        std::env::set_var(super::CHAOS_SEED_ENV, "0x2A");
+        assert_eq!(super::chaos_seed(), 42);
+        std::env::set_var(super::CHAOS_SEED_ENV, "7");
+        assert_eq!(super::chaos_seed(), 7);
+        std::env::remove_var(super::CHAOS_SEED_ENV);
+        assert_eq!(super::chaos_seed(), 0);
     }
 
     #[test]

@@ -755,8 +755,12 @@ impl SplitFs {
                     } else {
                         AccessPattern::Sequential
                     };
-                    self.device
-                        .read(dev_off, &mut buf[pos..pos + n], p, TimeCategory::UserData);
+                    self.device.try_read(
+                        dev_off,
+                        &mut buf[pos..pos + n],
+                        p,
+                        TimeCategory::UserData,
+                    )?;
                     pos += n;
                 }
                 None => {
@@ -781,7 +785,7 @@ impl SplitFs {
     }
 
     /// Overlays staged extents (newest last) on top of a read.
-    fn overlay_staged(&self, state: &FileState, offset: u64, buf: &mut [u8]) {
+    fn overlay_staged(&self, state: &FileState, offset: u64, buf: &mut [u8]) -> FsResult<()> {
         let end = offset + buf.len() as u64;
         for ext in &state.staged {
             let ext_end = ext.target_offset + ext.len;
@@ -793,13 +797,14 @@ impl SplitFs {
             let dev = ext.device_offset + (copy_start - ext.target_offset);
             let dst = (copy_start - offset) as usize;
             let n = (copy_end - copy_start) as usize;
-            self.device.read(
+            self.device.try_read(
                 dev,
                 &mut buf[dst..dst + n],
                 AccessPattern::Random,
                 TimeCategory::UserData,
-            );
+            )?;
         }
+        Ok(())
     }
 
     /// Writes data in place through the collection of mmaps (POSIX/sync
@@ -924,7 +929,12 @@ impl SplitFs {
             // The gather's entries just group-committed: every sequence
             // number in it is durable, so publish the durability epoch
             // (ring completions await it; see `crate::rings`).
-            self.publish_epoch(entries.iter().map(|e| e.seq).max().unwrap_or(0));
+            let max_seq = entries.iter().map(|e| e.seq).max().unwrap_or(0);
+            self.device.declare(pmem::Promise::OplogCommitted {
+                instance: self.instance_id,
+                seq: max_seq,
+            });
+            self.publish_epoch(max_seq);
             entries.iter().map(|e| e.seq).collect()
         } else {
             vec![0; pending.len()]
@@ -1095,7 +1105,7 @@ impl FileSystem for SplitFs {
             }
         };
         self.read_committed(&mut st, offset, &mut buf[..n], pattern)?;
-        self.overlay_staged(&st, offset, &mut buf[..n]);
+        self.overlay_staged(&st, offset, &mut buf[..n])?;
         *desc.last_read_end.lock() = offset + n as u64;
         Ok(n)
     }
@@ -1193,7 +1203,7 @@ impl FileSystem for SplitFs {
         // ranges take the owned-copy path.
         let mut buf = vec![0u8; n];
         self.read_committed(&mut st, offset, &mut buf, pattern)?;
-        self.overlay_staged(&st, offset, &mut buf);
+        self.overlay_staged(&st, offset, &mut buf)?;
         Ok(ReadView::Owned(buf))
     }
 
@@ -1320,6 +1330,13 @@ impl FileSystem for SplitFs {
             // unfenced non-temporal stores into the persistence domain.
             self.device.fence(TimeCategory::UserData);
         }
+        for g in &guards {
+            self.device.declare(pmem::Promise::FsyncReturned {
+                instance: self.instance_id,
+                ino: g.ino,
+                size: g.cached_size,
+            });
+        }
         self.device.stats().add_fsync_many(fds.len() as u64);
         Ok(())
     }
@@ -1383,6 +1400,13 @@ impl FileSystem for SplitFs {
             // stores (POSIX mode) into the persistence domain.
             self.device.fence(TimeCategory::UserData);
         }
+        // Durability established above — the promise may now be declared
+        // (ledger-enabled runs only; see pmem::oracle).
+        self.device.declare(pmem::Promise::FsyncReturned {
+            instance: self.instance_id,
+            ino: st.ino,
+            size: st.cached_size,
+        });
         Ok(())
     }
 

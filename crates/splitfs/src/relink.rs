@@ -96,6 +96,7 @@ impl SplitFs {
 
         // Everything staged is now in the target file; feed the staging
         // pool's recyclability accounting.
+        let retired = state.staged.len() as u64;
         for ext in &state.staged {
             self.staging.note_retired(ext.staging_ino, ext.len);
         }
@@ -116,6 +117,11 @@ impl SplitFs {
             });
         }
         self.device.fence(TimeCategory::UserData);
+        // The batch's journal transaction and data fence are complete.
+        self.device.declare(pmem::Promise::RelinkCommitted {
+            instance: self.instance_id,
+            ops: retired,
+        });
         Ok(())
     }
 
@@ -138,6 +144,7 @@ impl SplitFs {
         let mut combined: Vec<kernelfs::RelinkOp> = Vec::new();
         let mut planned: Vec<(usize, batch::RelinkPlan)> = Vec::new();
         let mut deferred: Vec<LogEntry> = Vec::new();
+        let mut retired = 0u64;
         for (i, st) in states.iter_mut().enumerate() {
             if st.staged.is_empty() {
                 continue;
@@ -173,6 +180,7 @@ impl SplitFs {
             }
             let max_seq = st.staged.iter().map(|e| e.seq).max().unwrap_or(0);
             let target_ino = st.ino;
+            retired += st.staged.len() as u64;
             for ext in &st.staged {
                 self.staging.note_retired(ext.staging_ino, ext.len);
             }
@@ -193,6 +201,12 @@ impl SplitFs {
             }
         }
         self.device.fence(TimeCategory::UserData);
+        if retired > 0 {
+            self.device.declare(pmem::Promise::RelinkCommitted {
+                instance: self.instance_id,
+                ops: retired,
+            });
+        }
         // Markers are an optimization (recovery also skips relinked
         // entries because their staging ranges are holes); a full log
         // simply drops them.

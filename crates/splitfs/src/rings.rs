@@ -84,6 +84,9 @@ impl SplitFs {
     pub(crate) fn publish_epoch(&self, epoch: u64) {
         self.published_epoch
             .fetch_max(epoch, std::sync::atomic::Ordering::AcqRel);
+        // The caller's contract (entries already fenced) is exactly the
+        // oracle's declaration rule, so the durability promise rides here.
+        self.device.declare(pmem::Promise::EpochDurable { epoch });
     }
 
     /// Attaches `hub` so the maintenance daemon's workers drain its

@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use chaos::Recovered;
 use kernelfs::{Ext4Dax, RelinkOp, BLOCK_SIZE};
 use pmem::{PmemBuilder, PmemDevice};
 use splitfs::oplog::{LogOp, OpLog};
@@ -82,17 +83,20 @@ fn apply_background_batch(kernel: &Arc<Ext4Dax>, config: &SplitConfig) -> usize 
     applied
 }
 
-/// Mounts the crashed device, recovers, and returns per-file contents.
+/// Mounts the crashed device through the shared chaos harness, replays
+/// instance 0's log, asserts the recovered tree is fsck-clean with no
+/// foreign entries, and returns per-file contents.
 fn recover_and_read(
     device: &Arc<PmemDevice>,
     config: &SplitConfig,
     names: &[String],
 ) -> (splitfs::RecoveryReport, Vec<Vec<u8>>) {
-    let kernel = Ext4Dax::mount(Arc::clone(device)).unwrap();
-    let report = recover(&kernel, config).unwrap();
+    let mut rec = Recovered::mount(device).unwrap();
+    let report = *rec.recover_instance(config, 0).unwrap();
+    rec.assert_clean();
     let contents = names
         .iter()
-        .map(|name| kernel.read_file(name).unwrap())
+        .map(|name| rec.kernel.read_file(name).unwrap())
         .collect();
     (report, contents)
 }

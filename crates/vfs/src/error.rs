@@ -59,6 +59,13 @@ impl fmt::Display for FsError {
 
 impl std::error::Error for FsError {}
 
+impl From<pmem::MediaError> for FsError {
+    /// An uncorrectable media error surfaces to applications as `EIO`.
+    fn from(e: pmem::MediaError) -> Self {
+        FsError::Io(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

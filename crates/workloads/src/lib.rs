@@ -29,6 +29,11 @@
 //!   submission ring, sweeping the offered load to show fence
 //!   amortization and measuring submit-to-harvest latency
 //!   percentiles plus durability-epoch invariant violations.
+//! * [`crashmix`] — the crash-point fuzzing workload: a seeded mixed op
+//!   stream (appends, fsyncs, renames, unlinks, ring appends) that
+//!   declares [`pmem::Promise`]s into the device ledger as each
+//!   durability guarantee is handed out, driving the `chaos` crate's
+//!   declared-durability oracle.
 //! * [`metaload`] — the concurrent metadata scale-out workload behind
 //!   `harness -- metadata`: N threads churn (create/append/fsync/unlink)
 //!   and age files in disjoint deep directories, then repeatedly resolve
@@ -40,6 +45,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod appbench;
+pub mod crashmix;
 pub mod io_patterns;
 pub mod latency;
 pub mod metaload;
