@@ -1,0 +1,556 @@
+//! The segment-location table: which parts of which files live on the
+//! capacity tier.
+//!
+//! When the background policy demotes a cold file, each of its extents
+//! becomes a **segment** — an independently placed run of blocks on the
+//! capacity tier — and the file's PM extents are freed.  The table maps
+//! `ino → [(logical, len, cap_block)]` so reads reassemble the file
+//! transparently and promotion can move it back.
+//!
+//! Durability follows the lease-table discipline: every migration commits
+//! [`JournalRecord::SegmentMap`] records and then rewrites the in-place
+//! table (at the head of the capacity region, see [`crate::layout`])
+//! **under the commit's transaction guard** — required because the
+//! journal zeroes itself once every guard drops, so the in-place image
+//! must be current before the logical records can disappear.  Replay at
+//! mount re-applies recovered records, so a crash anywhere inside a
+//! migration lands on a map where each segment lives wholly on exactly
+//! one tier: before the commit the PM extents are still authoritative
+//! (the half-written capacity blocks are garbage nobody references),
+//! after it the segment records are.
+//!
+//! The table also owns the **volatile capacity-block allocator** — a
+//! bitmap over the capacity data blocks rebuilt from the records at
+//! mount.  Blocks a crashed migration allocated but never committed are
+//! simply reusable (their contents are unreferenced garbage).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pmem::{PersistMode, PmemDevice, TimeCategory};
+use vfs::util::checksum32;
+use vfs::{FsError, FsResult};
+
+use crate::journal::JournalRecord;
+use crate::layout::{Superblock, BLOCK_SIZE};
+
+/// Magic number identifying a formatted segment table ("SEGTAB01").
+pub const SEGMENT_TABLE_MAGIC: u64 = 0x5345_4754_4142_3031;
+
+const HEADER_BYTES: usize = 16; // magic + count
+const RECORD_BYTES: usize = 32; // ino, logical, len, cap_block
+const CRC_BYTES: usize = 4;
+
+/// One segment: `len` logical blocks of `ino` starting at `logical`,
+/// resident on the capacity tier at data block `cap_block`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentRecord {
+    /// Inode the segment belongs to.
+    pub ino: u64,
+    /// First logical block of the segment.
+    pub logical: u64,
+    /// Number of blocks.
+    pub len: u64,
+    /// First capacity-tier data block.
+    pub cap_block: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Per-inode segments, kept sorted by logical block.
+    segs: BTreeMap<u64, Vec<SegmentRecord>>,
+    /// Capacity data-block allocator bitmap (1 = used), volatile.
+    bitmap: Vec<u64>,
+    used_blocks: u64,
+    dirty: bool,
+}
+
+impl Inner {
+    fn mark(&mut self, start: u64, len: u64, used: bool) {
+        for b in start..start + len {
+            let (word, bit) = ((b / 64) as usize, b % 64);
+            if word >= self.bitmap.len() {
+                continue;
+            }
+            let mask = 1u64 << bit;
+            let was = self.bitmap[word] & mask != 0;
+            if used && !was {
+                self.bitmap[word] |= mask;
+                self.used_blocks += 1;
+            } else if !used && was {
+                self.bitmap[word] &= !mask;
+                self.used_blocks -= 1;
+            }
+        }
+    }
+}
+
+/// The in-memory segment map plus its persistence into the capacity
+/// region's table blocks.  Journaling the logical records is the owner's
+/// ([`crate::Ext4Dax`]) job; this type applies them, allocates capacity
+/// blocks, and rewrites the in-place table.
+#[derive(Debug)]
+pub struct SegmentTable {
+    device: Arc<PmemDevice>,
+    /// Absolute device byte offset of the table (capacity region head).
+    table_offset: u64,
+    table_bytes: usize,
+    cap_data_blocks: u64,
+    /// Total live segment records — the lock-free fast path for the
+    /// foreground write path's "is any of this file demoted?" probe.
+    record_count: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl SegmentTable {
+    fn geometry(sb: &Superblock) -> (u64, usize, u64) {
+        (
+            sb.total_blocks * BLOCK_SIZE as u64,
+            (sb.segtab_blocks * BLOCK_SIZE as u64) as usize,
+            sb.cap_data_blocks(),
+        )
+    }
+
+    /// An empty table for `sb`'s geometry (mkfs, or a flat device where
+    /// every method degenerates to a no-op).
+    pub fn new_empty(device: Arc<PmemDevice>, sb: &Superblock) -> Self {
+        let (table_offset, table_bytes, cap_data_blocks) = Self::geometry(sb);
+        Self {
+            device,
+            table_offset,
+            table_bytes,
+            cap_data_blocks,
+            record_count: AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                segs: BTreeMap::new(),
+                bitmap: vec![0u64; (cap_data_blocks as usize).div_ceil(64)],
+                used_blocks: 0,
+                dirty: false,
+            }),
+        }
+    }
+
+    /// Loads the table persisted by a previous incarnation and rebuilds
+    /// the capacity allocator from its records.  Uncharged: runs inside
+    /// mount, whose cost the caller models.
+    pub fn load_uncharged(device: Arc<PmemDevice>, sb: &Superblock) -> FsResult<Self> {
+        let table = Self::new_empty(device, sb);
+        if !sb.is_tiered() {
+            return Ok(table);
+        }
+        let mut buf = vec![0u8; table.table_bytes];
+        table.device.read_uncharged(table.table_offset, &mut buf);
+        let read_u64 = |b: &[u8], at: usize| {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&b[at..at + 8]);
+            u64::from_le_bytes(w)
+        };
+        if read_u64(&buf, 0) != SEGMENT_TABLE_MAGIC {
+            return Err(FsError::Corrupted("bad segment-table magic".into()));
+        }
+        let count = read_u64(&buf, 8) as usize;
+        let body = HEADER_BYTES + count * RECORD_BYTES;
+        if body + CRC_BYTES > buf.len() {
+            return Err(FsError::Corrupted("segment table overflows region".into()));
+        }
+        let want = u32::from_le_bytes(buf[body..body + 4].try_into().unwrap());
+        if checksum32(&buf[..body]) != want {
+            return Err(FsError::Corrupted("segment-table checksum mismatch".into()));
+        }
+        {
+            let mut inner = table.inner.lock();
+            for i in 0..count {
+                let at = HEADER_BYTES + i * RECORD_BYTES;
+                let rec = SegmentRecord {
+                    ino: read_u64(&buf, at),
+                    logical: read_u64(&buf, at + 8),
+                    len: read_u64(&buf, at + 16),
+                    cap_block: read_u64(&buf, at + 24),
+                };
+                if rec.len == 0 || rec.cap_block + rec.len > table.cap_data_blocks {
+                    return Err(FsError::Corrupted("segment record out of range".into()));
+                }
+                inner.mark(rec.cap_block, rec.len, true);
+                inner.segs.entry(rec.ino).or_default().push(rec);
+            }
+            for segs in inner.segs.values_mut() {
+                segs.sort_by_key(|r| r.logical);
+            }
+        }
+        table.record_count.store(count as u64, Ordering::Relaxed);
+        Ok(table)
+    }
+
+    /// Writes an empty formatted table (mkfs; uncharged).
+    pub fn format_uncharged(device: &PmemDevice, sb: &Superblock) {
+        if !sb.is_tiered() {
+            return;
+        }
+        let (offset, _, _) = Self::geometry(sb);
+        let mut buf = vec![0u8; HEADER_BYTES + CRC_BYTES];
+        buf[0..8].copy_from_slice(&SEGMENT_TABLE_MAGIC.to_le_bytes());
+        let crc = checksum32(&buf[..HEADER_BYTES]);
+        buf[HEADER_BYTES..].copy_from_slice(&crc.to_le_bytes());
+        device.write_uncharged(offset, &buf);
+    }
+
+    /// Whether the capacity tier exists for this table.
+    pub fn is_tiered(&self) -> bool {
+        self.cap_data_blocks > 0
+    }
+
+    /// Capacity data blocks currently holding segments.
+    pub fn used_blocks(&self) -> u64 {
+        self.inner.lock().used_blocks
+    }
+
+    /// Capacity data blocks in total.
+    pub fn cap_data_blocks(&self) -> u64 {
+        self.cap_data_blocks
+    }
+
+    /// Lock-free probe: does any file have demoted segments?
+    pub fn any_records(&self) -> bool {
+        self.record_count.load(Ordering::Relaxed) > 0
+    }
+
+    /// Whether `ino` has any demoted segments.  Cheap when the table is
+    /// globally empty (one relaxed load).
+    pub fn has(&self, ino: u64) -> bool {
+        self.any_records() && self.inner.lock().segs.contains_key(&ino)
+    }
+
+    /// The segments of `ino`, sorted by logical block (empty when fully
+    /// PM-resident).
+    pub fn records_for(&self, ino: u64) -> Vec<SegmentRecord> {
+        if !self.any_records() {
+            return Vec::new();
+        }
+        self.inner
+            .lock()
+            .segs
+            .get(&ino)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Every segment record, for fsck.
+    pub fn all_records(&self) -> Vec<SegmentRecord> {
+        self.inner.lock().segs.values().flatten().copied().collect()
+    }
+
+    /// Resolves logical block `lb` of `ino` to `(cap_block, contiguous
+    /// blocks)` when it lies inside a demoted segment.
+    pub fn lookup(&self, ino: u64, lb: u64) -> Option<(u64, u64)> {
+        if !self.any_records() {
+            return None;
+        }
+        let inner = self.inner.lock();
+        let segs = inner.segs.get(&ino)?;
+        for r in segs {
+            if lb >= r.logical && lb < r.logical + r.len {
+                let into = lb - r.logical;
+                return Some((r.cap_block + into, r.len - into));
+            }
+        }
+        None
+    }
+
+    /// Allocates `len` contiguous capacity data blocks (first fit).
+    pub fn alloc_cap(&self, len: u64) -> FsResult<u64> {
+        if len == 0 {
+            return Err(FsError::InvalidArgument);
+        }
+        let mut inner = self.inner.lock();
+        let mut run = 0u64;
+        for b in 0..self.cap_data_blocks {
+            let (word, bit) = ((b / 64) as usize, b % 64);
+            if inner.bitmap[word] & (1u64 << bit) == 0 {
+                run += 1;
+                if run == len {
+                    let start = b + 1 - len;
+                    inner.mark(start, len, true);
+                    return Ok(start);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    /// Returns `[start, start+len)` capacity data blocks to the free pool
+    /// (a migration that failed before commit, or a promotion).
+    pub fn free_cap(&self, start: u64, len: u64) {
+        self.inner.lock().mark(start, len, false);
+    }
+
+    /// Adds a segment record (a committed demotion), marking its capacity
+    /// blocks used — idempotently, so both the foreground path (which
+    /// already reserved them via [`SegmentTable::alloc_cap`]) and mount
+    /// replay (which did not) converge on the same allocator state.  A
+    /// record replacing one at the same `(ino, logical)` frees the old
+    /// placement.
+    pub fn insert(&self, rec: SegmentRecord) {
+        let mut inner = self.inner.lock();
+        let old = {
+            let segs = inner.segs.entry(rec.ino).or_default();
+            segs.iter()
+                .position(|r| r.logical == rec.logical)
+                .map(|i| segs.remove(i))
+        };
+        if let Some(old) = old {
+            if (old.cap_block, old.len) != (rec.cap_block, rec.len) {
+                inner.mark(old.cap_block, old.len, false);
+            }
+        }
+        inner.mark(rec.cap_block, rec.len, true);
+        let segs = inner.segs.entry(rec.ino).or_default();
+        segs.push(rec);
+        segs.sort_by_key(|r| r.logical);
+        inner.dirty = true;
+        drop(inner);
+        self.recount();
+    }
+
+    /// Removes the segment at (`ino`, `logical`) (a committed promotion)
+    /// and frees its capacity blocks.  Returns the removed record.
+    pub fn remove(&self, ino: u64, logical: u64) -> Option<SegmentRecord> {
+        let mut inner = self.inner.lock();
+        let segs = inner.segs.get_mut(&ino)?;
+        let at = segs.iter().position(|r| r.logical == logical)?;
+        let rec = segs.remove(at);
+        if segs.is_empty() {
+            inner.segs.remove(&ino);
+        }
+        inner.mark(rec.cap_block, rec.len, false);
+        inner.dirty = true;
+        drop(inner);
+        self.recount();
+        Some(rec)
+    }
+
+    /// Removes every segment of `ino` (unlink/truncate-to-zero purge) and
+    /// frees their capacity blocks.  Returns the removed records so the
+    /// caller can journal the removals.
+    pub fn take_ino(&self, ino: u64) -> Vec<SegmentRecord> {
+        if !self.any_records() {
+            return Vec::new();
+        }
+        let mut inner = self.inner.lock();
+        let Some(segs) = inner.segs.remove(&ino) else {
+            return Vec::new();
+        };
+        for r in &segs {
+            inner.mark(r.cap_block, r.len, false);
+        }
+        if !segs.is_empty() {
+            inner.dirty = true;
+        }
+        drop(inner);
+        self.recount();
+        segs
+    }
+
+    /// Re-applies a recovered [`JournalRecord::SegmentMap`] during mount
+    /// replay (idempotent); other record kinds are ignored.
+    pub fn apply(&self, rec: &JournalRecord) {
+        if let JournalRecord::SegmentMap {
+            ino,
+            logical,
+            len,
+            cap_block,
+            demote,
+        } = rec
+        {
+            if *demote {
+                // Replaying over a table that already has the record is
+                // fine: insert dedupes by (ino, logical), and re-marking
+                // used blocks is idempotent.
+                self.insert(SegmentRecord {
+                    ino: *ino,
+                    logical: *logical,
+                    len: *len,
+                    cap_block: *cap_block,
+                });
+            } else {
+                self.remove(*ino, *logical);
+            }
+        }
+    }
+
+    fn recount(&self) {
+        let n = self
+            .inner
+            .lock()
+            .segs
+            .values()
+            .map(|v| v.len() as u64)
+            .sum();
+        self.record_count.store(n, Ordering::Relaxed);
+    }
+
+    fn serialize(inner: &Inner) -> Vec<u8> {
+        let count: usize = inner.segs.values().map(Vec::len).sum();
+        let mut buf = vec![0u8; HEADER_BYTES + count * RECORD_BYTES + CRC_BYTES];
+        buf[0..8].copy_from_slice(&SEGMENT_TABLE_MAGIC.to_le_bytes());
+        buf[8..16].copy_from_slice(&(count as u64).to_le_bytes());
+        let mut at = HEADER_BYTES;
+        for segs in inner.segs.values() {
+            for r in segs {
+                buf[at..at + 8].copy_from_slice(&r.ino.to_le_bytes());
+                buf[at + 8..at + 16].copy_from_slice(&r.logical.to_le_bytes());
+                buf[at + 16..at + 24].copy_from_slice(&r.len.to_le_bytes());
+                buf[at + 24..at + 32].copy_from_slice(&r.cap_block.to_le_bytes());
+                at += RECORD_BYTES;
+            }
+        }
+        let crc = checksum32(&buf[..at]);
+        buf[at..at + 4].copy_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Rewrites the in-place table if any mutation happened since the
+    /// last persist.  **Must run under the journal commit's
+    /// [`TxnGuard`](crate::journal::Journal)** of the transaction that
+    /// logged the mutation: the journal reclaims its regions once every
+    /// guard drops, and from then on the in-place table is the only copy.
+    /// Charged as metadata traffic like the lease table.
+    pub fn persist_if_dirty(&self) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        if !inner.dirty {
+            return Ok(());
+        }
+        let buf = Self::serialize(&inner);
+        if buf.len() > self.table_bytes {
+            return Err(FsError::NoSpace);
+        }
+        self.device.write(
+            self.table_offset,
+            &buf,
+            PersistMode::NonTemporal,
+            TimeCategory::Metadata,
+        );
+        self.device.fence(TimeCategory::Metadata);
+        inner.dirty = false;
+        Ok(())
+    }
+
+    /// Uncharged variant of [`SegmentTable::persist_if_dirty`] for mount
+    /// (after replay) and tests.
+    pub fn persist_uncharged(&self) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        let buf = Self::serialize(&inner);
+        if buf.len() > self.table_bytes {
+            return Err(FsError::NoSpace);
+        }
+        self.device.write_uncharged(self.table_offset, &buf);
+        self.device.fence(TimeCategory::Metadata);
+        inner.dirty = false;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem::PmemBuilder;
+
+    fn sb_and_device() -> (Arc<PmemDevice>, Superblock) {
+        let pm_blocks = (64u64 << 20) / BLOCK_SIZE as u64;
+        let cap_blocks = (16u64 << 20) / BLOCK_SIZE as u64;
+        let sb = Superblock::compute_shaped(pm_blocks, 4096, cap_blocks).unwrap();
+        let device = PmemBuilder::new((80 << 20) + (1 << 20)).build();
+        (device, sb)
+    }
+
+    #[test]
+    fn roundtrip_through_persistence() {
+        let (device, sb) = sb_and_device();
+        SegmentTable::format_uncharged(&device, &sb);
+        let t = SegmentTable::load_uncharged(Arc::clone(&device), &sb).unwrap();
+        assert!(!t.any_records());
+        let cap = t.alloc_cap(8).unwrap();
+        t.insert(SegmentRecord {
+            ino: 7,
+            logical: 16,
+            len: 8,
+            cap_block: cap,
+        });
+        t.persist_uncharged().unwrap();
+        let t2 = SegmentTable::load_uncharged(device, &sb).unwrap();
+        assert!(t2.has(7));
+        assert_eq!(t2.used_blocks(), 8);
+        assert_eq!(t2.lookup(7, 20), Some((cap + 4, 4)));
+        assert_eq!(t2.lookup(7, 24), None);
+        // The rebuilt allocator avoids the resident segment.
+        let next = t2.alloc_cap(4).unwrap();
+        assert!(next >= cap + 8 || next + 4 <= cap);
+    }
+
+    #[test]
+    fn take_ino_frees_capacity() {
+        let (device, sb) = sb_and_device();
+        let t = SegmentTable::new_empty(device, &sb);
+        let a = t.alloc_cap(4).unwrap();
+        let b = t.alloc_cap(4).unwrap();
+        t.insert(SegmentRecord {
+            ino: 3,
+            logical: 0,
+            len: 4,
+            cap_block: a,
+        });
+        t.insert(SegmentRecord {
+            ino: 3,
+            logical: 4,
+            len: 4,
+            cap_block: b,
+        });
+        assert_eq!(t.used_blocks(), 8);
+        let taken = t.take_ino(3);
+        assert_eq!(taken.len(), 2);
+        assert_eq!(t.used_blocks(), 0);
+        assert!(!t.has(3));
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let (device, sb) = sb_and_device();
+        let t = SegmentTable::new_empty(device, &sb);
+        let demote = JournalRecord::SegmentMap {
+            ino: 9,
+            logical: 0,
+            len: 4,
+            cap_block: 2,
+            demote: true,
+        };
+        t.apply(&demote);
+        t.apply(&demote);
+        assert_eq!(t.records_for(9).len(), 1);
+        assert_eq!(t.used_blocks(), 4);
+        let promote = JournalRecord::SegmentMap {
+            ino: 9,
+            logical: 0,
+            len: 4,
+            cap_block: 2,
+            demote: false,
+        };
+        t.apply(&promote);
+        t.apply(&promote);
+        assert!(!t.has(9));
+        assert_eq!(t.used_blocks(), 0);
+    }
+
+    #[test]
+    fn flat_device_degenerates() {
+        let sb = Superblock::compute((64u64 << 20) / BLOCK_SIZE as u64, 4096).unwrap();
+        let device = PmemBuilder::new(64 << 20).build();
+        let t = SegmentTable::load_uncharged(device, &sb).unwrap();
+        assert!(!t.is_tiered());
+        assert!(t.alloc_cap(1).is_err());
+        assert!(!t.has(1));
+    }
+}

@@ -161,11 +161,15 @@ pub enum SpanEvent {
     /// Recovery from a captured crash image broke a declared-durability
     /// promise (or fsck / foreign-entry containment).
     OracleViolation,
+    /// A cold segment was demoted from PM to the capacity tier.
+    TierDemote,
+    /// A hot segment was promoted from the capacity tier back to PM.
+    TierPromote,
 }
 
 impl SpanEvent {
     /// Number of event kinds.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 14;
 
     /// Every event, in display order.
     pub const ALL: [SpanEvent; SpanEvent::COUNT] = [
@@ -181,6 +185,8 @@ impl SpanEvent {
         SpanEvent::PathCacheMiss,
         SpanEvent::CrashCapture,
         SpanEvent::OracleViolation,
+        SpanEvent::TierDemote,
+        SpanEvent::TierPromote,
     ];
 
     #[inline]
@@ -203,6 +209,8 @@ impl SpanEvent {
             SpanEvent::PathCacheMiss => "path_cache_miss",
             SpanEvent::CrashCapture => "crash_capture",
             SpanEvent::OracleViolation => "oracle_violation",
+            SpanEvent::TierDemote => "tier_demote",
+            SpanEvent::TierPromote => "tier_promote",
         }
     }
 

@@ -99,6 +99,36 @@ pub struct Stats {
     ring: RingCounters,
     namespace: NamespaceCounters,
     chaos: ChaosCounters,
+    tier: TierCounters,
+}
+
+/// Counters for the tiered-capacity subsystem: segment migrations between
+/// the PM tier and the block-granular capacity tier, raw capacity-tier
+/// traffic, and demotion work deferred by the QoS bandwidth cap.  The
+/// `tiering` experiment is scored on demotions *and* promotions being
+/// non-zero while the hot set sustains PM-class throughput.
+#[derive(Debug, Default)]
+pub struct TierCounters {
+    /// Segments demoted from PM to the capacity tier.
+    tier_demotions: AtomicU64,
+    /// Segments promoted from the capacity tier back to PM.
+    tier_promotions: AtomicU64,
+    /// Bytes moved PM → capacity by demotions.
+    tier_demoted_bytes: AtomicU64,
+    /// Bytes moved capacity → PM by promotions.
+    tier_promoted_bytes: AtomicU64,
+    /// Read requests served by the capacity tier.
+    tier_cap_reads: AtomicU64,
+    /// Bytes read from the capacity tier.
+    tier_cap_read_bytes: AtomicU64,
+    /// Write requests issued to the capacity tier.
+    tier_cap_writes: AtomicU64,
+    /// Bytes written to the capacity tier.
+    tier_cap_write_bytes: AtomicU64,
+    /// Demotion candidates skipped in a maintenance tick because the
+    /// per-tick migration bandwidth budget was exhausted (QoS capping so
+    /// a demotion storm cannot starve the append path).
+    tier_bandwidth_deferrals: AtomicU64,
 }
 
 /// Counters for the crash-point fuzzing and fault-injection machinery:
@@ -556,6 +586,48 @@ impl Stats {
         self.chaos.promises_declared.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one segment demotion moving `bytes` from PM to the
+    /// capacity tier.
+    pub fn add_tier_demotion(&self, bytes: u64) {
+        self.tier.tier_demotions.fetch_add(1, Ordering::Relaxed);
+        self.tier
+            .tier_demoted_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one segment promotion moving `bytes` from the capacity
+    /// tier back to PM.
+    pub fn add_tier_promotion(&self, bytes: u64) {
+        self.tier.tier_promotions.fetch_add(1, Ordering::Relaxed);
+        self.tier
+            .tier_promoted_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one capacity-tier read of `bytes` bytes.
+    pub fn add_cap_read(&self, bytes: u64) {
+        self.tier.tier_cap_reads.fetch_add(1, Ordering::Relaxed);
+        self.tier
+            .tier_cap_read_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one capacity-tier write of `bytes` bytes.
+    pub fn add_cap_write(&self, bytes: u64) {
+        self.tier.tier_cap_writes.fetch_add(1, Ordering::Relaxed);
+        self.tier
+            .tier_cap_write_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one demotion candidate deferred by the per-tick migration
+    /// bandwidth budget.
+    pub fn add_tier_bandwidth_deferral(&self) {
+        self.tier
+            .tier_bandwidth_deferrals
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one ring drain that popped `depth` queued submissions.
     pub fn add_ring_drain(&self, depth: u64) {
         self.ring.ring_depth.fetch_add(depth, Ordering::Relaxed);
@@ -643,6 +715,15 @@ impl Stats {
             torn_lines: self.chaos.torn_lines.load(Ordering::Relaxed),
             media_read_errors: self.chaos.media_read_errors.load(Ordering::Relaxed),
             promises_declared: self.chaos.promises_declared.load(Ordering::Relaxed),
+            tier_demotions: self.tier.tier_demotions.load(Ordering::Relaxed),
+            tier_promotions: self.tier.tier_promotions.load(Ordering::Relaxed),
+            tier_demoted_bytes: self.tier.tier_demoted_bytes.load(Ordering::Relaxed),
+            tier_promoted_bytes: self.tier.tier_promoted_bytes.load(Ordering::Relaxed),
+            tier_cap_reads: self.tier.tier_cap_reads.load(Ordering::Relaxed),
+            tier_cap_read_bytes: self.tier.tier_cap_read_bytes.load(Ordering::Relaxed),
+            tier_cap_writes: self.tier.tier_cap_writes.load(Ordering::Relaxed),
+            tier_cap_write_bytes: self.tier.tier_cap_write_bytes.load(Ordering::Relaxed),
+            tier_bandwidth_deferrals: self.tier.tier_bandwidth_deferrals.load(Ordering::Relaxed),
         }
     }
 
@@ -722,6 +803,17 @@ impl Stats {
         self.chaos.torn_lines.store(0, Ordering::Relaxed);
         self.chaos.media_read_errors.store(0, Ordering::Relaxed);
         self.chaos.promises_declared.store(0, Ordering::Relaxed);
+        self.tier.tier_demotions.store(0, Ordering::Relaxed);
+        self.tier.tier_promotions.store(0, Ordering::Relaxed);
+        self.tier.tier_demoted_bytes.store(0, Ordering::Relaxed);
+        self.tier.tier_promoted_bytes.store(0, Ordering::Relaxed);
+        self.tier.tier_cap_reads.store(0, Ordering::Relaxed);
+        self.tier.tier_cap_read_bytes.store(0, Ordering::Relaxed);
+        self.tier.tier_cap_writes.store(0, Ordering::Relaxed);
+        self.tier.tier_cap_write_bytes.store(0, Ordering::Relaxed);
+        self.tier
+            .tier_bandwidth_deferrals
+            .store(0, Ordering::Relaxed);
     }
 }
 
@@ -827,6 +919,24 @@ pub struct StatsSnapshot {
     pub media_read_errors: u64,
     /// Durability promises recorded on the device's ledger.
     pub promises_declared: u64,
+    /// Segments demoted from PM to the capacity tier.
+    pub tier_demotions: u64,
+    /// Segments promoted from the capacity tier back to PM.
+    pub tier_promotions: u64,
+    /// Bytes moved PM → capacity by demotions.
+    pub tier_demoted_bytes: u64,
+    /// Bytes moved capacity → PM by promotions.
+    pub tier_promoted_bytes: u64,
+    /// Read requests served by the capacity tier.
+    pub tier_cap_reads: u64,
+    /// Bytes read from the capacity tier.
+    pub tier_cap_read_bytes: u64,
+    /// Write requests issued to the capacity tier.
+    pub tier_cap_writes: u64,
+    /// Bytes written to the capacity tier.
+    pub tier_cap_write_bytes: u64,
+    /// Demotion candidates deferred by the per-tick bandwidth budget.
+    pub tier_bandwidth_deferrals: u64,
 }
 
 impl StatsSnapshot {
@@ -974,6 +1084,25 @@ impl StatsSnapshot {
         out.promises_declared = out
             .promises_declared
             .saturating_sub(earlier.promises_declared);
+        out.tier_demotions = out.tier_demotions.saturating_sub(earlier.tier_demotions);
+        out.tier_promotions = out.tier_promotions.saturating_sub(earlier.tier_promotions);
+        out.tier_demoted_bytes = out
+            .tier_demoted_bytes
+            .saturating_sub(earlier.tier_demoted_bytes);
+        out.tier_promoted_bytes = out
+            .tier_promoted_bytes
+            .saturating_sub(earlier.tier_promoted_bytes);
+        out.tier_cap_reads = out.tier_cap_reads.saturating_sub(earlier.tier_cap_reads);
+        out.tier_cap_read_bytes = out
+            .tier_cap_read_bytes
+            .saturating_sub(earlier.tier_cap_read_bytes);
+        out.tier_cap_writes = out.tier_cap_writes.saturating_sub(earlier.tier_cap_writes);
+        out.tier_cap_write_bytes = out
+            .tier_cap_write_bytes
+            .saturating_sub(earlier.tier_cap_write_bytes);
+        out.tier_bandwidth_deferrals = out
+            .tier_bandwidth_deferrals
+            .saturating_sub(earlier.tier_bandwidth_deferrals);
         out
     }
 
@@ -985,7 +1114,7 @@ impl StatsSnapshot {
     /// Every scalar event counter as `(name, value)` pairs, in a stable
     /// order — the single source the JSON exporters iterate instead of
     /// naming each field again.
-    pub fn counters(&self) -> [(&'static str, u64); 42] {
+    pub fn counters(&self) -> [(&'static str, u64); 51] {
         [
             ("flushes", self.flushes),
             ("fences", self.fences),
@@ -1029,6 +1158,15 @@ impl StatsSnapshot {
             ("torn_lines", self.torn_lines),
             ("media_read_errors", self.media_read_errors),
             ("promises_declared", self.promises_declared),
+            ("tier_demotions", self.tier_demotions),
+            ("tier_promotions", self.tier_promotions),
+            ("tier_demoted_bytes", self.tier_demoted_bytes),
+            ("tier_promoted_bytes", self.tier_promoted_bytes),
+            ("tier_cap_reads", self.tier_cap_reads),
+            ("tier_cap_read_bytes", self.tier_cap_read_bytes),
+            ("tier_cap_writes", self.tier_cap_writes),
+            ("tier_cap_write_bytes", self.tier_cap_write_bytes),
+            ("tier_bandwidth_deferrals", self.tier_bandwidth_deferrals),
         ]
     }
 }
@@ -1129,6 +1267,92 @@ mod tests {
                 .unwrap()
                 .1,
             1
+        );
+    }
+
+    #[test]
+    fn counters_name_every_counter_field() {
+        // Every field of `StatsSnapshot` is 8 bytes wide: three 5-element
+        // per-category arrays, one f64 scalar (`checkpoint_stall_ns`) and
+        // N scalar u64 event counters.  `counters()` must name all N —
+        // the list drifted 31 → 34 → 38 by hand before this check.
+        let words = std::mem::size_of::<StatsSnapshot>() / 8;
+        let scalar_counters = words - 3 * 5 - 1;
+        let counters = StatsSnapshot::default().counters();
+        assert_eq!(
+            counters.len(),
+            scalar_counters,
+            "StatsSnapshot has {scalar_counters} scalar counter fields but \
+             counters() names {}; a field was added without extending \
+             counters() (and likely snapshot()/reset()/delta())",
+            counters.len()
+        );
+        // Names must be unique, or the JSON exporters silently collide.
+        let mut names: Vec<&str> = counters.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), counters.len(), "duplicate counter name");
+
+        // Drive every counter to a non-zero value through the public API,
+        // then check that delta() subtracts each one: a snapshot minus
+        // itself must be exactly the default (a field missed in delta()
+        // would survive the subtraction).
+        let s = Stats::new();
+        s.add_time(TimeCategory::UserData, 1.0);
+        s.add_bytes_written(TimeCategory::UserData, 1);
+        s.add_bytes_read(TimeCategory::UserData, 1);
+        s.add_flush();
+        s.add_fence();
+        s.add_page_faults(1);
+        s.add_huge_page_faults(1);
+        s.add_kernel_trap();
+        s.add_staging_inline_create();
+        s.add_staging_bg_create();
+        s.add_batched_relink(1);
+        s.add_oplog_group_commit();
+        s.add_daemon_checkpoint();
+        s.add_zero_copy_read_bytes(1);
+        s.add_appendv(2);
+        s.add_fsync_many(1);
+        s.add_journal_txn();
+        s.add_shard_lock_wait();
+        s.add_oplog_epoch_swap();
+        s.add_oplog_epoch_truncate();
+        s.add_oplog_grow();
+        s.add_checkpoint_stall(1.0);
+        s.add_staging_recycle();
+        s.add_staging_lock_wait();
+        s.add_staging_lane_steal();
+        s.add_staging_adaptive_resize();
+        s.add_staging_cold_relink();
+        s.add_lease_acquire();
+        s.add_lease_release();
+        s.add_lease_conflict();
+        s.add_instance_recovered();
+        s.add_ring_drain(1);
+        s.add_completion_batch();
+        s.add_fences_amortized(1);
+        s.add_ns_shard_lock_wait();
+        s.add_path_cache_hit();
+        s.add_path_cache_miss();
+        s.add_path_cache_invalidation();
+        s.add_crash_capture();
+        s.add_torn_lines(1);
+        s.add_media_read_error();
+        s.add_promise_declared();
+        s.add_tier_demotion(1);
+        s.add_tier_promotion(1);
+        s.add_cap_read(1);
+        s.add_cap_write(1);
+        s.add_tier_bandwidth_deferral();
+        let snap = s.snapshot();
+        for (name, value) in snap.counters() {
+            assert!(value > 0, "counter {name} untouched by its add method");
+        }
+        assert_eq!(
+            snap.delta(&snap),
+            StatsSnapshot::default(),
+            "delta() missed a field: snapshot minus itself must be zero"
         );
     }
 

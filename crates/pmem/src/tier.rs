@@ -1,0 +1,244 @@
+//! The capacity tier: a slower, block-granular region behind the PM tier.
+//!
+//! PM capacity is the scarce resource in production, so the reproduction
+//! grows a second tier: one address space ([`PmemDevice`]) is split into a
+//! fast PM region `[0, pm_bytes)` with byte-granular persistence semantics
+//! and a capacity region `[pm_bytes, size)` modelled as low-latency flash —
+//! an order of magnitude slower, charged per whole 4 KiB block through
+//! [`CostModel::cap_read_cost`] / [`CostModel::cap_write_cost`].
+//!
+//! Keeping both tiers on one device keeps the crash machinery whole: a
+//! [`crate::CrashImage`] snapshots both tiers atomically, and a capacity
+//! write becomes durable at the next ordering fence — in practice the
+//! journal-commit fence that publishes the segment-location record that
+//! points at it, which is exactly the ordering tiered migration needs
+//! (data durable no later than the metadata that references it).
+//!
+//! [`TieredDevice`] is a thin, cheaply-clonable view (an `Arc` plus the
+//! boundary) that file systems construct from their superblock geometry;
+//! [`DeviceShape`] describes the two-region geometry when building devices.
+
+use std::sync::Arc;
+
+use crate::cost::CostModel;
+use crate::device::PmemDevice;
+use crate::stats::TimeCategory;
+
+/// Size of one capacity-tier block in bytes.  Matches the file-system
+/// block size so demoted extents translate one-to-one.
+pub const CAP_BLOCK: usize = 4096;
+
+/// Two-region device geometry: a fast PM tier plus an optional capacity
+/// tier.  `flat` shapes (no capacity tier) describe the classic all-PM
+/// devices every pre-tiering experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceShape {
+    /// Bytes of fast, byte-addressable PM.
+    pub pm_bytes: usize,
+    /// Bytes of slow, block-granular capacity storage (0 = no tier).
+    pub cap_bytes: usize,
+}
+
+impl DeviceShape {
+    /// An all-PM device with no capacity tier.
+    pub fn flat(pm_bytes: usize) -> Self {
+        Self {
+            pm_bytes,
+            cap_bytes: 0,
+        }
+    }
+
+    /// A PM tier of `pm_bytes` backed by a `cap_bytes` capacity tier.
+    pub fn tiered(pm_bytes: usize, cap_bytes: usize) -> Self {
+        Self {
+            pm_bytes,
+            cap_bytes,
+        }
+    }
+
+    /// Total device size spanning both tiers.
+    pub fn total_bytes(&self) -> usize {
+        self.pm_bytes + self.cap_bytes
+    }
+
+    /// Whether a capacity tier is present.
+    pub fn is_tiered(&self) -> bool {
+        self.cap_bytes > 0
+    }
+}
+
+/// A two-tier view over one [`PmemDevice`]: PM in `[0, pm_bytes)`,
+/// capacity in `[pm_bytes, size)`.  Capacity accesses are addressed
+/// *relative to the capacity region* and charged block-granular
+/// capacity-tier costs; PM accesses keep going through the device
+/// directly.
+#[derive(Debug, Clone)]
+pub struct TieredDevice {
+    device: Arc<PmemDevice>,
+    pm_bytes: usize,
+}
+
+impl TieredDevice {
+    /// Wraps `device` with the PM/capacity boundary at `pm_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pm_bytes` exceeds the device size.
+    pub fn new(device: Arc<PmemDevice>, pm_bytes: usize) -> Self {
+        assert!(
+            pm_bytes <= device.size(),
+            "PM tier ({pm_bytes} B) larger than device ({} B)",
+            device.size()
+        );
+        Self { device, pm_bytes }
+    }
+
+    /// The underlying device spanning both tiers.
+    pub fn device(&self) -> &Arc<PmemDevice> {
+        &self.device
+    }
+
+    /// Bytes in the PM tier.
+    pub fn pm_bytes(&self) -> usize {
+        self.pm_bytes
+    }
+
+    /// Bytes in the capacity tier (0 when the device is all-PM).
+    pub fn cap_bytes(&self) -> usize {
+        self.device.size() - self.pm_bytes
+    }
+
+    /// Capacity-tier blocks available.
+    pub fn cap_blocks(&self) -> u64 {
+        (self.cap_bytes() / CAP_BLOCK) as u64
+    }
+
+    /// Whether a capacity tier is present.
+    pub fn is_tiered(&self) -> bool {
+        self.cap_bytes() > 0
+    }
+
+    fn check_cap_range(&self, offset: u64, len: usize) {
+        let end = offset
+            .checked_add(len as u64)
+            .expect("capacity access offset overflow");
+        assert!(
+            end <= self.cap_bytes() as u64,
+            "capacity access out of range: offset {offset} len {len} tier size {}",
+            self.cap_bytes()
+        );
+    }
+
+    /// Reads `buf.len()` bytes at capacity-relative `offset`, charging
+    /// one block-granular capacity-tier request.
+    pub fn cap_read(&self, offset: u64, buf: &mut [u8], cat: TimeCategory) {
+        if buf.is_empty() {
+            return;
+        }
+        self.check_cap_range(offset, buf.len());
+        self.device
+            .read_uncharged(self.pm_bytes as u64 + offset, buf);
+        let ns = self.device.cost().cap_read_cost(buf.len());
+        self.device.charge(cat, ns);
+        self.device.stats().add_bytes_read(cat, buf.len() as u64);
+        self.device.stats().add_cap_read(buf.len() as u64);
+    }
+
+    /// Writes `data` at capacity-relative `offset`, charging one
+    /// block-granular capacity-tier request.  The bytes become durable at
+    /// the next ordering fence — callers that journal a segment-location
+    /// record afterwards get the data-before-metadata ordering for free
+    /// from the commit fence.
+    pub fn cap_write(&self, offset: u64, data: &[u8], cat: TimeCategory) {
+        if data.is_empty() {
+            return;
+        }
+        self.check_cap_range(offset, data.len());
+        self.device
+            .write_uncharged(self.pm_bytes as u64 + offset, data);
+        let ns = self.device.cost().cap_write_cost(data.len());
+        self.device.charge(cat, ns);
+        self.device
+            .stats()
+            .add_bytes_written(cat, data.len() as u64);
+        self.device.stats().add_cap_write(data.len() as u64);
+    }
+
+    /// The cost model shared by both tiers.
+    pub fn cost(&self) -> &CostModel {
+        self.device.cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::PmemBuilder;
+
+    fn tiered(pm: usize, cap: usize) -> TieredDevice {
+        let dev = PmemBuilder::new(pm + cap).build();
+        TieredDevice::new(dev, pm)
+    }
+
+    #[test]
+    fn shape_geometry() {
+        let flat = DeviceShape::flat(1 << 20);
+        assert!(!flat.is_tiered());
+        assert_eq!(flat.total_bytes(), 1 << 20);
+        let t = DeviceShape::tiered(1 << 20, 3 << 20);
+        assert!(t.is_tiered());
+        assert_eq!(t.total_bytes(), 4 << 20);
+    }
+
+    #[test]
+    fn cap_roundtrip_and_stats() {
+        let td = tiered(1 << 20, 1 << 20);
+        assert_eq!(td.cap_bytes(), 1 << 20);
+        assert_eq!(td.cap_blocks(), 256);
+        let data = vec![0xabu8; 8192];
+        td.cap_write(4096, &data, TimeCategory::UserData);
+        let mut back = vec![0u8; 8192];
+        td.cap_read(4096, &mut back, TimeCategory::UserData);
+        assert_eq!(back, data);
+        let snap = td.device().stats().snapshot();
+        assert_eq!(snap.tier_cap_writes, 1);
+        assert_eq!(snap.tier_cap_write_bytes, 8192);
+        assert_eq!(snap.tier_cap_reads, 1);
+        assert_eq!(snap.tier_cap_read_bytes, 8192);
+    }
+
+    #[test]
+    fn cap_accesses_do_not_touch_pm() {
+        let td = tiered(64 * 1024, 64 * 1024);
+        let pm_probe = vec![0x11u8; 64];
+        td.device()
+            .write_uncharged(td.pm_bytes() as u64 - 64, &pm_probe);
+        td.cap_write(0, &[0x22u8; 64], TimeCategory::UserData);
+        let mut back = vec![0u8; 64];
+        td.device()
+            .read_uncharged(td.pm_bytes() as u64 - 64, &mut back);
+        assert_eq!(back, pm_probe, "capacity offset 0 clobbered PM tail");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity access out of range")]
+    fn cap_access_past_tier_panics() {
+        let td = tiered(1 << 20, 1 << 20);
+        td.cap_write(td.cap_bytes() as u64, &[0u8; 1], TimeCategory::UserData);
+    }
+
+    #[test]
+    fn cap_tier_charges_slower_costs() {
+        let dev = PmemBuilder::new(2 << 20)
+            .cost_model(CostModel::calibrated())
+            .build();
+        let td = TieredDevice::new(dev, 1 << 20);
+        let t0 = td.device().clock().now_ns_f64();
+        td.cap_write(0, &[0u8; 4096], TimeCategory::UserData);
+        let cap_cost = td.device().clock().now_ns_f64() - t0;
+        assert!(
+            cap_cost > 5.0 * td.cost().pm_write_cost(4096),
+            "capacity write ({cap_cost} ns) should dwarf a PM write"
+        );
+    }
+}

@@ -241,3 +241,69 @@ fn cold_file_relink_reclaims_staging_space() {
     assert_eq!(fs.read_file("/cold.log").unwrap(), content);
     fs.close(fd).unwrap();
 }
+
+#[test]
+fn cold_relinked_then_demoted_file_recycles_staging_and_stays_readable() {
+    // The full cold lifecycle on a tiered device: stage, go cold, get
+    // relinked by the cold policy, get demoted to the capacity tier by
+    // the tier sweep — and through all of it the exhausted staging file
+    // must recycle back into its own lane and the data must stay
+    // readable (bounce-read from capacity, then heat promotion).
+    let device = device();
+    let kernel = kernelfs::Ext4Dax::mkfs_shaped(Arc::clone(&device), 192 * 1024 * 1024).unwrap();
+    let config = laned_config(2)
+        .with_cold_relink_after_ms(1.0)
+        .with_tier_demote_after_ms(1.0)
+        .with_tier_pm_watermark(0.0);
+    let fs = SplitFs::new(Arc::clone(&kernel), config).unwrap();
+    let pool = fs.staging_pool();
+    let home = pool.lane_for_current_thread();
+
+    // Exhaust the home lane's first staging file without ever fsyncing.
+    let fd = fs.open("/frozen.log", OpenFlags::create()).unwrap();
+    let block = vec![0xC4u8; 64 * 1024];
+    let blocks = (FILE_SIZE / block.len() as u64) + 2;
+    let mut content = Vec::new();
+    for _ in 0..blocks {
+        fs.append(fd, &block).unwrap();
+        content.extend_from_slice(&block);
+    }
+    assert!(pool.begin_recycle().is_none(), "unretired while staged");
+
+    // Cold relink retires the staged bytes; the tier sweep then finds a
+    // fully relinked, idle file and moves it to the capacity tier.
+    device.clock().advance(2_000_000.0);
+    assert_eq!(fs.reclaim_cold_staging(), 1);
+    assert_eq!(fs.sweep_tier_demotions(), 1, "idle relinked file demotes");
+    assert!(kernel.is_demoted(fd_kernel(&fs, "/frozen.log")).unwrap());
+    let (cap_used, _) = kernel.cap_usage();
+    assert!(cap_used > 0, "segments landed on the capacity tier");
+
+    // The staging file the cold data came from recycles into its lane.
+    let rec = pool
+        .begin_recycle()
+        .expect("cold relink + demotion made the staging file recyclable");
+    assert_eq!(rec.lane(), home, "recycled into the lane it came from");
+    pool.rebuild(rec).unwrap();
+
+    // Reads reassemble from capacity transparently and the heat counter
+    // eventually promotes the file back to PM.
+    let mut buf = vec![0u8; content.len()];
+    let n = fs.read_at(fd, 0, &mut buf).unwrap();
+    assert_eq!(n, content.len());
+    assert_eq!(buf, content, "bounce-read from the capacity tier");
+    let _ = fs.read_at(fd, 0, &mut buf).unwrap();
+    assert_eq!(buf, content, "still correct across the promotion");
+    assert!(
+        !kernel.is_demoted(fd_kernel(&fs, "/frozen.log")).unwrap(),
+        "read heat promoted the file back to PM"
+    );
+    assert!(device.stats().snapshot().tier_promotions >= 1);
+    fs.close(fd).unwrap();
+}
+
+/// The kernel descriptor U-Split keeps for a path (tier state queries).
+fn fd_kernel(fs: &Arc<SplitFs>, path: &str) -> vfs::Fd {
+    let kernel = fs.kernel();
+    kernel.open(path, OpenFlags::read_only()).unwrap()
+}
